@@ -1,0 +1,244 @@
+//! Aquatope (Zhou et al., ASPLOS '23) extended with GPU sharing (§4.2).
+//!
+//! "Aquatope relies on an offline training process, in which the
+//! application of interest is profiled in many sample executions based on
+//! Bayesian Optimization (BO) … the training process starts with 100
+//! bootstrapping samples, iterates 50 rounds (we sample five
+//! configurations in each round), and selects the best configuration. The
+//! nature of its reliance on offline training makes it unable to adapt to
+//! dynamic workload changes."
+//!
+//! Training minimises `cost + penalty · max(0, P95 − SLO)` over the joint
+//! per-stage configuration space, evaluated through *noisy* profile
+//! samples (offline profiling measures real executions). The learned
+//! per-stage configurations are then deployed statically; the planned
+//! batch regularly exceeds live queue lengths, producing Table 4's 59–86%
+//! configuration-miss rates.
+
+use crate::bo::BoOptimizer;
+use esg_model::{AppSpec, Config, NodeId};
+use esg_profile::latency_ms;
+use esg_sim::{place_locality_first, Capabilities, Outcome, SchedCtx, Scheduler};
+use rand::Rng;
+
+/// The Aquatope baseline scheduler.
+#[derive(Debug)]
+pub struct AquatopeScheduler {
+    optimizer: BoOptimizer,
+    /// SLO-violation penalty weight (cents per ms of P95 overrun).
+    penalty: f64,
+    /// Learned per-app, per-stage configurations.
+    plans: Vec<Option<Vec<Config>>>,
+}
+
+impl Default for AquatopeScheduler {
+    fn default() -> Self {
+        AquatopeScheduler::new(BoOptimizer::default())
+    }
+}
+
+impl AquatopeScheduler {
+    /// Creates the scheduler with an explicit training budget (tests use
+    /// `BoOptimizer::tiny`).
+    pub fn new(optimizer: BoOptimizer) -> AquatopeScheduler {
+        AquatopeScheduler {
+            optimizer,
+            penalty: 0.05,
+            plans: Vec::new(),
+        }
+    }
+
+    /// Offline training for one application.
+    fn train(&self, ctx: &SchedCtx<'_>, app: &AppSpec) -> Vec<Config> {
+        let grid = ctx.profiles.grid();
+        let axes = [
+            grid.batches.clone(),
+            grid.vcpus.clone(),
+            grid.vgpus.clone(),
+        ];
+        let stages = app.num_stages();
+        // One dimension per (stage, axis): 3·stages total.
+        let dims: Vec<usize> = (0..stages * 3).map(|d| axes[d % 3].len()).collect();
+        let p95 = ctx.noise.p95_factor();
+        let slo = ctx.slo_ms;
+        let sigma = ctx.noise.sigma();
+        let penalty = self.penalty;
+
+        let decode = |point: &[usize]| -> Vec<Config> {
+            (0..stages)
+                .map(|s| {
+                    Config::new(
+                        axes[0][point[s * 3]],
+                        axes[1][point[s * 3 + 1]],
+                        axes[2][point[s * 3 + 2]],
+                    )
+                })
+                .collect()
+        };
+
+        let (best, _) = self.optimizer.minimize(&dims, |point, rng| {
+            let plan = decode(point);
+            let mut lat = 0.0;
+            let mut cost = 0.0;
+            for (s, cfg) in plan.iter().enumerate() {
+                let spec = ctx.catalog.get(app.nodes[s]);
+                // One noisy offline profiling run per stage sample.
+                let noise = 1.0 + sigma * (rng.random::<f64>() * 2.0 - 1.0) * 3.0;
+                let l = latency_ms(spec, *cfg) * noise.max(0.05);
+                lat += l;
+                cost += ctx.price.per_job_cost_cents(*cfg, l);
+            }
+            cost + penalty * (lat * p95 - slo).max(0.0)
+        });
+        decode(&best)
+    }
+}
+
+impl Scheduler for AquatopeScheduler {
+    fn name(&self) -> &'static str {
+        "Aquatope"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        // Table 1 row: GPU sharing ×, inter-function relation √,
+        // adaptive ×, data locality ×, pre-warming √.
+        Capabilities {
+            gpu_sharing: false,
+            inter_function_relation: true,
+            adaptive: false,
+            data_locality: false,
+            pre_warming: true,
+        }
+    }
+
+    fn schedule(&mut self, ctx: &SchedCtx<'_>) -> Outcome {
+        if ctx.jobs.is_empty() {
+            return Outcome::skip();
+        }
+        if self.plans.is_empty() {
+            self.plans = vec![None; ctx.apps.len()];
+        }
+        let app_idx = ctx.key.app.index();
+        if self.plans[app_idx].is_none() {
+            let plan = self.train(ctx, ctx.app_spec());
+            self.plans[app_idx] = Some(plan);
+        }
+        let config = self.plans[app_idx]
+            .as_ref()
+            .expect("trained above")[ctx.key.stage];
+        Outcome {
+            candidates: vec![config],
+            // Offline training: negligible runtime overhead (§5.2).
+            expansions: 1,
+            planned_batch: Some(config.batch),
+        }
+    }
+
+    fn place(&mut self, ctx: &SchedCtx<'_>, config: Config) -> Option<NodeId> {
+        let preferred = ctx
+            .jobs
+            .iter()
+            .take(config.batch as usize)
+            .find_map(|j| j.pred_node);
+        place_locality_first(ctx, config.resources(), preferred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{ctx_for, idle_cluster, jobs_with_slack};
+    use esg_model::SloClass;
+    use esg_sim::SimEnv;
+
+    fn tiny() -> AquatopeScheduler {
+        AquatopeScheduler::new(BoOptimizer::tiny(11))
+    }
+
+    #[test]
+    fn trains_once_per_app_then_replays() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let cluster = idle_cluster(4);
+        let jobs = jobs_with_slack(&[600.0]);
+        let mut s = tiny();
+        let c0 = ctx_for(&env, &cluster, &jobs, 0, 0, 10.0);
+        let out0 = s.schedule(&c0);
+        assert_eq!(out0.candidates.len(), 1);
+        let plan = s.plans[0].clone().expect("trained");
+        assert_eq!(plan.len(), 3);
+        // Later stages replay the same static plan.
+        let c1 = ctx_for(&env, &cluster, &jobs, 0, 1, 200.0);
+        let out1 = s.schedule(&c1);
+        assert_eq!(out1.candidates[0], plan[1]);
+        assert_eq!(out1.expansions, 1);
+        // Plan unchanged after more calls.
+        let c2 = ctx_for(&env, &cluster, &jobs, 0, 0, 400.0);
+        s.schedule(&c2);
+        assert_eq!(s.plans[0].as_ref().expect("still trained"), &plan);
+    }
+
+    #[test]
+    fn static_plan_reports_planned_batch() {
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let cluster = idle_cluster(4);
+        let jobs = jobs_with_slack(&[1500.0]);
+        let mut s = tiny();
+        let c = ctx_for(&env, &cluster, &jobs, 1, 0, 10.0);
+        let out = s.schedule(&c);
+        assert_eq!(out.planned_batch, Some(out.candidates[0].batch));
+    }
+
+    #[test]
+    fn training_prefers_cheap_feasible_plans() {
+        // With a full budget the learned plan should not be wildly
+        // over-provisioned: compare to the most expensive possible plan.
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let cluster = idle_cluster(4);
+        let jobs = jobs_with_slack(&[2000.0]);
+        let mut s = AquatopeScheduler::new(BoOptimizer {
+            bootstrap: 40,
+            rounds: 10,
+            per_round: 3,
+            candidate_pool: 64,
+            seed: 5,
+        });
+        let c = ctx_for(&env, &cluster, &jobs, 0, 0, 10.0);
+        s.schedule(&c);
+        let plan = s.plans[0].as_ref().expect("trained");
+        let plan_cost: f64 = plan
+            .iter()
+            .zip(&env.apps[0].nodes)
+            .map(|(cfg, &f)| {
+                let l = latency_ms(env.catalog.get(f), *cfg);
+                env.price.per_job_cost_cents(*cfg, l)
+            })
+            .sum();
+        let max_cfg = Config::new(1, 8, 7);
+        let max_cost: f64 = env.apps[0]
+            .nodes
+            .iter()
+            .map(|&f| {
+                let l = latency_ms(env.catalog.get(f), max_cfg);
+                env.price.per_job_cost_cents(max_cfg, l)
+            })
+            .sum();
+        assert!(
+            plan_cost < max_cost,
+            "BO should beat the most expensive plan: {plan_cost} vs {max_cost}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let cluster = idle_cluster(4);
+        let jobs = jobs_with_slack(&[600.0]);
+        let plan = |seed: u64| {
+            let mut s = AquatopeScheduler::new(BoOptimizer::tiny(seed));
+            let c = ctx_for(&env, &cluster, &jobs, 2, 0, 10.0);
+            s.schedule(&c);
+            s.plans[2].clone().expect("trained")
+        };
+        assert_eq!(plan(3), plan(3));
+    }
+}

@@ -1,0 +1,150 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! `k(x, x') = σ² exp(−‖x−x'‖² / (2ℓ²))`, observation noise `λ`. Fitting
+//! solves `(K + λI) α = y` by Cholesky; prediction returns the posterior
+//! mean `k*ᵀα` and variance `k(x,x) − ‖L⁻¹k*‖²`.
+
+use super::matrix::Matrix;
+
+/// A fitted Gaussian process.
+#[derive(Clone, Debug)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    chol: Matrix,
+    alpha: Vec<f64>,
+    lengthscale: f64,
+    signal_var: f64,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    /// Fits the GP to `(xs, ys)` with RBF lengthscale `lengthscale` and
+    /// observation noise variance `noise`. The signal variance is set to
+    /// the sample variance of `ys` (a standard self-scaling choice).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lengthscale: f64, noise: f64) -> GaussianProcess {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "GP needs at least one observation");
+        assert!(lengthscale > 0.0 && noise >= 0.0);
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let signal_var = (centered.iter().map(|y| y * y).sum::<f64>() / n as f64).max(1e-6);
+
+        let kernel = |a: &[f64], b: &[f64]| -> f64 {
+            let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+            signal_var * (-d2 / (2.0 * lengthscale * lengthscale)).exp()
+        };
+        let mut k = Matrix::from_fn(n, |i, j| kernel(&xs[i], &xs[j]));
+        // Ridge for numerical stability on duplicated points.
+        let ridge = noise + 1e-9 * signal_var;
+        for i in 0..n {
+            k[(i, i)] += ridge;
+        }
+        let chol = k
+            .cholesky()
+            .expect("kernel + ridge is positive definite");
+        let tmp = chol.solve_lower(&centered);
+        let alpha = chol.solve_lower_transpose(&tmp);
+        GaussianProcess {
+            xs: xs.to_vec(),
+            chol,
+            alpha,
+            lengthscale,
+            signal_var,
+            y_mean,
+        }
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.signal_var * (-d2 / (2.0 * self.lengthscale * self.lengthscale)).exp()
+    }
+
+    /// Posterior `(mean, variance)` at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel(xi, x)).collect();
+        let mean = self.y_mean
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        let v = self.chol.solve_lower(&kstar);
+        let var = self.kernel(x, x) - v.iter().map(|x| x * x).sum::<f64>();
+        (mean, var.max(0.0))
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the GP holds no observations (cannot occur via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points_with_low_noise() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 0.3, 1e-8);
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 1e-3, "mean {m} vs {y}");
+            assert!(v < 1e-3, "variance {v} at a training point");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![0.1]];
+        let ys = vec![1.0, 1.1];
+        let gp = GaussianProcess::fit(&xs, &ys, 0.1, 1e-6);
+        let (_, v_near) = gp.predict(&[0.05]);
+        let (_, v_far) = gp.predict(&[1.0]);
+        assert!(v_far > v_near);
+        // Far from data the mean reverts towards the training mean.
+        let (m_far, _) = gp.predict(&[50.0]);
+        assert!((m_far - 1.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smooth_interpolation_between_points() {
+        let xs = grid_1d(11);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 0.25, 1e-6);
+        let (m, _) = gp.predict(&[0.55]);
+        assert!((m - 0.3025).abs() < 0.02, "quadratic interp: {m}");
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_factorisation() {
+        let xs = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let ys = vec![1.0, 1.2, 0.8];
+        let gp = GaussianProcess::fit(&xs, &ys, 0.3, 1e-4);
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn multidimensional_inputs() {
+        let xs: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i % 4) as f64 / 3.0, (i / 4) as f64 / 3.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] + 2.0 * x[1]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, 0.5, 1e-6);
+        let (m, _) = gp.predict(&[0.5, 0.5]);
+        assert!((m - 1.5).abs() < 0.05, "{m}");
+        assert_eq!(gp.len(), 16);
+    }
+}

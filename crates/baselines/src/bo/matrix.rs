@@ -1,0 +1,194 @@
+//! Minimal dense matrix with Cholesky factorisation.
+//!
+//! Just enough linear algebra for a Gaussian process: symmetric positive
+//! definite `A = L·Lᵀ`, plus forward/backward triangular solves.
+
+/// A dense square matrix in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n×n` zero matrix.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cholesky factorisation: returns lower-triangular `L` with
+    /// `L·Lᵀ = self`, or `None` when the matrix is not positive definite.
+    pub fn cholesky(&self) -> Option<Matrix> {
+        let n = self.n;
+        let mut l = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solves `L·x = b` for lower-triangular `self`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `Lᵀ·x = b` for lower-triangular `self`.
+    pub fn solve_lower_transpose(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self[(k, i)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Multiplies `self · v`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// `self · selfᵀ` (used by tests to verify the factorisation).
+    pub fn mul_transpose(&self) -> Matrix {
+        let n = self.n;
+        Matrix::from_fn(n, |i, j| (0..n).map(|k| self[(i, k)] * self[(j, k)]).sum())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_fn(2, |i, j| [[4.0, 2.0], [2.0, 3.0]][i][j]);
+        let l = a.cholesky().expect("SPD");
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((l[(0, 1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = Matrix::from_fn(2, |i, j| [[1.0, 2.0], [2.0, 1.0]][i][j]);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn reconstruction_roundtrip() {
+        // Random-ish SPD: B·Bᵀ + n·I.
+        let n = 6;
+        let b = Matrix::from_fn(n, |i, j| ((i * 7 + j * 3) % 11) as f64 / 11.0);
+        let mut a = b.mul_transpose();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let l = a.cholesky().expect("SPD by construction");
+        let back = l.mul_transpose();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (a[(i, j)] - back[(i, j)]).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    back[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_solves_invert() {
+        let n = 5;
+        let b = Matrix::from_fn(n, |i, j| ((i * 5 + j * 2) % 7) as f64 / 7.0);
+        let mut a = b.mul_transpose();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let l = a.cholesky().expect("SPD");
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 2.0).collect();
+        // Solve A x = rhs via two triangular solves.
+        let y = l.solve_lower(&rhs);
+        let x = l.solve_lower_transpose(&y);
+        let back = a.mul_vec(&x);
+        for (r, b2) in rhs.iter().zip(&back) {
+            assert!((r - b2).abs() < 1e-9, "{r} vs {b2}");
+        }
+    }
+
+    #[test]
+    fn indexing() {
+        let mut m = Matrix::zeros(3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m[(2, 1)], 0.0);
+        assert_eq!(m.n(), 3);
+    }
+}

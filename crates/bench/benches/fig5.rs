@@ -1,0 +1,39 @@
+//! Figure 5 — job arrival intervals for the heavy / normal / light
+//! workload settings.
+
+use esg_bench::{section, write_csv, SEED};
+use esg_model::{standard_app_ids, WorkloadClass};
+use esg_workload::WorkloadGen;
+
+fn main() {
+    section("Figure 5: job arrival intervals");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "class", "expected", "min", "mean", "max", "count"
+    );
+    let mut csv = Vec::new();
+    for class in WorkloadClass::all() {
+        let w = WorkloadGen::new(class, standard_app_ids(), SEED).generate(400);
+        let iv = w.intervals_ms();
+        let (lo, hi) = class.interval_range_ms();
+        let min = iv.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = iv.iter().cloned().fold(0.0, f64::max);
+        let mean = iv.iter().sum::<f64>() / iv.len() as f64;
+        assert!(min >= lo - 1e-9 && max <= hi + 1e-9, "intervals in range");
+        println!(
+            "{:<10} {:>5.1}-{:<5.1} {:>10.2} {:>10.2} {:>10.2} {:>10}",
+            class.to_string(),
+            lo,
+            hi,
+            min,
+            mean,
+            max,
+            iv.len()
+        );
+        for (i, d) in iv.iter().enumerate() {
+            csv.push(format!("{class},{i},{d:.4}"));
+        }
+    }
+    println!("\npaper ranges: heavy [10,16.8], normal [20,33.6], light [40,67.2] ms");
+    write_csv("fig5", "class,job,interval_ms", &csv);
+}

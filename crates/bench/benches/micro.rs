@@ -1,0 +1,87 @@
+//! Criterion microbenches for the core algorithmic pieces: the ESG_1Q
+//! variants against brute force, dominator-tree construction, Gaussian-
+//! process fitting, and the event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esg_baselines::bo::GaussianProcess;
+use esg_core::{astar_search, brute_force, stagewise_search, StageTable};
+use esg_dag::{Dag, DominatorTree};
+use esg_model::{standard_apps, standard_catalog, ConfigGrid, PriceModel, SimTime};
+use esg_profile::ProfileTable;
+use esg_sim::{Event, EventQueue};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let catalog = standard_catalog();
+    let app = &standard_apps()[0];
+    let mut group = c.benchmark_group("esg_1q");
+    for &configs in &[64usize, 224, 256] {
+        let grid = ConfigGrid::with_total_configs(configs);
+        let profiles = ProfileTable::build(&catalog, &grid, &PriceModel::default());
+        let table = StageTable::build(&app.nodes, &profiles, 8);
+        let gslo = table.min_total_time() * 1.35;
+        group.bench_with_input(BenchmarkId::new("astar", configs), &table, |b, t| {
+            b.iter(|| black_box(astar_search(t, gslo, 5)))
+        });
+        group.bench_with_input(BenchmarkId::new("stagewise", configs), &table, |b, t| {
+            b.iter(|| black_box(stagewise_search(t, gslo, 5)))
+        });
+        if configs <= 64 {
+            group.bench_with_input(BenchmarkId::new("brute", configs), &table, |b, t| {
+                b.iter(|| black_box(brute_force(t, gslo, 5)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dominators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominators");
+    for &n in &[16usize, 64, 256] {
+        // Layered DAG: node i -> i+1 and i -> i+2 (bypass diamonds).
+        let edges: Vec<(usize, usize)> = (0..n - 1)
+            .map(|i| (i, i + 1))
+            .chain((0..n - 2).map(|i| (i, i + 2)))
+            .collect();
+        let dag = Dag::new(n, &edges).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dag, |b, d| {
+            b.iter(|| black_box(DominatorTree::build(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_process");
+    for &n in &[50usize, 150, 350] {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 10) as f64 / 9.0, (i / 10) as f64 / 35.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 3.0).sin() + x[1]).collect();
+        group.bench_with_input(BenchmarkId::new("fit", n), &(xs, ys), |b, (xs, ys)| {
+            b.iter(|| black_box(GaussianProcess::fit(xs, ys, 0.3, 1e-4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_us((i * 7919) % 100_000), Event::TaskComplete(i));
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_search, bench_dominators, bench_gp, bench_event_queue
+}
+criterion_main!(benches);

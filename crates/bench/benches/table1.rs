@@ -1,0 +1,55 @@
+//! Table 1 — feature comparison of the five serverless systems.
+//!
+//! The rows come from each scheduler's `capabilities()` (encoding the
+//! published systems, not our §4.2-extended variants).
+
+use esg_bench::{section, write_csv, SchedKind};
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+fn main() {
+    section("Table 1: comparison of serverless systems");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "feature", "INFless", "Fast-GShare", "Orion", "Aquatope", "ESG"
+    );
+    let order = [
+        SchedKind::Infless,
+        SchedKind::FastGShare,
+        SchedKind::Orion,
+        SchedKind::Aquatope,
+        SchedKind::Esg,
+    ];
+    let caps: Vec<_> = order.iter().map(|k| k.build().capabilities()).collect();
+    type CapFn = fn(&esg_sim::Capabilities) -> bool;
+    let rows: [(&str, CapFn); 5] = [
+        ("GPU sharing", |c| c.gpu_sharing),
+        ("Inter-function relation", |c| c.inter_function_relation),
+        ("Adaptive sched.", |c| c.adaptive),
+        ("Data locality", |c| c.data_locality),
+        ("Pre-warming", |c| c.pre_warming),
+    ];
+    let mut csv = Vec::new();
+    for (name, f) in &rows {
+        let vals: Vec<&str> = caps.iter().map(|c| tick(f(c))).collect();
+        println!(
+            "{:<24} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            name, vals[0], vals[1], vals[2], vals[3], vals[4]
+        );
+        csv.push(format!(
+            "{name},{},{},{},{},{}",
+            vals[0], vals[1], vals[2], vals[3], vals[4]
+        ));
+    }
+    write_csv(
+        "table1",
+        "feature,INFless,FaST-GShare,Orion,Aquatope,ESG",
+        &csv,
+    );
+}

@@ -1,0 +1,194 @@
+//! Shared experiment-harness support for the per-table/per-figure bench
+//! targets (see DESIGN.md §5 for the experiment index).
+//!
+//! Every target uses the same standard setup: the Table-2 cluster, 120 s
+//! of class-appropriate arrivals, a 30 s warm-up window excluded from the
+//! metrics (steady-state measurement), and seed 42. Results print as
+//! paper-style rows and are also written as CSV under `bench_results/`.
+
+#![warn(missing_docs)]
+
+use esg_baselines::{
+    AquatopeScheduler, FastGShareScheduler, InflessScheduler, OrionScheduler,
+};
+use esg_core::EsgScheduler;
+use esg_model::{standard_app_ids, Scenario, SloClass};
+use esg_sim::{run_simulation, ExperimentResult, Scheduler, SimConfig, SimEnv};
+use esg_workload::{Workload, WorkloadGen};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Simulated seconds of arrivals per experiment run.
+pub const RUN_SECONDS: f64 = 120.0;
+/// Warm-up window excluded from metrics, seconds.
+pub const WARMUP_SECONDS: f64 = 30.0;
+/// Workload seed shared by all experiments.
+pub const SEED: u64 = 42;
+
+/// The five compared schedulers (paper §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// The paper's contribution.
+    Esg,
+    /// INFless baseline.
+    Infless,
+    /// FaST-GShare baseline.
+    FastGShare,
+    /// Orion baseline (default 100 ms cut-off).
+    Orion,
+    /// Aquatope baseline (offline BO).
+    Aquatope,
+}
+
+impl SchedKind {
+    /// All five, figure order.
+    pub fn all() -> [SchedKind; 5] {
+        [
+            SchedKind::Esg,
+            SchedKind::Infless,
+            SchedKind::FastGShare,
+            SchedKind::Orion,
+            SchedKind::Aquatope,
+        ]
+    }
+
+    /// Instantiates the scheduler.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedKind::Esg => Box::new(EsgScheduler::new()),
+            SchedKind::Infless => Box::new(InflessScheduler::new()),
+            SchedKind::FastGShare => Box::new(FastGShareScheduler::new()),
+            SchedKind::Orion => Box::new(OrionScheduler::default()),
+            SchedKind::Aquatope => Box::new(AquatopeScheduler::default()),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Esg => "ESG",
+            SchedKind::Infless => "INFless",
+            SchedKind::FastGShare => "FaST-GShare",
+            SchedKind::Orion => "Orion",
+            SchedKind::Aquatope => "Aquatope",
+        }
+    }
+}
+
+/// The standard workload of a scenario: `RUN_SECONDS` of arrivals.
+pub fn standard_workload(scenario: Scenario) -> Workload {
+    WorkloadGen::new(scenario.workload, standard_app_ids(), SEED)
+        .generate_for(RUN_SECONDS * 1000.0)
+}
+
+/// The standard platform configuration (Table 2 + steady-state warm-up).
+pub fn standard_config() -> SimConfig {
+    SimConfig {
+        warmup_exclude_ms: WARMUP_SECONDS * 1000.0,
+        ..SimConfig::default()
+    }
+}
+
+/// Runs one `(scheduler, scenario)` cell of the evaluation.
+pub fn run_cell(kind: SchedKind, scenario: Scenario) -> ExperimentResult {
+    run_cell_with(kind, scenario, standard_config())
+}
+
+/// [`run_cell`] with a custom platform configuration.
+pub fn run_cell_with(
+    kind: SchedKind,
+    scenario: Scenario,
+    cfg: SimConfig,
+) -> ExperimentResult {
+    let env = SimEnv::standard(scenario.slo);
+    let workload = standard_workload(scenario);
+    let mut sched = kind.build();
+    run_simulation(&env, cfg, sched.as_mut(), &workload, &scenario.to_string())
+}
+
+/// Runs every cell of `kinds × scenarios` in parallel (scoped threads,
+/// crossbeam channel fan-in), returning results in deterministic
+/// `(scenario-major, kind-minor)` order.
+pub fn run_matrix(
+    kinds: &[SchedKind],
+    scenarios: &[Scenario],
+) -> Vec<(Scenario, SchedKind, ExperimentResult)> {
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for &scenario in scenarios {
+            for &kind in kinds {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let r = run_cell(kind, scenario);
+                    tx.send((scenario, kind, r)).expect("receiver alive");
+                });
+            }
+        }
+        drop(tx);
+        for item in rx {
+            results.lock().push(item);
+        }
+    });
+    let mut out = results.into_inner();
+    out.sort_by_key(|(scenario, kind, _)| {
+        (
+            scenarios.iter().position(|s| s == scenario).expect("known"),
+            kinds.iter().position(|k| k == kind).expect("known"),
+        )
+    });
+    out
+}
+
+/// The SLO class of a scenario sweep cell (helper for custom sweeps).
+pub fn slo_of(scenario: Scenario) -> SloClass {
+    scenario.slo
+}
+
+/// Writes rows as CSV under the workspace-level `bench_results/<name>.csv`
+/// (best effort; the printed output is the primary artifact). Override the
+/// directory with `ESG_RESULTS_DIR`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    // Bench binaries run with CWD = the package dir; anchor at the
+    // workspace root instead.
+    let default_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_results");
+    let dir = PathBuf::from(
+        std::env::var("ESG_RESULTS_DIR").unwrap_or_else(|_| default_dir.into()),
+    );
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{header}");
+        for r in rows {
+            let _ = writeln!(f, "{r}");
+        }
+        eprintln!("[csv] wrote {}", path.display());
+    }
+}
+
+/// Prints a rule-off section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_factory_names() {
+        for kind in SchedKind::all() {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn standard_workload_covers_run_window() {
+        let w = standard_workload(Scenario::STRICT_LIGHT);
+        assert!(w.span_ms() <= RUN_SECONDS * 1000.0);
+        assert!(w.span_ms() > 0.8 * RUN_SECONDS * 1000.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Per-stage tables and the dual-blade bounds (§3.3).
+//!
+//! For a partial path `p` over the first stages of a group, ESG_1Q computes:
+//!
+//! * `tLow(p)` — `time(p)` plus the **minimum latency** of every uncovered
+//!   stage: a lower bound on any completion's time. Used by the time blade.
+//! * `rscLow(p)` — `cost(p)` plus the **minimum cost** of every uncovered
+//!   stage: a lower bound on any completion's cost. Used by the cost blade.
+//! * `rscFastest(p)` — `cost(p)` plus the cost of running every uncovered
+//!   stage **at its fastest configuration**: the cost of an achievable
+//!   completion (the fastest one), hence an upper bound that tightens
+//!   `best_full_paths_maxCost`.
+//!
+//! The table pre-computes suffix sums of the three per-stage aggregates so
+//! each bound is O(1) during the search.
+
+use esg_model::{Config, FnId};
+use esg_profile::{ProfileEntry, ProfileTable};
+
+/// Pre-processed stage data for one ESG_1Q invocation.
+#[derive(Clone, Debug)]
+pub struct StageTable {
+    /// Per stage: profile entries ascending by latency, with the first
+    /// stage's batch capped at the queue length.
+    entries: Vec<Vec<ProfileEntry>>,
+    /// Suffix sums over stages `s..` of the minimum latency.
+    min_lat_suffix: Vec<f64>,
+    /// Suffix sums over stages `s..` of the minimum per-job cost.
+    min_cost_suffix: Vec<f64>,
+    /// Suffix sums over stages `s..` of the fastest-config per-job cost.
+    fastest_cost_suffix: Vec<f64>,
+}
+
+impl StageTable {
+    /// Builds the table for a stage sequence. `first_stage_max_batch` caps
+    /// the batch dimension of stage 0 (ESG adapts the batch to the actual
+    /// queue length; later stages are unconstrained).
+    pub fn build(
+        stages: &[FnId],
+        profiles: &ProfileTable,
+        first_stage_max_batch: u32,
+    ) -> StageTable {
+        assert!(!stages.is_empty(), "need at least one stage");
+        let entries: Vec<Vec<ProfileEntry>> = stages
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let all = profiles.profile(f).entries();
+                if i == 0 {
+                    let capped: Vec<ProfileEntry> = all
+                        .iter()
+                        .filter(|e| e.config.batch <= first_stage_max_batch)
+                        .copied()
+                        .collect();
+                    if !capped.is_empty() {
+                        return capped;
+                    }
+                    // Grid without a small-enough batch: keep the smallest
+                    // batch available; the dispatcher clamps it to the live
+                    // queue length anyway.
+                    let min_batch = all
+                        .iter()
+                        .map(|e| e.config.batch)
+                        .min()
+                        .expect("non-empty profile");
+                    all.iter()
+                        .filter(|e| e.config.batch == min_batch)
+                        .copied()
+                        .collect()
+                } else {
+                    all.to_vec()
+                }
+            })
+            .collect();
+        debug_assert!(entries.iter().all(|e| !e.is_empty()));
+
+        let n = stages.len();
+        let mut min_lat_suffix = vec![0.0; n + 1];
+        let mut min_cost_suffix = vec![0.0; n + 1];
+        let mut fastest_cost_suffix = vec![0.0; n + 1];
+        for s in (0..n).rev() {
+            let min_lat = entries[s]
+                .first()
+                .expect("non-empty")
+                .latency_ms;
+            let min_cost = entries[s]
+                .iter()
+                .map(|e| e.per_job_cost_cents)
+                .fold(f64::INFINITY, f64::min);
+            let fastest_cost = entries[s].first().expect("non-empty").per_job_cost_cents;
+            min_lat_suffix[s] = min_lat_suffix[s + 1] + min_lat;
+            min_cost_suffix[s] = min_cost_suffix[s + 1] + min_cost;
+            fastest_cost_suffix[s] = fastest_cost_suffix[s + 1] + fastest_cost;
+        }
+        StageTable {
+            entries,
+            min_lat_suffix,
+            min_cost_suffix,
+            fastest_cost_suffix,
+        }
+    }
+
+    /// Number of stages.
+    #[inline]
+    pub fn num_stages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Entries of stage `s`, ascending latency.
+    #[inline]
+    pub fn entries(&self, s: usize) -> &[ProfileEntry] {
+        &self.entries[s]
+    }
+
+    /// `tLow`: `time_so_far` plus the minimal remaining latency from stage
+    /// `next` on.
+    #[inline]
+    pub fn t_low(&self, time_so_far: f64, next: usize) -> f64 {
+        time_so_far + self.min_lat_suffix[next]
+    }
+
+    /// `rscLow`: `cost_so_far` plus the minimal remaining cost.
+    #[inline]
+    pub fn rsc_low(&self, cost_so_far: f64, next: usize) -> f64 {
+        cost_so_far + self.min_cost_suffix[next]
+    }
+
+    /// `rscFastest`: `cost_so_far` plus the cost of finishing fastest.
+    #[inline]
+    pub fn rsc_fastest(&self, cost_so_far: f64, next: usize) -> f64 {
+        cost_so_far + self.fastest_cost_suffix[next]
+    }
+
+    /// The fastest full path (each stage at its minimum-latency config):
+    /// the default when no path meets the target (`setDefaultPaths`).
+    pub fn fastest_path(&self) -> (Vec<Config>, f64, f64) {
+        let mut configs = Vec::with_capacity(self.num_stages());
+        let mut time = 0.0;
+        let mut cost = 0.0;
+        for s in 0..self.num_stages() {
+            let e = &self.entries[s][0];
+            configs.push(e.config);
+            time += e.latency_ms;
+            cost += e.per_job_cost_cents;
+        }
+        (configs, time, cost)
+    }
+
+    /// The quickest achievable total time — used to detect infeasible
+    /// targets up front.
+    #[inline]
+    pub fn min_total_time(&self) -> f64 {
+        self.min_lat_suffix[0]
+    }
+}
+
+/// A bounded "K smallest values" list: the paper's `minRSC`, tracking the K
+/// best `rscFastest` upper bounds; `kth()` is `best_full_paths_maxCost`.
+#[derive(Clone, Debug)]
+pub struct MinRsc {
+    k: usize,
+    values: Vec<f64>, // ascending, at most k
+}
+
+impl MinRsc {
+    /// Creates an empty list of capacity `k >= 1`.
+    pub fn new(k: usize) -> MinRsc {
+        assert!(k >= 1, "K must be at least 1");
+        MinRsc {
+            k,
+            values: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// The K-th smallest value seen (the pruning threshold); infinite until
+    /// K values arrive.
+    #[inline]
+    pub fn kth(&self) -> f64 {
+        if self.values.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.values[self.k - 1]
+        }
+    }
+
+    /// Inserts a value, keeping the K smallest.
+    pub fn insert(&mut self, v: f64) {
+        let pos = self.values.partition_point(|&x| x <= v);
+        if pos >= self.k {
+            return;
+        }
+        self.values.insert(pos, v);
+        self.values.truncate(self.k);
+    }
+
+    /// Inserts a value unless an (approximately) equal one is present.
+    ///
+    /// The A* variant accumulates `rscFastest` upper bounds across stages,
+    /// where several prefixes of the *same* completion insert the same
+    /// value; counting them as distinct paths would inflate the K-th-best
+    /// threshold and over-prune. Suppressing near-equal values is safe in
+    /// both directions: duplicate same-path bounds are counted once, and
+    /// genuinely tied distinct paths merely loosen the blade.
+    pub fn insert_distinct(&mut self, v: f64) {
+        let near = |x: f64| (x - v).abs() <= 1e-9 * x.abs().max(1.0);
+        if self.values.iter().any(|&x| near(x)) {
+            return;
+        }
+        self.insert(v);
+    }
+
+    /// Clears the list (Algorithm 1 resets `minRSC` per stage).
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::{standard_catalog, ConfigGrid, PriceModel};
+
+    fn table(stages: &[FnId], cap: u32) -> StageTable {
+        let profiles = ProfileTable::build(
+            &standard_catalog(),
+            &ConfigGrid::default(),
+            &PriceModel::default(),
+        );
+        StageTable::build(stages, &profiles, cap)
+    }
+
+    #[test]
+    fn suffix_sums_monotone() {
+        let t = table(&[FnId(0), FnId(1), FnId(3)], 8);
+        assert_eq!(t.num_stages(), 3);
+        assert!(t.t_low(0.0, 0) > t.t_low(0.0, 1));
+        assert!(t.t_low(0.0, 2) > 0.0);
+        assert_eq!(t.t_low(5.0, 3), 5.0);
+        assert!(t.rsc_low(0.0, 0) > t.rsc_low(0.0, 1));
+        assert!(t.rsc_fastest(0.0, 0) >= t.rsc_low(0.0, 0));
+    }
+
+    #[test]
+    fn batch_cap_restricts_first_stage_only() {
+        let capped = table(&[FnId(0), FnId(1)], 1);
+        assert!(capped.entries(0).iter().all(|e| e.config.batch == 1));
+        assert!(capped.entries(1).iter().any(|e| e.config.batch > 1));
+        let free = table(&[FnId(0), FnId(1)], 8);
+        assert!(free.entries(0).len() > capped.entries(0).len());
+    }
+
+    #[test]
+    fn fastest_path_is_min_time() {
+        let t = table(&[FnId(0), FnId(2)], 8);
+        let (configs, time, cost) = t.fastest_path();
+        assert_eq!(configs.len(), 2);
+        assert!((time - t.min_total_time()).abs() < 1e-9);
+        assert!(cost > 0.0);
+        // Fastest path cost equals the rscFastest bound of the empty path.
+        assert!((cost - t.rsc_fastest(0.0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entries_sorted_ascending_latency() {
+        let t = table(&[FnId(4)], 4);
+        for w in t.entries(0).windows(2) {
+            assert!(w[0].latency_ms <= w[1].latency_ms);
+        }
+    }
+
+    #[test]
+    fn min_rsc_tracks_k_smallest() {
+        let mut m = MinRsc::new(3);
+        assert_eq!(m.kth(), f64::INFINITY);
+        m.insert(5.0);
+        m.insert(1.0);
+        assert_eq!(m.kth(), f64::INFINITY); // only 2 values
+        m.insert(3.0);
+        assert_eq!(m.kth(), 5.0);
+        m.insert(2.0);
+        assert_eq!(m.kth(), 3.0);
+        m.insert(10.0); // ignored, too large
+        assert_eq!(m.kth(), 3.0);
+        m.reset();
+        assert_eq!(m.kth(), f64::INFINITY);
+    }
+
+    #[test]
+    fn min_rsc_k1_tracks_best() {
+        let mut m = MinRsc::new(1);
+        m.insert(4.0);
+        assert_eq!(m.kth(), 4.0);
+        m.insert(2.0);
+        assert_eq!(m.kth(), 2.0);
+        m.insert(3.0);
+        assert_eq!(m.kth(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_stage_list_panics() {
+        let _ = table(&[], 1);
+    }
+}

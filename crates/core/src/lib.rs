@@ -1,0 +1,35 @@
+//! The ESG scheduling algorithm (the paper's primary contribution).
+//!
+//! ESG treats the shareable GPU as a first-order scheduling factor and
+//! searches the three-dimensional configuration space `(batch, vCPUs,
+//! vGPUs)` of a pipeline's stages as a path-finding problem (§3.3):
+//!
+//! * [`bounds`] — the per-stage aggregates behind *dual-blade pruning*:
+//!   `tLow` (time lower bound), `rscLow` (cost lower bound) and
+//!   `rscFastest` (an achievable cost upper bound used to tighten the
+//!   cost blade);
+//! * [`search`] — ESG_1Q in both published forms: the stage-wise
+//!   Algorithm-1 variant and the A* best-first variant, each returning the
+//!   configuration priority queue of the K cheapest SLO-feasible paths;
+//! * [`brute`] — exhaustive search, the §5.3 baseline and the oracle for
+//!   optimality tests;
+//! * [`plan`] — per-application dominator-based SLO distribution
+//!   (`esg-dag`) with per-stage quota fractions;
+//! * [`scheduler`] — [`EsgScheduler`], the adapter that plugs ESG into the
+//!   `esg-sim` platform: optimality-guided *adaptive* scheduling (the
+//!   search re-runs before every stage dispatch) plus the locality-first
+//!   ESG_Dispatch placement (§3.4).
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod brute;
+pub mod plan;
+pub mod scheduler;
+pub mod search;
+
+pub use bounds::StageTable;
+pub use brute::brute_force;
+pub use plan::AppPlans;
+pub use scheduler::{EsgScheduler, SearchVariant};
+pub use search::{astar_search, astar_search_bounded, stagewise_search, PathCandidate, SearchResult};

@@ -1,0 +1,532 @@
+//! ESG_1Q: the configuration-path search (§3.3, Appendix B).
+//!
+//! Two published variants are implemented over the same [`StageTable`]:
+//!
+//! * [`stagewise_search`] — Algorithm 1 (Appendix B): stages are expanded
+//!   level by level; within a stage, configurations are scanned in
+//!   ascending latency so the time blade can `break` (every later
+//!   configuration is slower) while the cost blade `continue`s; `minRSC`
+//!   keeps the K best `rscFastest` upper bounds and is reset per stage.
+//! * [`astar_search`] — the A* formulation the paper builds on: a best-
+//!   first priority queue ordered by the admissible cost heuristic
+//!   `f = cost(p) + Σ min-cost(uncovered)`, with the same dual-blade
+//!   pruning. The first K goals popped are the K cheapest feasible paths.
+//!
+//! Both return the *configuration priority queue* (§3.1): up to K full
+//! paths meeting the target latency, cheapest first, falling back to the
+//! fastest path when the target is unreachable (`setDefaultPaths`).
+
+use crate::bounds::{MinRsc, StageTable};
+use esg_model::Config;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One full configuration path through the stage group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathCandidate {
+    /// Per-stage configurations.
+    pub configs: Vec<Config>,
+    /// Total estimated time, ms.
+    pub time_ms: f64,
+    /// Total estimated per-job cost, cents.
+    pub cost_cents: f64,
+}
+
+/// The result of one ESG_1Q invocation.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// Up to K paths, cheapest first (the configuration priority queue).
+    pub paths: Vec<PathCandidate>,
+    /// Number of configuration expansions examined (drives the simulated
+    /// scheduling overhead).
+    pub expansions: u64,
+    /// False when no path met the target and the fastest path was
+    /// substituted.
+    pub feasible: bool,
+}
+
+impl SearchResult {
+    /// First-stage configurations of the K paths, deduplicated, in path
+    /// order — the dispatch candidates (ESG re-plans later stages anyway).
+    pub fn first_stage_candidates(&self) -> Vec<Config> {
+        let mut out: Vec<Config> = Vec::with_capacity(self.paths.len());
+        for p in &self.paths {
+            let c = p.configs[0];
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+/// Safety valve on the stage-wise frontier: with very loose targets the
+/// level-by-level frontier can grow combinatorially before the cost blade
+/// tightens; keeping the cheapest prefixes preserves the optimum (they
+/// dominate) while bounding memory.
+const MAX_FRONTIER: usize = 8192;
+
+#[derive(Clone, Debug)]
+struct Partial {
+    configs: Vec<Config>,
+    time_ms: f64,
+    cost_cents: f64,
+}
+
+fn fallback(table: &StageTable, expansions: u64) -> SearchResult {
+    let (configs, time_ms, cost_cents) = table.fastest_path();
+    SearchResult {
+        paths: vec![PathCandidate {
+            configs,
+            time_ms,
+            cost_cents,
+        }],
+        expansions,
+        feasible: false,
+    }
+}
+
+/// Algorithm 1: stage-wise expansion with dual-blade pruning.
+pub fn stagewise_search(table: &StageTable, gslo_ms: f64, k: usize) -> SearchResult {
+    assert!(k >= 1, "K must be at least 1");
+    let n = table.num_stages();
+    let mut expansions: u64 = 0;
+
+    let mut frontier = vec![Partial {
+        configs: Vec::new(),
+        time_ms: 0.0,
+        cost_cents: 0.0,
+    }];
+
+    for s in 0..n {
+        let mut next: Vec<Partial> = Vec::new();
+        // Algorithm 1 resets minRSC at every stage.
+        let mut min_rsc = MinRsc::new(k);
+        for p in &frontier {
+            for e in table.entries(s) {
+                expansions += 1;
+                let time = p.time_ms + e.latency_ms;
+                // Time blade: entries are sorted by latency, so everything
+                // after the first violation is also infeasible.
+                if table.t_low(time, s + 1) > gslo_ms {
+                    break;
+                }
+                let cost = p.cost_cents + e.per_job_cost_cents;
+                // Cost blade: a lower bound at/above the K-th best upper
+                // bound cannot enter the top K.
+                if table.rsc_low(cost, s + 1) >= min_rsc.kth() {
+                    continue;
+                }
+                min_rsc.insert(table.rsc_fastest(cost, s + 1));
+                let mut configs = p.configs.clone();
+                configs.push(e.config);
+                next.push(Partial {
+                    configs,
+                    time_ms: time,
+                    cost_cents: cost,
+                });
+            }
+        }
+        next.sort_by(|a, b| a.cost_cents.total_cmp(&b.cost_cents));
+        next.truncate(MAX_FRONTIER);
+        frontier = next;
+        if frontier.is_empty() {
+            return fallback(table, expansions);
+        }
+    }
+
+    frontier.truncate(k);
+    SearchResult {
+        paths: frontier
+            .into_iter()
+            .map(|p| PathCandidate {
+                configs: p.configs,
+                time_ms: p.time_ms,
+                cost_cents: p.cost_cents,
+            })
+            .collect(),
+        expansions,
+        feasible: true,
+    }
+}
+
+/// A per-stage Pareto frontier over `(time, cost)` prefixes, keeping up to
+/// `k` exact ties per point.
+struct ParetoFront {
+    k: usize,
+    points: Vec<(f64, f64, usize)>, // (time, cost, tie count)
+}
+
+impl ParetoFront {
+    fn new(k: usize) -> ParetoFront {
+        ParetoFront {
+            k,
+            points: Vec::new(),
+        }
+    }
+
+    /// Returns true when a prefix with `(time, cost)` is worth keeping,
+    /// recording it; false when an existing prefix dominates it.
+    fn admit(&mut self, time: f64, cost: f64) -> bool {
+        const EPS: f64 = 1e-9;
+        for p in &mut self.points {
+            let tie = (p.0 - time).abs() <= EPS && (p.1 - cost).abs() <= EPS;
+            if tie {
+                if p.2 < self.k {
+                    p.2 += 1;
+                    return true;
+                }
+                return false;
+            }
+            if p.0 <= time + EPS && p.1 <= cost + EPS {
+                return false; // strictly dominated (not a tie)
+            }
+        }
+        // Non-dominated: insert and drop points it dominates.
+        self.points
+            .retain(|p| !(time <= p.0 + EPS && cost <= p.1 + EPS));
+        self.points.push((time, cost, 1));
+        true
+    }
+}
+
+/// Ordered heap node for the A* variant.
+struct AstarNode {
+    f: f64, // cost so far + admissible remaining-cost heuristic
+    partial: Partial,
+    next_stage: usize,
+}
+
+impl PartialEq for AstarNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f
+    }
+}
+impl Eq for AstarNode {}
+impl PartialOrd for AstarNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for AstarNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.f.total_cmp(&other.f)
+    }
+}
+
+/// The A* formulation: best-first over partial paths with
+/// `f(p) = cost(p) + Σ min-cost(uncovered stages)` (admissible and
+/// consistent, so the first K goals are the K cheapest feasible paths),
+/// pruned by the same dual blades.
+pub fn astar_search(table: &StageTable, gslo_ms: f64, k: usize) -> SearchResult {
+    astar_search_bounded(table, gslo_ms, k, f64::INFINITY)
+}
+
+/// [`astar_search`] with a *premium bound*: once the optimal path is
+/// known, alternates costing more than `(1 + premium)` times the optimum
+/// are abandoned. Rank-1 optimality is unaffected; ranks 2..K become
+/// "K best within the premium band". The scheduler uses this because a
+/// dispatch alternate far above the optimum would never be worth its
+/// search time, and cost plateaus otherwise make exact K-best exploration
+/// degenerate on loose targets.
+pub fn astar_search_bounded(
+    table: &StageTable,
+    gslo_ms: f64,
+    k: usize,
+    premium: f64,
+) -> SearchResult {
+    assert!(k >= 1, "K must be at least 1");
+    let n = table.num_stages();
+    let mut expansions: u64 = 0;
+    let mut heap: BinaryHeap<Reverse<AstarNode>> = BinaryHeap::new();
+    let mut min_rsc = MinRsc::new(k);
+    let mut goals: Vec<PathCandidate> = Vec::with_capacity(k);
+    // Third blade: per-stage Pareto dominance. A prefix that is no faster
+    // *and* no cheaper than an existing prefix at the same stage cannot
+    // complete into a better path (completions are identical sets). Up to
+    // `k` exact ties are kept so alternates survive; rank-1 optimality is
+    // preserved because some non-dominated prefix always carries a path of
+    // the optimal cost.
+    let mut fronts: Vec<ParetoFront> = (0..=n).map(|_| ParetoFront::new(k)).collect();
+
+    heap.push(Reverse(AstarNode {
+        f: table.rsc_low(0.0, 0),
+        partial: Partial {
+            configs: Vec::new(),
+            time_ms: 0.0,
+            cost_cents: 0.0,
+        },
+        next_stage: 0,
+    }));
+
+    while let Some(Reverse(node)) = heap.pop() {
+        if let Some(first) = goals.first() {
+            // f is non-decreasing along pops (consistent heuristic): once
+            // the frontier exceeds the premium band, no acceptable
+            // alternate remains.
+            if node.f > first.cost_cents * (1.0 + premium) {
+                break;
+            }
+        }
+        if node.next_stage == n {
+            goals.push(PathCandidate {
+                configs: node.partial.configs,
+                time_ms: node.partial.time_ms,
+                cost_cents: node.partial.cost_cents,
+            });
+            if goals.len() >= k {
+                break;
+            }
+            continue;
+        }
+        let s = node.next_stage;
+        for e in table.entries(s) {
+            expansions += 1;
+            let time = node.partial.time_ms + e.latency_ms;
+            if table.t_low(time, s + 1) > gslo_ms {
+                break; // ascending latency
+            }
+            let cost = node.partial.cost_cents + e.per_job_cost_cents;
+            let f = table.rsc_low(cost, s + 1);
+            // Strict comparison: a child whose lower bound ties the K-th
+            // distinct upper bound may still *be* that K-th path.
+            if f > min_rsc.kth() {
+                continue;
+            }
+            if !fronts[s + 1].admit(time, cost) {
+                continue;
+            }
+            min_rsc.insert_distinct(table.rsc_fastest(cost, s + 1));
+            let mut configs = node.partial.configs.clone();
+            configs.push(e.config);
+            heap.push(Reverse(AstarNode {
+                f,
+                partial: Partial {
+                    configs,
+                    time_ms: time,
+                    cost_cents: cost,
+                },
+                next_stage: s + 1,
+            }));
+        }
+    }
+
+    if goals.is_empty() {
+        return fallback(table, expansions);
+    }
+    SearchResult {
+        paths: goals,
+        expansions,
+        feasible: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use esg_model::{standard_catalog, ConfigGrid, FnId, PriceModel};
+    use esg_profile::ProfileTable;
+
+    fn profiles(grid: ConfigGrid) -> ProfileTable {
+        ProfileTable::build(&standard_catalog(), &grid, &PriceModel::default())
+    }
+
+    fn small_grid() -> ConfigGrid {
+        ConfigGrid::new(vec![1, 2, 4], vec![1, 2, 4], vec![1, 2])
+    }
+
+    #[test]
+    fn both_variants_match_brute_force_optimum() {
+        let p = profiles(small_grid());
+        let stages = [FnId(0), FnId(1), FnId(3)]; // image classification
+        for cap in [1u32, 2, 8] {
+            let table = StageTable::build(&stages, &p, cap);
+            for gslo in [300.0, 450.0, 600.0, 900.0, 2000.0] {
+                let oracle = brute_force(&table, gslo, 1);
+                let sw = stagewise_search(&table, gslo, 1);
+                let astar = astar_search(&table, gslo, 1);
+                assert_eq!(oracle.feasible, sw.feasible, "gslo={gslo} cap={cap}");
+                assert_eq!(oracle.feasible, astar.feasible, "gslo={gslo} cap={cap}");
+                if oracle.feasible {
+                    let oc = oracle.paths[0].cost_cents;
+                    assert!(
+                        (sw.paths[0].cost_cents - oc).abs() < 1e-9,
+                        "stagewise {} vs oracle {} at gslo={gslo} cap={cap}",
+                        sw.paths[0].cost_cents,
+                        oc
+                    );
+                    assert!(
+                        (astar.paths[0].cost_cents - oc).abs() < 1e-9,
+                        "astar {} vs oracle {} at gslo={gslo} cap={cap}",
+                        astar.paths[0].cost_cents,
+                        oc
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_best_costs_match_brute_force() {
+        let p = profiles(small_grid());
+        let stages = [FnId(2), FnId(0), FnId(5)]; // depth recognition
+        let table = StageTable::build(&stages, &p, 8);
+        let gslo = 1800.0;
+        let k = 5;
+        let oracle = brute_force(&table, gslo, k);
+        let sw = stagewise_search(&table, gslo, k);
+        let astar = astar_search(&table, gslo, k);
+        assert!(oracle.feasible);
+        // The stage-wise Algorithm-1 form returns the exact K-best ranks.
+        for (i, o) in oracle.paths.iter().enumerate() {
+            assert!(
+                (sw.paths[i].cost_cents - o.cost_cents).abs() < 1e-9,
+                "stagewise rank {i}"
+            );
+        }
+        // A* adds Pareto-dominance pruning, so ranks 2..K are the best
+        // *surviving* alternates: rank-1 stays exact, later ranks are
+        // feasible, sorted, and never better than the oracle's same rank.
+        assert!(
+            (astar.paths[0].cost_cents - oracle.paths[0].cost_cents).abs() < 1e-9,
+            "astar rank 0"
+        );
+        for (i, path) in astar.paths.iter().enumerate() {
+            assert!(path.time_ms <= gslo + 1e-9);
+            assert!(
+                path.cost_cents + 1e-9 >= oracle.paths[i].cost_cents,
+                "astar rank {i} beat the oracle"
+            );
+        }
+        for w in astar.paths.windows(2) {
+            assert!(w[0].cost_cents <= w[1].cost_cents + 1e-12);
+        }
+    }
+
+    #[test]
+    fn results_meet_target_latency() {
+        let p = profiles(small_grid());
+        let table = StageTable::build(&[FnId(0), FnId(1)], &p, 8);
+        let gslo = 500.0;
+        for search in [stagewise_search, astar_search] {
+            let r = search(&table, gslo, 3);
+            assert!(r.feasible);
+            for path in &r.paths {
+                assert!(path.time_ms <= gslo, "{} > {gslo}", path.time_ms);
+                assert_eq!(path.configs.len(), 2);
+            }
+            // Cheapest first.
+            for w in r.paths.windows(2) {
+                assert!(w[0].cost_cents <= w[1].cost_cents + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_target_falls_back_to_fastest() {
+        let p = profiles(small_grid());
+        let table = StageTable::build(&[FnId(4), FnId(5)], &p, 8);
+        let impossible = table.min_total_time() * 0.5;
+        for search in [stagewise_search, astar_search] {
+            let r = search(&table, impossible, 5);
+            assert!(!r.feasible);
+            assert_eq!(r.paths.len(), 1);
+            let (fast_cfgs, fast_time, _) = table.fastest_path();
+            assert_eq!(r.paths[0].configs, fast_cfgs);
+            assert!((r.paths[0].time_ms - fast_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_expansions_vs_brute_force() {
+        let p = profiles(ConfigGrid::default());
+        let stages = [FnId(0), FnId(1), FnId(3)];
+        let table = StageTable::build(&stages, &p, 8);
+        let total = (table.entries(0).len() as u64)
+            * (table.entries(1).len() as u64)
+            * (table.entries(2).len() as u64);
+        let gslo = table.min_total_time() * 1.3;
+        let sw = stagewise_search(&table, gslo, 5);
+        let astar = astar_search(&table, gslo, 5);
+        assert!(sw.feasible && astar.feasible);
+        assert!(
+            sw.expansions * 10 < total,
+            "stage-wise expanded {} of {total}",
+            sw.expansions
+        );
+        assert!(
+            astar.expansions * 10 < total,
+            "A* expanded {} of {total}",
+            astar.expansions
+        );
+    }
+
+    #[test]
+    fn tighter_slo_prunes_more() {
+        // §5.3: "searching overhead increases with more relaxed SLO
+        // settings … fewer configurations being pruned".
+        let p = profiles(ConfigGrid::default());
+        let table = StageTable::build(&[FnId(0), FnId(1), FnId(3)], &p, 8);
+        let tight = stagewise_search(&table, table.min_total_time() * 1.05, 5);
+        let loose = stagewise_search(&table, table.min_total_time() * 3.0, 5);
+        assert!(
+            tight.expansions < loose.expansions,
+            "tight {} !< loose {}",
+            tight.expansions,
+            loose.expansions
+        );
+    }
+
+    #[test]
+    fn first_stage_candidates_dedup() {
+        let r = SearchResult {
+            paths: vec![
+                PathCandidate {
+                    configs: vec![Config::new(1, 1, 1), Config::new(2, 1, 1)],
+                    time_ms: 1.0,
+                    cost_cents: 1.0,
+                },
+                PathCandidate {
+                    configs: vec![Config::new(1, 1, 1), Config::new(4, 1, 1)],
+                    time_ms: 2.0,
+                    cost_cents: 2.0,
+                },
+                PathCandidate {
+                    configs: vec![Config::new(2, 2, 1), Config::new(1, 1, 1)],
+                    time_ms: 3.0,
+                    cost_cents: 3.0,
+                },
+            ],
+            expansions: 0,
+            feasible: true,
+        };
+        assert_eq!(
+            r.first_stage_candidates(),
+            vec![Config::new(1, 1, 1), Config::new(2, 2, 1)]
+        );
+    }
+
+    #[test]
+    fn single_stage_group() {
+        let p = profiles(small_grid());
+        let table = StageTable::build(&[FnId(3)], &p, 4);
+        let r = astar_search(&table, 1000.0, 5);
+        assert!(r.feasible);
+        assert!(r.paths.len() <= 5);
+        assert_eq!(r.paths[0].configs.len(), 1);
+        // Cheapest feasible single config == brute force.
+        let oracle = brute_force(&table, 1000.0, 1);
+        assert!((r.paths[0].cost_cents - oracle.paths[0].cost_cents).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_cap_respected_in_results() {
+        let p = profiles(small_grid());
+        let table = StageTable::build(&[FnId(0), FnId(1)], &p, 2);
+        let r = stagewise_search(&table, 2000.0, 5);
+        for path in &r.paths {
+            assert!(path.configs[0].batch <= 2, "{:?}", path.configs[0]);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: dual-blade pruning never sacrifices optimality.
+//!
+//! Random function specs, grids, batch caps and targets; both ESG_1Q
+//! variants must agree with exhaustive search on feasibility and on the
+//! cost of every returned rank.
+
+use esg_core::{astar_search, brute_force, stagewise_search, StageTable};
+use esg_model::{Catalog, ConfigGrid, FnId, FunctionSpec, PriceModel};
+use esg_profile::ProfileTable;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
+    (
+        10.0f64..1500.0, // exec_ms
+        0.05f64..0.45,   // cpu_fraction
+        0.1f64..0.9,     // batch_alpha
+        0.1f64..0.9,     // cpu_serial_fraction
+        0.0f64..8.0,     // vgpu_overhead_ms
+    )
+        .prop_map(|(exec, cpu_frac, alpha, serial, vg)| FunctionSpec {
+            name: "prop",
+            model: "prop",
+            exec_ms: exec,
+            cold_start_ms: exec * 10.0,
+            input_mb: 1.0,
+            cpu_fraction: cpu_frac,
+            batch_alpha: alpha,
+            cpu_serial_fraction: serial,
+            vgpu_overhead_ms: vg,
+        })
+}
+
+fn arb_grid() -> impl Strategy<Value = ConfigGrid> {
+    (
+        proptest::sample::subsequence(vec![1u32, 2, 4, 8], 1..4),
+        proptest::sample::subsequence(vec![1u32, 2, 3, 4], 1..4),
+        proptest::sample::subsequence(vec![1u32, 2, 3], 1..3),
+    )
+        .prop_map(|(b, c, g)| {
+            ConfigGrid::new(
+                if b.is_empty() { vec![1] } else { b },
+                if c.is_empty() { vec![1] } else { c },
+                if g.is_empty() { vec![1] } else { g },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn searches_match_brute_force(
+        specs in proptest::collection::vec(arb_spec(), 1..4),
+        grid in arb_grid(),
+        cap in 1u32..9,
+        slack_factor in 0.5f64..4.0,
+        k in 1usize..6,
+    ) {
+        let mut catalog = Catalog::new();
+        let stages: Vec<FnId> = specs.iter().map(|s| catalog.add(s.clone())).collect();
+        let profiles = ProfileTable::build(&catalog, &grid, &PriceModel::default());
+        let table = StageTable::build(&stages, &profiles, cap);
+        let gslo = table.min_total_time() * slack_factor;
+
+        let oracle = brute_force(&table, gslo, k);
+        let sw = stagewise_search(&table, gslo, k);
+        let astar = astar_search(&table, gslo, k);
+
+        prop_assert_eq!(oracle.feasible, sw.feasible);
+        prop_assert_eq!(oracle.feasible, astar.feasible);
+        if oracle.feasible {
+            // Rank-1 optimality is exact for both variants.
+            prop_assert!((sw.paths[0].cost_cents - oracle.paths[0].cost_cents).abs() < 1e-9,
+                "stagewise rank-1: {} vs {}", sw.paths[0].cost_cents, oracle.paths[0].cost_cents);
+            prop_assert!((astar.paths[0].cost_cents - oracle.paths[0].cost_cents).abs() < 1e-9,
+                "astar rank-1: {} vs {}", astar.paths[0].cost_cents, oracle.paths[0].cost_cents);
+            // Every returned path is feasible and within the oracle's range.
+            for p in sw.paths.iter().chain(&astar.paths) {
+                prop_assert!(p.time_ms <= gslo + 1e-9);
+                prop_assert!(p.cost_cents + 1e-9 >= oracle.paths[0].cost_cents);
+            }
+            // Pruned searches never expand more than brute force.
+            prop_assert!(sw.expansions <= oracle.expansions);
+            prop_assert!(astar.expansions <= oracle.expansions);
+        } else {
+            // Fallback path is the fastest one in all three.
+            prop_assert_eq!(&sw.paths[0].configs, &oracle.paths[0].configs);
+            prop_assert_eq!(&astar.paths[0].configs, &oracle.paths[0].configs);
+        }
+    }
+
+    #[test]
+    fn batch_cap_always_respected(
+        specs in proptest::collection::vec(arb_spec(), 1..4),
+        cap in 1u32..9,
+    ) {
+        let mut catalog = Catalog::new();
+        let stages: Vec<FnId> = specs.iter().map(|s| catalog.add(s.clone())).collect();
+        let grid = ConfigGrid::new(vec![1, 2, 4, 8], vec![1, 2], vec![1, 2]);
+        let profiles = ProfileTable::build(&catalog, &grid, &PriceModel::default());
+        let table = StageTable::build(&stages, &profiles, cap);
+        let r = astar_search(&table, table.min_total_time() * 2.0, 5);
+        for p in &r.paths {
+            prop_assert!(p.configs[0].batch <= cap);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Average normalized length (ANL) labelling (paper §3.3).
+//!
+//! The reduction labels each node of the dominator tree with the average
+//! normalized length of its function:
+//!
+//! ```text
+//! ANL(f_i) = average over configurations c of  t_{f_i}(c) / Σ_j t_{f_j}(c)
+//! ```
+//!
+//! where the sum runs over all functions of the application and the times
+//! come from the performance profile. ANL captures the share of end-to-end
+//! time a stage typically consumes, independent of any particular
+//! configuration, and drives the proportional SLO split.
+
+/// Computes ANL for each node given `times[node][k]` — the profiled
+/// execution time of each node's function under the `k`-th configuration.
+/// All nodes must supply the same number of configurations (the profile
+/// grid), and at least one.
+///
+/// Returns one ANL per node; the values sum to 1 across nodes.
+pub fn average_normalized_length(times: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!times.is_empty(), "ANL needs at least one node");
+    let k = times[0].len();
+    assert!(k > 0, "ANL needs at least one configuration");
+    assert!(
+        times.iter().all(|t| t.len() == k),
+        "all nodes must profile the same configuration grid"
+    );
+    let n = times.len();
+    let mut anl = vec![0.0f64; n];
+    for c in 0..k {
+        let total: f64 = times.iter().map(|t| t[c]).sum();
+        assert!(total > 0.0, "configuration {c} has non-positive total time");
+        for (i, t) in times.iter().enumerate() {
+            anl[i] += t[c] / total;
+        }
+    }
+    for v in &mut anl {
+        *v /= k as f64;
+    }
+    anl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_times_equal_anl() {
+        let times = vec![vec![10.0, 20.0], vec![10.0, 20.0]];
+        let anl = average_normalized_length(&times);
+        assert!((anl[0] - 0.5).abs() < 1e-12);
+        assert!((anl[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anl_sums_to_one() {
+        let times = vec![
+            vec![86.0, 50.0, 30.0],
+            vec![293.0, 150.0, 80.0],
+            vec![147.0, 90.0, 55.0],
+        ];
+        let anl = average_normalized_length(&times);
+        let sum: f64 = anl.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // The slowest function carries the largest ANL.
+        assert!(anl[1] > anl[0] && anl[1] > anl[2]);
+    }
+
+    #[test]
+    fn single_node_gets_full_share() {
+        let anl = average_normalized_length(&[vec![5.0]]);
+        assert_eq!(anl, vec![1.0]);
+    }
+
+    #[test]
+    fn proportionality_when_ratios_constant() {
+        // If node times keep a 1:3 ratio across configs, ANL is exactly
+        // (0.25, 0.75).
+        let times = vec![vec![1.0, 10.0, 7.0], vec![3.0, 30.0, 21.0]];
+        let anl = average_normalized_length(&times);
+        assert!((anl[0] - 0.25).abs() < 1e-12);
+        assert!((anl[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same configuration grid")]
+    fn mismatched_grids_panic() {
+        let _ = average_normalized_length(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn empty_grid_panics() {
+        let _ = average_normalized_length(&[vec![], vec![]]);
+    }
+}

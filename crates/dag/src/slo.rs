@@ -1,0 +1,308 @@
+//! Dominator-based SLO distribution (paper §3.3).
+//!
+//! Given the reduced [`Hierarchy`] of an application DAG and per-node ANL
+//! labels, this module partitions the functions into groups of at most `g`
+//! consecutive stages (generated/parallel nodes stay individual, "to prevent
+//! their subsumed groups' sizes from being bloated") and assigns each group
+//! a share of the end-to-end SLO proportional to its ANL. Branches of a
+//! parallel group each receive the *full* parallel quota — they execute
+//! concurrently, so the group's time budget bounds the slowest branch
+//! (whose ANL defined the parallel node's label in the reduce step).
+
+use crate::graph::{Dag, DagError};
+use crate::reduce::{item_anl, Hierarchy, Item};
+
+/// One SLO group: a run of at most `g` consecutive pipeline stages sharing
+/// a time quota.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloGroup {
+    /// Original DAG node indices, in execution order along their chain.
+    pub members: Vec<usize>,
+    /// The group's share of the end-to-end SLO, in (0, 1].
+    pub fraction: f64,
+}
+
+/// The complete SLO distribution plan for an application.
+#[derive(Clone, Debug)]
+pub struct SloPlan {
+    groups: Vec<SloGroup>,
+    /// `group_of[node]` — index into `groups` for each DAG node.
+    group_of: Vec<usize>,
+    /// The maximum group size used to build the plan.
+    group_size: usize,
+}
+
+impl SloPlan {
+    /// Builds the plan for `dag` with per-node ANL labels `anl` and maximum
+    /// group size `group_size` (the paper's `g`, default 3 in ESG).
+    pub fn build(dag: &Dag, anl: &[f64], group_size: usize) -> Result<SloPlan, DagError> {
+        assert!(group_size >= 1, "group size must be >= 1");
+        assert_eq!(anl.len(), dag.len(), "one ANL label per node");
+        let hierarchy = Hierarchy::build(dag)?;
+        let mut groups = Vec::new();
+        assign(&hierarchy.items, anl, group_size, 1.0, &mut groups);
+
+        let mut group_of = vec![usize::MAX; dag.len()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in &g.members {
+                debug_assert_eq!(group_of[m], usize::MAX, "node in two groups");
+                group_of[m] = gi;
+            }
+        }
+        debug_assert!(group_of.iter().all(|&g| g != usize::MAX));
+        Ok(SloPlan {
+            groups,
+            group_of,
+            group_size,
+        })
+    }
+
+    /// A trivial plan for a linear pipeline without dominator grouping:
+    /// every stage in one group holding the whole SLO (used by the group
+    /// size ablation with `g >= pipeline length`).
+    pub fn single_group(num_stages: usize) -> SloPlan {
+        SloPlan {
+            groups: vec![SloGroup {
+                members: (0..num_stages).collect(),
+                fraction: 1.0,
+            }],
+            group_of: vec![0; num_stages],
+            group_size: num_stages.max(1),
+        }
+    }
+
+    /// The groups in execution order.
+    #[inline]
+    pub fn groups(&self) -> &[SloGroup] {
+        &self.groups
+    }
+
+    /// The group index containing `node`.
+    #[inline]
+    pub fn group_of(&self, node: usize) -> usize {
+        self.group_of[node]
+    }
+
+    /// The group containing `node`.
+    #[inline]
+    pub fn group_for(&self, node: usize) -> &SloGroup {
+        &self.groups[self.group_of[node]]
+    }
+
+    /// The maximum group size the plan was built with.
+    #[inline]
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The group's SLO quota in milliseconds for a given end-to-end SLO.
+    #[inline]
+    pub fn quota_ms(&self, node: usize, slo_ms: f64) -> f64 {
+        self.group_for(node).fraction * slo_ms
+    }
+
+    /// The stages of `node`'s group from `node` (inclusive) to the group
+    /// end — the sub-pipeline ESG_1Q searches when `node` is about to be
+    /// dispatched.
+    pub fn remaining_in_group(&self, node: usize) -> &[usize] {
+        let g = self.group_for(node);
+        let pos = g
+            .members
+            .iter()
+            .position(|&m| m == node)
+            .expect("node is in its group");
+        &g.members[pos..]
+    }
+}
+
+/// Recursive quota assignment over a reduced chain.
+fn assign(
+    items: &[Item],
+    anl: &[f64],
+    g: usize,
+    quota: f64,
+    out: &mut Vec<SloGroup>,
+) {
+    // Partition the chain: runs of original nodes chunked to size <= g;
+    // parallel items stand alone.
+    enum Seg<'a> {
+        Run(Vec<usize>),
+        Par(&'a [Hierarchy]),
+    }
+    let mut segs: Vec<Seg> = Vec::new();
+    let mut run: Vec<usize> = Vec::new();
+    for it in items {
+        match it {
+            Item::Node(v) => {
+                run.push(*v);
+                if run.len() == g {
+                    segs.push(Seg::Run(std::mem::take(&mut run)));
+                }
+            }
+            Item::Parallel(branches) => {
+                if !run.is_empty() {
+                    segs.push(Seg::Run(std::mem::take(&mut run)));
+                }
+                segs.push(Seg::Par(branches));
+            }
+        }
+    }
+    if !run.is_empty() {
+        segs.push(Seg::Run(run));
+    }
+
+    let seg_anl = |s: &Seg| -> f64 {
+        match s {
+            Seg::Run(nodes) => nodes.iter().map(|&v| anl[v]).sum(),
+            Seg::Par(branches) => item_anl(
+                &Item::Parallel((*branches).to_vec()),
+                anl,
+            ),
+        }
+    };
+    let total: f64 = segs.iter().map(seg_anl).sum();
+    let n_segs = segs.len().max(1);
+    for s in &segs {
+        // Proportional share; equal split as a degenerate fallback when all
+        // ANL mass in this chain is zero.
+        let share = if total > 0.0 {
+            quota * seg_anl(s) / total
+        } else {
+            quota / n_segs as f64
+        };
+        match s {
+            Seg::Run(nodes) => out.push(SloGroup {
+                members: nodes.clone(),
+                fraction: share,
+            }),
+            Seg::Par(branches) => {
+                // Each branch runs concurrently within the parallel quota.
+                for b in *branches {
+                    assign(&b.items, anl, g, share, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_anl(n: usize) -> Vec<f64> {
+        vec![1.0 / n as f64; n]
+    }
+
+    #[test]
+    fn linear_pipeline_fractions_sum_to_one() {
+        let d = Dag::new(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).expect("valid");
+        let anl = vec![0.1, 0.3, 0.2, 0.25, 0.15];
+        let plan = SloPlan::build(&d, &anl, 3).expect("plan");
+        let sum: f64 = plan.groups().iter().map(|g| g.fraction).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // 5 stages, g=3 -> groups of 3 and 2.
+        assert_eq!(plan.groups().len(), 2);
+        assert_eq!(plan.groups()[0].members, vec![0, 1, 2]);
+        assert_eq!(plan.groups()[1].members, vec![3, 4]);
+        // Fractions proportional to ANL sums: 0.6 vs 0.4.
+        assert!((plan.groups()[0].fraction - 0.6).abs() < 1e-12);
+        assert!((plan.groups()[1].fraction - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_lookup_and_quota() {
+        let d = Dag::new(4, &[(0, 1), (1, 2), (2, 3)]).expect("valid");
+        let plan = SloPlan::build(&d, &uniform_anl(4), 2).expect("plan");
+        assert_eq!(plan.group_of(0), 0);
+        assert_eq!(plan.group_of(1), 0);
+        assert_eq!(plan.group_of(2), 1);
+        assert_eq!(plan.group_of(3), 1);
+        assert!((plan.quota_ms(0, 1000.0) - 500.0).abs() < 1e-9);
+        assert_eq!(plan.remaining_in_group(1), &[1]);
+        assert_eq!(plan.remaining_in_group(2), &[2, 3]);
+        assert_eq!(plan.group_size(), 2);
+    }
+
+    #[test]
+    fn group_size_one_means_per_stage_quota() {
+        let d = Dag::new(3, &[(0, 1), (1, 2)]).expect("valid");
+        let anl = vec![0.5, 0.25, 0.25];
+        let plan = SloPlan::build(&d, &anl, 1).expect("plan");
+        assert_eq!(plan.groups().len(), 3);
+        assert!((plan.groups()[0].fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_group_size_single_group() {
+        let d = Dag::new(3, &[(0, 1), (1, 2)]).expect("valid");
+        let plan = SloPlan::build(&d, &uniform_anl(3), 10).expect("plan");
+        assert_eq!(plan.groups().len(), 1);
+        assert_eq!(plan.groups()[0].members, vec![0, 1, 2]);
+        assert!((plan.groups()[0].fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_branches_each_get_full_parallel_quota() {
+        let d = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).expect("valid");
+        let anl = vec![0.2, 0.4, 0.2, 0.2]; // parallel label = max(0.4, 0.2) = 0.4
+        let plan = SloPlan::build(&d, &anl, 3).expect("plan");
+        // Chain segs: [0], Par, [3] with anl 0.2, 0.4, 0.2 -> fractions
+        // 0.25, 0.5, 0.25.
+        let f = |node: usize| plan.group_for(node).fraction;
+        assert!((f(0) - 0.25).abs() < 1e-12);
+        assert!((f(3) - 0.25).abs() < 1e-12);
+        // Both branches receive the full 0.5.
+        assert!((f(1) - 0.5).abs() < 1e-12);
+        assert!((f(2) - 0.5).abs() < 1e-12);
+        // Each complete path sums to 1.
+        assert!((f(0) + f(1) + f(3) - 1.0).abs() < 1e-12);
+        assert!((f(0) + f(2) + f(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_group() {
+        let d = Dag::new(
+            8,
+            &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5), (4, 5), (5, 6), (2, 6), (6, 7)],
+        )
+        .expect("valid");
+        let plan = SloPlan::build(&d, &uniform_anl(8), 3).expect("plan");
+        let mut seen = vec![0usize; 8];
+        for g in plan.groups() {
+            assert!(g.members.len() <= 3);
+            assert!(g.fraction > 0.0);
+            for &m in &g.members {
+                seen[m] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn zero_anl_falls_back_to_equal_split() {
+        let d = Dag::new(2, &[(0, 1)]).expect("valid");
+        let plan = SloPlan::build(&d, &[0.0, 0.0], 1).expect("plan");
+        assert!((plan.groups()[0].fraction - 0.5).abs() < 1e-12);
+        assert!((plan.groups()[1].fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_group_plan() {
+        let plan = SloPlan::single_group(4);
+        assert_eq!(plan.groups().len(), 1);
+        assert_eq!(plan.group_of(3), 0);
+        assert_eq!(plan.remaining_in_group(2), &[2, 3]);
+        assert!((plan.quota_ms(0, 800.0) - 800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_default_group_size_three_on_five_stage_app() {
+        // The expanded image classification app has 5 stages; with g = 3 the
+        // search space per ESG_1Q call is bounded by |configs|^3.
+        let d = Dag::new(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).expect("valid");
+        let plan = SloPlan::build(&d, &uniform_anl(5), 3).expect("plan");
+        assert!(plan.groups().iter().all(|g| g.members.len() <= 3));
+        let covered: usize = plan.groups().iter().map(|g| g.members.len()).sum();
+        assert_eq!(covered, 5);
+    }
+}

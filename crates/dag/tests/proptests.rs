@@ -1,0 +1,178 @@
+//! Property tests for the DAG substrate: dominance against its all-paths
+//! definition, and SLO-plan invariants on random series-parallel DAGs.
+
+use esg_dag::{average_normalized_length, Dag, DominatorTree, SloPlan};
+use proptest::prelude::*;
+
+/// Random small DAG: edges only go from lower to higher indices, so the
+/// result is acyclic by construction.
+fn arb_dag(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let all_edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .collect();
+        let m = all_edges.len();
+        (proptest::collection::vec(any::<bool>(), m)).prop_map(move |mask| {
+            let edges: Vec<(usize, usize)> = all_edges
+                .iter()
+                .zip(&mask)
+                .filter(|(_, &keep)| keep)
+                .map(|(&e, _)| e)
+                .collect();
+            (n, edges)
+        })
+    })
+}
+
+/// Generator for series-parallel structures whose parallel branches always
+/// contain at least one node. Returns `(n, edges, source, sink)`.
+#[derive(Debug, Clone)]
+enum Sp {
+    Node,
+    Seq(Vec<Sp>),
+    Par(Vec<Sp>),
+}
+
+fn arb_sp(depth: u32) -> impl Strategy<Value = Sp> {
+    let leaf = Just(Sp::Node);
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Sp::Seq),
+            proptest::collection::vec(inner, 2..4).prop_map(Sp::Par),
+        ]
+    })
+}
+
+/// Materialises an SP structure between fresh entry/exit nodes.
+/// Every branch of a `Par` gets at least its own nodes (no bare edges).
+fn build_sp(sp: &Sp, nodes: &mut usize, edges: &mut Vec<(usize, usize)>) -> (usize, usize) {
+    match sp {
+        Sp::Node => {
+            let v = *nodes;
+            *nodes += 1;
+            (v, v)
+        }
+        Sp::Seq(parts) => {
+            let mut first = None;
+            let mut last: Option<usize> = None;
+            for p in parts {
+                let (s, t) = build_sp(p, nodes, edges);
+                if let Some(prev) = last {
+                    edges.push((prev, s));
+                }
+                first.get_or_insert(s);
+                last = Some(t);
+            }
+            (first.expect("non-empty seq"), last.expect("non-empty seq"))
+        }
+        Sp::Par(branches) => {
+            // Dedicated split and join nodes so branches never share ends.
+            let split = *nodes;
+            *nodes += 1;
+            let join_placeholder = usize::MAX;
+            let mut tails = Vec::new();
+            for b in branches {
+                let (s, t) = build_sp(b, nodes, edges);
+                edges.push((split, s));
+                tails.push(t);
+            }
+            let join = *nodes;
+            *nodes += 1;
+            for t in tails {
+                edges.push((t, join));
+            }
+            let _ = join_placeholder;
+            (split, join)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CHK dominators agree with the all-paths definition of dominance.
+    #[test]
+    fn dominators_match_paths_definition((n, edges) in arb_dag(7)) {
+        let dag = Dag::new(n, &edges).expect("acyclic by construction");
+        let t = DominatorTree::build(&dag);
+        let entries = dag.entries();
+        for b in 0..n {
+            let reachable = entries.iter().any(|&e| dag.reaches(e, b));
+            prop_assert!(reachable, "every node of an ascending-edge DAG is reachable");
+            for a in 0..n {
+                let by_tree = t.dominates(a, b);
+                let by_paths = entries.iter().all(|&e| {
+                    dag.all_paths(e, b).iter().all(|p| p.contains(&a))
+                });
+                prop_assert_eq!(by_tree, by_paths, "dominates({},{})", a, b);
+            }
+        }
+    }
+
+    /// idom is a strict dominator and dominates every other dominator's
+    /// candidate position (it is the *closest*).
+    #[test]
+    fn idom_is_strict_and_closest((n, edges) in arb_dag(8)) {
+        let dag = Dag::new(n, &edges).expect("acyclic");
+        let t = DominatorTree::build(&dag);
+        for v in 0..n {
+            if let Some(d) = t.idom(v) {
+                prop_assert_ne!(d, v);
+                prop_assert!(t.dominates(d, v));
+                // Every strict dominator of v dominates idom(v).
+                for a in 0..n {
+                    if a != v && t.dominates(a, v) {
+                        prop_assert!(t.dominates(a, d));
+                    }
+                }
+            }
+        }
+    }
+
+    /// ANL labels always sum to one across the nodes of an app.
+    #[test]
+    fn anl_sums_to_one(times in proptest::collection::vec(
+        proptest::collection::vec(1.0f64..1000.0, 4), 1..8)) {
+        let anl = average_normalized_length(&times);
+        let sum: f64 = anl.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(anl.iter().all(|&a| a > 0.0));
+    }
+
+    /// SLO plans on random series-parallel DAGs: full coverage, bounded
+    /// group size, positive quotas, and every source→sink path's distinct
+    /// group fractions sum to exactly 1.
+    #[test]
+    fn slo_plan_invariants(sp in arb_sp(3), g in 1usize..5) {
+        let mut n = 0usize;
+        let mut edges = Vec::new();
+        let (source, sink) = build_sp(&sp, &mut n, &mut edges);
+        prop_assume!(n <= 24);
+        let dag = Dag::new(n, &edges).expect("sp graphs are DAGs");
+        let anl: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let total: f64 = anl.iter().sum();
+        let anl: Vec<f64> = anl.into_iter().map(|a| a / total).collect();
+
+        let plan = SloPlan::build(&dag, &anl, g).expect("sp graphs are reducible");
+
+        // Coverage and group size.
+        let mut seen = vec![0usize; n];
+        for grp in plan.groups() {
+            prop_assert!(grp.members.len() <= g);
+            prop_assert!(grp.fraction > 0.0);
+            for &m in &grp.members {
+                seen[m] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+
+        // Path sums: every complete path crosses groups totalling 1.
+        for path in dag.all_paths(source, sink) {
+            let mut groups: Vec<usize> = path.iter().map(|&v| plan.group_of(v)).collect();
+            groups.sort_unstable();
+            groups.dedup();
+            let sum: f64 = groups.iter().map(|&gi| plan.groups()[gi].fraction).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "path {:?} sums to {}", path, sum);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Application (workflow) definitions.
+//!
+//! An application is a DAG of serverless functions with an end-to-end SLO
+//! (paper §1, §4.1). The four evaluated applications are linear pipelines;
+//! the model nevertheless stores a general DAG so that the dominator-based
+//! SLO distribution (paper §3.3, Fig. 4) and the simulator can handle splits
+//! and joins, which the custom-pipeline example exercises.
+
+use crate::catalog::functions as f;
+use crate::ids::{AppId, FnId};
+
+/// Static description of one application: a DAG whose nodes are serverless
+/// functions. Node indices are local to the app (0..nodes.len()).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppSpec {
+    /// Human-readable application name.
+    pub name: &'static str,
+    /// The function run by each DAG node. The same function may appear in
+    /// several apps (each gets its own AFW queue, §3.1) or several nodes.
+    pub nodes: Vec<FnId>,
+    /// Directed edges `(from, to)` between node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl AppSpec {
+    /// Builds a linear pipeline `fns[0] → fns[1] → …`.
+    pub fn pipeline(name: &'static str, fns: Vec<FnId>) -> Self {
+        assert!(!fns.is_empty(), "pipeline needs at least one stage");
+        let edges = (0..fns.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        AppSpec {
+            name,
+            nodes: fns,
+            edges,
+        }
+    }
+
+    /// Builds a general DAG application. Edges must reference valid node
+    /// indices; acyclicity is validated by `esg-dag` when the DAG is built.
+    pub fn dag(name: &'static str, nodes: Vec<FnId>, edges: Vec<(usize, usize)>) -> Self {
+        assert!(!nodes.is_empty(), "app needs at least one node");
+        for &(a, b) in &edges {
+            assert!(
+                a < nodes.len() && b < nodes.len(),
+                "edge ({a},{b}) out of range for {} nodes",
+                nodes.len()
+            );
+            assert!(a != b, "self-loop at node {a}");
+        }
+        AppSpec { name, nodes, edges }
+    }
+
+    /// Number of stages (DAG nodes).
+    #[inline]
+    pub fn num_stages(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the app is a simple chain (each node except the last has
+    /// exactly one successor, each except the first exactly one predecessor).
+    pub fn is_linear(&self) -> bool {
+        if self.edges.len() != self.nodes.len().saturating_sub(1) {
+            return false;
+        }
+        self.edges
+            .iter()
+            .enumerate()
+            .all(|(i, &(a, b))| a == i && b == i + 1)
+    }
+
+    /// Predecessor node indices of `node`.
+    pub fn preds(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(_, b)| b == node)
+            .map(|&(a, _)| a)
+            .collect()
+    }
+
+    /// Successor node indices of `node`.
+    pub fn succs(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(a, _)| a == node)
+            .map(|&(_, b)| b)
+            .collect()
+    }
+
+    /// Node indices with no predecessors (the entry stages).
+    pub fn entry_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&n| self.preds(n).is_empty())
+            .collect()
+    }
+
+    /// Node indices with no successors (the exit stages).
+    pub fn exit_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&n| self.succs(n).is_empty())
+            .collect()
+    }
+}
+
+/// Well-known indices of the four evaluated applications inside
+/// [`standard_apps`], in the order of §4.1.
+pub mod applications {
+    use crate::ids::AppId;
+
+    /// super-resolution → segmentation → classification.
+    pub const IMAGE_CLASSIFICATION: AppId = AppId(0);
+    /// deblur → super-resolution → depth recognition.
+    pub const DEPTH_RECOGNITION: AppId = AppId(1);
+    /// super-resolution → deblur → background removal.
+    pub const BACKGROUND_ELIMINATION: AppId = AppId(2);
+    /// deblur → super-res → background removal → segmentation → classification.
+    pub const EXPANDED_IMAGE_CLASSIFICATION: AppId = AppId(3);
+}
+
+/// Builds the four applications of the paper's evaluation (§4.1), wired to
+/// the [`crate::standard_catalog`] function ids.
+pub fn standard_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec::pipeline(
+            "image_classification",
+            vec![f::SUPER_RESOLUTION, f::SEGMENTATION, f::CLASSIFICATION],
+        ),
+        AppSpec::pipeline(
+            "depth_recognition",
+            vec![f::DEBLUR, f::SUPER_RESOLUTION, f::DEPTH_RECOGNITION],
+        ),
+        AppSpec::pipeline(
+            "background_elimination",
+            vec![f::SUPER_RESOLUTION, f::DEBLUR, f::BACKGROUND_REMOVAL],
+        ),
+        AppSpec::pipeline(
+            "expanded_image_classification",
+            vec![
+                f::DEBLUR,
+                f::SUPER_RESOLUTION,
+                f::BACKGROUND_REMOVAL,
+                f::SEGMENTATION,
+                f::CLASSIFICATION,
+            ],
+        ),
+    ]
+}
+
+/// Convenience: the [`AppId`] for each position of [`standard_apps`].
+pub fn standard_app_ids() -> Vec<AppId> {
+    (0..standard_apps().len() as u32).map(AppId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_apps_match_section_4_1() {
+        let apps = standard_apps();
+        assert_eq!(apps.len(), 4);
+        assert_eq!(apps[0].nodes.len(), 3);
+        assert_eq!(apps[3].nodes.len(), 5);
+        assert!(apps.iter().all(|a| a.is_linear()));
+        assert_eq!(
+            apps[1].nodes,
+            vec![f::DEBLUR, f::SUPER_RESOLUTION, f::DEPTH_RECOGNITION]
+        );
+        assert_eq!(apps[3].nodes[0], f::DEBLUR);
+        assert_eq!(apps[3].nodes[4], f::CLASSIFICATION);
+    }
+
+    #[test]
+    fn pipeline_edges() {
+        let p = AppSpec::pipeline("p", vec![FnId(0), FnId(1), FnId(2)]);
+        assert_eq!(p.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(p.entry_nodes(), vec![0]);
+        assert_eq!(p.exit_nodes(), vec![2]);
+        assert_eq!(p.preds(1), vec![0]);
+        assert_eq!(p.succs(1), vec![2]);
+    }
+
+    #[test]
+    fn single_stage_pipeline() {
+        let p = AppSpec::pipeline("one", vec![FnId(0)]);
+        assert!(p.is_linear());
+        assert_eq!(p.entry_nodes(), vec![0]);
+        assert_eq!(p.exit_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn diamond_dag() {
+        // 0 -> {1,2} -> 3
+        let d = AppSpec::dag(
+            "diamond",
+            vec![FnId(0), FnId(1), FnId(2), FnId(3)],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        );
+        assert!(!d.is_linear());
+        assert_eq!(d.entry_nodes(), vec![0]);
+        assert_eq!(d.exit_nodes(), vec![3]);
+        let mut preds3 = d.preds(3);
+        preds3.sort_unstable();
+        assert_eq!(preds3, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = AppSpec::dag("bad", vec![FnId(0)], vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = AppSpec::dag("bad", vec![FnId(0), FnId(1)], vec![(1, 1)]);
+    }
+
+    #[test]
+    fn same_function_twice() {
+        // A function may appear in multiple nodes of one app.
+        let p = AppSpec::pipeline("pp", vec![FnId(0), FnId(0)]);
+        assert_eq!(p.num_stages(), 2);
+    }
+
+    #[test]
+    fn standard_app_ids_align() {
+        assert_eq!(
+            standard_app_ids(),
+            vec![AppId(0), AppId(1), AppId(2), AppId(3)]
+        );
+        assert_eq!(applications::EXPANDED_IMAGE_CLASSIFICATION, AppId(3));
+    }
+}

@@ -1,0 +1,258 @@
+//! The serverless function catalog (paper Table 3).
+//!
+//! Each entry records the measured numbers the paper reports — execution
+//! time at the minimum configuration `(1,1,1)`, cold start time, and input
+//! image size — plus the scaling parameters our analytic latency model
+//! (`esg-profile`) needs to extrapolate to other configurations. The scaling
+//! parameters are modelling choices documented in DESIGN.md §1
+//! ("Substitutions"); they control the speed–cost tension that the ESG
+//! search navigates, not its correctness.
+
+use crate::ids::FnId;
+
+/// Static description of one serverless DNN inference function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionSpec {
+    /// Human-readable function name (Table 3 "Function name").
+    pub name: &'static str,
+    /// The DNN behind the function (Table 3 "Model").
+    pub model: &'static str,
+    /// Execution time in ms at the minimum configuration (1 vCPU, 1 vGPU,
+    /// batch = 1) — Table 3 "Execution Time (ms)".
+    pub exec_ms: f64,
+    /// Container cold-start time in ms — Table 3 "Cold start time (ms)".
+    pub cold_start_ms: f64,
+    /// Input image size in MB — Table 3 "Input image size (MB)"; drives the
+    /// data-transfer model.
+    pub input_mb: f64,
+    /// Fraction of `exec_ms` spent on the CPU (pre/post-processing);
+    /// the remainder is GPU kernel time.
+    pub cpu_fraction: f64,
+    /// Marginal GPU cost of each extra item in a per-vGPU micro-batch,
+    /// relative to the first item (sub-linear batching: 0 = free batching,
+    /// 1 = no batching benefit).
+    pub batch_alpha: f64,
+    /// Serial fraction of the CPU part (Amdahl): extra vCPUs only
+    /// accelerate the parallel remainder.
+    pub cpu_serial_fraction: f64,
+    /// Fixed overhead in ms per *additional* vGPU used (multi-kernel launch
+    /// and result gather).
+    pub vgpu_overhead_ms: f64,
+}
+
+/// The set of functions available to applications, indexed by [`FnId`].
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    functions: Vec<FunctionSpec>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add(&mut self, spec: FunctionSpec) -> FnId {
+        let id = FnId(self.functions.len() as u32);
+        self.functions.push(spec);
+        id
+    }
+
+    /// Looks up a function spec.
+    #[inline]
+    pub fn get(&self, id: FnId) -> &FunctionSpec {
+        &self.functions[id.index()]
+    }
+
+    /// Number of functions in the catalog.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True when the catalog has no functions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Iterates over `(id, spec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FnId, &FunctionSpec)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (FnId(i as u32), s))
+    }
+
+    /// Finds a function by name (linear scan; catalogs are tiny).
+    pub fn find(&self, name: &str) -> Option<FnId> {
+        self.functions
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| FnId(i as u32))
+    }
+}
+
+/// Well-known indices of the six Table-3 functions inside
+/// [`standard_catalog`], in the order the paper lists them.
+pub mod functions {
+    use crate::ids::FnId;
+
+    /// SRGAN super resolution.
+    pub const SUPER_RESOLUTION: FnId = FnId(0);
+    /// deeplabv3_resnet50 segmentation.
+    pub const SEGMENTATION: FnId = FnId(1);
+    /// DeblurGAN deblur.
+    pub const DEBLUR: FnId = FnId(2);
+    /// ResNet50 classification.
+    pub const CLASSIFICATION: FnId = FnId(3);
+    /// U^2-Net background removal.
+    pub const BACKGROUND_REMOVAL: FnId = FnId(4);
+    /// MiDaS depth recognition.
+    pub const DEPTH_RECOGNITION: FnId = FnId(5);
+}
+
+/// Builds the paper's Table-3 catalog.
+///
+/// Measured columns are verbatim from Table 3. The scaling parameters are
+/// chosen per function family: generative models (SRGAN, DeblurGAN, U²-Net)
+/// carry more CPU-side image handling; the classifiers are GPU-bound with
+/// strong batching benefit.
+pub fn standard_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add(FunctionSpec {
+        name: "super_resolution",
+        model: "SRGAN",
+        exec_ms: 86.0,
+        cold_start_ms: 3503.0,
+        input_mb: 2.7,
+        cpu_fraction: 0.40,
+        batch_alpha: 0.45,
+        cpu_serial_fraction: 0.15,
+        vgpu_overhead_ms: 3.0,
+    });
+    c.add(FunctionSpec {
+        name: "segmentation",
+        model: "deeplabv3_resnet50",
+        exec_ms: 293.0,
+        cold_start_ms: 16510.0,
+        input_mb: 2.5,
+        cpu_fraction: 0.35,
+        batch_alpha: 0.35,
+        cpu_serial_fraction: 0.15,
+        vgpu_overhead_ms: 4.0,
+    });
+    c.add(FunctionSpec {
+        name: "deblur",
+        model: "DeblurGAN",
+        exec_ms: 319.0,
+        cold_start_ms: 22343.0,
+        input_mb: 1.1,
+        cpu_fraction: 0.40,
+        batch_alpha: 0.45,
+        cpu_serial_fraction: 0.15,
+        vgpu_overhead_ms: 3.0,
+    });
+    c.add(FunctionSpec {
+        name: "classification",
+        model: "ResNet50",
+        exec_ms: 147.0,
+        cold_start_ms: 18299.0,
+        input_mb: 0.147,
+        cpu_fraction: 0.30,
+        batch_alpha: 0.25,
+        cpu_serial_fraction: 0.10,
+        vgpu_overhead_ms: 2.0,
+    });
+    c.add(FunctionSpec {
+        name: "background_removal",
+        model: "U2Net",
+        exec_ms: 1047.0,
+        cold_start_ms: 3729.0,
+        input_mb: 2.5,
+        cpu_fraction: 0.40,
+        batch_alpha: 0.40,
+        cpu_serial_fraction: 0.15,
+        vgpu_overhead_ms: 5.0,
+    });
+    c.add(FunctionSpec {
+        name: "depth_recognition",
+        model: "MiDaS",
+        exec_ms: 828.0,
+        cold_start_ms: 16479.0,
+        input_mb: 0.648,
+        cpu_fraction: 0.35,
+        batch_alpha: 0.35,
+        cpu_serial_fraction: 0.15,
+        vgpu_overhead_ms: 4.0,
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let c = standard_catalog();
+        assert_eq!(c.len(), 6);
+        let sr = c.get(functions::SUPER_RESOLUTION);
+        assert_eq!(sr.exec_ms, 86.0);
+        assert_eq!(sr.cold_start_ms, 3503.0);
+        assert_eq!(sr.input_mb, 2.7);
+        assert_eq!(sr.model, "SRGAN");
+        let bg = c.get(functions::BACKGROUND_REMOVAL);
+        assert_eq!(bg.exec_ms, 1047.0);
+        assert_eq!(bg.model, "U2Net");
+        let dp = c.get(functions::DEPTH_RECOGNITION);
+        assert_eq!(dp.cold_start_ms, 16479.0);
+        assert_eq!(dp.input_mb, 0.648);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let c = standard_catalog();
+        assert_eq!(c.find("deblur"), Some(functions::DEBLUR));
+        assert_eq!(c.find("classification"), Some(functions::CLASSIFICATION));
+        assert_eq!(c.find("nope"), None);
+    }
+
+    #[test]
+    fn scaling_parameters_are_sane() {
+        for (_, f) in standard_catalog().iter() {
+            assert!(f.cpu_fraction > 0.0 && f.cpu_fraction < 0.5);
+            assert!(f.batch_alpha > 0.0 && f.batch_alpha < 1.0);
+            assert!(f.cpu_serial_fraction > 0.0 && f.cpu_serial_fraction < 1.0);
+            assert!(f.vgpu_overhead_ms >= 0.0);
+            assert!(f.cold_start_ms > f.exec_ms);
+        }
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let c = standard_catalog();
+        let ids: Vec<u32> = c.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn custom_catalog() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        let id = c.add(FunctionSpec {
+            name: "toy",
+            model: "toy",
+            exec_ms: 10.0,
+            cold_start_ms: 100.0,
+            input_mb: 1.0,
+            cpu_fraction: 0.2,
+            batch_alpha: 0.4,
+            cpu_serial_fraction: 0.3,
+            vgpu_overhead_ms: 1.0,
+        });
+        assert_eq!(id, FnId(0));
+        assert_eq!(c.get(id).name, "toy");
+    }
+}

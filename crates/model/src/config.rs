@@ -1,0 +1,270 @@
+//! The serverless configuration triple and the configuration grid.
+//!
+//! With shareable GPUs the per-function configuration space becomes
+//! three-dimensional: `(batch size, #vCPUs, #vGPUs)` (paper §1, challenge i).
+//! A [`ConfigGrid`] enumerates the options available to one function; the
+//! schedulers search over the cross product of grids along a pipeline.
+
+use crate::resources::Resources;
+
+/// One point in the three-dimensional configuration space of a function.
+///
+/// * `batch` — number of queued jobs grouped into one task (§3.2 task model);
+/// * `vcpus` — CPU resource units assigned to the task's container;
+/// * `vgpus` — GPU resource units (MIG partitions) assigned; the function
+///   runs data-parallel kernels, one per vGPU, over the batch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Config {
+    /// Batch size: jobs per task. Always ≥ 1.
+    pub batch: u32,
+    /// Number of vCPUs. Always ≥ 1.
+    pub vcpus: u32,
+    /// Number of vGPUs (MIG slices). Always ≥ 1 for the DNN functions studied.
+    pub vgpus: u32,
+}
+
+impl Config {
+    /// The minimum configuration `(1, 1, 1)` used to define the SLO base
+    /// latency `L` (§4.1) and as the forced fallback after repeated recheck
+    /// failures (§3.1).
+    pub const MIN: Config = Config {
+        batch: 1,
+        vcpus: 1,
+        vgpus: 1,
+    };
+
+    /// Creates a configuration, asserting all dimensions are non-zero.
+    #[inline]
+    pub fn new(batch: u32, vcpus: u32, vgpus: u32) -> Self {
+        assert!(
+            batch >= 1 && vcpus >= 1 && vgpus >= 1,
+            "configuration dimensions must be >= 1, got ({batch},{vcpus},{vgpus})"
+        );
+        Config {
+            batch,
+            vcpus,
+            vgpus,
+        }
+    }
+
+    /// The node resources this configuration occupies while running.
+    #[inline]
+    pub fn resources(self) -> Resources {
+        Resources {
+            vcpus: self.vcpus,
+            vgpus: self.vgpus,
+        }
+    }
+
+    /// Returns a copy with the batch clamped to `max_batch` (used when a
+    /// pre-planned batch exceeds the queue length — a "configuration miss",
+    /// Table 4).
+    #[inline]
+    pub fn clamp_batch(self, max_batch: u32) -> Self {
+        Config {
+            batch: self.batch.min(max_batch.max(1)),
+            ..self
+        }
+    }
+}
+
+impl std::fmt::Display for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(b={},c={},g={})", self.batch, self.vcpus, self.vgpus)
+    }
+}
+
+/// The set of options along each configuration dimension for one function.
+///
+/// The default grid is `batch ∈ {1,2,4,8}`, `vcpus ∈ {1..=8}`,
+/// `vgpus ∈ {1..=7}` — 224 configurations, matching the order of magnitude
+/// ("256 configurations per function") of the paper's overhead study (§5.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigGrid {
+    /// Batch-size options, ascending.
+    pub batches: Vec<u32>,
+    /// vCPU options, ascending.
+    pub vcpus: Vec<u32>,
+    /// vGPU options, ascending.
+    pub vgpus: Vec<u32>,
+}
+
+impl Default for ConfigGrid {
+    fn default() -> Self {
+        ConfigGrid {
+            batches: vec![1, 2, 4, 8],
+            vcpus: (1..=8).collect(),
+            vgpus: (1..=7).collect(),
+        }
+    }
+}
+
+impl ConfigGrid {
+    /// A grid with exactly one option per dimension (the minimum config);
+    /// useful for tests and for the no-batching ablation.
+    pub fn minimal() -> Self {
+        ConfigGrid {
+            batches: vec![1],
+            vcpus: vec![1],
+            vgpus: vec![1],
+        }
+    }
+
+    /// Builds a grid from explicit option lists. Options are sorted and
+    /// deduplicated; each list must end up non-empty.
+    pub fn new(
+        mut batches: Vec<u32>,
+        mut vcpus: Vec<u32>,
+        mut vgpus: Vec<u32>,
+    ) -> Self {
+        for list in [&mut batches, &mut vcpus, &mut vgpus] {
+            list.sort_unstable();
+            list.dedup();
+            assert!(!list.is_empty(), "config grid dimension must be non-empty");
+            assert!(list[0] >= 1, "config grid options must be >= 1");
+        }
+        ConfigGrid {
+            batches,
+            vcpus,
+            vgpus,
+        }
+    }
+
+    /// A grid sized to hit approximately `n` total configurations by scaling
+    /// the vCPU axis; used by the §5.3/§5.4 overhead sweeps.
+    pub fn with_total_configs(n: usize) -> Self {
+        let batches = vec![1, 2, 4, 8];
+        let vgpus: Vec<u32> = (1..=7).collect();
+        let per_cpu = (n / (batches.len() * vgpus.len())).max(1);
+        let vcpus: Vec<u32> = (1..=per_cpu as u32).collect();
+        ConfigGrid::new(batches, vcpus, vgpus)
+    }
+
+    /// Total number of configurations in the grid.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.batches.len() * self.vcpus.len() * self.vgpus.len()
+    }
+
+    /// True when the grid is empty (cannot happen via the constructors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over every configuration in the grid (batch-major order).
+    pub fn iter(&self) -> impl Iterator<Item = Config> + '_ {
+        self.batches.iter().flat_map(move |&b| {
+            self.vcpus.iter().flat_map(move |&c| {
+                self.vgpus.iter().map(move |&g| Config::new(b, c, g))
+            })
+        })
+    }
+
+    /// The largest batch size in the grid.
+    #[inline]
+    pub fn max_batch(&self) -> u32 {
+        *self.batches.last().expect("non-empty grid")
+    }
+
+    /// Restricts the grid to batch size 1 (the no-batching ablation, §5.5).
+    pub fn without_batching(&self) -> Self {
+        ConfigGrid {
+            batches: vec![1],
+            vcpus: self.vcpus.clone(),
+            vgpus: self.vgpus.clone(),
+        }
+    }
+
+    /// Restricts the grid to whole GPUs only (the no-GPU-sharing ablation,
+    /// §5.5): the only vGPU option is the full complement per node.
+    pub fn without_gpu_sharing(&self, vgpus_per_node: u32) -> Self {
+        ConfigGrid {
+            batches: self.batches.clone(),
+            vcpus: self.vcpus.clone(),
+            vgpus: vec![vgpus_per_node],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_size() {
+        let g = ConfigGrid::default();
+        assert_eq!(g.len(), 4 * 8 * 7);
+        assert_eq!(g.iter().count(), g.len());
+    }
+
+    #[test]
+    fn grid_iteration_is_sorted_batch_major() {
+        let g = ConfigGrid::new(vec![1, 2], vec![1], vec![1, 2]);
+        let all: Vec<Config> = g.iter().collect();
+        assert_eq!(
+            all,
+            vec![
+                Config::new(1, 1, 1),
+                Config::new(1, 1, 2),
+                Config::new(2, 1, 1),
+                Config::new(2, 1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn grid_dedups_and_sorts() {
+        let g = ConfigGrid::new(vec![4, 1, 4], vec![2, 1], vec![1]);
+        assert_eq!(g.batches, vec![1, 4]);
+        assert_eq!(g.vcpus, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dimension_panics() {
+        let _ = ConfigGrid::new(vec![], vec![1], vec![1]);
+    }
+
+    #[test]
+    fn clamp_batch() {
+        let c = Config::new(8, 2, 2);
+        assert_eq!(c.clamp_batch(3).batch, 3);
+        assert_eq!(c.clamp_batch(16).batch, 8);
+        // Clamping to zero still yields a valid config.
+        assert_eq!(c.clamp_batch(0).batch, 1);
+    }
+
+    #[test]
+    fn resources_of_config() {
+        let r = Config::new(4, 3, 2).resources();
+        assert_eq!(r.vcpus, 3);
+        assert_eq!(r.vgpus, 2);
+    }
+
+    #[test]
+    fn ablation_grids() {
+        let g = ConfigGrid::default();
+        assert_eq!(g.without_batching().batches, vec![1]);
+        assert_eq!(g.without_gpu_sharing(7).vgpus, vec![7]);
+        assert_eq!(g.without_batching().vcpus, g.vcpus);
+    }
+
+    #[test]
+    fn with_total_configs_close_to_target() {
+        let g = ConfigGrid::with_total_configs(256);
+        // 4 batches * 7 vgpus = 28; 256/28 = 9 vcpus -> 252 configs.
+        assert!(g.len() >= 224 && g.len() <= 280, "got {}", g.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn zero_config_panics() {
+        let _ = Config::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Config::new(2, 4, 1).to_string(), "(b=2,c=4,g=1)");
+    }
+}

@@ -1,0 +1,117 @@
+//! Strongly-typed identifiers.
+//!
+//! The simulator and schedulers pass many small integer handles around
+//! (functions, applications, jobs, nodes). Newtypes prevent mixing them up
+//! and keep hot structs small (see the type-size guidance in the Rust
+//! performance literature: indices as `u32`, coerced to `usize` at use).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw index value as `usize` for slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a serverless function (an entry in the [`crate::Catalog`]).
+    FnId,
+    u32
+);
+
+id_type!(
+    /// Identifier of an application (a DAG of serverless functions).
+    AppId,
+    u32
+);
+
+id_type!(
+    /// Identifier of a single job: one request flowing through one stage of an
+    /// application instance. The paper calls "the inference of one request a
+    /// job" (§3.2).
+    JobId,
+    u64
+);
+
+id_type!(
+    /// Identifier of one end-to-end application invocation (a workflow
+    /// instance). Each invocation spawns one job per pipeline stage.
+    InvocationId,
+    u64
+);
+
+id_type!(
+    /// Identifier of an invoker (worker) node in the cluster.
+    NodeId,
+    u32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; here we just exercise the API.
+        let f = FnId(3);
+        let a = AppId(3);
+        assert_eq!(f.index(), 3);
+        assert_eq!(a.index(), 3);
+        assert_eq!(format!("{f:?}"), "FnId(3)");
+        assert_eq!(format!("{a}"), "3");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(FnId(1));
+        set.insert(FnId(1));
+        set.insert(FnId(2));
+        assert_eq!(set.len(), 2);
+        assert!(FnId(1) < FnId(2));
+    }
+
+    #[test]
+    fn from_raw() {
+        let n: NodeId = 7u32.into();
+        assert_eq!(n, NodeId(7));
+        let j: JobId = 9u64.into();
+        assert_eq!(j.index(), 9);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(FnId::default(), FnId(0));
+        assert_eq!(InvocationId::default().0, 0);
+    }
+}

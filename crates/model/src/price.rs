@@ -1,0 +1,111 @@
+//! Pricing model (paper §4.1).
+//!
+//! "Following AWS EC2 pricing, we set the price of a vCPU to 0.034$/hour.
+//! Based on the pricing of an entire GPU on AWS, we divide it by # of vGPUs
+//! and set the price of a vGPU to 0.67$/hour."
+//!
+//! Costs are tracked in **cents** to match the paper's figure annotations
+//! (Fig. 3 reports per-job costs in ¢).
+
+use crate::config::Config;
+
+/// Per-unit-time prices for the two resource kinds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriceModel {
+    /// Price of one vCPU, in cents per second.
+    pub vcpu_cents_per_sec: f64,
+    /// Price of one vGPU (MIG slice), in cents per second.
+    pub vgpu_cents_per_sec: f64,
+}
+
+impl Default for PriceModel {
+    /// The paper's evaluation prices: vCPU $0.034/h, vGPU $0.67/h.
+    fn default() -> Self {
+        PriceModel::from_hourly_dollars(0.034, 0.67)
+    }
+}
+
+impl PriceModel {
+    /// Builds a price model from $/hour rates.
+    pub fn from_hourly_dollars(vcpu: f64, vgpu: f64) -> Self {
+        const CENTS_PER_DOLLAR: f64 = 100.0;
+        const SECS_PER_HOUR: f64 = 3600.0;
+        PriceModel {
+            vcpu_cents_per_sec: vcpu * CENTS_PER_DOLLAR / SECS_PER_HOUR,
+            vgpu_cents_per_sec: vgpu * CENTS_PER_DOLLAR / SECS_PER_HOUR,
+        }
+    }
+
+    /// The illustrative unit costs of the paper's Fig. 3 example
+    /// (1 vCPU: 0.04¢/s, 1 vGPU: 0.8¢/s); used by the quickstart example so
+    /// its arithmetic matches the figure.
+    pub fn figure3_example() -> Self {
+        PriceModel {
+            vcpu_cents_per_sec: 0.04,
+            vgpu_cents_per_sec: 0.8,
+        }
+    }
+
+    /// Cost in cents of holding `config`'s resources for `duration_ms`.
+    #[inline]
+    pub fn task_cost_cents(&self, config: Config, duration_ms: f64) -> f64 {
+        let per_sec = config.vcpus as f64 * self.vcpu_cents_per_sec
+            + config.vgpus as f64 * self.vgpu_cents_per_sec;
+        per_sec * duration_ms / 1000.0
+    }
+
+    /// Cost in cents attributed to each job of a batched task
+    /// (Fig. 3: `(0.04*4+0.8)*0.9/2 = 0.43¢` for batch 2).
+    #[inline]
+    pub fn per_job_cost_cents(&self, config: Config, duration_ms: f64) -> f64 {
+        self.task_cost_cents(config, duration_ms) / config.batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_arithmetic_reproduces_paper() {
+        // Red path, function 1.1: batch 2, 4 vCPUs, 1 vGPU, 0.9 s
+        // -> (0.04*4 + 0.8) * 0.9 / 2 = 0.432 ¢ (the paper rounds to 0.43¢).
+        let p = PriceModel::figure3_example();
+        let cost = p.per_job_cost_cents(Config::new(2, 4, 1), 900.0);
+        assert!((cost - 0.432).abs() < 1e-9, "got {cost}");
+    }
+
+    #[test]
+    fn default_prices_match_section_4_1() {
+        let p = PriceModel::default();
+        // $0.034/h = 3.4 ¢ / 3600 s
+        assert!((p.vcpu_cents_per_sec - 3.4 / 3600.0).abs() < 1e-12);
+        assert!((p.vgpu_cents_per_sec - 67.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_cost_scales_linearly_with_duration_and_resources() {
+        let p = PriceModel::default();
+        let c1 = p.task_cost_cents(Config::new(1, 1, 1), 1000.0);
+        let c2 = p.task_cost_cents(Config::new(1, 2, 2), 1000.0);
+        let c3 = p.task_cost_cents(Config::new(1, 1, 1), 2000.0);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+        assert!((c3 - 2.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_job_cost_divides_by_batch() {
+        let p = PriceModel::default();
+        let task = p.task_cost_cents(Config::new(4, 2, 2), 500.0);
+        let per_job = p.per_job_cost_cents(Config::new(4, 2, 2), 500.0);
+        assert!((task / 4.0 - per_job).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_dominates_cpu_cost() {
+        // A vGPU is ~20x a vCPU per §4.1; the speed-cost tension (§3.3)
+        // depends on this ordering.
+        let p = PriceModel::default();
+        assert!(p.vgpu_cents_per_sec > 10.0 * p.vcpu_cents_per_sec);
+    }
+}

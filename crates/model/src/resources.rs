@@ -1,0 +1,160 @@
+//! The two-dimensional resource vector (vCPUs, vGPUs).
+//!
+//! The paper's resource model (§3.2) deliberately does *not* tie vGPUs to
+//! vCPUs: "there is no clear correlation between the amount of CPU usage and
+//! the amount of GPU usage in applications". Memory rides along with each
+//! unit (vCPU ↔ host memory slice, vGPU ↔ MIG memory slice), so a pair of
+//! counters is the whole allocation state.
+
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A quantity of allocatable resources: CPU units and GPU (MIG) units.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Resources {
+    /// CPU resource units.
+    pub vcpus: u32,
+    /// GPU resource units (one unit = one MIG partition).
+    pub vgpus: u32,
+}
+
+impl Resources {
+    /// The zero resource vector.
+    pub const ZERO: Resources = Resources { vcpus: 0, vgpus: 0 };
+
+    /// Creates a resource vector.
+    #[inline]
+    pub const fn new(vcpus: u32, vgpus: u32) -> Self {
+        Resources { vcpus, vgpus }
+    }
+
+    /// Component-wise `self >= other`: true when `other` fits inside `self`.
+    #[inline]
+    pub fn contains(self, other: Resources) -> bool {
+        self.vcpus >= other.vcpus && self.vgpus >= other.vgpus
+    }
+
+    /// Component-wise saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Resources) -> Resources {
+        Resources {
+            vcpus: self.vcpus.saturating_sub(other.vcpus),
+            vgpus: self.vgpus.saturating_sub(other.vgpus),
+        }
+    }
+
+    /// Checked subtraction: `None` if `other` does not fit.
+    #[inline]
+    pub fn checked_sub(self, other: Resources) -> Option<Resources> {
+        if self.contains(other) {
+            Some(Resources {
+                vcpus: self.vcpus - other.vcpus,
+                vgpus: self.vgpus - other.vgpus,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// A scalar "size" used by fragmentation-minimizing placement policies:
+    /// the weighted sum of the two components.
+    #[inline]
+    pub fn weighted(self, cpu_weight: f64, gpu_weight: f64) -> f64 {
+        cpu_weight * self.vcpus as f64 + gpu_weight * self.vgpus as f64
+    }
+
+    /// True when both components are zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.vcpus == 0 && self.vgpus == 0
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    #[inline]
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            vcpus: self.vcpus + rhs.vcpus,
+            vgpus: self.vgpus + rhs.vgpus,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    #[inline]
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// Panics in debug builds on underflow — resource accounting bugs should
+    /// fail loudly in the simulator.
+    #[inline]
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            vcpus: self.vcpus - rhs.vcpus,
+            vgpus: self.vgpus - rhs.vgpus,
+        }
+    }
+}
+
+impl SubAssign for Resources {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::fmt::Display for Resources {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}c/{}g", self.vcpus, self.vgpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_checked_sub() {
+        let cap = Resources::new(16, 7);
+        let use1 = Resources::new(4, 2);
+        assert!(cap.contains(use1));
+        assert_eq!(cap.checked_sub(use1), Some(Resources::new(12, 5)));
+        assert_eq!(cap.checked_sub(Resources::new(17, 0)), None);
+        assert_eq!(cap.checked_sub(Resources::new(0, 8)), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut r = Resources::new(1, 1);
+        r += Resources::new(2, 3);
+        assert_eq!(r, Resources::new(3, 4));
+        r -= Resources::new(1, 1);
+        assert_eq!(r, Resources::new(2, 3));
+        assert_eq!(
+            Resources::new(1, 1).saturating_sub(Resources::new(5, 0)),
+            Resources::new(0, 1)
+        );
+    }
+
+    #[test]
+    fn weighted_size() {
+        let r = Resources::new(4, 2);
+        assert!((r.weighted(1.0, 10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero() {
+        assert!(Resources::ZERO.is_zero());
+        assert!(!Resources::new(0, 1).is_zero());
+        assert_eq!(Resources::default(), Resources::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Resources::new(16, 7).to_string(), "16c/7g");
+    }
+}

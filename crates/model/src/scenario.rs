@@ -1,0 +1,178 @@
+//! SLO and workload scenario definitions (paper §4.1).
+//!
+//! The evaluation pairs three SLO strictness levels with three arrival
+//! intensities: **strict-light**, **moderate-normal**, **relaxed-heavy**.
+//! `L` is the end-to-end time of an application run alone at the minimum
+//! configuration; an SLO hit means completing within `factor × L`.
+
+/// SLO strictness (§4.1): deadline factor applied to the base latency `L`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SloClass {
+    /// SLO hit when completing within `0.8 × L`.
+    Strict,
+    /// SLO hit when completing within `1.0 × L`.
+    Moderate,
+    /// SLO hit when completing within `1.2 × L`.
+    Relaxed,
+}
+
+impl SloClass {
+    /// The deadline multiplier on the base latency `L`.
+    #[inline]
+    pub fn factor(self) -> f64 {
+        match self {
+            SloClass::Strict => 0.8,
+            SloClass::Moderate => 1.0,
+            SloClass::Relaxed => 1.2,
+        }
+    }
+
+    /// All three classes, paper order.
+    pub fn all() -> [SloClass; 3] {
+        [SloClass::Strict, SloClass::Moderate, SloClass::Relaxed]
+    }
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SloClass::Strict => "strict",
+            SloClass::Moderate => "moderate",
+            SloClass::Relaxed => "relaxed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arrival intensity (§4.1): job arrival intervals are drawn uniformly from
+/// a class-specific range derived from the Azure traces (Fig. 5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkloadClass {
+    /// Arrival interval in [10, 16.8] ms.
+    Heavy,
+    /// Arrival interval in [20, 33.6] ms.
+    Normal,
+    /// Arrival interval in [40, 67.2] ms.
+    Light,
+}
+
+impl WorkloadClass {
+    /// The `[lo, hi]` arrival-interval range in milliseconds (Fig. 5).
+    #[inline]
+    pub fn interval_range_ms(self) -> (f64, f64) {
+        match self {
+            WorkloadClass::Heavy => (10.0, 16.8),
+            WorkloadClass::Normal => (20.0, 33.6),
+            WorkloadClass::Light => (40.0, 67.2),
+        }
+    }
+
+    /// All three classes, paper order.
+    pub fn all() -> [WorkloadClass; 3] {
+        [
+            WorkloadClass::Heavy,
+            WorkloadClass::Normal,
+            WorkloadClass::Light,
+        ]
+    }
+}
+
+impl std::fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorkloadClass::Heavy => "heavy",
+            WorkloadClass::Normal => "normal",
+            WorkloadClass::Light => "light",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A paired evaluation scenario (§4.1): "strict for the light case, moderate
+/// for the normal case, and relaxed for the heavy case".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Scenario {
+    /// SLO strictness.
+    pub slo: SloClass,
+    /// Arrival intensity.
+    pub workload: WorkloadClass,
+}
+
+impl Scenario {
+    /// strict-light.
+    pub const STRICT_LIGHT: Scenario = Scenario {
+        slo: SloClass::Strict,
+        workload: WorkloadClass::Light,
+    };
+    /// moderate-normal.
+    pub const MODERATE_NORMAL: Scenario = Scenario {
+        slo: SloClass::Moderate,
+        workload: WorkloadClass::Normal,
+    };
+    /// relaxed-heavy.
+    pub const RELAXED_HEAVY: Scenario = Scenario {
+        slo: SloClass::Relaxed,
+        workload: WorkloadClass::Heavy,
+    };
+
+    /// The three scenarios of the evaluation, paper order
+    /// (Fig. 6 a, b, c).
+    pub fn all() -> [Scenario; 3] {
+        [
+            Scenario::STRICT_LIGHT,
+            Scenario::MODERATE_NORMAL,
+            Scenario::RELAXED_HEAVY,
+        ]
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.slo, self.workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_factors() {
+        assert_eq!(SloClass::Strict.factor(), 0.8);
+        assert_eq!(SloClass::Moderate.factor(), 1.0);
+        assert_eq!(SloClass::Relaxed.factor(), 1.2);
+    }
+
+    #[test]
+    fn interval_ranges_match_fig5() {
+        assert_eq!(WorkloadClass::Heavy.interval_range_ms(), (10.0, 16.8));
+        assert_eq!(WorkloadClass::Normal.interval_range_ms(), (20.0, 33.6));
+        assert_eq!(WorkloadClass::Light.interval_range_ms(), (40.0, 67.2));
+    }
+
+    #[test]
+    fn ranges_double_each_class() {
+        // The paper's normal range is exactly 2x heavy, light is 2x normal.
+        let (h_lo, h_hi) = WorkloadClass::Heavy.interval_range_ms();
+        let (n_lo, n_hi) = WorkloadClass::Normal.interval_range_ms();
+        let (l_lo, l_hi) = WorkloadClass::Light.interval_range_ms();
+        assert_eq!((n_lo, n_hi), (2.0 * h_lo, 2.0 * h_hi));
+        assert_eq!((l_lo, l_hi), (2.0 * n_lo, 2.0 * n_hi));
+    }
+
+    #[test]
+    fn scenario_display() {
+        assert_eq!(Scenario::STRICT_LIGHT.to_string(), "strict-light");
+        assert_eq!(Scenario::MODERATE_NORMAL.to_string(), "moderate-normal");
+        assert_eq!(Scenario::RELAXED_HEAVY.to_string(), "relaxed-heavy");
+    }
+
+    #[test]
+    fn all_scenarios_are_paper_pairings() {
+        let all = Scenario::all();
+        assert_eq!(all[0].slo, SloClass::Strict);
+        assert_eq!(all[0].workload, WorkloadClass::Light);
+        assert_eq!(all[2].slo, SloClass::Relaxed);
+        assert_eq!(all[2].workload, WorkloadClass::Heavy);
+    }
+}

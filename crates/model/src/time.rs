@@ -1,0 +1,118 @@
+//! Simulation time.
+//!
+//! The discrete-event simulator keeps time as integer **microseconds** so
+//! event ordering is exact and runs are bit-reproducible; the modelling
+//! layers (profiles, workloads, metrics) speak floating-point milliseconds.
+//! This module is the single conversion point.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from fractional milliseconds (rounded to the nearest
+    /// microsecond; negative inputs clamp to zero).
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        SimTime((ms.max(0.0) * 1000.0).round() as u64)
+    }
+
+    /// Builds a time from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Builds a time from whole seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        SimTime::from_ms(s * 1000.0)
+    }
+
+    /// The time as fractional milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The time as fractional seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier` (zero when `earlier > self`).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_ms(12.345);
+        assert_eq!(t.0, 12_345);
+        assert!((t.as_ms() - 12.345).abs() < 1e-9);
+        assert_eq!(SimTime::from_secs(1.5).0, 1_500_000);
+        assert!((SimTime::from_us(2_000_000).as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_ms_clamps() {
+        assert_eq!(SimTime::from_ms(-5.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_and_order() {
+        let a = SimTime::from_ms(10.0);
+        let b = SimTime::from_ms(4.0);
+        assert_eq!(a + b, SimTime::from_ms(14.0));
+        assert_eq!(a - b, SimTime::from_ms(6.0));
+        assert_eq!(b.saturating_since(a), SimTime::ZERO);
+        assert_eq!(a.saturating_since(b), SimTime::from_ms(6.0));
+        assert!(b < a);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ms(1.5).to_string(), "1.500ms");
+    }
+}

@@ -1,0 +1,177 @@
+//! The latency scaling law.
+//!
+//! Table 3 gives each function's execution time at the minimum
+//! configuration `(batch=1, 1 vCPU, 1 vGPU)`. The model splits that time
+//! into a CPU part (pre/post-processing) and a GPU part (kernel time) and
+//! scales each with the configuration:
+//!
+//! ```text
+//! t_cpu(b, c) = φ·T · b · (s + (1 − s)/c)            (Amdahl over vCPUs,
+//!                                                      linear in batch)
+//! t_gpu(b, g) = (1−φ)·T · (1 + α·(⌈b/g⌉ − 1)) + δ·(g − 1)
+//!                                                     (sub-linear batching
+//!                                                      per vGPU micro-batch,
+//!                                                      fan-out overhead)
+//! t = t_cpu + t_gpu
+//! ```
+//!
+//! with `T = exec_ms`, `φ = cpu_fraction`, `s = cpu_serial_fraction`,
+//! `α = batch_alpha`, `δ = vgpu_overhead_ms` from the function spec. The
+//! law reproduces the qualitative behaviour the ESG search navigates: more
+//! resources buy speed at a price; batching amortises GPU time across jobs;
+//! extra vGPUs only help once the batch is large enough to split.
+
+use esg_model::{Config, FunctionSpec};
+
+/// Mean task latency (ms) of `spec` under `cfg` — the whole batch, not per
+/// job.
+#[inline]
+pub fn latency_ms(spec: &FunctionSpec, cfg: Config) -> f64 {
+    let (cpu, gpu) = latency_breakdown(spec, cfg);
+    cpu + gpu
+}
+
+/// The `(cpu_ms, gpu_ms)` components of [`latency_ms`].
+pub fn latency_breakdown(spec: &FunctionSpec, cfg: Config) -> (f64, f64) {
+    let t_cpu1 = spec.cpu_fraction * spec.exec_ms;
+    let t_gpu1 = (1.0 - spec.cpu_fraction) * spec.exec_ms;
+    let b = cfg.batch as f64;
+    let c = cfg.vcpus as f64;
+    let s = spec.cpu_serial_fraction;
+
+    let cpu = t_cpu1 * b * (s + (1.0 - s) / c);
+
+    let micro_batch = cfg.batch.div_ceil(cfg.vgpus);
+    let gpu = t_gpu1 * (1.0 + spec.batch_alpha * (micro_batch as f64 - 1.0))
+        + spec.vgpu_overhead_ms * (cfg.vgpus as f64 - 1.0);
+    (cpu, gpu)
+}
+
+/// Mean per-job latency (ms): task latency divided by batch — the paper's
+/// throughput view.
+#[inline]
+pub fn per_job_latency_ms(spec: &FunctionSpec, cfg: Config) -> f64 {
+    latency_ms(spec, cfg) / cfg.batch as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::{standard_catalog, Config};
+
+    fn spec() -> FunctionSpec {
+        standard_catalog()
+            .get(esg_model::catalog::functions::DEBLUR)
+            .clone()
+    }
+
+    #[test]
+    fn min_config_reproduces_table3_time() {
+        for (_, f) in standard_catalog().iter() {
+            let t = latency_ms(f, Config::MIN);
+            assert!(
+                (t - f.exec_ms).abs() < 1e-9,
+                "{}: {t} != {}",
+                f.name,
+                f.exec_ms
+            );
+        }
+    }
+
+    #[test]
+    fn more_vcpus_never_slower() {
+        let f = spec();
+        for b in [1u32, 4, 8] {
+            let mut prev = f64::INFINITY;
+            for c in 1..=16 {
+                let t = latency_ms(&f, Config::new(b, c, 1));
+                assert!(t <= prev + 1e-9, "b={b} c={c}: {t} > {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn vcpu_scaling_saturates_at_serial_fraction() {
+        let f = spec();
+        let t1 = latency_ms(&f, Config::new(1, 1, 1));
+        let t_inf = latency_ms(&f, Config::new(1, 10_000, 1));
+        // CPU part can shrink to its serial fraction, no further.
+        let floor = f.exec_ms * (1.0 - f.cpu_fraction)
+            + f.exec_ms * f.cpu_fraction * f.cpu_serial_fraction;
+        assert!(t_inf >= floor - 1e-6);
+        assert!(t_inf < t1);
+    }
+
+    #[test]
+    fn batching_improves_per_job_latency() {
+        let f = spec();
+        let per1 = per_job_latency_ms(&f, Config::new(1, 2, 1));
+        let per8 = per_job_latency_ms(&f, Config::new(8, 2, 1));
+        assert!(
+            per8 < per1,
+            "batching must amortise GPU time: {per8} !< {per1}"
+        );
+        // But the task as a whole takes longer.
+        assert!(latency_ms(&f, Config::new(8, 2, 1)) > latency_ms(&f, Config::new(1, 2, 1)));
+    }
+
+    #[test]
+    fn vgpus_split_large_batches() {
+        let f = spec();
+        // With batch 8, going from 1 to 4 vGPUs shrinks the micro-batch 8->2.
+        let t_g1 = latency_ms(&f, Config::new(8, 2, 1));
+        let t_g4 = latency_ms(&f, Config::new(8, 2, 4));
+        assert!(t_g4 < t_g1);
+        // With batch 1 extra vGPUs only add fan-out overhead.
+        let t_b1_g1 = latency_ms(&f, Config::new(1, 2, 1));
+        let t_b1_g4 = latency_ms(&f, Config::new(1, 2, 4));
+        assert!(t_b1_g4 > t_b1_g1);
+        assert!((t_b1_g4 - t_b1_g1 - 3.0 * f.vgpu_overhead_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micro_batch_rounding_is_ceiling() {
+        let f = spec();
+        // batch 5 over 2 vGPUs -> micro-batch 3, same as batch 6 over 2.
+        let t5 = latency_ms(&f, Config::new(5, 1, 2));
+        let t6 = latency_ms(&f, Config::new(6, 1, 2));
+        let gpu5 = latency_breakdown(&f, Config::new(5, 1, 2)).1;
+        let gpu6 = latency_breakdown(&f, Config::new(6, 1, 2)).1;
+        assert!((gpu5 - gpu6).abs() < 1e-9);
+        assert!(t5 < t6); // CPU part still grows with batch
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let f = spec();
+        let cfg = Config::new(4, 3, 2);
+        let (c, g) = latency_breakdown(&f, cfg);
+        assert!((c + g - latency_ms(&f, cfg)).abs() < 1e-12);
+        assert!(c > 0.0 && g > 0.0);
+    }
+
+    #[test]
+    fn speed_cost_tension_exists() {
+        // The fastest configuration must cost more than the cheapest one:
+        // this tension is the premise of the ESG_1Q search (§3.3).
+        let f = spec();
+        let price = esg_model::PriceModel::default();
+        let grid = esg_model::ConfigGrid::default();
+        let mut best_lat = (f64::INFINITY, Config::MIN);
+        let mut best_cost = (f64::INFINITY, Config::MIN);
+        for cfg in grid.iter() {
+            let t = per_job_latency_ms(&f, cfg);
+            let cost = price.per_job_cost_cents(cfg, latency_ms(&f, cfg));
+            if t < best_lat.0 {
+                best_lat = (t, cfg);
+            }
+            if cost < best_cost.0 {
+                best_cost = (cost, cfg);
+            }
+        }
+        assert_ne!(best_lat.1, best_cost.1);
+        let fast_cost = price.per_job_cost_cents(best_lat.1, latency_ms(&f, best_lat.1));
+        assert!(fast_cost > best_cost.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Performance-profile substrate.
+//!
+//! The paper's evaluation drives its emulation with per-configuration
+//! performance profiles measured on an A100 testbed, plus Gaussian noise
+//! (§4: "The emulations are based on actual performance of the serverless
+//! functions measured on actual machines in various configurations … the
+//! emulations add Gaussian noises to the performance").
+//!
+//! This crate reproduces that substrate analytically:
+//!
+//! * [`latency::latency_ms`] — the scaling law extrapolating each
+//!   function's Table-3 base time to any `(batch, vcpus, vgpus)`
+//!   configuration (sub-linear GPU batching, Amdahl-style vCPU scaling,
+//!   data-parallel vGPU splitting with fan-out overhead);
+//! * [`table::ProfileTable`] — precomputed per-function profiles over a
+//!   configuration grid, with the sorted views and per-stage bounds the
+//!   schedulers need (ESG's dual-blade pruning reads min-time / min-cost /
+//!   cost-of-fastest from here);
+//! * [`noise::NoiseModel`] — multiplicative truncated-Gaussian noise
+//!   applied to every simulated execution;
+//! * [`transfer::TransferModel`] — local-vs-remote data movement cost
+//!   between pipeline stages (the data-locality dimension of Table 1).
+
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod noise;
+pub mod table;
+pub mod transfer;
+
+pub use latency::{latency_breakdown, latency_ms, per_job_latency_ms};
+pub use noise::NoiseModel;
+pub use table::{FunctionProfile, ProfileEntry, ProfileTable};
+pub use transfer::TransferModel;

@@ -1,0 +1,135 @@
+//! Execution-time noise (§4: "the emulations add Gaussian noises to the
+//! performance").
+//!
+//! Noise is multiplicative: an execution with mean latency `t` observes
+//! `t · N(1, σ)` truncated to `1 ± kσ` (and floored at a small positive
+//! factor, defensively). Truncation keeps the emulation free of negative
+//! or absurd samples without distorting the distribution's bulk.
+
+use esg_model::Gaussian;
+use rand::Rng;
+
+/// Multiplicative truncated-Gaussian noise on execution times.
+#[derive(Clone, Debug)]
+pub struct NoiseModel {
+    sigma: f64,
+    clamp_k: f64,
+    gaussian: Gaussian,
+}
+
+impl Default for NoiseModel {
+    /// σ = 0.08, truncated at ±3σ — moderate serverless jitter, in line
+    /// with the variability motivating ESG's adaptive re-scheduling (§1).
+    fn default() -> Self {
+        NoiseModel::new(0.08)
+    }
+}
+
+impl NoiseModel {
+    /// Creates a noise model with relative standard deviation `sigma`
+    /// (truncation at ±3σ).
+    pub fn new(sigma: f64) -> Self {
+        NoiseModel::with_clamp(sigma, 3.0)
+    }
+
+    /// Creates a noise model with explicit truncation width `clamp_k` (in
+    /// standard deviations).
+    pub fn with_clamp(sigma: f64, clamp_k: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(clamp_k > 0.0, "clamp width must be positive");
+        NoiseModel {
+            sigma,
+            clamp_k,
+            gaussian: Gaussian::new(1.0, sigma),
+        }
+    }
+
+    /// The zero-noise model (deterministic executions; used by ablations
+    /// and search-quality tests).
+    pub fn none() -> Self {
+        NoiseModel::with_clamp(0.0, 1.0)
+    }
+
+    /// The relative standard deviation.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws a noise factor around 1.0.
+    pub fn factor<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let f = self.gaussian.sample_clamped(rng, self.clamp_k);
+        f.max(0.05)
+    }
+
+    /// Applies noise to a mean latency.
+    #[inline]
+    pub fn noisy_ms<R: Rng + ?Sized>(&mut self, mean_ms: f64, rng: &mut R) -> f64 {
+        mean_ms * self.factor(rng)
+    }
+
+    /// The one-sided 95th-percentile factor `1 + 1.645σ` — Orion sizes
+    /// configurations against P95 latency (§4.2), which under this noise
+    /// model is `mean × p95_factor`.
+    #[inline]
+    pub fn p95_factor(&self) -> f64 {
+        1.0 + 1.645 * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factors_center_on_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = NoiseModel::default();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| m.factor(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean factor {mean}");
+    }
+
+    #[test]
+    fn truncation_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = NoiseModel::new(0.1);
+        for _ in 0..50_000 {
+            let f = m.factor(&mut rng);
+            assert!((1.0 - 0.3 - 1e-12..=1.0 + 0.3 + 1e-12).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = NoiseModel::none();
+        assert_eq!(m.noisy_ms(123.0, &mut rng), 123.0);
+        assert_eq!(m.sigma(), 0.0);
+        assert_eq!(m.p95_factor(), 1.0);
+    }
+
+    #[test]
+    fn p95_factor_formula() {
+        let m = NoiseModel::new(0.08);
+        assert!((m.p95_factor() - (1.0 + 1.645 * 0.08)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut m = NoiseModel::default();
+            (0..8).map(|_| m.factor(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_rejected() {
+        let _ = NoiseModel::new(-0.1);
+    }
+}

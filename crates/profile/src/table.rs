@@ -1,0 +1,377 @@
+//! Precomputed performance profiles.
+//!
+//! "The Controller can estimate the times with performance profiles of the
+//! functions and calculate the costs based on the unit costs of vCPU and
+//! vGPU and the running times" (§3.3). A [`ProfileTable`] holds, for every
+//! function, one [`ProfileEntry`] per grid configuration plus the per-stage
+//! aggregates ESG's dual-blade pruning needs (minimum latency, minimum
+//! cost, cost of the fastest configuration).
+
+use crate::latency::latency_ms;
+use esg_model::{AppSpec, Catalog, Config, ConfigGrid, FnId, PriceModel};
+
+/// The profile of one configuration of one function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileEntry {
+    /// The configuration.
+    pub config: Config,
+    /// Mean task latency in ms (the whole batch).
+    pub latency_ms: f64,
+    /// Mean per-job latency in ms (`latency_ms / batch`).
+    pub per_job_latency_ms: f64,
+    /// Resource cost of the task in cents (`(c·p_c + g·p_g) · latency`).
+    pub task_cost_cents: f64,
+    /// Resource cost attributed to each job in cents (Fig. 3 arithmetic).
+    pub per_job_cost_cents: f64,
+}
+
+/// All profiled configurations of one function, sorted ascending by task
+/// latency (Algorithm 1: "the profiles of function j sorted in increasing
+/// latency"), with a secondary view sorted by per-job cost.
+#[derive(Clone, Debug)]
+pub struct FunctionProfile {
+    entries: Vec<ProfileEntry>,
+    /// Indices into `entries`, ascending per-job cost.
+    by_cost: Vec<u32>,
+    /// The profile of the minimum configuration (1,1,1), regardless of grid.
+    min_config_entry: ProfileEntry,
+    min_latency_ms: f64,
+    min_per_job_cost_cents: f64,
+    fastest_per_job_cost_cents: f64,
+}
+
+impl FunctionProfile {
+    fn build(
+        spec: &esg_model::FunctionSpec,
+        grid: &ConfigGrid,
+        price: &PriceModel,
+    ) -> FunctionProfile {
+        let make = |config: Config| {
+            let t = latency_ms(spec, config);
+            ProfileEntry {
+                config,
+                latency_ms: t,
+                per_job_latency_ms: t / config.batch as f64,
+                task_cost_cents: price.task_cost_cents(config, t),
+                per_job_cost_cents: price.per_job_cost_cents(config, t),
+            }
+        };
+        let mut entries: Vec<ProfileEntry> = grid.iter().map(make).collect();
+        entries.sort_by(|a, b| {
+            a.latency_ms
+                .total_cmp(&b.latency_ms)
+                .then(a.per_job_cost_cents.total_cmp(&b.per_job_cost_cents))
+        });
+        let mut by_cost: Vec<u32> = (0..entries.len() as u32).collect();
+        by_cost.sort_by(|&i, &j| {
+            entries[i as usize]
+                .per_job_cost_cents
+                .total_cmp(&entries[j as usize].per_job_cost_cents)
+        });
+        let min_latency_ms = entries.first().expect("non-empty grid").latency_ms;
+        let fastest_per_job_cost_cents =
+            entries.first().expect("non-empty grid").per_job_cost_cents;
+        let min_per_job_cost_cents =
+            entries[by_cost[0] as usize].per_job_cost_cents;
+        FunctionProfile {
+            min_config_entry: make(Config::MIN),
+            entries,
+            by_cost,
+            min_latency_ms,
+            min_per_job_cost_cents,
+            fastest_per_job_cost_cents,
+        }
+    }
+
+    /// Entries ascending by task latency.
+    #[inline]
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Entries ascending by per-job cost.
+    pub fn entries_by_cost(&self) -> impl Iterator<Item = &ProfileEntry> {
+        self.by_cost.iter().map(move |&i| &self.entries[i as usize])
+    }
+
+    /// The profile of `Config::MIN` (present even if outside the grid).
+    #[inline]
+    pub fn min_config_entry(&self) -> &ProfileEntry {
+        &self.min_config_entry
+    }
+
+    /// Fastest achievable task latency across the grid — the `tLow`
+    /// component for stages not yet on a partial path (§3.3).
+    #[inline]
+    pub fn min_latency_ms(&self) -> f64 {
+        self.min_latency_ms
+    }
+
+    /// Cheapest per-job cost across the grid — the `rscLow` component.
+    #[inline]
+    pub fn min_per_job_cost_cents(&self) -> f64 {
+        self.min_per_job_cost_cents
+    }
+
+    /// Per-job cost of the fastest configuration — the `rscFastest`
+    /// component.
+    #[inline]
+    pub fn fastest_per_job_cost_cents(&self) -> f64 {
+        self.fastest_per_job_cost_cents
+    }
+
+    /// Looks up the entry for an exact configuration (linear scan; used by
+    /// tests and the dispatcher's forced-minimum path).
+    pub fn find(&self, config: Config) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.config == config)
+    }
+
+    /// Number of profiled configurations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no configurations were profiled (cannot occur via
+    /// [`ProfileTable::build`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Profiles for every function in a catalog over a shared configuration
+/// grid.
+#[derive(Clone, Debug)]
+pub struct ProfileTable {
+    profiles: Vec<FunctionProfile>,
+    grid: ConfigGrid,
+    price: PriceModel,
+}
+
+impl ProfileTable {
+    /// Profiles every catalog function over `grid` with `price`.
+    pub fn build(catalog: &Catalog, grid: &ConfigGrid, price: &PriceModel) -> ProfileTable {
+        let profiles = catalog
+            .iter()
+            .map(|(_, spec)| FunctionProfile::build(spec, grid, price))
+            .collect();
+        ProfileTable {
+            profiles,
+            grid: grid.clone(),
+            price: *price,
+        }
+    }
+
+    /// The profile of one function.
+    #[inline]
+    pub fn profile(&self, f: FnId) -> &FunctionProfile {
+        &self.profiles[f.index()]
+    }
+
+    /// The grid the table was built over.
+    #[inline]
+    pub fn grid(&self) -> &ConfigGrid {
+        &self.grid
+    }
+
+    /// The price model the costs were computed with.
+    #[inline]
+    pub fn price(&self) -> &PriceModel {
+        &self.price
+    }
+
+    /// Number of profiled functions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when the table has no functions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The application's base latency `L` (§4.1): the critical-path time at
+    /// the minimum configuration, running alone. For the paper's linear
+    /// pipelines this is the plain sum of stage times.
+    pub fn base_latency_ms(&self, app: &AppSpec) -> f64 {
+        // Longest path over min-config stage latencies (DP in topological
+        // order computed by Kahn's algorithm; app DAGs are tiny).
+        let n = app.num_stages();
+        let mut indeg = vec![0usize; n];
+        for &(_, b) in &app.edges {
+            indeg[b] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let stage_ms: Vec<f64> = (0..n)
+            .map(|v| self.profile(app.nodes[v]).min_config_entry().latency_ms)
+            .collect();
+        let mut dist: Vec<f64> = stage_ms.clone();
+        let mut processed = 0usize;
+        while let Some(v) = ready.pop() {
+            processed += 1;
+            for &(a, b) in &app.edges {
+                if a == v {
+                    if dist[v] + stage_ms[b] > dist[b] {
+                        dist[b] = dist[v] + stage_ms[b];
+                    }
+                    indeg[b] -= 1;
+                    if indeg[b] == 0 {
+                        ready.push(b);
+                    }
+                }
+            }
+        }
+        assert_eq!(processed, n, "application DAG must be acyclic");
+        dist.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Per-stage task latencies across the full grid, for ANL labelling:
+    /// `times[stage][k]` is stage `stage`'s latency under the `k`-th grid
+    /// configuration.
+    pub fn stage_times(&self, app: &AppSpec) -> Vec<Vec<f64>> {
+        app.nodes
+            .iter()
+            .map(|&f| {
+                self.grid
+                    .iter()
+                    .map(|cfg| {
+                        self.profile(f)
+                            .find(cfg)
+                            .map(|e| e.latency_ms)
+                            .unwrap_or_else(|| {
+                                // The grid is shared, so every config is in
+                                // the profile; defensive fallback computes it.
+                                unreachable!("grid config must be profiled")
+                            })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::{standard_apps, standard_catalog};
+
+    fn table() -> ProfileTable {
+        ProfileTable::build(
+            &standard_catalog(),
+            &ConfigGrid::default(),
+            &PriceModel::default(),
+        )
+    }
+
+    #[test]
+    fn entries_sorted_by_latency() {
+        let t = table();
+        for f in 0..t.len() {
+            let p = t.profile(FnId(f as u32));
+            assert_eq!(p.len(), ConfigGrid::default().len());
+            for w in p.entries().windows(2) {
+                assert!(w[0].latency_ms <= w[1].latency_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn by_cost_sorted() {
+        let t = table();
+        let p = t.profile(FnId(0));
+        let costs: Vec<f64> = p.entries_by_cost().map(|e| e.per_job_cost_cents).collect();
+        for w in costs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!((costs[0] - p.min_per_job_cost_cents()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        let t = table();
+        for f in 0..t.len() {
+            let p = t.profile(FnId(f as u32));
+            assert!(p.min_latency_ms() <= p.min_config_entry().latency_ms);
+            assert!(p.min_per_job_cost_cents() <= p.fastest_per_job_cost_cents());
+            // The fastest config's cost is an actual entry cost.
+            let fastest = &p.entries()[0];
+            assert_eq!(p.fastest_per_job_cost_cents(), fastest.per_job_cost_cents);
+        }
+    }
+
+    #[test]
+    fn min_config_entry_matches_table3() {
+        let t = table();
+        let cat = standard_catalog();
+        for (id, spec) in cat.iter() {
+            let e = t.profile(id).min_config_entry();
+            assert!((e.latency_ms - spec.exec_ms).abs() < 1e-9);
+            assert_eq!(e.config, Config::MIN);
+        }
+    }
+
+    #[test]
+    fn base_latency_of_linear_apps_is_stage_sum() {
+        let t = table();
+        let cat = standard_catalog();
+        for app in standard_apps() {
+            let l = t.base_latency_ms(&app);
+            let sum: f64 = app.nodes.iter().map(|&f| cat.get(f).exec_ms).sum();
+            assert!((l - sum).abs() < 1e-9, "{}: {l} vs {sum}", app.name);
+        }
+    }
+
+    #[test]
+    fn base_latency_of_diamond_is_critical_path() {
+        let t = table();
+        // deblur(319) -> {super_res(86), segmentation(293)} -> classification(147)
+        let app = AppSpec::dag(
+            "diamond",
+            vec![
+                esg_model::catalog::functions::DEBLUR,
+                esg_model::catalog::functions::SUPER_RESOLUTION,
+                esg_model::catalog::functions::SEGMENTATION,
+                esg_model::catalog::functions::CLASSIFICATION,
+            ],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        );
+        let l = t.base_latency_ms(&app);
+        assert!((l - (319.0 + 293.0 + 147.0)).abs() < 1e-9, "{l}");
+    }
+
+    #[test]
+    fn stage_times_shape() {
+        let t = table();
+        let app = &standard_apps()[3]; // 5 stages
+        let times = t.stage_times(app);
+        assert_eq!(times.len(), 5);
+        assert!(times.iter().all(|row| row.len() == t.grid().len()));
+        assert!(times.iter().flatten().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn find_config() {
+        let t = table();
+        let p = t.profile(FnId(2));
+        let e = p.find(Config::new(4, 2, 2)).expect("in grid");
+        assert_eq!(e.config, Config::new(4, 2, 2));
+        assert!(p.find(Config::new(3, 2, 2)).is_none()); // batch 3 not in grid
+    }
+
+    #[test]
+    fn per_job_fields_consistent() {
+        let t = table();
+        for f in 0..t.len() {
+            for e in t.profile(FnId(f as u32)).entries() {
+                assert!((e.per_job_latency_ms * e.config.batch as f64 - e.latency_ms).abs() < 1e-9);
+                assert!(
+                    (e.per_job_cost_cents * e.config.batch as f64 - e.task_cost_cents).abs()
+                        < 1e-9
+                );
+            }
+        }
+    }
+}

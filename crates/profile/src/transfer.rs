@@ -1,0 +1,123 @@
+//! Inter-stage data transfer model.
+//!
+//! ESG's locality-sensitive dispatch (§3.4) exists because "communications
+//! on the same node can use local file systems rather than remote storage".
+//! The model charges a base latency plus a per-megabyte rate, with separate
+//! local (same node) and remote (cross node, via remote storage) tariffs.
+//! A batched task moves one input per job, so transfer time scales with the
+//! batch.
+
+/// Data movement cost model between pipeline stages.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferModel {
+    /// Fixed latency for a local (same-node, filesystem) hand-off, ms.
+    pub local_base_ms: f64,
+    /// Per-MB latency for a local hand-off, ms.
+    pub local_ms_per_mb: f64,
+    /// Fixed latency for a remote (cross-node, remote storage) hand-off, ms.
+    pub remote_base_ms: f64,
+    /// Per-MB latency for a remote hand-off, ms.
+    pub remote_ms_per_mb: f64,
+}
+
+impl Default for TransferModel {
+    /// Local ≈ tmpfs/page-cache hand-off (0.2 ms + 0.5 ms/MB ≈ 2 GB/s);
+    /// remote ≈ object-storage round trip (5 ms + 10 ms/MB ≈ 100 MB/s).
+    /// The ~20× gap is what makes locality matter for multi-MB DNN inputs.
+    fn default() -> Self {
+        TransferModel {
+            local_base_ms: 0.2,
+            local_ms_per_mb: 0.5,
+            remote_base_ms: 5.0,
+            remote_ms_per_mb: 10.0,
+        }
+    }
+}
+
+impl TransferModel {
+    /// A zero-cost transfer model (for isolating scheduling effects).
+    pub fn free() -> Self {
+        TransferModel {
+            local_base_ms: 0.0,
+            local_ms_per_mb: 0.0,
+            remote_base_ms: 0.0,
+            remote_ms_per_mb: 0.0,
+        }
+    }
+
+    /// Transfer latency for one local hand-off of `mb` megabytes.
+    #[inline]
+    pub fn local_ms(&self, mb: f64) -> f64 {
+        self.local_base_ms + self.local_ms_per_mb * mb
+    }
+
+    /// Transfer latency for one remote hand-off of `mb` megabytes.
+    #[inline]
+    pub fn remote_ms(&self, mb: f64) -> f64 {
+        self.remote_base_ms + self.remote_ms_per_mb * mb
+    }
+
+    /// Transfer latency for a hand-off, dispatching on locality.
+    #[inline]
+    pub fn ms(&self, mb: f64, local: bool) -> f64 {
+        if local {
+            self.local_ms(mb)
+        } else {
+            self.remote_ms(mb)
+        }
+    }
+
+    /// Transfer latency for a batched task: each of the `batch` jobs moves
+    /// its own `mb` input; the hand-offs share one base latency (they are
+    /// issued together) but bandwidth is serialised.
+    pub fn batch_ms(&self, mb: f64, batch: u32, local: bool) -> f64 {
+        let (base, rate) = if local {
+            (self.local_base_ms, self.local_ms_per_mb)
+        } else {
+            (self.remote_base_ms, self.remote_ms_per_mb)
+        };
+        base + rate * mb * batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_much_slower_than_local() {
+        let t = TransferModel::default();
+        // The deblur input (1.1 MB): local well under a ms of rate cost,
+        // remote ~16 ms.
+        assert!(t.remote_ms(1.1) > 10.0 * t.local_ms(1.1));
+    }
+
+    #[test]
+    fn batch_scales_rate_not_base() {
+        let t = TransferModel::default();
+        let one = t.batch_ms(2.5, 1, false);
+        let four = t.batch_ms(2.5, 4, false);
+        assert!((four - one - 3.0 * 2.5 * t.remote_ms_per_mb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatching_on_locality() {
+        let t = TransferModel::default();
+        assert_eq!(t.ms(2.0, true), t.local_ms(2.0));
+        assert_eq!(t.ms(2.0, false), t.remote_ms(2.0));
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let t = TransferModel::free();
+        assert_eq!(t.batch_ms(10.0, 8, false), 0.0);
+        assert_eq!(t.local_ms(3.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_size() {
+        let t = TransferModel::default();
+        assert!(t.remote_ms(2.0) > t.remote_ms(1.0));
+        assert!(t.local_ms(2.0) > t.local_ms(1.0));
+    }
+}

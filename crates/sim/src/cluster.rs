@@ -1,0 +1,384 @@
+//! The invoker cluster: nodes, resources, container warmth.
+//!
+//! Each node models an invoker machine (Table 2): a fixed pool of vCPUs and
+//! vGPUs (MIG partitions), a set of *warm slots* per function implementing
+//! OpenWhisk's 10-minute keep-alive (§2), and time-weighted utilisation
+//! accounting. Warm slots hold no compute resources (a paused container
+//! keeps memory only); a task that finds a warm slot skips the Table-3 cold
+//! start.
+
+use esg_model::{FnId, NodeId, Resources, SimTime};
+use std::collections::HashMap;
+
+/// A warm (or warming) container slot for one function on one node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WarmSlot {
+    /// When the slot becomes usable (end of its cold start).
+    pub ready_at: SimTime,
+    /// When keep-alive evicts the slot.
+    pub expires_at: SimTime,
+    /// Whether a running task currently uses the slot.
+    pub in_use: bool,
+}
+
+/// One invoker node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Node id.
+    pub id: NodeId,
+    /// Total resources.
+    pub total: Resources,
+    /// Physically unattached resources (attachment spans execution only).
+    pub free: Resources,
+    /// Resources committed to assigned tasks (dispatch → completion).
+    /// Placement admits against commitments, not physical attachment, so a
+    /// task in its init phase still claims its slot on the node.
+    pub committed: Resources,
+    warm: HashMap<FnId, Vec<WarmSlot>>,
+    // Utilisation accounting: time-weighted busy-resource integral.
+    busy_vcpu_area_us: f64,
+    busy_vgpu_area_us: f64,
+    last_change: SimTime,
+}
+
+impl Node {
+    /// Creates an idle node.
+    pub fn new(id: NodeId, total: Resources) -> Node {
+        Node {
+            id,
+            total,
+            free: total,
+            committed: Resources::ZERO,
+            warm: HashMap::new(),
+            busy_vcpu_area_us: 0.0,
+            busy_vgpu_area_us: 0.0,
+            last_change: SimTime::ZERO,
+        }
+    }
+
+    fn accumulate(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_change).0 as f64;
+        let busy = self.total - self.free;
+        self.busy_vcpu_area_us += busy.vcpus as f64 * dt;
+        self.busy_vgpu_area_us += busy.vgpus as f64 * dt;
+        self.last_change = now;
+    }
+
+    /// Placement-available resources: total minus commitments.
+    #[inline]
+    pub fn uncommitted(&self) -> Resources {
+        self.total - self.committed
+    }
+
+    /// Commits capacity for a newly assigned task; false when the node's
+    /// uncommitted capacity cannot host `demand`.
+    pub fn commit(&mut self, demand: Resources) -> bool {
+        if !self.uncommitted().contains(demand) {
+            return false;
+        }
+        self.committed += demand;
+        true
+    }
+
+    /// Returns committed capacity when an assigned task completes.
+    pub fn uncommit(&mut self, demand: Resources) {
+        self.committed -= demand;
+        debug_assert!(self.total.contains(self.committed));
+    }
+
+    /// Attempts to allocate `demand`; returns false without change when the
+    /// node lacks capacity.
+    pub fn allocate(&mut self, demand: Resources, now: SimTime) -> bool {
+        if !self.free.contains(demand) {
+            return false;
+        }
+        self.accumulate(now);
+        self.free -= demand;
+        true
+    }
+
+    /// Releases previously allocated resources.
+    pub fn release(&mut self, demand: Resources, now: SimTime) {
+        self.accumulate(now);
+        self.free += demand;
+        assert!(
+            self.total.contains(self.free),
+            "release overflow on node {}: free {} total {}",
+            self.id,
+            self.free,
+            self.total
+        );
+    }
+
+    /// True when a usable warm slot for `f` exists at `now` (ready, alive,
+    /// not in use).
+    pub fn has_warm(&self, f: FnId, now: SimTime) -> bool {
+        self.warm.get(&f).is_some_and(|slots| {
+            slots
+                .iter()
+                .any(|s| !s.in_use && s.ready_at <= now && s.expires_at > now)
+        })
+    }
+
+    /// True when a slot for `f` exists that is warm now or will become warm
+    /// (warming via pre-warm) — used to avoid duplicate pre-warms.
+    pub fn has_warm_or_warming(&self, f: FnId, now: SimTime) -> bool {
+        self.warm
+            .get(&f)
+            .is_some_and(|slots| slots.iter().any(|s| s.in_use || s.expires_at > now))
+    }
+
+    /// Claims a warm slot for a task starting at `now`. Returns true on a
+    /// warm start; false means the caller pays the cold start.
+    pub fn claim_warm(&mut self, f: FnId, now: SimTime) -> bool {
+        if let Some(slots) = self.warm.get_mut(&f) {
+            // Evict dead slots opportunistically.
+            slots.retain(|s| s.in_use || s.expires_at > now);
+            if let Some(slot) = slots
+                .iter_mut()
+                .find(|s| !s.in_use && s.ready_at <= now && s.expires_at > now)
+            {
+                slot.in_use = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns a slot after its task completes: the container stays warm
+    /// for `keep_alive` from `now`. `was_warm_claimed` distinguishes a
+    /// reused slot from a cold-started container that now becomes warm.
+    pub fn return_slot(
+        &mut self,
+        f: FnId,
+        now: SimTime,
+        keep_alive: SimTime,
+        was_warm_claimed: bool,
+    ) {
+        let slots = self.warm.entry(f).or_default();
+        if was_warm_claimed {
+            if let Some(slot) = slots.iter_mut().find(|s| s.in_use) {
+                slot.in_use = false;
+                slot.expires_at = now + keep_alive;
+                return;
+            }
+        }
+        slots.push(WarmSlot {
+            ready_at: now,
+            expires_at: now + keep_alive,
+            in_use: false,
+        });
+    }
+
+    /// Installs a pre-warmed slot that becomes ready at `ready_at`.
+    pub fn prewarm(&mut self, f: FnId, ready_at: SimTime, keep_alive: SimTime) {
+        self.warm.entry(f).or_default().push(WarmSlot {
+            ready_at,
+            expires_at: ready_at + keep_alive,
+            in_use: false,
+        });
+    }
+
+    /// Number of live slots (warm, warming, or in use) for `f` at `now` —
+    /// the pre-warm proxy caps its pool with this.
+    pub fn slot_count(&self, f: FnId, now: SimTime) -> usize {
+        self.warm.get(&f).map_or(0, |slots| {
+            slots
+                .iter()
+                .filter(|s| s.in_use || s.expires_at > now)
+                .count()
+        })
+    }
+
+    /// Functions with a usable warm slot at `now`.
+    pub fn warm_functions(&self, now: SimTime) -> Vec<FnId> {
+        let mut out: Vec<FnId> = self
+            .warm
+            .iter()
+            .filter(|(_, slots)| {
+                slots
+                    .iter()
+                    .any(|s| !s.in_use && s.ready_at <= now && s.expires_at > now)
+            })
+            .map(|(&f, _)| f)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Finalises utilisation accounting at the end of the run and returns
+    /// `(vcpu_busy_area_us, vgpu_busy_area_us)`.
+    pub fn finish(&mut self, now: SimTime) -> (f64, f64) {
+        self.accumulate(now);
+        (self.busy_vcpu_area_us, self.busy_vgpu_area_us)
+    }
+}
+
+/// The whole invoker cluster.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Creates `n` identical nodes.
+    pub fn new(n: usize, per_node: Resources) -> Cluster {
+        Cluster {
+            nodes: (0..n as u32).map(|i| Node::new(NodeId(i), per_node)).collect(),
+        }
+    }
+
+    /// Creates a heterogeneous cluster from explicit node capacities
+    /// (Appendix A notes the algorithms tolerate heterogeneity).
+    pub fn heterogeneous(capacities: &[Resources]) -> Cluster {
+        Cluster {
+            nodes: capacities
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| Node::new(NodeId(i as u32), r))
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable node access.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Iterates mutably over nodes.
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(NodeId(0), Resources::new(16, 7))
+    }
+
+    #[test]
+    fn allocate_and_release() {
+        let mut n = node();
+        assert!(n.allocate(Resources::new(4, 2), SimTime::from_ms(0.0)));
+        assert_eq!(n.free, Resources::new(12, 5));
+        assert!(!n.allocate(Resources::new(13, 0), SimTime::from_ms(1.0)));
+        n.release(Resources::new(4, 2), SimTime::from_ms(2.0));
+        assert_eq!(n.free, Resources::new(16, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "release overflow")]
+    fn over_release_panics() {
+        let mut n = node();
+        n.release(Resources::new(1, 0), SimTime::from_ms(0.0));
+    }
+
+    #[test]
+    fn warm_lifecycle() {
+        let mut n = node();
+        let f = FnId(3);
+        let keep = SimTime::from_secs(600.0);
+        let t0 = SimTime::from_ms(0.0);
+        assert!(!n.has_warm(f, t0));
+        assert!(!n.claim_warm(f, t0));
+        // Cold-started task completes at t1: slot becomes warm.
+        let t1 = SimTime::from_ms(100.0);
+        n.return_slot(f, t1, keep, false);
+        assert!(n.has_warm(f, t1));
+        // Claim it; it is busy, so a second task cannot claim it.
+        assert!(n.claim_warm(f, t1));
+        assert!(!n.claim_warm(f, t1));
+        assert!(!n.has_warm(f, t1));
+        // Return after use; expiry refreshed.
+        let t2 = SimTime::from_ms(500.0);
+        n.return_slot(f, t2, keep, true);
+        assert!(n.has_warm(f, t2));
+        // Far beyond keep-alive the slot is dead.
+        let late = t2 + keep + SimTime::from_ms(1.0);
+        assert!(!n.has_warm(f, late));
+        assert!(!n.claim_warm(f, late));
+    }
+
+    #[test]
+    fn prewarm_becomes_ready_later() {
+        let mut n = node();
+        let f = FnId(1);
+        let keep = SimTime::from_secs(600.0);
+        n.prewarm(f, SimTime::from_ms(50.0), keep);
+        assert!(!n.has_warm(f, SimTime::from_ms(10.0)));
+        assert!(n.has_warm_or_warming(f, SimTime::from_ms(10.0)));
+        assert!(n.has_warm(f, SimTime::from_ms(50.0)));
+        assert!(n.claim_warm(f, SimTime::from_ms(60.0)));
+    }
+
+    #[test]
+    fn warm_functions_listing() {
+        let mut n = node();
+        let keep = SimTime::from_secs(600.0);
+        n.return_slot(FnId(2), SimTime::from_ms(1.0), keep, false);
+        n.return_slot(FnId(0), SimTime::from_ms(1.0), keep, false);
+        assert_eq!(n.warm_functions(SimTime::from_ms(2.0)), vec![FnId(0), FnId(2)]);
+        assert!(n.warm_functions(SimTime::from_secs(700.0)).is_empty());
+    }
+
+    #[test]
+    fn utilisation_accounting() {
+        let mut n = node();
+        // Busy 8 vCPUs / 2 vGPUs for 100 ms.
+        assert!(n.allocate(Resources::new(8, 2), SimTime::from_ms(0.0)));
+        n.release(Resources::new(8, 2), SimTime::from_ms(100.0));
+        let (cpu_area, gpu_area) = n.finish(SimTime::from_ms(200.0));
+        assert!((cpu_area - 8.0 * 100_000.0).abs() < 1.0);
+        assert!((gpu_area - 2.0 * 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cluster_construction() {
+        let c = Cluster::new(16, Resources::new(16, 7));
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.node(NodeId(5)).total, Resources::new(16, 7));
+        let h = Cluster::heterogeneous(&[Resources::new(8, 2), Resources::new(32, 7)]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.node(NodeId(1)).total, Resources::new(32, 7));
+    }
+
+    #[test]
+    fn two_parallel_warm_slots() {
+        let mut n = node();
+        let f = FnId(0);
+        let keep = SimTime::from_secs(600.0);
+        let t = SimTime::from_ms(10.0);
+        n.return_slot(f, t, keep, false);
+        n.return_slot(f, t, keep, false);
+        assert!(n.claim_warm(f, t));
+        assert!(n.claim_warm(f, t));
+        assert!(!n.claim_warm(f, t));
+    }
+}

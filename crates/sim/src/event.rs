@@ -1,0 +1,122 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number breaks
+//! ties in insertion order, which makes runs bit-reproducible regardless of
+//! heap internals.
+
+use esg_model::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// An application invocation arrives (index into the workload).
+    Arrival(usize),
+    /// The controller performs its next scheduling step.
+    ControllerStep,
+    /// A task finished its pre-execution phase (cold start + input
+    /// transfer) and wants to attach resources and run (task id).
+    ExecReady(u64),
+    /// A running task completes (task id).
+    TaskComplete(u64),
+    /// A pre-warm timer fires for `(node, function)`.
+    Prewarm(u32, u32),
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, event)));
+    }
+
+    /// Pops the earliest event, ties broken by insertion order.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse((at, _, ev))| (at, ev))
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(5.0), Event::ControllerStep);
+        q.push(SimTime::from_ms(1.0), Event::Arrival(0));
+        q.push(SimTime::from_ms(3.0), Event::TaskComplete(7));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(1.0)));
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![Event::Arrival(0), Event::TaskComplete(7), Event::ControllerStep]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(2.0);
+        q.push(t, Event::Arrival(3));
+        q.push(t, Event::Arrival(1));
+        q.push(t, Event::Arrival(2));
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![Event::Arrival(3), Event::Arrival(1), Event::Arrival(2)]
+        );
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(10.0), Event::ControllerStep);
+        q.push(SimTime::from_ms(1.0), Event::Arrival(0));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Event::Arrival(0)));
+        q.push(SimTime::from_ms(4.0), Event::Prewarm(1, 2));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Event::Prewarm(1, 2)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Event::ControllerStep));
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,1050 @@
+//! The simulation platform: environment, configuration, and the
+//! discrete-event loop with the controller model.
+//!
+//! The controller mirrors the paper's §3.1 workflow: it examines AFW
+//! queues round-robin; for a ready queue the scheduler proposes a ranked
+//! configuration list; the dispatcher tries each candidate's placement; on
+//! total failure the queue enters the recheck list, is retried after every
+//! subsequent queue, and is forcibly dispatched at the minimum
+//! configuration after `recheck_limit` rounds. Each decision's search
+//! effort occupies the controller for simulated time given by the
+//! [`OverheadModel`], which is how scheduler overhead degrades SLO
+//! attainment (Fig. 9) and how batches form naturally under load.
+
+use crate::cluster::Cluster;
+use crate::event::{Event, EventQueue};
+use crate::metrics::{AppMetrics, ExperimentResult};
+use crate::sched::{
+    home_node, ClusterView, JobView, NodeView, Outcome, OverheadModel, QueueKey, SchedCtx,
+    Scheduler,
+};
+use crate::workflow::{AfwQueue, Job, WorkflowInstance};
+use esg_model::{
+    standard_apps, standard_catalog, AppId, AppSpec, Catalog, Config, ConfigGrid, FnId,
+    InvocationId, NodeId, PriceModel, Resources, SimTime, SloClass,
+};
+use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
+use esg_workload::{ArrivalPredictor, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The static experiment environment: catalog, applications, profiles,
+/// noise, transfer, pricing, and the SLO class.
+#[derive(Clone, Debug)]
+pub struct SimEnv {
+    /// Function catalog (Table 3).
+    pub catalog: Catalog,
+    /// Application specs (§4.1).
+    pub apps: Vec<AppSpec>,
+    /// Performance profiles over the configuration grid.
+    pub profiles: ProfileTable,
+    /// Execution-time noise.
+    pub noise: NoiseModel,
+    /// Data-transfer model.
+    pub transfer: TransferModel,
+    /// Pricing (§4.1).
+    pub price: PriceModel,
+    /// SLO strictness.
+    pub slo: SloClass,
+}
+
+impl SimEnv {
+    /// The paper's standard environment: Table-3 catalog, the four §4.1
+    /// apps, the default configuration grid and prices.
+    pub fn standard(slo: SloClass) -> SimEnv {
+        SimEnv::with_grid(slo, ConfigGrid::default())
+    }
+
+    /// Standard environment over a custom configuration grid (ablations
+    /// restrict the grid; overhead sweeps enlarge it).
+    pub fn with_grid(slo: SloClass, grid: ConfigGrid) -> SimEnv {
+        let catalog = standard_catalog();
+        let apps = standard_apps();
+        let price = PriceModel::default();
+        let profiles = ProfileTable::build(&catalog, &grid, &price);
+        SimEnv {
+            catalog,
+            apps,
+            profiles,
+            noise: NoiseModel::default(),
+            transfer: TransferModel::default(),
+            price,
+            slo,
+        }
+    }
+
+    /// Base latency `L` of an app, ms.
+    pub fn base_latency_ms(&self, app: AppId) -> f64 {
+        self.profiles.base_latency_ms(&self.apps[app.index()])
+    }
+
+    /// End-to-end SLO of an app under the environment's SLO class, ms.
+    pub fn slo_ms(&self, app: AppId) -> f64 {
+        self.base_latency_ms(app) * self.slo.factor()
+    }
+}
+
+/// Platform knobs (Table 2 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of invoker nodes.
+    pub nodes: usize,
+    /// Resources per node.
+    pub node_resources: Resources,
+    /// Explicit per-node capacities for heterogeneous clusters (Appendix A:
+    /// the algorithms tolerate heterogeneous hardware). When non-empty this
+    /// overrides `nodes`/`node_resources`.
+    pub heterogeneous_nodes: &'static [Resources],
+    /// Keep-alive for warm containers, ms (OpenWhisk: 10 minutes).
+    pub keep_alive_ms: f64,
+    /// Search-effort → controller-time conversion.
+    pub overhead: OverheadModel,
+    /// Whether decision time occupies the controller and delays dispatch
+    /// (disable for "w/o searching overhead" variants, Fig. 9).
+    pub charge_overhead: bool,
+    /// Enable the EWMA pre-warming proxy (§4).
+    pub prewarm: bool,
+    /// EWMA smoothing factor for the pre-warmer.
+    pub prewarm_alpha: f64,
+    /// Warm containers per (node, function) installed at t = 0. The
+    /// evaluation measures a cluster in steady state (the paper's proxy
+    /// threads have been pre-warming from prior traffic); starting cold
+    /// would make the multi-second Table-3 cold starts dominate any run
+    /// shorter than minutes.
+    pub initial_warm_per_node: u32,
+    /// Upper bound on live containers per (node, function) that the
+    /// pre-warm proxy will grow towards under concurrency pressure.
+    pub prewarm_pool_cap: usize,
+    /// Invocations arriving before this time are excluded from SLO/latency
+    /// metrics (warm-up window); costs always accrue.
+    pub warmup_exclude_ms: f64,
+    /// RNG seed (noise and any stochastic scheduler choices).
+    pub seed: u64,
+    /// Recheck rounds before a forced minimum-configuration dispatch.
+    pub recheck_limit: u32,
+    /// Controller back-off when a full scan found only skips, ms.
+    pub idle_backoff_ms: f64,
+    /// Safety cap on simulated time, ms (0 = none).
+    pub max_sim_ms: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 16,
+            node_resources: Resources::new(16, 7),
+            heterogeneous_nodes: &[],
+            keep_alive_ms: 600_000.0,
+            overhead: OverheadModel::default(),
+            charge_overhead: true,
+            prewarm: true,
+            prewarm_alpha: 0.3,
+            initial_warm_per_node: 1,
+            prewarm_pool_cap: 4,
+            warmup_exclude_ms: 0.0,
+            seed: 42,
+            recheck_limit: 3,
+            idle_backoff_ms: 1.0,
+            max_sim_ms: 0.0,
+        }
+    }
+}
+
+struct RunningTask {
+    key: QueueKey,
+    config: Config,
+    node: NodeId,
+    jobs: Vec<Job>,
+    was_warm: bool,
+    /// Execution time (resources held and billed for this span only; the
+    /// cold start and transfer happen in a non-occupying init phase — a
+    /// container being provisioned does not hold its MIG slice or vCPUs).
+    exec_ms: f64,
+    init_ready_at: SimTime,
+    /// Whether the task currently holds a capacity commitment on its node.
+    /// Warm tasks commit at dispatch (their init is only the transfer);
+    /// cold tasks commit when their multi-second container init finishes,
+    /// so provisioning does not hold the cluster hostage.
+    committed: bool,
+}
+
+struct RecheckEntry {
+    key: QueueKey,
+    candidates: Vec<Config>,
+    planned_batch: Option<u32>,
+    rounds: u32,
+    /// Last retry time: rounds are paced, not per-event, so a burst of
+    /// completions does not race a queue to the forced minimum.
+    last_retry: SimTime,
+}
+
+/// One simulation run binding an environment, a configuration, a scheduler
+/// and a workload.
+pub struct Simulation<'a> {
+    env: &'a SimEnv,
+    cfg: SimConfig,
+    sched: &'a mut dyn Scheduler,
+    workload: &'a Workload,
+
+    now: SimTime,
+    events: EventQueue,
+    cluster: Cluster,
+    queue_keys: Vec<QueueKey>,
+    queue_fn: Vec<FnId>,
+    queues: Vec<AfwQueue>,
+    queue_index: HashMap<QueueKey, usize>,
+    invocations: HashMap<InvocationId, WorkflowInstance>,
+    next_invocation: u64,
+    tasks: HashMap<u64, RunningTask>,
+    next_task: u64,
+    /// Per-queue scheduling-busy horizon: a queue whose previous decision
+    /// charged overhead is not re-decided before this time (the paper's
+    /// controller schedules queues concurrently; search time delays only
+    /// the affected queue's jobs).
+    queue_busy_until: Vec<SimTime>,
+    recheck: Vec<RecheckEntry>,
+    /// Tasks whose init finished but whose node lacked capacity, FIFO per
+    /// node; drained on every resource release.
+    waiting_exec: Vec<std::collections::VecDeque<u64>>,
+    predictors: Vec<ArrivalPredictor>,
+    /// Smoothed inter-arrival interval per queue (batching policies).
+    queue_intervals: Vec<esg_model::Ewma>,
+    queue_last_arrival: Vec<Option<SimTime>>,
+    last_node: Vec<Option<NodeId>>,
+    noise: NoiseModel,
+    rng: StdRng,
+    metrics: ExperimentResult,
+    slo_ms: Vec<f64>,
+    base_ms: Vec<f64>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Prepares a run.
+    pub fn new(
+        env: &'a SimEnv,
+        cfg: SimConfig,
+        sched: &'a mut dyn Scheduler,
+        workload: &'a Workload,
+    ) -> Simulation<'a> {
+        let mut queue_keys = Vec::new();
+        let mut queue_fn = Vec::new();
+        for (ai, app) in env.apps.iter().enumerate() {
+            for stage in 0..app.num_stages() {
+                queue_keys.push(QueueKey {
+                    app: AppId(ai as u32),
+                    stage,
+                });
+                queue_fn.push(app.nodes[stage]);
+            }
+        }
+        let queue_index = queue_keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i))
+            .collect();
+        let nq = queue_keys.len();
+        let slo_ms: Vec<f64> = (0..env.apps.len())
+            .map(|i| env.slo_ms(AppId(i as u32)))
+            .collect();
+        let base_ms: Vec<f64> = (0..env.apps.len())
+            .map(|i| env.base_latency_ms(AppId(i as u32)))
+            .collect();
+        let mut metrics = ExperimentResult {
+            scheduler: sched.name().to_string(),
+            ..ExperimentResult::default()
+        };
+        metrics.apps = env
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| AppMetrics {
+                name: a.name.to_string(),
+                slo_ms: slo_ms[i],
+                ..AppMetrics::default()
+            })
+            .collect();
+        let cluster = if cfg.heterogeneous_nodes.is_empty() {
+            Cluster::new(cfg.nodes, cfg.node_resources)
+        } else {
+            Cluster::heterogeneous(cfg.heterogeneous_nodes)
+        };
+        Simulation {
+            env,
+            cfg,
+            sched,
+            workload,
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            cluster,
+            queues: vec![AfwQueue::new(); nq],
+            predictors: vec![ArrivalPredictor::new(cfg.prewarm_alpha); nq],
+            queue_intervals: vec![esg_model::Ewma::new(0.3); nq],
+            queue_last_arrival: vec![None; nq],
+            last_node: vec![None; nq],
+            queue_keys,
+            queue_fn,
+            queue_index,
+            invocations: HashMap::new(),
+            next_invocation: 0,
+            tasks: HashMap::new(),
+            next_task: 0,
+            queue_busy_until: vec![SimTime::ZERO; nq],
+            recheck: Vec::new(),
+            waiting_exec: vec![
+                std::collections::VecDeque::new();
+                if cfg.heterogeneous_nodes.is_empty() {
+                    cfg.nodes
+                } else {
+                    cfg.heterogeneous_nodes.len()
+                }
+            ],
+            noise: env.noise.clone(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            metrics,
+            slo_ms,
+            base_ms,
+        }
+    }
+
+    /// Runs to completion and returns the metrics.
+    pub fn run(mut self) -> ExperimentResult {
+        // Steady-state start: the pre-warm proxy has been serving traffic.
+        if self.cfg.initial_warm_per_node > 0 {
+            let keep = SimTime::from_ms(self.cfg.keep_alive_ms);
+            let fns: Vec<FnId> = self.env.catalog.iter().map(|(id, _)| id).collect();
+            for n in self.cluster.nodes_mut() {
+                for &f in &fns {
+                    for _ in 0..self.cfg.initial_warm_per_node {
+                        n.prewarm(f, SimTime::ZERO, keep);
+                    }
+                }
+            }
+        }
+        for (i, a) in self.workload.arrivals.iter().enumerate() {
+            self.events.push(SimTime::from_ms(a.at_ms), Event::Arrival(i));
+        }
+        while let Some((t, ev)) = self.events.pop() {
+            if self.cfg.max_sim_ms > 0.0 && t.as_ms() > self.cfg.max_sim_ms {
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            match ev {
+                Event::Arrival(i) => {
+                    self.handle_arrival(i);
+                    self.wake_controller();
+                }
+                Event::ControllerStep => self.controller_step(),
+                Event::ExecReady(id) => self.exec_ready(id),
+                Event::TaskComplete(id) => {
+                    self.complete_task(id);
+                    self.wake_controller();
+                }
+                Event::Prewarm(node, f) => self.handle_prewarm(NodeId(node), FnId(f)),
+            }
+        }
+        self.finish()
+    }
+
+    fn wake_controller(&mut self) {
+        // Scans are idempotent; coalescing beyond same-instant duplicates
+        // is unnecessary.
+        self.events.push(self.now, Event::ControllerStep);
+    }
+
+    fn handle_arrival(&mut self, idx: usize) {
+        let arrival = self.workload.arrivals[idx];
+        let app_idx = arrival.app.index();
+        let app = &self.env.apps[app_idx];
+        let id = InvocationId(self.next_invocation);
+        self.next_invocation += 1;
+        let inst = WorkflowInstance::new(
+            id,
+            arrival.app,
+            app,
+            self.now,
+            SimTime::from_ms(self.slo_ms[app_idx]),
+        );
+        let entries = inst.entry_stages();
+        self.invocations.insert(id, inst);
+        self.metrics.arrivals += 1;
+        for stage in entries {
+            self.enqueue_job(
+                QueueKey {
+                    app: arrival.app,
+                    stage,
+                },
+                Job {
+                    invocation: id,
+                    stage,
+                    ready_at: self.now,
+                    pred_node: None,
+                },
+            );
+        }
+    }
+
+    fn enqueue_job(&mut self, key: QueueKey, job: Job) {
+        let qi = self.queue_index[&key];
+        self.queues[qi].push(job);
+        if let Some(prev) = self.queue_last_arrival[qi] {
+            self.queue_intervals[qi]
+                .update(self.now.saturating_since(prev).as_ms());
+        }
+        self.queue_last_arrival[qi] = Some(self.now);
+        if self.cfg.prewarm {
+            self.predictors[qi].observe(self.now.as_ms());
+            let f = self.queue_fn[qi];
+            let cold = self.env.catalog.get(f).cold_start_ms;
+            if let Some(at) = self.predictors[qi].prewarm_at_ms(cold, self.now.as_ms()) {
+                let node =
+                    self.last_node[qi]
+                        .unwrap_or_else(|| home_node(key, self.cluster.len()));
+                self.events
+                    .push(SimTime::from_ms(at), Event::Prewarm(node.0, f.0));
+            }
+        }
+    }
+
+    fn handle_prewarm(&mut self, node: NodeId, f: FnId) {
+        let keep = SimTime::from_ms(self.cfg.keep_alive_ms);
+        let cold = SimTime::from_ms(self.env.catalog.get(f).cold_start_ms);
+        let cap = self.cfg.prewarm_pool_cap;
+        let n = self.cluster.node_mut(node);
+        // Grow the pool when no idle warm slot exists (concurrency
+        // pressure), bounded by the pool cap.
+        if !n.has_warm(f, self.now) && n.slot_count(f, self.now) < cap {
+            n.prewarm(f, self.now + cold, keep);
+        }
+    }
+
+    fn cluster_view(&self) -> ClusterView {
+        ClusterView {
+            nodes: self
+                .cluster
+                .nodes()
+                .iter()
+                .map(|n| NodeView {
+                    id: n.id,
+                    // Placement admits against commitments: a task in its
+                    // init phase still owns its slot.
+                    free: n.uncommitted(),
+                    total: n.total,
+                    warm: n.warm_functions(self.now),
+                })
+                .collect(),
+        }
+    }
+
+    fn job_views(&self, qi: usize) -> Vec<JobView> {
+        self.queues[qi]
+            .jobs()
+            .map(|j| {
+                let inst = &self.invocations[&j.invocation];
+                JobView {
+                    invocation: j.invocation,
+                    ready_at_ms: j.ready_at.as_ms(),
+                    invocation_arrival_ms: inst.arrived_at.as_ms(),
+                    slack_ms: inst.deadline.as_ms() - self.now.as_ms(),
+                    pred_node: j.pred_node,
+                }
+            })
+            .collect()
+    }
+
+    /// One controller scan: retry the recheck list, then decide every
+    /// eligible queue (non-empty, not inside its previous decision's
+    /// overhead window, not parked). Queues are scheduled concurrently —
+    /// a decision's search time delays that queue's dispatch, not the
+    /// whole cluster (the paper's Fig. 9 charges Orion's search time to
+    /// the affected jobs).
+    fn controller_step(&mut self) {
+        self.process_recheck();
+        let nq = self.queue_keys.len();
+        for qi in 0..nq {
+            if self.queues[qi].is_empty() || self.queue_busy_until[qi] > self.now {
+                continue;
+            }
+            if self.recheck.iter().any(|e| e.key == self.queue_keys[qi]) {
+                continue;
+            }
+            self.decide_queue(qi);
+        }
+    }
+
+    fn decide_queue(&mut self, qi: usize) {
+        let key = self.queue_keys[qi];
+        let views = self.job_views(qi);
+        let cluster_view = self.cluster_view();
+        let (outcome, placed, wall_ms) = {
+            let ctx = make_ctx(
+                self.env,
+                &self.slo_ms,
+                &self.base_ms,
+                self.now,
+                key,
+                &views,
+                &cluster_view,
+                self.queue_intervals[qi].value(),
+            );
+            let t0 = Instant::now();
+            let outcome = self.sched.schedule(&ctx);
+            let mut placed = None;
+            for &cand in &outcome.candidates {
+                if let Some(node) = self.sched.place(&ctx, cand) {
+                    placed = Some((cand, node));
+                    break;
+                }
+            }
+            (outcome, placed, t0.elapsed().as_secs_f64() * 1000.0)
+        };
+
+        let overhead = self.cfg.overhead.decision_time(outcome.expansions);
+        self.metrics.overhead_ms.push(overhead.as_ms());
+        self.metrics.wall_overhead_ms.push(wall_ms);
+        let charged = if self.cfg.charge_overhead {
+            overhead
+        } else {
+            SimTime::ZERO
+        };
+
+        if outcome.candidates.is_empty() {
+            // Skip (e.g. holding for batch formation): re-check after the
+            // decision time or the idle back-off, whichever is larger.
+            let back = charged.max(SimTime::from_ms(self.cfg.idle_backoff_ms));
+            self.queue_busy_until[qi] = self.now + back;
+            self.events
+                .push(self.queue_busy_until[qi], Event::ControllerStep);
+        } else if let Some((config, node)) = placed {
+            self.dispatch(key, config, node, outcome.planned_batch, charged);
+            self.queue_busy_until[qi] = self.now + charged;
+            self.events
+                .push(self.queue_busy_until[qi], Event::ControllerStep);
+        } else {
+            self.metrics.rechecks += 1;
+            self.recheck.push(RecheckEntry {
+                key,
+                candidates: outcome.candidates,
+                planned_batch: outcome.planned_batch,
+                rounds: 0,
+                last_retry: self.now,
+            });
+            // Retried by process_recheck on future wakes; completions that
+            // free capacity wake the controller.
+            self.events.push(
+                self.now + SimTime::from_ms(self.cfg.idle_backoff_ms),
+                Event::ControllerStep,
+            );
+        }
+    }
+
+    /// Retries parked queues; forces minimum-configuration dispatch after
+    /// `recheck_limit` rounds (§3.1: "dispatched with the minimum
+    /// configuration to ensure progress").
+    fn process_recheck(&mut self) {
+        if self.recheck.is_empty() {
+            return;
+        }
+        let min_gap = SimTime::from_ms(self.cfg.idle_backoff_ms);
+        let entries = std::mem::take(&mut self.recheck);
+        for mut entry in entries {
+            let qi = self.queue_index[&entry.key];
+            if self.queues[qi].is_empty() {
+                continue; // queue drained by a forced dispatch already
+            }
+            if self.now.saturating_since(entry.last_retry) < min_gap && entry.rounds > 0 {
+                self.recheck.push(entry);
+                continue;
+            }
+            entry.last_retry = self.now;
+            let views = self.job_views(qi);
+            let cluster_view = self.cluster_view();
+            let placed = {
+                let ctx = make_ctx(
+                    self.env,
+                    &self.slo_ms,
+                    &self.base_ms,
+                    self.now,
+                    entry.key,
+                    &views,
+                    &cluster_view,
+                    self.queue_intervals[qi].value(),
+                );
+                let mut placed = None;
+                for &cand in &entry.candidates {
+                    if let Some(node) = self.sched.place(&ctx, cand) {
+                        placed = Some((cand, node));
+                        break;
+                    }
+                }
+                placed
+            };
+            if let Some((config, node)) = placed {
+                self.dispatch(entry.key, config, node, entry.planned_batch, SimTime::ZERO);
+                continue;
+            }
+            entry.rounds += 1;
+            if entry.rounds >= self.cfg.recheck_limit {
+                // Forced minimum configuration on the freest node.
+                if let Some(node) = cluster_view.most_free(Config::MIN.resources()) {
+                    self.metrics.forced_min_dispatches += 1;
+                    self.dispatch(entry.key, Config::MIN, node, None, SimTime::ZERO);
+                    continue;
+                }
+                // Not even (1,1,1) fits; keep parked at the cap.
+                entry.rounds = self.cfg.recheck_limit;
+            }
+            self.recheck.push(entry);
+        }
+    }
+
+
+    fn dispatch(
+        &mut self,
+        key: QueueKey,
+        config: Config,
+        node: NodeId,
+        planned_batch: Option<u32>,
+        delay: SimTime,
+    ) {
+        let qi = self.queue_index[&key];
+        let avail = self.queues[qi].len() as u32;
+        debug_assert!(avail > 0, "dispatch on empty queue {key:?}");
+        if planned_batch.is_some_and(|b| b > avail) {
+            self.metrics.config_misses += 1;
+        }
+        let config = config.clamp_batch(avail);
+        let f = self.queue_fn[qi];
+        let spec = self.env.catalog.get(f);
+        let jobs = self.queues[qi].take(config.batch as usize);
+
+        let start = self.now + delay;
+        let was_warm = self.cluster.node_mut(node).claim_warm(f, start);
+        let committed = if was_warm {
+            let ok = self.cluster.node_mut(node).commit(config.resources());
+            assert!(ok, "placement promised uncommitted capacity on node {node}");
+            true
+        } else {
+            // Cold task: the container provisions for seconds; capacity is
+            // claimed when it is actually ready to execute.
+            false
+        };
+        let cold_ms = if was_warm { 0.0 } else { spec.cold_start_ms };
+        if was_warm {
+            self.metrics.warm_starts += 1;
+        } else {
+            self.metrics.cold_starts += 1;
+        }
+
+        // Data transfer: one input per job; local when the producing node is
+        // this node. Entry-stage inputs come from the gateway (remote).
+        let mut rate_ms = 0.0;
+        let mut base_ms = 0.0f64;
+        for j in &jobs {
+            let local = j.pred_node == Some(node);
+            if local {
+                self.metrics.local_transfers += 1;
+                rate_ms += self.env.transfer.local_ms_per_mb * spec.input_mb;
+                base_ms = base_ms.max(self.env.transfer.local_base_ms);
+            } else {
+                self.metrics.remote_transfers += 1;
+                rate_ms += self.env.transfer.remote_ms_per_mb * spec.input_mb;
+                base_ms = base_ms.max(self.env.transfer.remote_base_ms);
+            }
+        }
+        let transfer_ms = base_ms + rate_ms;
+        let exec_ms = self.noise.noisy_ms(latency_ms(spec, config), &mut self.rng);
+
+        self.metrics.dispatches += 1;
+        if let Some(oldest) = jobs.first() {
+            self.metrics
+                .batch_wait_ms
+                .add(self.now.saturating_since(oldest.ready_at).as_ms());
+        }
+        for j in &jobs {
+            self.metrics
+                .phase_queue_wait_ms
+                .add(self.now.saturating_since(j.ready_at).as_ms());
+        }
+        self.metrics.batch_size.add(config.batch as f64);
+        self.last_node[qi] = Some(node);
+
+        let dispatched: Vec<InvocationId> = jobs.iter().map(|j| j.invocation).collect();
+        self.sched.notify_dispatch(key, &dispatched, config, node);
+
+        let id = self.next_task;
+        self.next_task += 1;
+        self.tasks.insert(
+            id,
+            RunningTask {
+                key,
+                config,
+                node,
+                jobs,
+                was_warm,
+                exec_ms,
+                init_ready_at: SimTime::ZERO,
+                committed,
+            },
+        );
+        self.metrics.phase_init_ms.add(cold_ms + transfer_ms);
+        // Init phase (cold start + transfer) holds no compute resources: a
+        // container being provisioned has not attached its vCPUs/MIG slice
+        // yet. Resources attach at ExecReady.
+        let ready = start + SimTime::from_ms(cold_ms + transfer_ms);
+        self.events.push(ready, Event::ExecReady(id));
+    }
+
+    /// A task's init phase finished: attach resources and run, or queue on
+    /// the node until capacity frees.
+    fn exec_ready(&mut self, id: u64) {
+        let (node, demand, committed) = {
+            let t = self.tasks.get_mut(&id).expect("live task");
+            t.init_ready_at = self.now;
+            (t.node, t.config.resources(), t.committed)
+        };
+        if self.try_attach(id, node, demand, committed) {
+            self.begin_exec(id);
+        } else {
+            self.waiting_exec[node.index()].push_back(id);
+        }
+    }
+
+    /// Attaches a task's resources: uncommitted (cold) tasks must first win
+    /// a commitment; physical attachment then always fits (used ≤
+    /// committed is an invariant).
+    fn try_attach(&mut self, id: u64, node: NodeId, demand: Resources, committed: bool) -> bool {
+        let n = self.cluster.node_mut(node);
+        if !committed {
+            if !n.commit(demand) {
+                return false;
+            }
+            self.tasks.get_mut(&id).expect("live task").committed = true;
+        }
+        let ok = self.cluster.node_mut(node).allocate(demand, self.now);
+        assert!(ok, "physical capacity must cover commitments on node {node}");
+        true
+    }
+
+    fn begin_exec(&mut self, id: u64) {
+        let (key, config, exec_ms) = {
+            let t = &self.tasks[&id];
+            self.metrics
+                .phase_exec_queue_ms
+                .add(self.now.saturating_since(t.init_ready_at).as_ms());
+            self.metrics.phase_exec_ms.add(t.exec_ms);
+            (t.key, t.config, t.exec_ms)
+        };
+        // Billing covers the span resources are actually attached.
+        let cost = self.env.price.task_cost_cents(config, exec_ms);
+        self.metrics.apps[key.app.index()].cost_cents += cost;
+        self.events
+            .push(self.now + SimTime::from_ms(exec_ms), Event::TaskComplete(id));
+    }
+
+    fn complete_task(&mut self, id: u64) {
+        let task = self.tasks.remove(&id).expect("unknown task");
+        let keep = SimTime::from_ms(self.cfg.keep_alive_ms);
+        let f = self.env.apps[task.key.app.index()].nodes[task.key.stage];
+        {
+            let n = self.cluster.node_mut(task.node);
+            n.release(task.config.resources(), self.now);
+            n.uncommit(task.config.resources());
+            n.return_slot(f, self.now, keep, task.was_warm);
+        }
+        // Freed capacity may admit init-complete tasks waiting on this node.
+        self.drain_waiting(task.node);
+        let app_spec = &self.env.apps[task.key.app.index()];
+        for job in &task.jobs {
+            let Some(inst) = self.invocations.get_mut(&job.invocation) else {
+                continue;
+            };
+            let ready = inst.complete_stage(job.stage, task.node, app_spec);
+            let complete = inst.is_complete();
+            let pred_nodes: Vec<(usize, Option<NodeId>)> = ready
+                .iter()
+                .map(|&s| (s, inst.pred_node(s, app_spec)))
+                .collect();
+            if complete {
+                let inst = self.invocations.remove(&job.invocation).expect("present");
+                // Invocations inside the warm-up window are excluded from
+                // the reported metrics (§4-style steady-state measurement).
+                if inst.arrived_at.as_ms() >= self.cfg.warmup_exclude_ms {
+                    let m = &mut self.metrics.apps[task.key.app.index()];
+                    m.completed += 1;
+                    if self.now <= inst.deadline {
+                        m.slo_hits += 1;
+                    }
+                    m.latencies_ms
+                        .push(self.now.saturating_since(inst.arrived_at).as_ms());
+                }
+            }
+            for (stage, pred_node) in pred_nodes {
+                self.enqueue_job(
+                    QueueKey {
+                        app: task.key.app,
+                        stage,
+                    },
+                    Job {
+                        invocation: job.invocation,
+                        stage,
+                        ready_at: self.now,
+                        pred_node,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Starts as many waiting tasks on `node` as now fit, in FIFO order
+    /// (head-of-line blocking preserved: a big task is not overtaken).
+    fn drain_waiting(&mut self, node: NodeId) {
+        while let Some(&id) = self.waiting_exec[node.index()].front() {
+            let (demand, committed) = {
+                let t = &self.tasks[&id];
+                (t.config.resources(), t.committed)
+            };
+            if self.try_attach(id, node, demand, committed) {
+                self.waiting_exec[node.index()].pop_front();
+                self.begin_exec(id);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn finish(mut self) -> ExperimentResult {
+        let span_us = self.now.0.max(1) as f64;
+        let mut cpu_area = 0.0;
+        let mut gpu_area = 0.0;
+        let mut cpu_total = 0u64;
+        let mut gpu_total = 0u64;
+        for n in self.cluster.nodes_mut() {
+            let (c, g) = n.finish(self.now);
+            cpu_area += c;
+            gpu_area += g;
+            cpu_total += n.total.vcpus as u64;
+            gpu_total += n.total.vgpus as u64;
+        }
+        self.metrics.vcpu_utilisation = cpu_area / (cpu_total as f64 * span_us);
+        self.metrics.vgpu_utilisation = gpu_area / (gpu_total as f64 * span_us);
+        self.metrics.makespan_ms = self.now.as_ms();
+        self.metrics
+    }
+}
+
+/// Builds a scheduling context without borrowing the whole simulation
+/// (keeps the scheduler's `&mut self` disjoint from the context data).
+#[allow(clippy::too_many_arguments)]
+fn make_ctx<'b>(
+    env: &'b SimEnv,
+    slo_ms: &'b [f64],
+    base_ms: &'b [f64],
+    now: SimTime,
+    key: QueueKey,
+    jobs: &'b [JobView],
+    cluster: &'b ClusterView,
+    queue_interval_ms: Option<f64>,
+) -> SchedCtx<'b> {
+    let app_idx = key.app.index();
+    SchedCtx {
+        now_ms: now.as_ms(),
+        key,
+        jobs,
+        function: env.apps[app_idx].nodes[key.stage],
+        slo_ms: slo_ms[app_idx],
+        base_latency_ms: base_ms[app_idx],
+        queue_interval_ms,
+        cluster,
+        profiles: &env.profiles,
+        apps: &env.apps,
+        catalog: &env.catalog,
+        price: &env.price,
+        transfer: &env.transfer,
+        noise: &env.noise,
+    }
+}
+
+/// A reference scheduler that always proposes the minimum configuration and
+/// places it on the freest node. Useful as a floor in tests and examples.
+#[derive(Debug, Default)]
+pub struct MinScheduler;
+
+impl Scheduler for MinScheduler {
+    fn name(&self) -> &'static str {
+        "min"
+    }
+
+    fn capabilities(&self) -> crate::sched::Capabilities {
+        crate::sched::Capabilities {
+            gpu_sharing: true,
+            inter_function_relation: false,
+            adaptive: false,
+            data_locality: false,
+            pre_warming: true,
+        }
+    }
+
+    fn schedule(&mut self, _ctx: &SchedCtx<'_>) -> Outcome {
+        Outcome::single(Config::MIN, 1)
+    }
+
+    fn place(&mut self, ctx: &SchedCtx<'_>, config: Config) -> Option<NodeId> {
+        ctx.cluster.most_free(config.resources())
+    }
+}
+
+/// Convenience: build and run a simulation in one call.
+pub fn run_simulation(
+    env: &SimEnv,
+    cfg: SimConfig,
+    sched: &mut dyn Scheduler,
+    workload: &Workload,
+    scenario: &str,
+) -> ExperimentResult {
+    let mut result = Simulation::new(env, cfg, sched, workload).run();
+    result.scenario = scenario.to_string();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::WorkloadClass;
+    use esg_workload::WorkloadGen;
+
+    fn small_workload(n: usize) -> Workload {
+        WorkloadGen::new(WorkloadClass::Light, (0..4u32).map(AppId).collect(), 7)
+            .generate(n)
+    }
+
+    #[test]
+    fn min_scheduler_completes_everything() {
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let w = small_workload(50);
+        let mut s = MinScheduler;
+        let r = run_simulation(&env, SimConfig::default(), &mut s, &w, "test");
+        assert_eq!(r.arrivals, 50);
+        assert_eq!(r.total_completed(), 50);
+        assert!(r.dispatches >= 50 * 3, "each stage needs a task");
+        assert!(r.total_cost_cents() > 0.0);
+        assert!(r.makespan_ms > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let w = small_workload(30);
+        let run = || {
+            let mut s = MinScheduler;
+            run_simulation(&env, SimConfig::default(), &mut s, &w, "det")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_completed(), b.total_completed());
+        assert_eq!(a.dispatches, b.dispatches);
+        assert!((a.total_cost_cents() - b.total_cost_cents()).abs() < 1e-9);
+        for (x, y) in a.apps.iter().zip(&b.apps) {
+            assert_eq!(x.latencies_ms, y.latencies_ms);
+        }
+    }
+
+    #[test]
+    fn slo_hits_scale_with_class() {
+        // The same workload under relaxed SLO should hit at least as often
+        // as under strict.
+        let w = small_workload(40);
+        let hit = |slo| {
+            let env = SimEnv::standard(slo);
+            let mut s = MinScheduler;
+            run_simulation(&env, SimConfig::default(), &mut s, &w, "x").overall_hit_rate()
+        };
+        assert!(hit(SloClass::Relaxed) >= hit(SloClass::Strict));
+    }
+
+    #[test]
+    fn cold_starts_then_warm_starts() {
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let w = small_workload(60);
+        let mut s = MinScheduler;
+        let r = run_simulation(&env, SimConfig::default(), &mut s, &w, "warm");
+        assert!(r.cold_starts > 0);
+        // MinScheduler scatters tasks over the freest nodes, so warm reuse
+        // is limited — but keep-alive must still produce some warm starts.
+        assert!(
+            r.warm_starts > 0,
+            "keep-alive should give some warm starts: warm={} cold={}",
+            r.warm_starts,
+            r.cold_starts
+        );
+        assert_eq!(r.warm_starts + r.cold_starts, r.dispatches);
+    }
+
+    #[test]
+    fn prewarming_reduces_cold_starts() {
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let w = small_workload(80);
+        let mut on = MinScheduler;
+        let mut off = MinScheduler;
+        let r_on = run_simulation(&env, SimConfig::default(), &mut on, &w, "p");
+        let r_off = run_simulation(
+            &env,
+            SimConfig {
+                prewarm: false,
+                ..SimConfig::default()
+            },
+            &mut off,
+            &w,
+            "np",
+        );
+        assert!(
+            r_on.cold_starts <= r_off.cold_starts,
+            "prewarm {} vs no-prewarm {}",
+            r_on.cold_starts,
+            r_off.cold_starts
+        );
+    }
+
+    #[test]
+    fn overhead_recorded() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let w = small_workload(20);
+        let mut s = MinScheduler;
+        let r = run_simulation(&env, SimConfig::default(), &mut s, &w, "o");
+        assert_eq!(r.overhead_ms.len() as u64, r.dispatches + r.rechecks);
+        assert!(r.overhead_ms.iter().all(|&o| o >= 0.0));
+        assert_eq!(r.wall_overhead_ms.len(), r.overhead_ms.len());
+    }
+
+    #[test]
+    fn utilisation_bounded() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let w = small_workload(40);
+        let mut s = MinScheduler;
+        let r = run_simulation(&env, SimConfig::default(), &mut s, &w, "u");
+        assert!(r.vcpu_utilisation >= 0.0 && r.vcpu_utilisation <= 1.0);
+        assert!(r.vgpu_utilisation >= 0.0 && r.vgpu_utilisation <= 1.0);
+        assert!(r.vgpu_utilisation > 0.0);
+    }
+
+    #[test]
+    fn max_sim_cap_stops_early() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let w = small_workload(100);
+        let mut s = MinScheduler;
+        let r = run_simulation(
+            &env,
+            SimConfig {
+                max_sim_ms: 500.0,
+                ..SimConfig::default()
+            },
+            &mut s,
+            &w,
+            "cap",
+        );
+        assert!(r.total_completed() < 100);
+        assert!(r.makespan_ms <= 500.0 + 1.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Class-based arrival generation (paper §4.1, Fig. 5).
+//!
+//! "The length of a job arrival interval is selected randomly in ranges
+//! [10–16.8ms], [20–33.6ms], and [40–67.2ms] … In each workload, one of
+//! the four DNN applications is randomly picked to get invoked in each
+//! time interval."
+
+use esg_model::{AppId, WorkloadClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One application invocation request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Arrival {
+    /// Arrival time in ms since workload start.
+    pub at_ms: f64,
+    /// The invoked application.
+    pub app: AppId,
+}
+
+/// A generated sequence of arrivals, sorted by time.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// Arrivals in non-decreasing time order.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl Workload {
+    /// Number of arrivals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when there are no arrivals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Total span of the workload in ms (0 for empty workloads).
+    pub fn span_ms(&self) -> f64 {
+        self.arrivals.last().map(|a| a.at_ms).unwrap_or(0.0)
+    }
+
+    /// The inter-arrival intervals in ms (length = len − 1... or len, the
+    /// first interval being from time zero to the first arrival).
+    pub fn intervals_ms(&self) -> Vec<f64> {
+        let mut prev = 0.0;
+        self.arrivals
+            .iter()
+            .map(|a| {
+                let d = a.at_ms - prev;
+                prev = a.at_ms;
+                d
+            })
+            .collect()
+    }
+
+    /// Builds a workload from explicit arrivals (sorted by time).
+    pub fn from_arrivals(mut arrivals: Vec<Arrival>) -> Workload {
+        arrivals.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        Workload { arrivals }
+    }
+}
+
+/// Deterministic workload generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadGen {
+    class: WorkloadClass,
+    apps: Vec<AppId>,
+    seed: u64,
+}
+
+impl WorkloadGen {
+    /// Creates a generator for `class` drawing applications uniformly from
+    /// `apps`.
+    pub fn new(class: WorkloadClass, apps: Vec<AppId>, seed: u64) -> Self {
+        assert!(!apps.is_empty(), "need at least one application");
+        WorkloadGen { class, apps, seed }
+    }
+
+    /// Generates `count` arrivals.
+    pub fn generate(&self, count: usize) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (lo, hi) = self.class.interval_range_ms();
+        let mut t = 0.0f64;
+        let arrivals = (0..count)
+            .map(|_| {
+                let interval: f64 = rng.random_range(lo..=hi);
+                t += interval;
+                let app = self.apps[rng.random_range(0..self.apps.len())];
+                Arrival { at_ms: t, app }
+            })
+            .collect();
+        Workload { arrivals }
+    }
+
+    /// Generates arrivals until `duration_ms` of simulated time is covered.
+    pub fn generate_for(&self, duration_ms: f64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (lo, hi) = self.class.interval_range_ms();
+        let mut t = 0.0f64;
+        let mut arrivals = Vec::new();
+        loop {
+            let interval: f64 = rng.random_range(lo..=hi);
+            t += interval;
+            if t > duration_ms {
+                break;
+            }
+            let app = self.apps[rng.random_range(0..self.apps.len())];
+            arrivals.push(Arrival { at_ms: t, app });
+        }
+        Workload { arrivals }
+    }
+
+    /// The workload class.
+    #[inline]
+    pub fn class(&self) -> WorkloadClass {
+        self.class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn apps4() -> Vec<AppId> {
+        (0..4u32).map(AppId).collect()
+    }
+
+    #[test]
+    fn intervals_stay_in_class_range() {
+        for class in WorkloadClass::all() {
+            let w = WorkloadGen::new(class, apps4(), 1).generate(2000);
+            let (lo, hi) = class.interval_range_ms();
+            for d in w.intervals_ms() {
+                assert!(d >= lo - 1e-9 && d <= hi + 1e-9, "{class}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_sorted_and_counted() {
+        let w = WorkloadGen::new(WorkloadClass::Normal, apps4(), 2).generate(500);
+        assert_eq!(w.len(), 500);
+        for pair in w.arrivals.windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+        }
+    }
+
+    #[test]
+    fn apps_roughly_uniform() {
+        let w = WorkloadGen::new(WorkloadClass::Heavy, apps4(), 3).generate(8000);
+        let mut counts: HashMap<AppId, usize> = HashMap::new();
+        for a in &w.arrivals {
+            *counts.entry(a.app).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (&app, &c) in &counts {
+            assert!(
+                (c as f64 - 2000.0).abs() < 300.0,
+                "app {app}: {c} arrivals"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = WorkloadGen::new(WorkloadClass::Light, apps4(), 42).generate(100);
+        let b = WorkloadGen::new(WorkloadClass::Light, apps4(), 42).generate(100);
+        assert_eq!(a.arrivals, b.arrivals);
+        let c = WorkloadGen::new(WorkloadClass::Light, apps4(), 43).generate(100);
+        assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn generate_for_duration() {
+        let w = WorkloadGen::new(WorkloadClass::Light, apps4(), 5).generate_for(10_000.0);
+        assert!(w.span_ms() <= 10_000.0);
+        // Light mean interval ~53.6ms -> expect roughly 186 arrivals.
+        assert!(w.len() > 150 && w.len() < 230, "{}", w.len());
+    }
+
+    #[test]
+    fn heavy_is_denser_than_light() {
+        let h = WorkloadGen::new(WorkloadClass::Heavy, apps4(), 7).generate(1000);
+        let l = WorkloadGen::new(WorkloadClass::Light, apps4(), 7).generate(1000);
+        assert!(h.span_ms() < l.span_ms() / 2.0);
+    }
+
+    #[test]
+    fn from_arrivals_sorts() {
+        let w = Workload::from_arrivals(vec![
+            Arrival { at_ms: 5.0, app: AppId(0) },
+            Arrival { at_ms: 1.0, app: AppId(1) },
+        ]);
+        assert_eq!(w.arrivals[0].at_ms, 1.0);
+        assert_eq!(w.span_ms(), 5.0);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::default();
+        assert!(w.is_empty());
+        assert_eq!(w.span_ms(), 0.0);
+        assert!(w.intervals_ms().is_empty());
+    }
+}

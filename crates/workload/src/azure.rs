@@ -1,0 +1,175 @@
+//! Synthetic Azure-like invocation trace.
+//!
+//! The paper derives per-minute job arrival rates from the Azure Functions
+//! traces of Shahrad et al. (ATC '20). The raw traces are not
+//! redistributable, so this module generates a rate series with the same
+//! qualitative anatomy — a diurnal sinusoid, lognormal-ish dispersion, and
+//! occasional bursts — and turns it into arrival timestamps. It feeds the
+//! pre-warming study and the trace-replay example; the headline scenarios
+//! use the distilled interval classes in [`crate::arrivals`] directly, as
+//! the paper does.
+
+use crate::arrivals::{Arrival, Workload};
+use esg_model::{AppId, Gaussian};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator of Azure-like per-minute rates and arrival sequences.
+#[derive(Clone, Debug)]
+pub struct AzureLikeTrace {
+    /// Mean arrivals per minute at the diurnal baseline.
+    pub mean_per_minute: f64,
+    /// Diurnal amplitude as a fraction of the mean (0..1).
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal cycle in minutes (1440 for a day; shorter for
+    /// compressed experiments).
+    pub period_minutes: f64,
+    /// Probability that any minute is a burst minute.
+    pub burst_probability: f64,
+    /// Rate multiplier during a burst minute.
+    pub burst_multiplier: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AzureLikeTrace {
+    fn default() -> Self {
+        AzureLikeTrace {
+            mean_per_minute: 1200.0,
+            diurnal_amplitude: 0.5,
+            period_minutes: 60.0,
+            burst_probability: 0.05,
+            burst_multiplier: 3.0,
+            seed: 0,
+        }
+    }
+}
+
+impl AzureLikeTrace {
+    /// Per-minute arrival rates for `minutes` consecutive minutes.
+    pub fn rates(&self, minutes: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut noise = Gaussian::new(1.0, 0.15);
+        (0..minutes)
+            .map(|m| {
+                let phase =
+                    2.0 * std::f64::consts::PI * m as f64 / self.period_minutes;
+                let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
+                let burst = if rng.random::<f64>() < self.burst_probability {
+                    self.burst_multiplier
+                } else {
+                    1.0
+                };
+                (self.mean_per_minute * diurnal * burst * noise.sample_clamped(&mut rng, 3.0))
+                    .max(0.0)
+            })
+            .collect()
+    }
+
+    /// Generates arrivals over `minutes` of trace time, applications drawn
+    /// uniformly from `apps`. Within each minute arrivals are spread with
+    /// exponential gaps (Poisson process at that minute's rate).
+    pub fn generate(&self, minutes: usize, apps: &[AppId]) -> Workload {
+        assert!(!apps.is_empty(), "need at least one application");
+        let rates = self.rates(minutes);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        let mut arrivals = Vec::new();
+        for (m, &rate) in rates.iter().enumerate() {
+            if rate <= 0.0 {
+                continue;
+            }
+            let minute_start = m as f64 * 60_000.0;
+            let mean_gap_ms = 60_000.0 / rate;
+            let mut t = minute_start;
+            loop {
+                // Exponential inter-arrival: -ln(U) * mean.
+                let u: f64 = 1.0 - rng.random::<f64>();
+                t += -u.ln() * mean_gap_ms;
+                if t >= minute_start + 60_000.0 {
+                    break;
+                }
+                let app = apps[rng.random_range(0..apps.len())];
+                arrivals.push(Arrival { at_ms: t, app });
+            }
+        }
+        Workload::from_arrivals(arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apps() -> Vec<AppId> {
+        (0..4u32).map(AppId).collect()
+    }
+
+    #[test]
+    fn rates_have_diurnal_shape() {
+        let t = AzureLikeTrace {
+            burst_probability: 0.0,
+            seed: 9,
+            ..AzureLikeTrace::default()
+        };
+        let rates = t.rates(60);
+        // Peak quarter (around minute 15) should out-rate trough quarter
+        // (around minute 45) for a 60-minute period sinusoid.
+        let peak: f64 = rates[10..20].iter().sum();
+        let trough: f64 = rates[40..50].iter().sum();
+        assert!(peak > 1.5 * trough, "peak {peak} trough {trough}");
+    }
+
+    #[test]
+    fn bursts_raise_rates() {
+        let base = AzureLikeTrace {
+            burst_probability: 0.0,
+            seed: 4,
+            ..AzureLikeTrace::default()
+        };
+        let bursty = AzureLikeTrace {
+            burst_probability: 1.0,
+            seed: 4,
+            ..AzureLikeTrace::default()
+        };
+        let sum_base: f64 = base.rates(30).iter().sum();
+        let sum_burst: f64 = bursty.rates(30).iter().sum();
+        assert!(sum_burst > 2.0 * sum_base);
+    }
+
+    #[test]
+    fn generate_produces_sorted_inrange_arrivals() {
+        let t = AzureLikeTrace {
+            mean_per_minute: 100.0,
+            seed: 11,
+            ..AzureLikeTrace::default()
+        };
+        let w = t.generate(5, &apps());
+        assert!(!w.is_empty());
+        assert!(w.span_ms() < 5.0 * 60_000.0);
+        for pair in w.arrivals.windows(2) {
+            assert!(pair[0].at_ms <= pair[1].at_ms);
+        }
+        // Roughly 5 minutes at ~100/min.
+        assert!(w.len() > 250 && w.len() < 900, "{}", w.len());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = AzureLikeTrace::default();
+        let a = t.generate(2, &apps());
+        let b = t.generate(2, &apps());
+        assert_eq!(a.arrivals.len(), b.arrivals.len());
+        assert_eq!(a.arrivals.first(), b.arrivals.first());
+    }
+
+    #[test]
+    fn zero_rate_minutes_yield_no_arrivals() {
+        let t = AzureLikeTrace {
+            mean_per_minute: 0.0,
+            burst_probability: 0.0,
+            ..AzureLikeTrace::default()
+        };
+        let w = t.generate(3, &apps());
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! EWMA-based invocation prediction for pre-warming (paper §4).
+//!
+//! "We use a lightweight method for prewarming. It uses Exponential
+//! Weighted Moving Average (EWMA) to predict the invocation intervals of
+//! functions and pre-warms the function instances accordingly."
+//!
+//! The predictor observes arrival timestamps of one function, maintains an
+//! EWMA of the inter-arrival interval, and predicts the next arrival time.
+//! The pre-warming proxy starts a container `cold_start` ms before the
+//! predicted arrival so it is warm on time.
+
+use esg_model::Ewma;
+
+/// Predicts the next invocation time of one function from its arrival
+/// history.
+#[derive(Clone, Debug)]
+pub struct ArrivalPredictor {
+    ewma: Ewma,
+    last_arrival_ms: Option<f64>,
+}
+
+impl ArrivalPredictor {
+    /// Creates a predictor with EWMA smoothing factor `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        ArrivalPredictor {
+            ewma: Ewma::new(alpha),
+            last_arrival_ms: None,
+        }
+    }
+
+    /// Observes an arrival at `at_ms`. Out-of-order observations are
+    /// clamped to a zero interval.
+    pub fn observe(&mut self, at_ms: f64) {
+        if let Some(last) = self.last_arrival_ms {
+            self.ewma.update((at_ms - last).max(0.0));
+        }
+        self.last_arrival_ms = Some(at_ms);
+    }
+
+    /// Predicted interval between arrivals (ms), once two arrivals have
+    /// been seen.
+    #[inline]
+    pub fn predicted_interval_ms(&self) -> Option<f64> {
+        self.ewma.value()
+    }
+
+    /// Predicted time of the next arrival.
+    pub fn predicted_next_ms(&self) -> Option<f64> {
+        Some(self.last_arrival_ms? + self.predicted_interval_ms()?)
+    }
+
+    /// When to begin warming a container with the given cold-start time so
+    /// it is ready at the predicted arrival. `None` until two arrivals are
+    /// seen; never earlier than `now_ms`.
+    pub fn prewarm_at_ms(&self, cold_start_ms: f64, now_ms: f64) -> Option<f64> {
+        let next = self.predicted_next_ms()?;
+        Some((next - cold_start_ms).max(now_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_observations() {
+        let mut p = ArrivalPredictor::new(0.5);
+        assert_eq!(p.predicted_next_ms(), None);
+        p.observe(100.0);
+        assert_eq!(p.predicted_next_ms(), None);
+        p.observe(150.0);
+        let next = p.predicted_next_ms().expect("two observations");
+        assert!((next - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_on_periodic_arrivals() {
+        let mut p = ArrivalPredictor::new(0.3);
+        for i in 0..50 {
+            p.observe(i as f64 * 25.0);
+        }
+        let iv = p.predicted_interval_ms().expect("many observations");
+        assert!((iv - 25.0).abs() < 1e-6);
+        let next = p.predicted_next_ms().expect("many observations");
+        assert!((next - (49.0 * 25.0 + 25.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adapts_to_rate_change() {
+        let mut p = ArrivalPredictor::new(0.5);
+        let mut t = 0.0;
+        for _ in 0..10 {
+            t += 100.0;
+            p.observe(t);
+        }
+        for _ in 0..20 {
+            t += 10.0;
+            p.observe(t);
+        }
+        let iv = p.predicted_interval_ms().expect("observed");
+        assert!(iv < 11.0, "should track the faster rate, got {iv}");
+    }
+
+    #[test]
+    fn prewarm_time_accounts_for_cold_start() {
+        let mut p = ArrivalPredictor::new(0.5);
+        p.observe(0.0);
+        p.observe(1000.0);
+        // Next predicted at 2000; cold start 800 -> warm at 1200.
+        let at = p.prewarm_at_ms(800.0, 1000.0).expect("predicted");
+        assert!((at - 1200.0).abs() < 1e-9);
+        // Cold start longer than the lead time clamps to now.
+        let at = p.prewarm_at_ms(5000.0, 1000.0).expect("predicted");
+        assert_eq!(at, 1000.0);
+    }
+
+    #[test]
+    fn out_of_order_observation_clamps() {
+        let mut p = ArrivalPredictor::new(0.5);
+        p.observe(100.0);
+        p.observe(50.0); // goes backwards
+        assert_eq!(p.predicted_interval_ms(), Some(0.0));
+    }
+}

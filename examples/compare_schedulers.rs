@@ -1,0 +1,73 @@
+//! Compare ESG with the four baselines on one scenario.
+//!
+//! A scaled-down version of the paper's Fig. 6: every scheduler runs the
+//! same workload on the same platform; only the scheduling algorithm
+//! differs (§4.2).
+//!
+//! Run with: `cargo run --release --example compare_schedulers [scenario]`
+//! where scenario is `strict-light` (default), `moderate-normal`, or
+//! `relaxed-heavy`.
+
+use esg::prelude::*;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "strict-light".into());
+    let scenario = match arg.as_str() {
+        "strict-light" => Scenario::STRICT_LIGHT,
+        "moderate-normal" => Scenario::MODERATE_NORMAL,
+        "relaxed-heavy" => Scenario::RELAXED_HEAVY,
+        other => {
+            eprintln!("unknown scenario {other}; using strict-light");
+            Scenario::STRICT_LIGHT
+        }
+    };
+    let n_arrivals = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+
+    let env = SimEnv::standard(scenario.slo);
+    let workload = WorkloadGen::new(scenario.workload, esg::model::standard_app_ids(), 42)
+        .generate(n_arrivals);
+    println!(
+        "scenario {scenario}: {} invocations over {:.1}s",
+        workload.len(),
+        workload.span_ms() / 1000.0
+    );
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(EsgScheduler::new()),
+        Box::new(InflessScheduler::new()),
+        Box::new(FastGShareScheduler::new()),
+        Box::new(OrionScheduler::default()),
+        Box::new(AquatopeScheduler::default()),
+    ];
+
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8}",
+        "scheduler", "SLO-hit%", "cost(¢)", "¢/invoc", "miss%", "cold%", "local%", "ovh(ms)"
+    );
+    let mut esg_cost = None;
+    for s in schedulers.iter_mut() {
+        let r = run_simulation(
+            &env,
+            SimConfig::default(),
+            s.as_mut(),
+            &workload,
+            &scenario.to_string(),
+        );
+        let norm = *esg_cost.get_or_insert(r.total_cost_cents());
+        println!(
+            "{:<12} {:>7.1}% {:>10.1} {:>10.3} {:>8.1}% {:>8.1}% {:>7.1}% {:>8.2}  (cost vs ESG: {:.2}x)",
+            r.scheduler,
+            r.avg_hit_rate() * 100.0,
+            r.total_cost_cents(),
+            r.cost_per_invocation_cents(),
+            r.config_miss_rate() * 100.0,
+            r.cold_start_rate() * 100.0,
+            r.locality_rate() * 100.0,
+            r.mean_overhead_ms(),
+            r.total_cost_cents() / norm,
+        );
+    }
+}
