@@ -51,11 +51,7 @@ impl AquatopeScheduler {
     /// Offline training for one application.
     fn train(&self, ctx: &SchedCtx<'_>, app: &AppSpec) -> Vec<Config> {
         let grid = ctx.profiles.grid();
-        let axes = [
-            grid.batches.clone(),
-            grid.vcpus.clone(),
-            grid.vgpus.clone(),
-        ];
+        let axes = [grid.batches.clone(), grid.vcpus.clone(), grid.vgpus.clone()];
         let stages = app.num_stages();
         // One dimension per (stage, axis): 3·stages total.
         let dims: Vec<usize> = (0..stages * 3).map(|d| axes[d % 3].len()).collect();
@@ -123,9 +119,7 @@ impl Scheduler for AquatopeScheduler {
             let plan = self.train(ctx, ctx.app_spec());
             self.plans[app_idx] = Some(plan);
         }
-        let config = self.plans[app_idx]
-            .as_ref()
-            .expect("trained above")[ctx.key.stage];
+        let config = self.plans[app_idx].as_ref().expect("trained above")[ctx.key.stage];
         Outcome {
             candidates: vec![config],
             // Offline training: negligible runtime overhead (§5.2).

@@ -40,9 +40,7 @@ impl GaussianProcess {
         for i in 0..n {
             k[(i, i)] += ridge;
         }
-        let chol = k
-            .cholesky()
-            .expect("kernel + ridge is positive definite");
+        let chol = k.cholesky().expect("kernel + ridge is positive definite");
         let tmp = chol.solve_lower(&centered);
         let alpha = chol.solve_lower_transpose(&tmp);
         GaussianProcess {

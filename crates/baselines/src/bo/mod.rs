@@ -114,7 +114,13 @@ impl BoOptimizer {
         let normalize = |p: &[usize]| -> Vec<f64> {
             p.iter()
                 .zip(dims)
-                .map(|(&i, &d)| if d > 1 { i as f64 / (d - 1) as f64 } else { 0.0 })
+                .map(|(&i, &d)| {
+                    if d > 1 {
+                        i as f64 / (d - 1) as f64
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         };
         let random_point = |rng: &mut StdRng| -> Vec<usize> {
@@ -201,9 +207,7 @@ mod tests {
         // Uncertainty adds hope even at equal mean.
         assert!(expected_improvement(4.0, 1.0, 4.0) > 0.0);
         // EI grows with variance.
-        assert!(
-            expected_improvement(4.0, 4.0, 4.0) > expected_improvement(4.0, 1.0, 4.0)
-        );
+        assert!(expected_improvement(4.0, 4.0, 4.0) > expected_improvement(4.0, 1.0, 4.0));
     }
 
     #[test]

@@ -93,9 +93,8 @@ impl Scheduler for InflessScheduler {
         // (throughput per weighted resource) breaks ties.
         let mut expansions = 0u64;
         let throughput = |e: &ProfileEntry| e.config.batch as f64 / e.latency_ms;
-        let efficiency = |e: &ProfileEntry| {
-            throughput(e) / e.config.resources().weighted(1.0, 16.0 / 7.0)
-        };
+        let efficiency =
+            |e: &ProfileEntry| throughput(e) / e.config.resources().weighted(1.0, 16.0 / 7.0);
         // Rank feasible configurations by throughput (efficiency breaks
         // ties) and emit the top few with strictly decreasing resource
         // demand, so placement under contention degrades INFless to the

@@ -15,8 +15,7 @@
 use esg_model::{AppSpec, Config, InvocationId, NodeId};
 use esg_profile::latency_ms;
 use esg_sim::{
-    place_locality_first, Capabilities, Outcome, OverheadModel, QueueKey, SchedCtx,
-    Scheduler,
+    place_locality_first, Capabilities, Outcome, OverheadModel, QueueKey, SchedCtx, Scheduler,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -120,7 +119,9 @@ impl OrionScheduler {
         }
         impl Ord for Node {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+                self.0
+                    .total_cmp(&other.0)
+                    .then_with(|| self.1.cmp(&other.1))
             }
         }
 
@@ -360,8 +361,7 @@ mod tests {
         let out1 = s.schedule(&c1);
         assert_eq!(out1.expansions, 1, "no re-search at later stages");
         assert_eq!(
-            out1.candidates[0],
-            s.plans[&jobs[0].invocation][1],
+            out1.candidates[0], s.plans[&jobs[0].invocation][1],
             "stage-1 config must come from the stage-0 plan"
         );
         // Plans are dropped after the last stage dispatch.

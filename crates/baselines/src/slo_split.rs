@@ -15,11 +15,7 @@ use esg_model::{AppSpec, Catalog};
 /// Per-stage shares of the end-to-end SLO, proportional to minimum-config
 /// service times. Sums to 1.
 pub fn average_service_split(app: &AppSpec, catalog: &Catalog) -> Vec<f64> {
-    let times: Vec<f64> = app
-        .nodes
-        .iter()
-        .map(|&f| catalog.get(f).exec_ms)
-        .collect();
+    let times: Vec<f64> = app.nodes.iter().map(|&f| catalog.get(f).exec_ms).collect();
     let total: f64 = times.iter().sum();
     assert!(total > 0.0, "service times must be positive");
     times.into_iter().map(|t| t / total).collect()

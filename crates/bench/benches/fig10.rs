@@ -1,19 +1,29 @@
 //! Figure 10 — ESG's scheduling-overhead distribution per scenario
 //! (function group size 3): box statistics of the per-decision simulated
-//! overhead, plus the real Rust wall time for honesty.
+//! overhead, plus the real Rust wall time for honesty. A thin declaration
+//! over the sweep engine (ESG × the three paper scenarios).
 
-use esg_bench::{run_cell, section, write_csv, SchedKind};
+use esg_bench::{section, write_csv, ExperimentSuite, ScenarioMatrix, SchedKind};
 use esg_model::Scenario;
 
 fn main() {
     section("Figure 10: ESG scheduling overhead distribution (group size 3)");
+    let sweep = ExperimentSuite::new(
+        "fig10",
+        ScenarioMatrix::new()
+            .schedulers([SchedKind::Esg])
+            .scenarios(Scenario::all()),
+    )
+    .run();
+    sweep.write_artifacts();
+
     println!(
         "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
         "setting", "min", "q1", "median", "q3", "max", "mean", "wall mean"
     );
     let mut csv = Vec::new();
-    for scenario in Scenario::all() {
-        let r = run_cell(SchedKind::Esg, scenario);
+    for cell in &sweep.results {
+        let r = &cell.result;
         // Fig. 10 plots the search overhead of real decisions; filter the
         // cheap batching-hold re-checks, which are timer pokes.
         let searches: Vec<f64> = r
@@ -23,11 +33,10 @@ fn main() {
             .filter(|&o| o > 0.25)
             .collect();
         let b = esg_model::BoxStats::from(&searches).expect("decisions recorded");
-        let wall_mean =
-            r.wall_overhead_ms.iter().sum::<f64>() / r.wall_overhead_ms.len() as f64;
+        let wall_mean = r.wall_overhead_ms.iter().sum::<f64>() / r.wall_overhead_ms.len() as f64;
         println!(
             "{:<18} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.3}ms",
-            scenario.to_string(),
+            cell.scenario.to_string(),
             b.min,
             b.q1,
             b.median,
@@ -37,8 +46,8 @@ fn main() {
             wall_mean
         );
         csv.push(format!(
-            "{scenario},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.5}",
-            b.min, b.q1, b.median, b.q3, b.max, b.mean, wall_mean
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.5}",
+            cell.scenario, b.min, b.q1, b.median, b.q3, b.max, b.mean, wall_mean
         ));
     }
     println!(

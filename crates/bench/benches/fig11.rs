@@ -1,41 +1,49 @@
 //! Figure 11 — sensitivity to K (the configuration-priority-queue depth)
 //! in the strict-light setting: search overhead, end-to-end latency, and
-//! cost (normalized to K = 5).
+//! cost (normalized to K = 5). Declared as a sweep over `esg-k<K>`
+//! scheduler variants.
 
-use esg_bench::{section, standard_config, standard_workload, write_csv};
+use esg_bench::{section, write_csv, ExperimentSuite, ScenarioMatrix, SchedSpec};
 use esg_core::EsgScheduler;
 use esg_model::Scenario;
-use esg_sim::{run_simulation, SimEnv};
+
+const KS: [usize; 6] = [1, 5, 10, 20, 40, 80];
 
 fn main() {
     section("Figure 11: sensitivity to K (strict-light)");
-    let scenario = Scenario::STRICT_LIGHT;
-    let env = SimEnv::standard(scenario.slo);
-    let workload = standard_workload(scenario);
-    let ks = [1usize, 5, 10, 20, 40, 80];
+    let sweep = ExperimentSuite::new(
+        "fig11",
+        ScenarioMatrix::new()
+            .schedulers(KS.map(|k| {
+                SchedSpec::new(format!("esg-k{k}"), move || {
+                    Box::new(EsgScheduler::new().with_k(k))
+                })
+            }))
+            .scenarios([Scenario::STRICT_LIGHT]),
+    )
+    .run();
+    sweep.write_artifacts();
+
     println!(
         "{:<6} {:>14} {:>14} {:>12} {:>14}",
         "K", "overhead (ms)", "latency (ms)", "hit %", "cost vs K=5"
     );
-    let mut rows = Vec::new();
-    for &k in &ks {
-        let mut s = EsgScheduler::new().with_k(k);
-        let r = run_simulation(&env, standard_config(), &mut s, &workload, "fig11");
-        let searches: Vec<f64> = r
-            .overhead_ms
-            .iter()
-            .copied()
-            .filter(|&o| o > 0.25)
-            .collect();
-        let ovh = searches.iter().sum::<f64>() / searches.len().max(1) as f64;
-        let lat = r
-            .apps
-            .iter()
-            .map(|a| a.mean_latency_ms())
-            .sum::<f64>()
-            / r.apps.len() as f64;
-        rows.push((k, ovh, lat, r.avg_hit_rate(), r.cost_per_invocation_cents()));
-    }
+    let rows: Vec<(usize, f64, f64, f64, f64)> = KS
+        .iter()
+        .zip(&sweep.results)
+        .map(|(&k, cell)| {
+            let r = &cell.result;
+            let searches: Vec<f64> = r
+                .overhead_ms
+                .iter()
+                .copied()
+                .filter(|&o| o > 0.25)
+                .collect();
+            let ovh = searches.iter().sum::<f64>() / searches.len().max(1) as f64;
+            let lat = r.apps.iter().map(|a| a.mean_latency_ms()).sum::<f64>() / r.apps.len() as f64;
+            (k, ovh, lat, r.avg_hit_rate(), r.cost_per_invocation_cents())
+        })
+        .collect();
     let k5_cost = rows
         .iter()
         .find(|(k, ..)| *k == 5)

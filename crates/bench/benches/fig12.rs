@@ -1,16 +1,13 @@
 //! Figure 12 — ablation in the relaxed-heavy setting: ESG versus ESG
 //! without GPU sharing (whole-GPU grants only) and ESG without batching
-//! (batch fixed at 1).
+//! (batch fixed at 1). Each variant is a one-cell suite with its own
+//! restricted configuration grid.
 
-use esg_bench::{section, standard_config, standard_workload, write_csv};
-use esg_core::EsgScheduler;
+use esg_bench::{section, write_csv, ExperimentSuite, ScenarioMatrix, SchedKind};
 use esg_model::{ConfigGrid, Scenario};
-use esg_sim::{run_simulation, SimEnv};
 
 fn main() {
     section("Figure 12: GPU-sharing and batching ablation (relaxed-heavy)");
-    let scenario = Scenario::RELAXED_HEAVY;
-    let workload = standard_workload(scenario);
     let grid = ConfigGrid::default();
     let variants: [(&str, ConfigGrid); 3] = [
         ("ESG", grid.clone()),
@@ -23,9 +20,16 @@ fn main() {
     );
     let mut csv = Vec::new();
     for (name, g) in variants {
-        let env = SimEnv::with_grid(scenario.slo, g);
-        let mut s = EsgScheduler::new();
-        let r = run_simulation(&env, standard_config(), &mut s, &workload, name);
+        let sweep = ExperimentSuite::new(
+            format!("fig12_{}", name.replace(' ', "_")),
+            ScenarioMatrix::new()
+                .schedulers([SchedKind::Esg])
+                .scenarios([Scenario::RELAXED_HEAVY]),
+        )
+        .with_grid(g)
+        .run();
+        sweep.write_artifacts();
+        let r = &sweep.results[0].result;
         println!(
             "{:<16} {:>7.1}% {:>14.4} {:>10.2} {:>10.2} {:>12.1} {:>12.2}",
             name,

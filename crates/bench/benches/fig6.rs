@@ -1,12 +1,15 @@
 //! Figure 6 — average SLO hit rate and normalized cost for the five
-//! schedulers under the three SLO/workload settings.
+//! schedulers under the three SLO/workload settings. A thin declaration
+//! over the sweep engine: the paper grid, printed per scenario.
 
-use esg_bench::{run_matrix, section, write_csv, SchedKind};
+use esg_bench::{section, write_csv, ExperimentSuite, ScenarioMatrix, SchedKind};
 use esg_model::Scenario;
 
 fn main() {
     section("Figure 6: average SLO hit rate and normalized cost (ESG = 1)");
-    let results = run_matrix(&SchedKind::all(), &Scenario::all());
+    let sweep = ExperimentSuite::new("fig6", ScenarioMatrix::paper()).run();
+    sweep.write_artifacts();
+
     let mut csv = Vec::new();
     for scenario in Scenario::all() {
         println!("\n--- {scenario} ---");
@@ -14,23 +17,23 @@ fn main() {
             "{:<12} {:>10} {:>14} {:>16}",
             "scheduler", "SLO hit %", "cost (¢/inv)", "cost vs ESG"
         );
-        let esg_cost = results
-            .iter()
-            .find(|(s, k, _)| *s == scenario && *k == SchedKind::Esg)
-            .map(|(_, _, r)| r.cost_per_invocation_cents())
+        let esg_cost = sweep
+            .find(SchedKind::Esg.name(), scenario)
+            .map(|c| c.result.cost_per_invocation_cents())
             .expect("ESG cell present");
-        for (s, k, r) in results.iter().filter(|(s, _, _)| *s == scenario) {
+        for cell in sweep.for_scenario(scenario) {
+            let r = &cell.result;
             let norm = r.cost_per_invocation_cents() / esg_cost;
             println!(
                 "{:<12} {:>9.1}% {:>14.4} {:>15.2}x",
-                k.name(),
+                cell.scheduler,
                 r.avg_hit_rate() * 100.0,
                 r.cost_per_invocation_cents(),
                 norm
             );
             csv.push(format!(
-                "{s},{},{:.4},{:.6},{:.4}",
-                k.name(),
+                "{scenario},{},{:.4},{:.6},{:.4}",
+                cell.scheduler,
                 r.avg_hit_rate(),
                 r.cost_per_invocation_cents(),
                 norm

@@ -1,13 +1,22 @@
 //! Figure 7 — end-to-end latency of each application in the relaxed-heavy
 //! setting, per scheduler (the paper plots the full series over finished
-//! jobs; we print summary percentiles and dump the series as CSV).
+//! jobs; we print summary percentiles and dump the series as CSV). A thin
+//! declaration over the sweep engine.
 
-use esg_bench::{run_matrix, section, write_csv, SchedKind};
+use esg_bench::{section, write_csv, ExperimentSuite, ScenarioMatrix, SchedKind};
 use esg_model::Scenario;
 
 fn main() {
     section("Figure 7: end-to-end latency per application (relaxed-heavy)");
-    let results = run_matrix(&SchedKind::all(), &[Scenario::RELAXED_HEAVY]);
+    let sweep = ExperimentSuite::new(
+        "fig7",
+        ScenarioMatrix::new()
+            .schedulers(SchedKind::all())
+            .scenarios([Scenario::RELAXED_HEAVY]),
+    )
+    .run();
+    sweep.write_artifacts();
+
     let mut csv = Vec::new();
     let apps = esg_model::standard_apps();
     for (ai, app) in apps.iter().enumerate() {
@@ -16,12 +25,12 @@ fn main() {
             "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
             "scheduler", "SLO(ms)", "p25", "p50", "p75", "p95", "hit %"
         );
-        for (_, k, r) in &results {
-            let m = &r.apps[ai];
+        for cell in &sweep.results {
+            let m = &cell.result.apps[ai];
             let p = |q: f64| m.latency_percentile(q).unwrap_or(0.0);
             println!(
                 "{:<12} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>7.1}%",
-                k.name(),
+                cell.scheduler,
                 m.slo_ms,
                 p(25.0),
                 p(50.0),
@@ -30,7 +39,7 @@ fn main() {
                 m.hit_rate() * 100.0
             );
             for (j, lat) in m.latencies_ms.iter().enumerate() {
-                csv.push(format!("{},{},{j},{lat:.2}", app.name, k.name()));
+                csv.push(format!("{},{},{j},{lat:.2}", app.name, cell.scheduler));
             }
         }
     }

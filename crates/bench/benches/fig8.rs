@@ -1,12 +1,15 @@
 //! Figure 8 — per-application SLO hit rates and cost for all five
-//! schedulers in all three scenarios (12 panels).
+//! schedulers in all three scenarios (12 panels). A thin declaration over
+//! the sweep engine's paper grid.
 
-use esg_bench::{run_matrix, section, write_csv, SchedKind};
+use esg_bench::{section, write_csv, ExperimentSuite, ScenarioMatrix, SchedKind};
 use esg_model::Scenario;
 
 fn main() {
     section("Figure 8: per-application SLO hit rate and cost");
-    let results = run_matrix(&SchedKind::all(), &Scenario::all());
+    let sweep = ExperimentSuite::new("fig8", ScenarioMatrix::paper()).run();
+    sweep.write_artifacts();
+
     let apps = esg_model::standard_apps();
     let mut csv = Vec::new();
     for scenario in Scenario::all() {
@@ -16,20 +19,19 @@ fn main() {
                 "{:<12} {:>9} {:>14} {:>14}",
                 "scheduler", "hit %", "cost (¢)", "¢/invocation"
             );
-            let esg_cost = results
-                .iter()
-                .find(|(s, k, _)| *s == scenario && *k == SchedKind::Esg)
-                .map(|(_, _, r)| {
-                    let m = &r.apps[ai];
+            let esg_cost = sweep
+                .find(SchedKind::Esg.name(), scenario)
+                .map(|c| {
+                    let m = &c.result.apps[ai];
                     m.cost_cents / m.completed.max(1) as f64
                 })
                 .expect("ESG cell");
-            for (_, k, r) in results.iter().filter(|(s, _, _)| *s == scenario) {
-                let m = &r.apps[ai];
+            for cell in sweep.for_scenario(scenario) {
+                let m = &cell.result.apps[ai];
                 let per_inv = m.cost_cents / m.completed.max(1) as f64;
                 println!(
                     "{:<12} {:>8.1}% {:>14.2} {:>11.4} ({:.2}x ESG)",
-                    k.name(),
+                    cell.scheduler,
                     m.hit_rate() * 100.0,
                     m.cost_cents,
                     per_inv,
@@ -38,7 +40,7 @@ fn main() {
                 csv.push(format!(
                     "{scenario},{},{},{:.4},{:.4},{:.4}",
                     app.name,
-                    k.name(),
+                    cell.scheduler,
                     m.hit_rate(),
                     m.cost_cents,
                     per_inv

@@ -1,52 +1,61 @@
 //! Figure 9 — the effect of Orion's search time on its SLO hit rate
 //! (strict-light): the same cut-off sweep with the search time charged to
 //! the affected jobs ("Orion") and not charged ("Orion w/o searching
-//! overhead").
+//! overhead"). Declared as two suites over the same cut-off scheduler
+//! axis, differing only in the platform's `charge_overhead` flag.
 
-use esg_bench::{section, standard_config, standard_workload, write_csv};
 use esg_baselines::OrionScheduler;
+use esg_bench::{section, standard_config, write_csv, ExperimentSuite, ScenarioMatrix, SchedSpec};
 use esg_model::Scenario;
-use esg_sim::{run_simulation, SimConfig, SimEnv};
+use esg_sim::SimConfig;
+
+const CUTOFFS_MS: [f64; 7] = [1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 2000.0];
+
+fn cutoff_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new()
+        .schedulers(CUTOFFS_MS.map(|cutoff| {
+            SchedSpec::new(format!("orion@{cutoff}ms"), move || {
+                Box::new(OrionScheduler::new(cutoff))
+            })
+        }))
+        .scenarios([Scenario::STRICT_LIGHT])
+}
 
 fn main() {
     section("Figure 9: Orion search time vs SLO hit rate (strict-light)");
-    let scenario = Scenario::STRICT_LIGHT;
-    let env = SimEnv::standard(scenario.slo);
-    let workload = standard_workload(scenario);
-    let cutoffs = [1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 2000.0];
+    let charged = ExperimentSuite::new("fig9_charged", cutoff_matrix()).run();
+    let free = ExperimentSuite::new("fig9_uncharged", cutoff_matrix())
+        .with_sim_config(SimConfig {
+            charge_overhead: false,
+            ..standard_config()
+        })
+        .run();
+    charged.write_artifacts();
+    free.write_artifacts();
+
     println!(
         "{:<14} {:>18} {:>24}",
         "cutoff (ms)", "Orion hit %", "w/o overhead hit %"
     );
     let mut csv = Vec::new();
-    for &cutoff in &cutoffs {
-        let charged = {
-            let mut s = OrionScheduler::new(cutoff);
-            run_simulation(&env, standard_config(), &mut s, &workload, "fig9")
-        };
-        let free = {
-            let mut s = OrionScheduler::new(cutoff);
-            let cfg = SimConfig {
-                charge_overhead: false,
-                ..standard_config()
-            };
-            run_simulation(&env, cfg, &mut s, &workload, "fig9-free")
-        };
+    for (i, &cutoff) in CUTOFFS_MS.iter().enumerate() {
+        let hit_charged = charged.results[i].result.avg_hit_rate();
+        let hit_free = free.results[i].result.avg_hit_rate();
         println!(
             "{:<14} {:>17.1}% {:>23.1}%",
             cutoff,
-            charged.avg_hit_rate() * 100.0,
-            free.avg_hit_rate() * 100.0
+            hit_charged * 100.0,
+            hit_free * 100.0
         );
-        csv.push(format!(
-            "{cutoff},{:.4},{:.4}",
-            charged.avg_hit_rate(),
-            free.avg_hit_rate()
-        ));
+        csv.push(format!("{cutoff},{hit_charged:.4},{hit_free:.4}"));
     }
     println!(
         "\npaper shape: without overhead the hit rate rises with the cut-off and\n\
          plateaus (~16%); with overhead counted it collapses as the cut-off grows."
     );
-    write_csv("fig9", "cutoff_ms,hit_rate_charged,hit_rate_uncharged", &csv);
+    write_csv(
+        "fig9",
+        "cutoff_ms,hit_rate_charged,hit_rate_uncharged",
+        &csv,
+    );
 }

@@ -70,7 +70,10 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q = EventQueue::new();
             for i in 0..10_000u64 {
-                q.push(SimTime::from_us((i * 7919) % 100_000), Event::TaskComplete(i));
+                q.push(
+                    SimTime::from_us((i * 7919) % 100_000),
+                    Event::TaskComplete(i),
+                );
             }
             while let Some(e) = q.pop() {
                 black_box(e);

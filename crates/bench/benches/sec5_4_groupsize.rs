@@ -5,13 +5,14 @@
 //! per function) due to the exponential growth of the configuration
 //! space." This target sweeps g ∈ {1,2,3,4,5} on the expanded image
 //! classification pipeline (5 stages) and reports search effort and the
-//! end-to-end quality of the resulting runs.
+//! end-to-end quality of the resulting runs (the latter as a sweep over
+//! `esg-g<g>` scheduler variants).
 
-use esg_bench::{section, standard_config, standard_workload, write_csv};
+use esg_bench::{section, write_csv, ExperimentSuite, ScenarioMatrix, SchedSpec};
 use esg_core::{astar_search, EsgScheduler, StageTable};
 use esg_model::{standard_apps, standard_catalog, ConfigGrid, PriceModel, Scenario};
 use esg_profile::ProfileTable;
-use esg_sim::{run_simulation, OverheadModel, SimEnv};
+use esg_sim::OverheadModel;
 use std::time::Instant;
 
 fn main() {
@@ -44,18 +45,28 @@ fn main() {
     println!("\npaper: g=3 by default; g=4 jumps to 1201 ms at 256 configs/function.");
 
     // End-to-end effect of the group size (moderate-normal).
+    let gs: [usize; 4] = [1, 2, 3, 4];
+    let sweep = ExperimentSuite::new(
+        "sec5_4_groupsize",
+        ScenarioMatrix::new()
+            .schedulers(gs.map(|g| {
+                SchedSpec::new(format!("esg-g{g}"), move || {
+                    Box::new(EsgScheduler::new().with_group_size(g))
+                })
+            }))
+            .scenarios([Scenario::MODERATE_NORMAL]),
+    )
+    .run();
+    sweep.write_artifacts();
+
     println!();
     println!(
         "{:<4} {:>10} {:>16} {:>16}",
         "g", "hit %", "cost (¢/inv)", "mean ovh (ms)"
     );
-    let scenario = Scenario::MODERATE_NORMAL;
-    let env = SimEnv::standard(scenario.slo);
-    let workload = standard_workload(scenario);
     let mut csv2 = Vec::new();
-    for g in 1..=4usize {
-        let mut s = EsgScheduler::new().with_group_size(g);
-        let r = run_simulation(&env, standard_config(), &mut s, &workload, "sec5_4");
+    for (&g, cell) in gs.iter().zip(&sweep.results) {
+        let r = &cell.result;
         let searches: Vec<f64> = r
             .overhead_ms
             .iter()
@@ -76,7 +87,11 @@ fn main() {
             r.cost_per_invocation_cents()
         ));
     }
-    write_csv("sec5_4_groupsize_search", "g,expansions,modelled_ms,wall_ms", &csv);
+    write_csv(
+        "sec5_4_groupsize_search",
+        "g,expansions,modelled_ms,wall_ms",
+        &csv,
+    );
     write_csv(
         "sec5_4_groupsize_e2e",
         "g,avg_hit_rate,cost_per_invocation_cents,mean_overhead_ms",

@@ -9,11 +9,7 @@ use esg_profile::ProfileTable;
 fn main() {
     section("Table 3: serverless functions");
     let catalog = standard_catalog();
-    let profiles = ProfileTable::build(
-        &catalog,
-        &ConfigGrid::default(),
-        &PriceModel::default(),
-    );
+    let profiles = ProfileTable::build(&catalog, &ConfigGrid::default(), &PriceModel::default());
     println!(
         "{:<20} {:>12} {:>14} {:>12} {:<22} {:>14}",
         "function", "exec (ms)", "cold start(ms)", "input (MB)", "model", "profile@min(ms)"

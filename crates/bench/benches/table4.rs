@@ -5,22 +5,40 @@
 //! than the number of jobs in the queue of that function when it is time
 //! to be scheduled" — for Orion (best-first search) and Aquatope (BO),
 //! across the three scenarios. ESG adapts and never pre-plans a missable
-//! batch, which the harness verifies.
+//! batch, which the harness verifies. Declared as one sweep over the
+//! three schedulers × three paper scenarios.
 
-use esg_bench::{run_cell, section, write_csv, SchedKind};
+use esg_bench::{section, write_csv, ExperimentSuite, ScenarioMatrix, SchedKind};
 use esg_model::Scenario;
 
 fn main() {
     section("Table 4: pre-planned scheduling miss rate");
+    let sweep = ExperimentSuite::new(
+        "table4",
+        ScenarioMatrix::new()
+            .schedulers([SchedKind::Orion, SchedKind::Aquatope, SchedKind::Esg])
+            .scenarios(Scenario::all()),
+    )
+    .run();
+    sweep.write_artifacts();
+
     println!(
         "{:<18} {:>22} {:>18} {:>10}",
         "setting", "best-first (Orion)", "BO (Aquatope)", "ESG"
     );
     let mut csv = Vec::new();
     for scenario in Scenario::all() {
-        let orion = run_cell(SchedKind::Orion, scenario);
-        let aquatope = run_cell(SchedKind::Aquatope, scenario);
-        let esg = run_cell(SchedKind::Esg, scenario);
+        let cell = |kind: SchedKind| {
+            &sweep
+                .find(kind.name(), scenario)
+                .expect("matrix fully populated")
+                .result
+        };
+        let (orion, aquatope, esg) = (
+            cell(SchedKind::Orion),
+            cell(SchedKind::Aquatope),
+            cell(SchedKind::Esg),
+        );
         assert_eq!(
             esg.config_misses, 0,
             "ESG adapts its batch to the live queue and must never miss"

@@ -1,0 +1,80 @@
+//! Artifact emission: CSV and JSON files under `bench_results/`.
+//!
+//! Emission is best-effort everywhere — the printed output is the primary
+//! artifact of a bench target; files are for plotting and regression
+//! diffing.
+
+use serde_json::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The artifact directory: `$ESG_RESULTS_DIR` when set, else the
+/// workspace-level `bench_results/` (bench binaries run with CWD = the
+/// package dir, so the default is anchored at the workspace root).
+pub fn results_dir() -> PathBuf {
+    let default_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_results");
+    PathBuf::from(std::env::var("ESG_RESULTS_DIR").unwrap_or_else(|_| default_dir.into()))
+}
+
+/// Writes rows as `<name>.csv` under the results directory.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    write_csv_to(&results_dir(), name, header, rows);
+}
+
+fn write_csv_to(dir: &Path, name: &str, header: &str, rows: &[String]) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{header}");
+        for r in rows {
+            let _ = writeln!(f, "{r}");
+        }
+        eprintln!("[csv] wrote {}", path.display());
+    }
+}
+
+/// Writes `value` (pretty-printed) as `<name>.json` under the results
+/// directory, returning the path on success.
+pub fn write_json(name: &str, value: &Value) -> Option<PathBuf> {
+    write_json_to(&results_dir(), name, value)
+}
+
+fn write_json_to(dir: &Path, name: &str, value: &Value) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    let mut payload = serde_json::to_string_pretty(value);
+    payload.push('\n');
+    std::fs::write(&path, payload).ok()?;
+    eprintln!("[json] wrote {}", path.display());
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn json_and_csv_round_trip() {
+        // The directory is passed explicitly — tests never touch the
+        // process-global ESG_RESULTS_DIR (env mutation races with
+        // concurrently running tests).
+        let dir = std::env::temp_dir().join("esg_emit_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_csv_to(&dir, "emit_test", "a,b", &["1,2".into()]);
+        let p = write_json_to(&dir, "emit_test", &json!({"k": [1, 2]})).expect("writable");
+        let content = std::fs::read_to_string(p).expect("written");
+        assert!(content.contains("\"k\""));
+        let csv = std::fs::read_to_string(dir.join("emit_test.csv")).expect("csv");
+        assert_eq!(csv, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emission_into_unwritable_dir_is_a_no_op() {
+        write_csv_to(Path::new("/proc/esg_no_such_dir"), "x", "a", &[]);
+        assert!(write_json_to(Path::new("/proc/esg_no_such_dir"), "x", &json!(null)).is_none());
+    }
+}

@@ -1,23 +1,33 @@
-//! Shared experiment-harness support for the per-table/per-figure bench
-//! targets (see DESIGN.md §5 for the experiment index).
+//! Experiment layer: the [`ExperimentSuite`] scenario-sweep engine plus
+//! shared setup for the per-figure/per-table bench targets.
 //!
-//! Every target uses the same standard setup: the Table-2 cluster, 120 s
-//! of class-appropriate arrivals, a 30 s warm-up window excluded from the
-//! metrics (steady-state measurement), and seed 42. Results print as
-//! paper-style rows and are also written as CSV under `bench_results/`.
+//! The engine turns a declarative [`ScenarioMatrix`] — schedulers × SLO
+//! classes × workload classes × seeds — into independent simulation runs
+//! executed in parallel (rayon), with deterministic per-run seeding so a
+//! parallel sweep is bit-identical to a serial one. Results come back as
+//! structured [`SweepResult`] records inside a [`Sweep`], which knows how
+//! to emit `BENCH_<suite>.json` and `BENCH_<suite>.csv` artifacts under
+//! `bench_results/`.
+//!
+//! The fig/table bench targets are thin declarations over this engine:
+//! they build a matrix, run it, and format paper-style rows from the
+//! returned records. Every target shares the same standard setup — the
+//! Table-2 cluster, 120 s of class-appropriate arrivals, a 30 s warm-up
+//! window excluded from the metrics, and seed 42.
 
 #![warn(missing_docs)]
 
-use esg_baselines::{
-    AquatopeScheduler, FastGShareScheduler, InflessScheduler, OrionScheduler,
-};
+mod emit;
+mod suite;
+
+pub use emit::{results_dir, write_csv, write_json};
+pub use suite::{ExperimentSuite, RunSpec, ScenarioMatrix, SchedSpec, Sweep, SweepResult};
+
+use esg_baselines::{AquatopeScheduler, FastGShareScheduler, InflessScheduler, OrionScheduler};
 use esg_core::EsgScheduler;
 use esg_model::{standard_app_ids, Scenario, SloClass};
-use esg_sim::{run_simulation, ExperimentResult, Scheduler, SimConfig, SimEnv};
+use esg_sim::{ExperimentResult, Scheduler, SimConfig};
 use esg_workload::{Workload, WorkloadGen};
-use parking_lot::Mutex;
-use std::io::Write;
-use std::path::PathBuf;
 
 /// Simulated seconds of arrivals per experiment run.
 pub const RUN_SECONDS: f64 = 120.0;
@@ -27,7 +37,7 @@ pub const WARMUP_SECONDS: f64 = 30.0;
 pub const SEED: u64 = 42;
 
 /// The five compared schedulers (paper §4.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchedKind {
     /// The paper's contribution.
     Esg,
@@ -76,10 +86,16 @@ impl SchedKind {
     }
 }
 
-/// The standard workload of a scenario: `RUN_SECONDS` of arrivals.
+/// The standard workload of a scenario: [`RUN_SECONDS`] of arrivals at the
+/// shared [`SEED`].
 pub fn standard_workload(scenario: Scenario) -> Workload {
-    WorkloadGen::new(scenario.workload, standard_app_ids(), SEED)
-        .generate_for(RUN_SECONDS * 1000.0)
+    workload_for(scenario, SEED, RUN_SECONDS)
+}
+
+/// A scenario's workload at an explicit seed and duration (the sweep
+/// engine's per-cell generator).
+pub fn workload_for(scenario: Scenario, seed: u64, run_seconds: f64) -> Workload {
+    WorkloadGen::new(scenario.workload, standard_app_ids(), seed).generate_for(run_seconds * 1000.0)
 }
 
 /// The standard platform configuration (Table 2 + steady-state warm-up).
@@ -90,83 +106,63 @@ pub fn standard_config() -> SimConfig {
     }
 }
 
-/// Runs one `(scheduler, scenario)` cell of the evaluation.
+/// Runs one `(scheduler, scenario)` cell of the evaluation at the
+/// standard configuration and shared [`SEED`].
+///
+/// One-off convenience for exploratory runs; sweeps should use
+/// [`ExperimentSuite`], which parallelises and records coordinates.
 pub fn run_cell(kind: SchedKind, scenario: Scenario) -> ExperimentResult {
     run_cell_with(kind, scenario, standard_config())
 }
 
-/// [`run_cell`] with a custom platform configuration.
-pub fn run_cell_with(
-    kind: SchedKind,
-    scenario: Scenario,
-    cfg: SimConfig,
-) -> ExperimentResult {
-    let env = SimEnv::standard(scenario.slo);
+/// [`run_cell`] with a custom platform configuration. Unlike the sweep
+/// engine (whose seed axis controls both the workload and `cfg.seed`),
+/// this honours the caller's `cfg.seed` verbatim and keeps the workload
+/// at the shared [`SEED`].
+pub fn run_cell_with(kind: SchedKind, scenario: Scenario, cfg: SimConfig) -> ExperimentResult {
+    let env = esg_sim::SimEnv::standard(scenario.slo);
     let workload = standard_workload(scenario);
     let mut sched = kind.build();
-    run_simulation(&env, cfg, sched.as_mut(), &workload, &scenario.to_string())
+    esg_sim::run_simulation(&env, cfg, sched.as_mut(), &workload, &scenario.to_string())
 }
 
-/// Runs every cell of `kinds × scenarios` in parallel (scoped threads,
-/// crossbeam channel fan-in), returning results in deterministic
-/// `(scenario-major, kind-minor)` order.
+/// Runs every cell of `kinds × scenarios` in parallel via the sweep
+/// engine, returning results in deterministic `(scenario-major,
+/// kind-minor)` order.
+///
+/// The bench targets declare [`ExperimentSuite`]s directly; this wrapper
+/// remains public API for callers that want a paired comparison as a flat
+/// list without touching sweep records.
 pub fn run_matrix(
     kinds: &[SchedKind],
     scenarios: &[Scenario],
 ) -> Vec<(Scenario, SchedKind, ExperimentResult)> {
-    let results = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        let (tx, rx) = crossbeam::channel::unbounded();
-        for &scenario in scenarios {
-            for &kind in kinds {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    let r = run_cell(kind, scenario);
-                    tx.send((scenario, kind, r)).expect("receiver alive");
-                });
-            }
+    let sweep = ExperimentSuite::new(
+        "matrix",
+        ScenarioMatrix::new()
+            .schedulers(kinds.iter().copied())
+            .scenarios(scenarios.iter().copied())
+            .seeds([SEED]),
+    )
+    .run();
+    // Cells expand scenario-major, scheduler-minor, seed-innermost; with a
+    // single seed that is exactly the promised order.
+    let mut out = Vec::with_capacity(sweep.results.len());
+    let mut it = sweep.results.into_iter();
+    for &scenario in scenarios {
+        for &kind in kinds {
+            let cell = it.next().expect("matrix fully populated");
+            debug_assert_eq!(cell.scenario, scenario);
+            debug_assert_eq!(cell.scheduler, kind.name());
+            out.push((scenario, kind, cell.result));
         }
-        drop(tx);
-        for item in rx {
-            results.lock().push(item);
-        }
-    });
-    let mut out = results.into_inner();
-    out.sort_by_key(|(scenario, kind, _)| {
-        (
-            scenarios.iter().position(|s| s == scenario).expect("known"),
-            kinds.iter().position(|k| k == kind).expect("known"),
-        )
-    });
+    }
     out
 }
 
 /// The SLO class of a scenario sweep cell (helper for custom sweeps).
 pub fn slo_of(scenario: Scenario) -> SloClass {
     scenario.slo
-}
-
-/// Writes rows as CSV under the workspace-level `bench_results/<name>.csv`
-/// (best effort; the printed output is the primary artifact). Override the
-/// directory with `ESG_RESULTS_DIR`.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) {
-    // Bench binaries run with CWD = the package dir; anchor at the
-    // workspace root instead.
-    let default_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_results");
-    let dir = PathBuf::from(
-        std::env::var("ESG_RESULTS_DIR").unwrap_or_else(|_| default_dir.into()),
-    );
-    if std::fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{name}.csv"));
-    if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = writeln!(f, "{header}");
-        for r in rows {
-            let _ = writeln!(f, "{r}");
-        }
-        eprintln!("[csv] wrote {}", path.display());
-    }
 }
 
 /// Prints a rule-off section header.
@@ -190,5 +186,14 @@ mod tests {
         let w = standard_workload(Scenario::STRICT_LIGHT);
         assert!(w.span_ms() <= RUN_SECONDS * 1000.0);
         assert!(w.span_ms() > 0.8 * RUN_SECONDS * 1000.0);
+    }
+
+    #[test]
+    fn workload_is_seed_deterministic() {
+        let a = workload_for(Scenario::MODERATE_NORMAL, 7, 10.0);
+        let b = workload_for(Scenario::MODERATE_NORMAL, 7, 10.0);
+        let c = workload_for(Scenario::MODERATE_NORMAL, 8, 10.0);
+        assert_eq!(a.intervals_ms(), b.intervals_ms());
+        assert_ne!(a.intervals_ms(), c.intervals_ms());
     }
 }

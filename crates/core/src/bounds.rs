@@ -79,10 +79,7 @@ impl StageTable {
         let mut min_cost_suffix = vec![0.0; n + 1];
         let mut fastest_cost_suffix = vec![0.0; n + 1];
         for s in (0..n).rev() {
-            let min_lat = entries[s]
-                .first()
-                .expect("non-empty")
-                .latency_ms;
+            let min_lat = entries[s].first().expect("non-empty").latency_ms;
             let min_cost = entries[s]
                 .iter()
                 .map(|e| e.per_job_cost_cents)

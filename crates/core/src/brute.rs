@@ -18,8 +18,7 @@ pub fn brute_force(table: &StageTable, gslo_ms: f64, k: usize) -> SearchResult {
     let mut best: Vec<PathCandidate> = Vec::new();
     let mut expansions: u64 = 0;
 
-    let mut stack: Vec<(usize, Vec<Config>, f64, f64)> =
-        vec![(0, Vec::new(), 0.0, 0.0)];
+    let mut stack: Vec<(usize, Vec<Config>, f64, f64)> = vec![(0, Vec::new(), 0.0, 0.0)];
     while let Some((s, configs, time, cost)) = stack.pop() {
         if s == n {
             if time <= gslo_ms {

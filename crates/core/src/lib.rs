@@ -32,4 +32,6 @@ pub use bounds::StageTable;
 pub use brute::brute_force;
 pub use plan::AppPlans;
 pub use scheduler::{EsgScheduler, SearchVariant};
-pub use search::{astar_search, astar_search_bounded, stagewise_search, PathCandidate, SearchResult};
+pub use search::{
+    astar_search, astar_search_bounded, stagewise_search, PathCandidate, SearchResult,
+};

@@ -148,9 +148,7 @@ mod tests {
         }
         assert!((plan.remaining_fraction[0] - 1.0).abs() < 1e-9);
         // Last stage's remaining share is its own share.
-        assert!(
-            (plan.remaining_fraction[4] - plan.stage_fraction[4]).abs() < 1e-12
-        );
+        assert!((plan.remaining_fraction[4] - plan.stage_fraction[4]).abs() < 1e-12);
     }
 
     #[test]

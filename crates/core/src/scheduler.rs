@@ -14,9 +14,9 @@
 //! 5. place with locality first (§3.4): predecessor invoker, home invoker,
 //!    warm invokers, freest cold invoker.
 
+use crate::bounds::StageTable;
 use crate::plan::AppPlans;
 use crate::search::{astar_search_bounded, stagewise_search, SearchResult};
-use crate::bounds::StageTable;
 use esg_model::{Config, FnId, NodeId};
 use esg_sim::{place_locality_first, Capabilities, Outcome, SchedCtx, Scheduler};
 
@@ -324,7 +324,7 @@ impl Scheduler for EsgScheduler {
 mod tests {
     use super::*;
     use esg_model::{AppId, Resources, SloClass};
-    
+
     use esg_sim::{ClusterView, NodeView, QueueKey, SimEnv};
 
     fn env() -> SimEnv {

@@ -171,8 +171,12 @@ impl DominatorTree {
     /// parents), deterministic.
     pub fn post_order(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.len());
-        let mut stack: Vec<(usize, bool)> =
-            self.roots.iter().rev().map(|&r| (r as usize, false)).collect();
+        let mut stack: Vec<(usize, bool)> = self
+            .roots
+            .iter()
+            .rev()
+            .map(|&r| (r as usize, false))
+            .collect();
         while let Some((v, expanded)) = stack.pop() {
             if expanded {
                 out.push(v);
@@ -244,7 +248,16 @@ mod tests {
         // 0 -> {1, 2}; 1 -> {3, 4} -> 5; {5, 2} -> 6
         let d = Dag::new(
             7,
-            &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5), (4, 5), (5, 6), (2, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (2, 6),
+            ],
         )
         .expect("valid");
         let t = DominatorTree::build(&d);
@@ -286,7 +299,19 @@ mod tests {
             (3, vec![(0, 1), (1, 2)]),
             (4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]),
             (3, vec![(0, 1), (1, 2), (0, 2)]),
-            (7, vec![(0, 1), (0, 2), (1, 3), (1, 4), (3, 5), (4, 5), (5, 6), (2, 6)]),
+            (
+                7,
+                vec![
+                    (0, 1),
+                    (0, 2),
+                    (1, 3),
+                    (1, 4),
+                    (3, 5),
+                    (4, 5),
+                    (5, 6),
+                    (2, 6),
+                ],
+            ),
             (5, vec![(0, 1), (0, 2), (1, 3), (2, 4)]),
         ];
         for (n, edges) in graphs {

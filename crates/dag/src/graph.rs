@@ -44,7 +44,10 @@ impl fmt::Display for DagError {
                 write!(f, "node {node} is unreachable from the entries")
             }
             DagError::NotReducible { split } => {
-                write!(f, "DAG is not hierarchically reducible at split node {split}")
+                write!(
+                    f,
+                    "DAG is not hierarchically reducible at split node {split}"
+                )
             }
         }
     }
@@ -159,12 +162,16 @@ impl Dag {
 
     /// Nodes with no predecessors.
     pub fn entries(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&v| self.preds[v].is_empty()).collect()
+        (0..self.len())
+            .filter(|&v| self.preds[v].is_empty())
+            .collect()
     }
 
     /// Nodes with no successors.
     pub fn exits(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&v| self.succs[v].is_empty()).collect()
+        (0..self.len())
+            .filter(|&v| self.succs[v].is_empty())
+            .collect()
     }
 
     /// True when the DAG is a single chain.
@@ -204,13 +211,7 @@ impl Dag {
         out
     }
 
-    fn paths_rec(
-        &self,
-        cur: usize,
-        to: usize,
-        path: &mut Vec<usize>,
-        out: &mut Vec<Vec<usize>>,
-    ) {
+    fn paths_rec(&self, cur: usize, to: usize, path: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
         if cur == to {
             out.push(path.clone());
             return;
@@ -259,13 +260,20 @@ mod tests {
             Dag::new(2, &[(0, 1), (1, 0)]).expect_err("cycle"),
             DagError::Cycle
         );
-        assert_eq!(Dag::new(1, &[(0, 0)]).expect_err("self loop"), DagError::Cycle);
+        assert_eq!(
+            Dag::new(1, &[(0, 0)]).expect_err("self loop"),
+            DagError::Cycle
+        );
     }
 
     #[test]
     fn out_of_range_edge() {
         match Dag::new(2, &[(0, 5)]) {
-            Err(DagError::EdgeOutOfRange { from: 0, to: 5, nodes: 2 }) => {}
+            Err(DagError::EdgeOutOfRange {
+                from: 0,
+                to: 5,
+                nodes: 2,
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -323,7 +331,16 @@ mod tests {
         // Two stacked diamonds: 0->{1,2}->3->{4,5}->6 has 4 paths 0->6.
         let d = Dag::new(
             7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .expect("valid");
         assert_eq!(d.all_paths(0, 6).len(), 4);

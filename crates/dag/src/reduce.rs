@@ -65,7 +65,11 @@ impl Hierarchy {
         let mut items = Vec::new();
         let branches = heads
             .into_iter()
-            .map(|h| Ok(Hierarchy { items: chain_from(dag, &domtree, h)? }))
+            .map(|h| {
+                Ok(Hierarchy {
+                    items: chain_from(dag, &domtree, h)?,
+                })
+            })
             .collect::<Result<Vec<_>, DagError>>()?;
         items.push(Item::Parallel(branches));
         if let Some(&c) = conts.first() {
@@ -95,7 +99,11 @@ impl Hierarchy {
             .map(|it| match it {
                 Item::Node(_) => 0,
                 Item::Parallel(branches) => {
-                    1 + branches.iter().map(|b| b.nesting_depth()).max().unwrap_or(0)
+                    1 + branches
+                        .iter()
+                        .map(|b| b.nesting_depth())
+                        .max()
+                        .unwrap_or(0)
                 }
             })
             .max()
@@ -128,11 +136,7 @@ fn collect_nodes(items: &[Item], out: &mut Vec<usize>) {
 }
 
 /// Walks the dominator subtree rooted at `x`, emitting the chain of items.
-fn chain_from(
-    dag: &Dag,
-    domtree: &DominatorTree,
-    x: usize,
-) -> Result<Vec<Item>, DagError> {
+fn chain_from(dag: &Dag, domtree: &DominatorTree, x: usize) -> Result<Vec<Item>, DagError> {
     let mut items = Vec::new();
     let mut cur = Some(x);
     while let Some(u) = cur {
@@ -227,7 +231,17 @@ mod tests {
         // 0 -> {1, 2}; 1 -> {3, 4} -> 5; {5, 2} -> 6 -> 7
         let d = Dag::new(
             8,
-            &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5), (4, 5), (5, 6), (2, 6), (6, 7)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (2, 6),
+                (6, 7),
+            ],
         )
         .expect("valid");
         let h = Hierarchy::build(&d).expect("reducible");
@@ -275,8 +289,7 @@ mod tests {
     fn non_reducible_double_join_rejected() {
         // 0 -> {1, 2}; both 1->3, 2->3 and 1->4, 2->4: joins 3 and 4 are
         // both dominated by 0 with cross preds -> two continuations.
-        let d = Dag::new(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4)])
-            .expect("valid");
+        let d = Dag::new(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 4)]).expect("valid");
         match Hierarchy::build(&d) {
             Err(DagError::NotReducible { split: 0 }) => {}
             other => panic!("expected NotReducible at 0, got {other:?}"),
@@ -287,7 +300,16 @@ mod tests {
     fn nodes_cover_every_dag_node_once() {
         let d = Dag::new(
             7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .expect("valid");
         let h = Hierarchy::build(&d).expect("reducible");

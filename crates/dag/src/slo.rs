@@ -116,13 +116,7 @@ impl SloPlan {
 }
 
 /// Recursive quota assignment over a reduced chain.
-fn assign(
-    items: &[Item],
-    anl: &[f64],
-    g: usize,
-    quota: f64,
-    out: &mut Vec<SloGroup>,
-) {
+fn assign(items: &[Item], anl: &[f64], g: usize, quota: f64, out: &mut Vec<SloGroup>) {
     // Partition the chain: runs of original nodes chunked to size <= g;
     // parallel items stand alone.
     enum Seg<'a> {
@@ -154,10 +148,7 @@ fn assign(
     let seg_anl = |s: &Seg| -> f64 {
         match s {
             Seg::Run(nodes) => nodes.iter().map(|&v| anl[v]).sum(),
-            Seg::Par(branches) => item_anl(
-                &Item::Parallel((*branches).to_vec()),
-                anl,
-            ),
+            Seg::Par(branches) => item_anl(&Item::Parallel((*branches).to_vec()), anl),
         }
     };
     let total: f64 = segs.iter().map(seg_anl).sum();
@@ -263,7 +254,17 @@ mod tests {
     fn every_node_in_exactly_one_group() {
         let d = Dag::new(
             8,
-            &[(0, 1), (0, 2), (1, 3), (1, 4), (3, 5), (4, 5), (5, 6), (2, 6), (6, 7)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (2, 6),
+                (6, 7),
+            ],
         )
         .expect("valid");
         let plan = SloPlan::build(&d, &uniform_anl(8), 3).expect("plan");

@@ -112,11 +112,7 @@ impl ConfigGrid {
 
     /// Builds a grid from explicit option lists. Options are sorted and
     /// deduplicated; each list must end up non-empty.
-    pub fn new(
-        mut batches: Vec<u32>,
-        mut vcpus: Vec<u32>,
-        mut vgpus: Vec<u32>,
-    ) -> Self {
+    pub fn new(mut batches: Vec<u32>, mut vcpus: Vec<u32>, mut vgpus: Vec<u32>) -> Self {
         for list in [&mut batches, &mut vcpus, &mut vgpus] {
             list.sort_unstable();
             list.dedup();
@@ -155,9 +151,9 @@ impl ConfigGrid {
     /// Iterates over every configuration in the grid (batch-major order).
     pub fn iter(&self) -> impl Iterator<Item = Config> + '_ {
         self.batches.iter().flat_map(move |&b| {
-            self.vcpus.iter().flat_map(move |&c| {
-                self.vgpus.iter().map(move |&g| Config::new(b, c, g))
-            })
+            self.vcpus
+                .iter()
+                .flat_map(move |&c| self.vgpus.iter().map(move |&g| Config::new(b, c, g)))
         })
     }
 

@@ -97,8 +97,8 @@ mod tests {
         let t1 = latency_ms(&f, Config::new(1, 1, 1));
         let t_inf = latency_ms(&f, Config::new(1, 10_000, 1));
         // CPU part can shrink to its serial fraction, no further.
-        let floor = f.exec_ms * (1.0 - f.cpu_fraction)
-            + f.exec_ms * f.cpu_fraction * f.cpu_serial_fraction;
+        let floor =
+            f.exec_ms * (1.0 - f.cpu_fraction) + f.exec_ms * f.cpu_fraction * f.cpu_serial_fraction;
         assert!(t_inf >= floor - 1e-6);
         assert!(t_inf < t1);
     }

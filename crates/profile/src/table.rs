@@ -71,8 +71,7 @@ impl FunctionProfile {
         let min_latency_ms = entries.first().expect("non-empty grid").latency_ms;
         let fastest_per_job_cost_cents =
             entries.first().expect("non-empty grid").per_job_cost_cents;
-        let min_per_job_cost_cents =
-            entries[by_cost[0] as usize].per_job_cost_cents;
+        let min_per_job_cost_cents = entries[by_cost[0] as usize].per_job_cost_cents;
         FunctionProfile {
             min_config_entry: make(Config::MIN),
             entries,
@@ -368,8 +367,7 @@ mod tests {
             for e in t.profile(FnId(f as u32)).entries() {
                 assert!((e.per_job_latency_ms * e.config.batch as f64 - e.latency_ms).abs() < 1e-9);
                 assert!(
-                    (e.per_job_cost_cents * e.config.batch as f64 - e.task_cost_cents).abs()
-                        < 1e-9
+                    (e.per_job_cost_cents * e.config.batch as f64 - e.task_cost_cents).abs() < 1e-9
                 );
             }
         }

@@ -224,7 +224,9 @@ impl Cluster {
     /// Creates `n` identical nodes.
     pub fn new(n: usize, per_node: Resources) -> Cluster {
         Cluster {
-            nodes: (0..n as u32).map(|i| Node::new(NodeId(i), per_node)).collect(),
+            nodes: (0..n as u32)
+                .map(|i| Node::new(NodeId(i), per_node))
+                .collect(),
         }
     }
 
@@ -344,7 +346,10 @@ mod tests {
         let keep = SimTime::from_secs(600.0);
         n.return_slot(FnId(2), SimTime::from_ms(1.0), keep, false);
         n.return_slot(FnId(0), SimTime::from_ms(1.0), keep, false);
-        assert_eq!(n.warm_functions(SimTime::from_ms(2.0)), vec![FnId(0), FnId(2)]);
+        assert_eq!(
+            n.warm_functions(SimTime::from_ms(2.0)),
+            vec![FnId(0), FnId(2)]
+        );
         assert!(n.warm_functions(SimTime::from_secs(700.0)).is_empty());
     }
 

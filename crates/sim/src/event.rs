@@ -82,7 +82,11 @@ mod tests {
         let order: Vec<Event> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(
             order,
-            vec![Event::Arrival(0), Event::TaskComplete(7), Event::ControllerStep]
+            vec![
+                Event::Arrival(0),
+                Event::TaskComplete(7),
+                Event::ControllerStep
+            ]
         );
         assert!(q.is_empty());
     }

@@ -48,7 +48,7 @@ pub use event::{Event, EventQueue};
 pub use metrics::{AppMetrics, ExperimentResult};
 pub use platform::{run_simulation, MinScheduler, SimConfig, SimEnv, Simulation};
 pub use sched::{
-    home_node, place_locality_first, place_min_fragmentation, Capabilities, ClusterView,
-    JobView, NodeView, Outcome, OverheadModel, QueueKey, SchedCtx, Scheduler,
+    home_node, place_locality_first, place_min_fragmentation, Capabilities, ClusterView, JobView,
+    NodeView, Outcome, OverheadModel, QueueKey, SchedCtx, Scheduler,
 };
 pub use workflow::{AfwQueue, Job, WorkflowInstance};

@@ -104,8 +104,7 @@ pub struct ExperimentResult {
 impl ExperimentResult {
     /// Average of per-app SLO hit rates (Fig. 6's headline metric).
     pub fn avg_hit_rate(&self) -> f64 {
-        let active: Vec<&AppMetrics> =
-            self.apps.iter().filter(|a| a.completed > 0).collect();
+        let active: Vec<&AppMetrics> = self.apps.iter().filter(|a| a.completed > 0).collect();
         if active.is_empty() {
             return 0.0;
         }

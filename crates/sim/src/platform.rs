@@ -323,7 +323,8 @@ impl<'a> Simulation<'a> {
             }
         }
         for (i, a) in self.workload.arrivals.iter().enumerate() {
-            self.events.push(SimTime::from_ms(a.at_ms), Event::Arrival(i));
+            self.events
+                .push(SimTime::from_ms(a.at_ms), Event::Arrival(i));
         }
         while let Some((t, ev)) = self.events.pop() {
             if self.cfg.max_sim_ms > 0.0 && t.as_ms() > self.cfg.max_sim_ms {
@@ -390,8 +391,7 @@ impl<'a> Simulation<'a> {
         let qi = self.queue_index[&key];
         self.queues[qi].push(job);
         if let Some(prev) = self.queue_last_arrival[qi] {
-            self.queue_intervals[qi]
-                .update(self.now.saturating_since(prev).as_ms());
+            self.queue_intervals[qi].update(self.now.saturating_since(prev).as_ms());
         }
         self.queue_last_arrival[qi] = Some(self.now);
         if self.cfg.prewarm {
@@ -399,9 +399,7 @@ impl<'a> Simulation<'a> {
             let f = self.queue_fn[qi];
             let cold = self.env.catalog.get(f).cold_start_ms;
             if let Some(at) = self.predictors[qi].prewarm_at_ms(cold, self.now.as_ms()) {
-                let node =
-                    self.last_node[qi]
-                        .unwrap_or_else(|| home_node(key, self.cluster.len()));
+                let node = self.last_node[qi].unwrap_or_else(|| home_node(key, self.cluster.len()));
                 self.events
                     .push(SimTime::from_ms(at), Event::Prewarm(node.0, f.0));
             }
@@ -600,7 +598,6 @@ impl<'a> Simulation<'a> {
         }
     }
 
-
     fn dispatch(
         &mut self,
         key: QueueKey,
@@ -724,7 +721,10 @@ impl<'a> Simulation<'a> {
             self.tasks.get_mut(&id).expect("live task").committed = true;
         }
         let ok = self.cluster.node_mut(node).allocate(demand, self.now);
-        assert!(ok, "physical capacity must cover commitments on node {node}");
+        assert!(
+            ok,
+            "physical capacity must cover commitments on node {node}"
+        );
         true
     }
 
@@ -740,8 +740,10 @@ impl<'a> Simulation<'a> {
         // Billing covers the span resources are actually attached.
         let cost = self.env.price.task_cost_cents(config, exec_ms);
         self.metrics.apps[key.app.index()].cost_cents += cost;
-        self.events
-            .push(self.now + SimTime::from_ms(exec_ms), Event::TaskComplete(id));
+        self.events.push(
+            self.now + SimTime::from_ms(exec_ms),
+            Event::TaskComplete(id),
+        );
     }
 
     fn complete_task(&mut self, id: u64) {
@@ -916,8 +918,7 @@ mod tests {
     use esg_workload::WorkloadGen;
 
     fn small_workload(n: usize) -> Workload {
-        WorkloadGen::new(WorkloadClass::Light, (0..4u32).map(AppId).collect(), 7)
-            .generate(n)
+        WorkloadGen::new(WorkloadClass::Light, (0..4u32).map(AppId).collect(), 7).generate(n)
     }
 
     #[test]

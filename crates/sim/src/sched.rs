@@ -11,9 +11,7 @@
 //! crate docs for the calibration to the paper's §5.3 numbers).
 
 use crate::workflow::Job;
-use esg_model::{
-    AppId, AppSpec, Catalog, Config, FnId, NodeId, PriceModel, Resources, SimTime,
-};
+use esg_model::{AppId, AppSpec, Catalog, Config, FnId, NodeId, PriceModel, Resources, SimTime};
 use esg_profile::{NoiseModel, ProfileTable, TransferModel};
 
 /// Identifies one AFW queue: `(application, DAG stage)`.
@@ -259,9 +257,7 @@ impl OverheadModel {
 
     /// Simulated decision time.
     pub fn decision_time(&self, expansions: u64) -> SimTime {
-        SimTime::from_us(
-            (self.base_us + self.us_per_expansion * expansions as f64).round() as u64,
-        )
+        SimTime::from_us((self.base_us + self.us_per_expansion * expansions as f64).round() as u64)
     }
 }
 
@@ -367,22 +363,47 @@ mod tests {
 
     #[test]
     fn free_overhead_is_zero() {
-        assert_eq!(OverheadModel::free().decision_time(1_000_000), SimTime::ZERO);
+        assert_eq!(
+            OverheadModel::free().decision_time(1_000_000),
+            SimTime::ZERO
+        );
     }
 
     #[test]
     fn home_node_is_stable_and_spread() {
-        let a = home_node(QueueKey { app: AppId(0), stage: 0 }, 16);
-        let b = home_node(QueueKey { app: AppId(0), stage: 0 }, 16);
+        let a = home_node(
+            QueueKey {
+                app: AppId(0),
+                stage: 0,
+            },
+            16,
+        );
+        let b = home_node(
+            QueueKey {
+                app: AppId(0),
+                stage: 0,
+            },
+            16,
+        );
         assert_eq!(a, b);
         // Different stages of different apps spread across nodes.
         let mut distinct = std::collections::HashSet::new();
         for app in 0..4u32 {
             for stage in 0..5usize {
-                distinct.insert(home_node(QueueKey { app: AppId(app), stage }, 16));
+                distinct.insert(home_node(
+                    QueueKey {
+                        app: AppId(app),
+                        stage,
+                    },
+                    16,
+                ));
             }
         }
-        assert!(distinct.len() >= 8, "only {} distinct homes", distinct.len());
+        assert!(
+            distinct.len() >= 8,
+            "only {} distinct homes",
+            distinct.len()
+        );
     }
 
     #[test]

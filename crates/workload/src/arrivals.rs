@@ -159,10 +159,7 @@ mod tests {
         }
         assert_eq!(counts.len(), 4);
         for (&app, &c) in &counts {
-            assert!(
-                (c as f64 - 2000.0).abs() < 300.0,
-                "app {app}: {c} arrivals"
-            );
+            assert!((c as f64 - 2000.0).abs() < 300.0, "app {app}: {c} arrivals");
         }
     }
 
@@ -193,8 +190,14 @@ mod tests {
     #[test]
     fn from_arrivals_sorts() {
         let w = Workload::from_arrivals(vec![
-            Arrival { at_ms: 5.0, app: AppId(0) },
-            Arrival { at_ms: 1.0, app: AppId(1) },
+            Arrival {
+                at_ms: 5.0,
+                app: AppId(0),
+            },
+            Arrival {
+                at_ms: 1.0,
+                app: AppId(1),
+            },
         ]);
         assert_eq!(w.arrivals[0].at_ms, 1.0);
         assert_eq!(w.span_ms(), 5.0);

@@ -52,8 +52,7 @@ impl AzureLikeTrace {
         let mut noise = Gaussian::new(1.0, 0.15);
         (0..minutes)
             .map(|m| {
-                let phase =
-                    2.0 * std::f64::consts::PI * m as f64 / self.period_minutes;
+                let phase = 2.0 * std::f64::consts::PI * m as f64 / self.period_minutes;
                 let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
                 let burst = if rng.random::<f64>() < self.burst_probability {
                     self.burst_multiplier

@@ -11,7 +11,9 @@
 use esg::prelude::*;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "strict-light".into());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "strict-light".into());
     let scenario = match arg.as_str() {
         "strict-light" => Scenario::STRICT_LIGHT,
         "moderate-normal" => Scenario::MODERATE_NORMAL,

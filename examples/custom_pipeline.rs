@@ -12,7 +12,12 @@ fn main() {
     // deblur -> {super-resolution, segmentation} -> classification
     let app = AppSpec::dag(
         "diamond_classification",
-        vec![f::DEBLUR, f::SUPER_RESOLUTION, f::SEGMENTATION, f::CLASSIFICATION],
+        vec![
+            f::DEBLUR,
+            f::SUPER_RESOLUTION,
+            f::SEGMENTATION,
+            f::CLASSIFICATION,
+        ],
         vec![(0, 1), (0, 2), (1, 3), (2, 3)],
     );
     let dag = Dag::from_app(&app).expect("valid DAG");
@@ -30,8 +35,11 @@ fn main() {
 
     // Hierarchical reduction: the DAG collapses to chain-parallel-chain.
     let h = Hierarchy::build(&dag).expect("hierarchically reducible");
-    println!("\nreduced hierarchy: {} top-level items, nesting depth {}",
-        h.items.len(), h.nesting_depth());
+    println!(
+        "\nreduced hierarchy: {} top-level items, nesting depth {}",
+        h.items.len(),
+        h.nesting_depth()
+    );
 
     // ANL labelling from the profile substrate and the SLO plan.
     let env = SimEnv::standard(SloClass::Moderate);
@@ -41,8 +49,11 @@ fn main() {
     let plan = SloPlan::build(&dag, &anl, 3).expect("plan");
     println!("SLO groups (g = 3):");
     for (i, g) in plan.groups().iter().enumerate() {
-        println!("  group {i}: stages {:?} get {:.1}% of the SLO",
-            g.members, g.fraction * 100.0);
+        println!(
+            "  group {i}: stages {:?} get {:.1}% of the SLO",
+            g.members,
+            g.fraction * 100.0
+        );
     }
 
     // Simulate the custom app end to end under ESG.
@@ -50,8 +61,7 @@ fn main() {
     env.apps = vec![app];
     // A single application receives the whole arrival stream, so use the
     // light class to keep the one pipeline inside cluster capacity.
-    let workload =
-        WorkloadGen::new(WorkloadClass::Light, vec![AppId(0)], 11).generate(1200);
+    let workload = WorkloadGen::new(WorkloadClass::Light, vec![AppId(0)], 11).generate(1200);
     let mut esg = EsgScheduler::new();
     let cfg = SimConfig {
         warmup_exclude_ms: 15_000.0,

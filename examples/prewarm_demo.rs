@@ -30,12 +30,8 @@ fn main() {
     // starts with one warm container per (node, function); under load the
     // proxy's job is growing pools ahead of concurrency spikes.
     let env = SimEnv::standard(SloClass::Relaxed);
-    let workload = WorkloadGen::new(
-        WorkloadClass::Normal,
-        esg::model::standard_app_ids(),
-        3,
-    )
-    .generate_for(120_000.0);
+    let workload = WorkloadGen::new(WorkloadClass::Normal, esg::model::standard_app_ids(), 3)
+        .generate_for(120_000.0);
     println!("\n{} invocations over 120 s:", workload.len());
     for (label, prewarm) in [("with pre-warming", true), ("without", false)] {
         let cfg = SimConfig {

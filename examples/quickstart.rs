@@ -46,12 +46,8 @@ fn main() {
     assert!((oracle.paths[0].cost_cents - result.paths[0].cost_cents).abs() < 1e-9);
 
     // And run a small end-to-end simulation with the full scheduler.
-    let workload = WorkloadGen::new(
-        WorkloadClass::Normal,
-        esg::model::standard_app_ids(),
-        7,
-    )
-    .generate(1500);
+    let workload =
+        WorkloadGen::new(WorkloadClass::Normal, esg::model::standard_app_ids(), 7).generate(1500);
     let mut esg = EsgScheduler::new();
     let cfg = SimConfig {
         warmup_exclude_ms: 15_000.0, // steady-state measurement

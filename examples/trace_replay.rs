@@ -20,8 +20,10 @@ fn main() {
         seed: 5,
     };
     let rates = trace.rates(minutes);
-    println!("per-minute arrival rates: {:?}",
-        rates.iter().map(|r| r.round() as u64).collect::<Vec<_>>());
+    println!(
+        "per-minute arrival rates: {:?}",
+        rates.iter().map(|r| r.round() as u64).collect::<Vec<_>>()
+    );
 
     let workload = trace.generate(minutes, &esg::model::standard_app_ids());
     println!("{} invocations over {minutes} min", workload.len());

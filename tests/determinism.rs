@@ -8,8 +8,8 @@ fn run(seed: u64, sched_seed: u64) -> ExperimentResult {
         SloClass::Moderate,
         ConfigGrid::new(vec![1, 2, 4], vec![1, 2, 4], vec![1, 2]),
     );
-    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), seed)
-        .generate(80);
+    let w =
+        WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), seed).generate(80);
     let mut s = esg::core::EsgScheduler::new();
     let cfg = SimConfig {
         seed: sched_seed,

@@ -7,7 +7,10 @@ use esg::prelude::*;
 fn small_env(slo: SloClass) -> SimEnv {
     // Reduced grid keeps debug-mode search time low without changing the
     // platform semantics under test.
-    SimEnv::with_grid(slo, ConfigGrid::new(vec![1, 2, 4], vec![1, 2, 4, 8], vec![1, 2]))
+    SimEnv::with_grid(
+        slo,
+        ConfigGrid::new(vec![1, 2, 4], vec![1, 2, 4, 8], vec![1, 2]),
+    )
 }
 
 fn workload(n: usize) -> Workload {

@@ -11,15 +11,18 @@ fn tiny_cluster_still_makes_progress() {
         SloClass::Relaxed,
         ConfigGrid::new(vec![1, 2], vec![1, 2, 4], vec![1, 2]),
     );
-    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 13)
-        .generate(60);
+    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 13).generate(60);
     let mut s = esg::core::EsgScheduler::new();
     let cfg = SimConfig {
         nodes: 2,
         ..SimConfig::default()
     };
     let r = run_simulation(&env, cfg, &mut s, &w, "tiny");
-    assert_eq!(r.total_completed(), 60, "forced-min must guarantee progress");
+    assert_eq!(
+        r.total_completed(),
+        60,
+        "forced-min must guarantee progress"
+    );
 }
 
 #[test]
@@ -30,8 +33,7 @@ fn heterogeneous_capacity_configs() {
         SloClass::Relaxed,
         ConfigGrid::new(vec![1, 2], vec![1, 2, 4], vec![1, 2]),
     );
-    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 5)
-        .generate(50);
+    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 5).generate(50);
     let mut s = esg::core::EsgScheduler::new();
     let cfg = SimConfig {
         nodes: 8,
@@ -48,8 +50,7 @@ fn no_batching_grid_still_completes() {
         SloClass::Relaxed,
         ConfigGrid::new(vec![1, 2, 4], vec![1, 2, 4], vec![1, 2]).without_batching(),
     );
-    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 2)
-        .generate(60);
+    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 2).generate(60);
     let mut s = esg::core::EsgScheduler::new();
     let r = run_simulation(&env, SimConfig::default(), &mut s, &w, "nobatch");
     assert_eq!(r.total_completed(), 60);
@@ -63,8 +64,7 @@ fn no_gpu_sharing_grid_still_completes() {
         SloClass::Relaxed,
         ConfigGrid::default().without_gpu_sharing(7),
     );
-    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 2)
-        .generate(40);
+    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 2).generate(40);
     let mut s = esg::core::EsgScheduler::new();
     let r = run_simulation(&env, SimConfig::default(), &mut s, &w, "nogpushare");
     assert_eq!(r.total_completed(), 40);
@@ -109,7 +109,11 @@ fn single_invocation_runs_alone() {
     assert_eq!(r.total_completed(), 1);
     let m = &r.apps[3];
     // Alone on a warm cluster, the 5-stage pipeline meets a relaxed SLO.
-    assert_eq!(m.slo_hits, 1, "latency {:?} vs slo {}", m.latencies_ms, m.slo_ms);
+    assert_eq!(
+        m.slo_hits, 1,
+        "latency {:?} vs slo {}",
+        m.latencies_ms, m.slo_ms
+    );
 }
 
 #[test]
@@ -127,8 +131,7 @@ fn truly_heterogeneous_cluster_completes_and_respects_capacities() {
         SloClass::Relaxed,
         ConfigGrid::new(vec![1, 2], vec![1, 2, 4], vec![1, 2]),
     );
-    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 17)
-        .generate(60);
+    let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 17).generate(60);
     let mut s = esg::core::EsgScheduler::new();
     let cfg = SimConfig {
         heterogeneous_nodes: &NODES,

@@ -1,0 +1,376 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use — `proptest!`, `prop_assert*!`, `prop_assume!`, `prop_oneof!`,
+//! range/tuple/`Just`/`any` strategies, `collection::vec`,
+//! `sample::subsequence`, `prop_map` / `prop_flat_map` / `prop_recursive` —
+//! with two deliberate simplifications:
+//!
+//! * **deterministic generation**: each test's case stream is seeded from a
+//!   hash of the test name, so failures reproduce exactly on re-run;
+//! * **no shrinking**: a failing case panics with the case index instead of
+//!   a minimised counterexample.
+//!
+//! Swap in real proptest when a registry is available; the call sites need
+//! no changes.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Strategies for collections (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{IntoSizeRange, SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into_size_range(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies sampling from explicit collections (`proptest::sample`).
+pub mod sample {
+    use crate::strategy::{IntoSizeRange, SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing order-preserving subsequences of `values` whose
+    /// length is drawn from `size` (clamped to the collection size).
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: impl IntoSizeRange) -> Subsequence<T> {
+        Subsequence {
+            values,
+            size: size.into_size_range(),
+        }
+    }
+
+    /// See [`subsequence`].
+    #[derive(Clone, Debug)]
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.values.len();
+            let k = self.size.sample(rng).min(n);
+            // Floyd's algorithm for k distinct indices, then order-restore.
+            let mut picked: Vec<usize> = Vec::with_capacity(k);
+            for j in (n - k)..n {
+                let t = rng.random_range(0..=j);
+                if picked.contains(&t) {
+                    picked.push(j);
+                } else {
+                    picked.push(t);
+                }
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and error plumbing.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic generator driving all strategies of one test.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds the generator from a test-name hash (FNV-1a) so each test
+        /// has its own reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the case out.
+        Reject,
+        /// An assertion failed with this message.
+        Fail(String),
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts inside `proptest!` bodies; failure aborts the case with a message
+/// instead of unwinding immediately (mirrors proptest semantics sans shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{} (left: {:?}, right: {:?})", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+        let _ = r;
+    }};
+}
+
+/// Filters out the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($( $strategy:expr ),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20).max(1000),
+                    "proptest shim: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                let ( $($pat,)* ) = (
+                    $( $crate::strategy::Strategy::generate(&($strategy), &mut rng), )*
+                );
+                let outcome = (|| -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => continue,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!(
+                        "property `{}` failed at case {} (attempt {}): {}",
+                        stringify!($name), accepted, attempts, msg
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect bounds; tuples compose.
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 1.5f64..2.5), n in 1usize..=4) {
+            prop_assert!(a < 10);
+            prop_assert!((1.5..2.5).contains(&b));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_subsequence(
+            xs in crate::collection::vec(any::<bool>(), 3),
+            sub in crate::sample::subsequence(vec![1u32, 2, 4, 8], 1..4),
+        ) {
+            prop_assert_eq!(xs.len(), 3);
+            prop_assert!(!sub.is_empty() && sub.len() <= 3);
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]), "order-preserving");
+        }
+
+        #[test]
+        fn assume_filters(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+
+        #[test]
+        fn oneof_map_flat_map(v in prop_oneof![
+            Just(1u32).prop_map(|x| x + 1),
+            (3u32..5).prop_flat_map(|n| n..n + 1),
+        ]) {
+            prop_assert!(v == 2 || v == 3 || v == 4, "got {}", v);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf,
+        Node(Vec<Tree>),
+    }
+
+    fn size(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf => 1,
+            Tree::Node(c) => 1 + c.iter().map(size).sum::<usize>(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn recursive_strategies(t in Just(Tree::Leaf).prop_recursive(3, 24, 3, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        })) {
+            prop_assert!(size(&t) >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = 0u64..1000;
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `rayon`'s parallel iterators.
+//!
+//! Implements the small surface this workspace uses — `into_par_iter()` /
+//! `par_iter()`, `map`, `for_each`, and ordered `collect` — on top of
+//! `std::thread::scope` with a shared atomic work index. Results are
+//! returned in input order regardless of which worker produced them, so
+//! swapping this shim for real `rayon` never changes observable output.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Returns the number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One-stop imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a [`ParallelIterator`].
+pub trait IntoParallelIterator {
+    /// Element type of the resulting iterator.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+    fn into_par_iter(self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+    fn into_par_iter(self) -> ParVec<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// Parallel iterator over an owned buffer of items.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+/// The subset of rayon's `ParallelIterator` this workspace relies on.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Drains the iterator into its items (implementation detail of the
+    /// shim; rayon proper has no such method).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self::Item, R, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        ParMap {
+            items: self.into_items(),
+            f,
+            _r: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_ordered(self.into_items(), f);
+    }
+
+    /// Collects the results in input order.
+    fn collect<C: FromOrderedParallel<Self::Item>>(self) -> C {
+        C::from_ordered(self.into_items())
+    }
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazily mapped parallel iterator (shim: the map runs at collect time).
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _r: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<T, R, F> ParallelIterator for ParMap<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn into_items(self) -> Vec<R> {
+        let f = self.f;
+        run_ordered(self.items, f)
+    }
+}
+
+/// Collection types buildable from ordered parallel output.
+pub trait FromOrderedParallel<T> {
+    /// Builds the collection from items already in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromOrderedParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Applies `f` to every item on a scoped worker pool, returning results in
+/// input order. Work distribution is dynamic (shared atomic cursor), so
+/// stragglers don't serialise the whole batch.
+fn run_ordered<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync + Send) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let out = &out;
+    let cursor = &cursor;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("claimed once");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+
+    out.iter()
+        .map(|m| m.lock().unwrap().take().expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..997).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![1u32, 2, 3, 4];
+        let s: Vec<u32> = v.as_slice().into_par_iter().map(|&x| x + 1).collect();
+        assert_eq!(s, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (0..100u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let r: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The workspace needs to *emit* JSON (`BENCH_*.json` sweep artifacts), not
+//! round-trip arbitrary documents, so this shim provides the
+//! [`Value`] tree, the [`json!`] macro, and the `to_string` /
+//! `to_string_pretty` writers with standard escaping. Object keys keep
+//! insertion order (like upstream's `preserve_order` feature) so emitted
+//! artifacts are stable and diffable.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Ordered string-keyed map used for [`Value::Object`].
+///
+/// Insertion-ordered like upstream `serde_json`'s `preserve_order` map;
+/// lookups are linear, which is fine at artifact-emission sizes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, replacing any previous entry in place.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A JSON number carrying a float (integers from `From<f64>` that
+    /// happen to be integral still print without a fraction).
+    Number(f64),
+    /// A JSON number carrying an integer exactly (i128 covers the full
+    /// u64 and i64 domains, so seeds and counters never lose precision
+    /// the way routing them through f64 would).
+    Int(i128),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as f64, when it is a number (integers convert, with the
+    /// usual f64 precision above 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as u64, when it is an integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, when it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, when it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (`None` elsewhere).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+macro_rules! from_float {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(v as f64) }
+        }
+    )*};
+}
+from_float!(f64, f32);
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Int(v as i128) }
+        }
+    )*};
+}
+from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; emit null like serde_json does for
+        // non-finite f64 through its lossy paths.
+        return "null".to_string();
+    }
+    if n == n.trunc() && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        // Shortest round-trip representation.
+        let s = format!("{n}");
+        s
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Serialises `v` to compact JSON.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Serialises `v` to human-readable JSON (two-space indent).
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish literal syntax:
+/// `json!({"k": 1, "xs": [1, 2], "flag": true, "n": null})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $item:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $( $key:literal : $val:tt ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key, $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output() {
+        let v = json!({"a": 1, "b": [1.5, true, null], "s": "x\"y\n"});
+        assert_eq!(to_string(&v), r#"{"a":1,"b":[1.5,true,null],"s":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_parseable_shape() {
+        let v = json!({"k": [1, 2]});
+        let p = to_string_pretty(&v);
+        assert!(p.contains("\"k\": ["));
+        assert!(p.ends_with('}'));
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a", 1u32);
+        m.insert("b", 2u32);
+        m.insert("a", 3u32);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("a").and_then(Value::as_f64), Some(3.0));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(to_string(&Value::Number(3.0)), "3");
+        assert_eq!(to_string(&Value::Number(3.25)), "3.25");
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn large_integers_are_exact() {
+        // Routed through f64 these would round; Value::Int keeps them.
+        assert_eq!(to_string(&Value::from(u64::MAX)), "18446744073709551615");
+        assert_eq!(
+            to_string(&Value::from(9_007_199_254_740_993u64)),
+            "9007199254740993"
+        );
+        assert_eq!(Value::from(7u64).as_u64(), Some(7));
+        assert_eq!(Value::from(3u32).as_f64(), Some(3.0));
+    }
+}
