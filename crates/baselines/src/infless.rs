@@ -6,7 +6,7 @@
 //! throughput while reducing resource fragmentation."
 //!
 //! §5.1 explains the resulting behaviour this reproduction must show:
-//! INFless "prefer[s] to utilize all remaining resources in one invoker",
+//! INFless "prefer\[s\] to utilize all remaining resources in one invoker",
 //! picks low-latency/high-throughput configurations, and consequently has
 //! the highest resource cost, starving long pipelines.
 

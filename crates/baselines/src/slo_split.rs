@@ -1,7 +1,7 @@
 //! Average-service-time SLO distribution.
 //!
 //! "INFless provides no method for distributing an application's SLO to
-//! its functions. Our experiment follows a prior work [GrandSLAm] to do
+//! its functions. Our experiment follows a prior work \[GrandSLAm\] to do
 //! the distribution based on the average service times of the functions"
 //! (§4.2). The same split is applied to FaST-GShare.
 //!

@@ -3,16 +3,11 @@
 use esg_model::{AppId, InvocationId, NodeId, Resources};
 use esg_sim::{ClusterView, JobView, NodeView, QueueKey, SchedCtx, SimEnv};
 
-/// An idle cluster of `n` standard nodes.
+/// An idle cluster of `n` standard (Table-2 baseline class) nodes.
 pub fn idle_cluster(n: usize) -> ClusterView {
     ClusterView {
         nodes: (0..n as u32)
-            .map(|i| NodeView {
-                id: NodeId(i),
-                free: Resources::new(16, 7),
-                total: Resources::new(16, 7),
-                warm: vec![],
-            })
+            .map(|i| NodeView::idle(NodeId(i), Resources::new(16, 7)))
             .collect(),
     }
 }

@@ -1,8 +1,13 @@
-//! Artifact emission: CSV and JSON files under `bench_results/`.
+//! Artifact emission: CSV/JSON files under `bench_results/` and the
+//! self-documenting `EXPERIMENTS.md` pipeline.
 //!
 //! Emission is best-effort everywhere — the printed output is the primary
 //! artifact of a bench target; files are for plotting and regression
-//! diffing.
+//! diffing. [`render_bench_markdown`] turns the exact document written as
+//! `BENCH_<suite>.json` into paper-style Markdown tables, and
+//! [`update_experiments_md`] splices them into `EXPERIMENTS.md` between
+//! `<!-- BENCH:<suite>:begin/end -->` markers, so reported numbers always
+//! regenerate from artifacts instead of rotting by hand.
 
 use serde_json::Value;
 use std::io::Write;
@@ -51,6 +56,125 @@ fn write_json_to(dir: &Path, name: &str, value: &Value) -> Option<PathBuf> {
     Some(path)
 }
 
+/// Renders a `BENCH_<suite>.json` document (the value produced by
+/// `Sweep::to_json` and written by `Sweep::write_artifacts`) into
+/// paper-style Markdown tables: one table per `(scenario, cluster,
+/// traffic)` group, schedulers as rows, headline metrics as columns.
+pub fn render_bench_markdown(doc: &Value) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let suite = doc.get("suite").and_then(Value::as_str).unwrap_or("?");
+    let run_seconds = doc
+        .get("run_seconds")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .unwrap_or_default();
+    writeln!(
+        out,
+        "Suite `{suite}` — {} runs × {run_seconds:.0} s of arrivals \
+(regenerate: `cargo bench --bench {suite}`).",
+        runs.len()
+    )
+    .expect("writing to String cannot fail");
+
+    // Group runs by (scenario, cluster, traffic), preserving cell order.
+    // Keys stay a tuple of fields — labels are user-settable, so joining
+    // them on a delimiter would corrupt grouping for names containing it.
+    fn key_of(r: &Value) -> (&str, &str, &str) {
+        let s = |k: &str| r.get(k).and_then(Value::as_str).unwrap_or("?");
+        (s("scenario"), s("cluster"), s("traffic"))
+    }
+    let mut group_order: Vec<(&str, &str, &str)> = Vec::new();
+    for r in runs {
+        let k = key_of(r);
+        if !group_order.contains(&k) {
+            group_order.push(k);
+        }
+    }
+    for key in &group_order {
+        let (scenario, cluster, traffic) = *key;
+        writeln!(
+            out,
+            "\n**Scenario `{scenario}` · cluster `{cluster}` · traffic `{traffic}`**\n"
+        )
+        .expect("writing to String cannot fail");
+        out.push_str(
+            "| scheduler | seed | SLO hit % | cost/inv (¢) | cold-start % | \
+locality % | mean overhead (ms) | vGPU util % |\n\
+|---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for r in runs.iter().filter(|r| key_of(r) == *key) {
+            let s = |k: &str| r.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+            let f = |k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            let seed = r.get("seed").and_then(Value::as_u64).unwrap_or(0);
+            writeln!(
+                out,
+                "| {} | {} | {:.1} | {:.3} | {:.1} | {:.1} | {:.2} | {:.1} |",
+                s("scheduler"),
+                seed,
+                100.0 * f("avg_hit_rate"),
+                f("cost_per_invocation_cents"),
+                100.0 * f("cold_start_rate"),
+                100.0 * f("locality_rate"),
+                f("mean_overhead_ms"),
+                100.0 * f("vgpu_utilisation"),
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
+/// The generated experiment report: `$ESG_EXPERIMENTS_MD` when set, else
+/// the workspace-level `EXPERIMENTS.md`.
+pub fn experiments_md_path() -> PathBuf {
+    let default = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
+    PathBuf::from(std::env::var("ESG_EXPERIMENTS_MD").unwrap_or_else(|_| default.into()))
+}
+
+/// Splices `markdown` into the experiment report between
+/// `<!-- BENCH:<suite>:begin -->` / `<!-- BENCH:<suite>:end -->` markers,
+/// appending a new marked section when the suite has none yet. Best
+/// effort; returns the path on success.
+pub fn update_experiments_md(suite: &str, markdown: &str) -> Option<PathBuf> {
+    update_experiments_md_at(&experiments_md_path(), suite, markdown)
+}
+
+fn update_experiments_md_at(path: &Path, suite: &str, markdown: &str) -> Option<PathBuf> {
+    let begin = format!("<!-- BENCH:{suite}:begin -->");
+    let end = format!("<!-- BENCH:{suite}:end -->");
+    let body = format!("{begin}\n{}\n{end}", markdown.trim_end());
+    let current = std::fs::read_to_string(path).unwrap_or_default();
+    let next = match (current.find(&begin), current.find(&end)) {
+        (Some(b), Some(e)) if e >= b => {
+            format!("{}{}{}", &current[..b], body, &current[e + end.len()..])
+        }
+        (None, None) => {
+            let mut s = current;
+            if !s.is_empty() && !s.ends_with('\n') {
+                s.push('\n');
+            }
+            format!("{s}\n## Suite `{suite}`\n\n{body}\n")
+        }
+        // One marker without the other (or out of order): splicing could
+        // eat hand-written prose between a stale marker and a fresh one.
+        // Refuse to touch the file rather than risk data loss.
+        _ => {
+            eprintln!(
+                "[md] inconsistent BENCH:{suite} markers in {}; not updating",
+                path.display()
+            );
+            return None;
+        }
+    };
+    std::fs::write(path, next).ok()?;
+    eprintln!("[md] updated {} (section {suite})", path.display());
+    Some(path.to_path_buf())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +200,103 @@ mod tests {
     fn emission_into_unwritable_dir_is_a_no_op() {
         write_csv_to(Path::new("/proc/esg_no_such_dir"), "x", "a", &[]);
         assert!(write_json_to(Path::new("/proc/esg_no_such_dir"), "x", &json!(null)).is_none());
+    }
+
+    fn sample_doc() -> Value {
+        json!({
+            "suite": "demo",
+            "run_seconds": 4.0,
+            "cells": 2,
+            "runs": [
+                {
+                    "scheduler": "ESG", "scenario": "strict-light",
+                    "cluster": "paper-16xa100", "traffic": "steady", "seed": 42,
+                    "avg_hit_rate": 0.93, "cost_per_invocation_cents": 0.412,
+                    "cold_start_rate": 0.05, "locality_rate": 0.8,
+                    "mean_overhead_ms": 1.25, "vgpu_utilisation": 0.4
+                },
+                {
+                    "scheduler": "Orion", "scenario": "strict-light",
+                    "cluster": "skewed+churn", "traffic": "bursty", "seed": 42,
+                    "avg_hit_rate": 0.71, "cost_per_invocation_cents": 0.63,
+                    "cold_start_rate": 0.2, "locality_rate": 0.4,
+                    "mean_overhead_ms": 45.0, "vgpu_utilisation": 0.3
+                }
+            ]
+        })
+    }
+
+    #[test]
+    fn markdown_renders_one_table_per_group() {
+        let md = render_bench_markdown(&sample_doc());
+        assert!(md.contains("Suite `demo`"));
+        assert!(md.contains("cluster `paper-16xa100` · traffic `steady`"));
+        assert!(md.contains("cluster `skewed+churn` · traffic `bursty`"));
+        assert!(md.contains("| ESG | 42 | 93.0 | 0.412 | 5.0 | 80.0 | 1.25 | 40.0 |"));
+        assert!(md.contains("| Orion | 42 | 71.0 |"));
+        assert_eq!(md.matches("| scheduler | seed |").count(), 2);
+    }
+
+    #[test]
+    fn experiments_md_sections_append_then_replace() {
+        let dir = std::env::temp_dir().join("esg_experiments_md_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("EXPERIMENTS.md");
+        std::fs::write(&path, "# Report\n\nintro\n").expect("seed file");
+        // First write appends a marked section.
+        update_experiments_md_at(&path, "demo", "v1 rows").expect("writable");
+        let one = std::fs::read_to_string(&path).expect("written");
+        assert!(one.contains("intro"));
+        assert!(one.contains("<!-- BENCH:demo:begin -->\nv1 rows\n<!-- BENCH:demo:end -->"));
+        // Second write replaces in place without duplicating.
+        update_experiments_md_at(&path, "demo", "v2 rows").expect("writable");
+        let two = std::fs::read_to_string(&path).expect("written");
+        assert!(two.contains("v2 rows"));
+        assert!(!two.contains("v1 rows"));
+        assert_eq!(two.matches("<!-- BENCH:demo:begin -->").count(), 1);
+        // Other suites get their own section.
+        update_experiments_md_at(&path, "other", "other rows").expect("writable");
+        let three = std::fs::read_to_string(&path).expect("written");
+        assert!(three.contains("## Suite `other`"));
+        assert!(three.contains("v2 rows"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delimiter_in_cluster_label_does_not_corrupt_grouping() {
+        let doc = json!({
+            "suite": "s", "run_seconds": 1.0, "cells": 1,
+            "runs": [{
+                "scheduler": "ESG", "scenario": "strict-light",
+                "cluster": "a100|t4-mix", "traffic": "steady", "seed": 1,
+                "avg_hit_rate": 1.0, "cost_per_invocation_cents": 0.1,
+                "cold_start_rate": 0.0, "locality_rate": 0.5,
+                "mean_overhead_ms": 0.5, "vgpu_utilisation": 0.2
+            }]
+        });
+        let md = render_bench_markdown(&doc);
+        assert!(md.contains("cluster `a100|t4-mix` · traffic `steady`"));
+        assert_eq!(md.matches("| scheduler | seed |").count(), 1);
+    }
+
+    #[test]
+    fn inconsistent_markers_refuse_to_update() {
+        let dir = std::env::temp_dir().join("esg_experiments_md_markers_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("EXPERIMENTS.md");
+        // A begin marker whose end was lost to a manual edit: splicing
+        // here could eat the prose after it, so the update must refuse.
+        let damaged = "# Report\n\n<!-- BENCH:demo:begin -->\nold rows\n\nhand-written prose\n";
+        std::fs::write(&path, damaged).expect("seed file");
+        assert!(update_experiments_md_at(&path, "demo", "new rows").is_none());
+        assert_eq!(std::fs::read_to_string(&path).expect("file"), damaged);
+        // End before begin is equally malformed.
+        let reversed = "<!-- BENCH:demo:end -->\nprose\n<!-- BENCH:demo:begin -->\n";
+        std::fs::write(&path, reversed).expect("seed file");
+        assert!(update_experiments_md_at(&path, "demo", "new rows").is_none());
+        assert_eq!(std::fs::read_to_string(&path).expect("file"), reversed);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

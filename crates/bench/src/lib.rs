@@ -20,14 +20,16 @@
 mod emit;
 mod suite;
 
-pub use emit::{results_dir, write_csv, write_json};
-pub use suite::{ExperimentSuite, RunSpec, ScenarioMatrix, SchedSpec, Sweep, SweepResult};
+pub use emit::{render_bench_markdown, results_dir, update_experiments_md, write_csv, write_json};
+pub use suite::{
+    ClusterCase, ExperimentSuite, RunSpec, ScenarioMatrix, SchedSpec, Sweep, SweepResult,
+};
 
 use esg_baselines::{AquatopeScheduler, FastGShareScheduler, InflessScheduler, OrionScheduler};
 use esg_core::EsgScheduler;
-use esg_model::{standard_app_ids, Scenario, SloClass};
+use esg_model::{standard_app_ids, Scenario, SloClass, TrafficShape};
 use esg_sim::{ExperimentResult, Scheduler, SimConfig};
-use esg_workload::{Workload, WorkloadGen};
+use esg_workload::{shaped_workload, Workload, WorkloadGen};
 
 /// Simulated seconds of arrivals per experiment run.
 pub const RUN_SECONDS: f64 = 120.0;
@@ -93,9 +95,27 @@ pub fn standard_workload(scenario: Scenario) -> Workload {
 }
 
 /// A scenario's workload at an explicit seed and duration (the sweep
-/// engine's per-cell generator).
+/// engine's per-cell generator for steady traffic).
 pub fn workload_for(scenario: Scenario, seed: u64, run_seconds: f64) -> Workload {
     WorkloadGen::new(scenario.workload, standard_app_ids(), seed).generate_for(run_seconds * 1000.0)
+}
+
+/// A scenario's workload under an arbitrary traffic shape (the sweep
+/// engine's per-cell generator). `Steady` matches [`workload_for`]
+/// bit-for-bit.
+pub fn workload_for_shape(
+    scenario: Scenario,
+    shape: TrafficShape,
+    seed: u64,
+    run_seconds: f64,
+) -> Workload {
+    shaped_workload(
+        scenario.workload,
+        shape,
+        &standard_app_ids(),
+        seed,
+        run_seconds * 1000.0,
+    )
 }
 
 /// The standard platform configuration (Table 2 + steady-state warm-up).

@@ -1,9 +1,17 @@
 //! The scenario-sweep engine: declarative matrices expanded into
 //! independent, deterministically seeded simulation runs executed in
 //! parallel.
+//!
+//! Five axes: schedulers × scenarios (SLO/workload pairings) × cluster
+//! cases (a [`ClusterSpec`] plus optional churn) × traffic shapes × seeds.
+//! The cluster and traffic axes default to singletons — the platform
+//! configuration's cluster and steady arrivals — so paper-style sweeps
+//! stay two-axis declarations.
 
-use crate::{standard_config, workload_for, SchedKind, RUN_SECONDS, SEED};
-use esg_model::{ConfigGrid, Scenario, SloClass, WorkloadClass};
+use crate::{standard_config, workload_for_shape, SchedKind, RUN_SECONDS, SEED};
+use esg_model::{
+    ChurnPlan, ClusterSpec, ConfigGrid, Scenario, SloClass, TrafficShape, WorkloadClass,
+};
 use esg_sim::{run_simulation, ExperimentResult, Scheduler, SimConfig, SimEnv};
 use esg_workload::Workload;
 use rayon::prelude::*;
@@ -58,13 +66,62 @@ impl std::fmt::Debug for SchedSpec {
     }
 }
 
-/// A declarative sweep grid: schedulers × scenarios × seeds, where the
-/// scenario axis is either an explicit list (the paper's three pairings)
-/// or a full SLO-class × workload-class cross product.
+/// One point on the cluster axis: a declarative [`ClusterSpec`] plus an
+/// optional scripted [`ChurnPlan`], under a display label.
+#[derive(Clone, Debug)]
+pub struct ClusterCase {
+    /// Axis label (records, CSV, reports).
+    pub name: String,
+    /// The cluster to materialise for every cell of this case.
+    pub spec: ClusterSpec,
+    /// Node drains/joins applied mid-run. Empty = inherit whatever churn
+    /// the suite's platform configuration carries (usually none).
+    pub churn: ChurnPlan,
+}
+
+impl ClusterCase {
+    /// A static-cluster case labelled with the spec's own name.
+    pub fn new(spec: ClusterSpec) -> ClusterCase {
+        ClusterCase {
+            name: spec.name.clone(),
+            spec,
+            churn: ChurnPlan::none(),
+        }
+    }
+
+    /// Attaches a churn plan and tags the label with `+churn`.
+    pub fn with_churn(mut self, churn: ChurnPlan) -> ClusterCase {
+        if !churn.is_empty() && !self.name.ends_with("+churn") {
+            self.name.push_str("+churn");
+        }
+        self.churn = churn;
+        self
+    }
+
+    /// Overrides the axis label.
+    pub fn named(mut self, name: impl Into<String>) -> ClusterCase {
+        self.name = name.into();
+        self
+    }
+}
+
+impl From<ClusterSpec> for ClusterCase {
+    fn from(spec: ClusterSpec) -> Self {
+        ClusterCase::new(spec)
+    }
+}
+
+/// A declarative sweep grid: schedulers × scenarios × cluster cases ×
+/// traffic shapes × seeds, where the scenario axis is either an explicit
+/// list (the paper's three pairings) or a full SLO-class × workload-class
+/// cross product. Cluster and traffic axes default to singletons (the
+/// platform configuration's cluster; steady arrivals).
 #[derive(Clone, Debug, Default)]
 pub struct ScenarioMatrix {
     schedulers: Vec<SchedSpec>,
     scenarios: Vec<Scenario>,
+    clusters: Vec<ClusterCase>,
+    traffic: Vec<TrafficShape>,
     seeds: Vec<u64>,
 }
 
@@ -118,6 +175,20 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Sets the cluster axis ([`ClusterSpec`]s and [`ClusterCase`]s mix
+    /// freely via `Into`). Unset = every cell runs the suite's platform
+    /// configuration cluster (the Table-2 default).
+    pub fn clusters<C: Into<ClusterCase>>(mut self, clusters: impl IntoIterator<Item = C>) -> Self {
+        self.clusters = clusters.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the traffic-shape axis. Unset = steady (§4.1) arrivals only.
+    pub fn traffic(mut self, shapes: impl IntoIterator<Item = TrafficShape>) -> Self {
+        self.traffic = shapes.into_iter().collect();
+        self
+    }
+
     /// Sets the seed axis.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -132,9 +203,29 @@ impl ScenarioMatrix {
         }
     }
 
+    fn cluster_axis(&self) -> Vec<Option<ClusterCase>> {
+        if self.clusters.is_empty() {
+            vec![None]
+        } else {
+            self.clusters.iter().cloned().map(Some).collect()
+        }
+    }
+
+    fn traffic_axis(&self) -> Vec<TrafficShape> {
+        if self.traffic.is_empty() {
+            vec![TrafficShape::Steady]
+        } else {
+            self.traffic.clone()
+        }
+    }
+
     /// Number of cells in the expanded matrix.
     pub fn len(&self) -> usize {
-        self.schedulers.len() * self.scenarios.len() * self.seed_axis().len()
+        self.schedulers.len()
+            * self.scenarios.len()
+            * self.cluster_axis().len()
+            * self.traffic_axis().len()
+            * self.seed_axis().len()
     }
 
     /// Whether the matrix expands to no cells.
@@ -142,21 +233,30 @@ impl ScenarioMatrix {
         self.len() == 0
     }
 
-    /// Expands the grid into concrete run specifications, scenario-major,
-    /// scheduler-minor, seed-innermost. The order is part of the API:
-    /// sweep results always come back in cell order.
+    /// Expands the grid into concrete run specifications: scenario-major,
+    /// then cluster case, traffic shape, scheduler, seed-innermost. The
+    /// order is part of the API: sweep results always come back in cell
+    /// order.
     pub fn cells(&self) -> Vec<RunSpec> {
         let seeds = self.seed_axis();
+        let clusters = self.cluster_axis();
+        let traffic = self.traffic_axis();
         let mut cells = Vec::with_capacity(self.len());
         for &scenario in &self.scenarios {
-            for sched in &self.schedulers {
-                for &seed in &seeds {
-                    cells.push(RunSpec {
-                        index: cells.len(),
-                        scheduler: sched.clone(),
-                        scenario,
-                        seed,
-                    });
+            for cluster in &clusters {
+                for &shape in &traffic {
+                    for sched in &self.schedulers {
+                        for &seed in &seeds {
+                            cells.push(RunSpec {
+                                index: cells.len(),
+                                scheduler: sched.clone(),
+                                scenario,
+                                cluster: cluster.clone(),
+                                traffic: shape,
+                                seed,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -173,10 +273,22 @@ pub struct RunSpec {
     pub scheduler: SchedSpec,
     /// SLO/workload pairing.
     pub scenario: Scenario,
+    /// Cluster case; `None` = the suite's platform-configuration cluster.
+    pub cluster: Option<ClusterCase>,
+    /// Traffic shape of this cell's arrival stream.
+    pub traffic: TrafficShape,
     /// Seed for this run's workload stream and platform noise. Cells
-    /// sharing `(scenario, seed)` see bit-identical arrivals, so
-    /// scheduler comparisons are paired.
+    /// sharing `(scenario, traffic, seed)` see bit-identical arrivals, so
+    /// scheduler and cluster comparisons are paired.
     pub seed: u64,
+}
+
+impl RunSpec {
+    /// The cluster-axis label ("default" when the cell runs the platform
+    /// configuration's cluster).
+    pub fn cluster_label(&self) -> &str {
+        self.cluster.as_ref().map_or("default", |c| c.name.as_str())
+    }
 }
 
 /// A configured sweep: a [`ScenarioMatrix`] plus the platform/environment
@@ -239,29 +351,39 @@ impl ExperimentSuite {
     /// Executes every cell and collects the records in cell order.
     ///
     /// Environments (one per distinct SLO class) and workloads (one per
-    /// distinct scenario × seed) are materialised once and shared by all
-    /// runs — both for speed and so that paired cells provably consume
-    /// identical inputs.
+    /// distinct scenario × traffic × seed) are materialised once and
+    /// shared by all runs — both for speed and so that paired cells
+    /// provably consume identical inputs.
     pub fn run(&self) -> Sweep {
         let cells = self.matrix.cells();
 
         let mut envs: HashMap<SloClass, SimEnv> = HashMap::new();
-        let mut workloads: HashMap<(Scenario, u64), Workload> = HashMap::new();
+        let mut workloads: HashMap<(Scenario, TrafficShape, u64), Workload> = HashMap::new();
         for cell in &cells {
             envs.entry(cell.scenario.slo)
                 .or_insert_with(|| SimEnv::with_grid(cell.scenario.slo, self.grid.clone()));
             workloads
-                .entry((cell.scenario, cell.seed))
-                .or_insert_with(|| workload_for(cell.scenario, cell.seed, self.run_seconds));
+                .entry((cell.scenario, cell.traffic, cell.seed))
+                .or_insert_with(|| {
+                    workload_for_shape(cell.scenario, cell.traffic, cell.seed, self.run_seconds)
+                });
         }
 
         let run_one = |spec: RunSpec| -> SweepResult {
             let env = &envs[&spec.scenario.slo];
-            let workload = &workloads[&(spec.scenario, spec.seed)];
-            let cfg = SimConfig {
+            let workload = &workloads[&(spec.scenario, spec.traffic, spec.seed)];
+            let mut cfg = SimConfig {
                 seed: spec.seed,
-                ..self.config
+                ..self.config.clone()
             };
+            if let Some(case) = &spec.cluster {
+                cfg.cluster = Some(case.spec.clone());
+                // A case without its own churn inherits any plan set via
+                // `with_sim_config` rather than silently cancelling it.
+                if !case.churn.is_empty() {
+                    cfg.churn = case.churn.clone();
+                }
+            }
             let mut sched = spec.scheduler.build();
             let result = run_simulation(
                 env,
@@ -274,6 +396,8 @@ impl ExperimentSuite {
                 suite: self.name.clone(),
                 scheduler: spec.scheduler.name().to_string(),
                 scenario: spec.scenario,
+                cluster: spec.cluster_label().to_string(),
+                traffic: spec.traffic,
                 seed: spec.seed,
                 result,
             }
@@ -303,6 +427,10 @@ pub struct SweepResult {
     pub scheduler: String,
     /// SLO/workload pairing.
     pub scenario: Scenario,
+    /// Cluster-case label ("default" = the suite's platform cluster).
+    pub cluster: String,
+    /// Traffic shape of the cell's arrival stream.
+    pub traffic: TrafficShape,
     /// The cell's seed.
     pub seed: u64,
     /// Full simulation metrics.
@@ -321,6 +449,8 @@ impl SweepResult {
         o.insert("slo", self.scenario.slo.to_string());
         o.insert("workload", self.scenario.workload.to_string());
         o.insert("scenario", self.scenario.to_string());
+        o.insert("cluster", self.cluster.as_str());
+        o.insert("traffic", self.traffic.to_string());
         o.insert("seed", self.seed);
         o.insert("arrivals", r.arrivals);
         o.insert("completed", r.total_completed());
@@ -360,12 +490,14 @@ impl SweepResult {
     pub fn csv_row(&self) -> String {
         let r = &self.result;
         format!(
-            "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3}",
+            "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3}",
             self.suite,
             self.scheduler,
             self.scenario.slo,
             self.scenario.workload,
             self.scenario,
+            self.cluster,
+            self.traffic,
             self.seed,
             r.arrivals,
             r.total_completed(),
@@ -406,8 +538,8 @@ pub struct Sweep {
 
 impl Sweep {
     /// Header line for [`SweepResult::csv_row`].
-    pub const CSV_HEADER: &'static str = "suite,scheduler,slo,workload,scenario,seed,\
-arrivals,completed,avg_hit_rate,overall_hit_rate,total_cost_cents,\
+    pub const CSV_HEADER: &'static str = "suite,scheduler,slo,workload,scenario,cluster,traffic,\
+seed,arrivals,completed,avg_hit_rate,overall_hit_rate,total_cost_cents,\
 cost_per_invocation_cents,config_miss_rate,cold_start_rate,locality_rate,\
 mean_overhead_ms,vcpu_utilisation,vgpu_utilisation,makespan_ms";
 
@@ -428,6 +560,18 @@ mean_overhead_ms,vcpu_utilisation,vgpu_utilisation,makespan_ms";
         crate::emit::write_json(&format!("BENCH_{}", self.suite), &self.to_json());
         let rows: Vec<String> = self.results.iter().map(SweepResult::csv_row).collect();
         crate::emit::write_csv(&format!("BENCH_{}", self.suite), Self::CSV_HEADER, &rows);
+    }
+
+    /// Paper-style Markdown tables rendered from the same document that
+    /// backs `BENCH_<suite>.json`.
+    pub fn to_markdown(&self) -> String {
+        crate::emit::render_bench_markdown(&self.to_json())
+    }
+
+    /// Splices [`to_markdown`](Self::to_markdown) into `EXPERIMENTS.md`
+    /// between this suite's markers (best effort).
+    pub fn write_experiments_section(&self) {
+        crate::emit::update_experiments_md(&self.suite, &self.to_markdown());
     }
 
     /// The first record for `(scheduler, scenario)`, any seed.
@@ -451,9 +595,11 @@ mean_overhead_ms,vcpu_utilisation,vgpu_utilisation,makespan_ms";
         for c in &self.results {
             writeln!(
                 out,
-                "{}|{}|{}|{:?}",
+                "{}|{}|{}|{}|{}|{:?}",
                 c.scheduler,
                 c.scenario,
+                c.cluster,
+                c.traffic,
                 c.seed,
                 c.canonical_result()
             )
@@ -518,10 +664,65 @@ mod tests {
             suite: "t".into(),
             scheduler: "ESG".into(),
             scenario: Scenario::STRICT_LIGHT,
+            cluster: "default".into(),
+            traffic: TrafficShape::Steady,
             seed: 1,
             result: ExperimentResult::default(),
         }
         .csv_row();
         assert_eq!(row.split(',').count(), cols);
+    }
+
+    #[test]
+    fn cluster_and_traffic_axes_multiply_and_label() {
+        let m = ScenarioMatrix::new()
+            .schedulers([SchedKind::Esg])
+            .scenarios([Scenario::MODERATE_NORMAL])
+            .clusters([
+                ClusterCase::new(ClusterSpec::paper()),
+                ClusterCase::new(ClusterSpec::skewed())
+                    .with_churn(ChurnPlan::none().drain(1000.0, esg_model::NodeId(0))),
+            ])
+            .traffic([TrafficShape::Steady, TrafficShape::Bursty]);
+        assert_eq!(m.len(), 4);
+        let cells = m.cells();
+        assert_eq!(cells[0].cluster_label(), "paper-16xa100");
+        assert_eq!(cells[0].traffic, TrafficShape::Steady);
+        assert_eq!(cells[1].traffic, TrafficShape::Bursty);
+        assert_eq!(cells[2].cluster_label(), "skewed+churn");
+        assert!(!cells[2].cluster.as_ref().unwrap().churn.is_empty());
+    }
+
+    #[test]
+    fn cluster_case_without_churn_inherits_suite_churn() {
+        // A churn plan set via with_sim_config must survive a cluster
+        // axis whose cases carry no plan of their own.
+        let suite = ExperimentSuite::new(
+            "churn_inherit",
+            ScenarioMatrix::new()
+                .schedulers([SchedKind::Esg])
+                .scenarios([Scenario::RELAXED_HEAVY])
+                .clusters([ClusterCase::new(ClusterSpec::paper())]),
+        )
+        .with_sim_config(SimConfig {
+            churn: ChurnPlan::none().drain(50.0, esg_model::NodeId(3)),
+            ..SimConfig::default()
+        })
+        .with_run_seconds(2.0);
+        let sweep = suite.run();
+        let nodes = &sweep.results[0].result.nodes;
+        assert_eq!(nodes.iter().filter(|n| !n.online).count(), 1);
+    }
+
+    #[test]
+    fn default_axes_are_singletons() {
+        let m = ScenarioMatrix::new()
+            .schedulers([SchedKind::Esg])
+            .scenarios([Scenario::STRICT_LIGHT]);
+        assert_eq!(m.len(), 1);
+        let cell = &m.cells()[0];
+        assert!(cell.cluster.is_none());
+        assert_eq!(cell.cluster_label(), "default");
+        assert_eq!(cell.traffic, TrafficShape::Steady);
     }
 }

@@ -170,7 +170,22 @@ impl Scheduler for EsgScheduler {
         // by 1/P95 makes the selected path's 95th percentile fit (the same
         // device Orion uses, §4.2; ESG lands "below but close to the SLO").
         let p95 = ctx.noise.p95_factor();
-        let gslo_eff = gslo / p95;
+
+        // Heterogeneity: the stage tables hold baseline-class latencies,
+        // but this batch will run `speed ×` slower on the node ESG_Dispatch
+        // is about to pick. Probe the dispatch policy with a minimal
+        // demand to learn that node's class, then shrink the search budget
+        // by its factor — dividing the budget is equivalent to scaling
+        // every stage-table latency by the class (Appendix A). The probe
+        // is refined after the search: see below.
+        let preferred = ctx.jobs.iter().find_map(|j| j.pred_node);
+        let speed_at = |demand: esg_model::Resources| {
+            place_locality_first(ctx, demand, preferred)
+                .map(|n| ctx.cluster.speed_of(n))
+                .unwrap_or(1.0)
+        };
+        let mut speed = speed_at(Config::MIN.resources());
+        let mut gslo_eff = gslo / (p95 * speed);
 
         let qlen = ctx.jobs.len() as u32;
         let key = (ctx.key.app.0, ctx.key.stage);
@@ -192,8 +207,26 @@ impl Scheduler for EsgScheduler {
         // current resource availability constraints").
         let max_batch = ctx.profiles.grid().max_batch();
         let table = StageTable::build(&fns, ctx.profiles, max_batch);
-        let result = self.run_search(&table, gslo_eff);
+        let mut result = self.run_search(&table, gslo_eff);
         let mut expansions = result.expansions;
+
+        // Refine the class probe: the MIN-demand probe can land on a fast
+        // node that lacks room for the *chosen* config's real demand, in
+        // which case dispatch falls through to a slower class and the
+        // planned latency is optimistic. Re-probe with the winning
+        // config's demand; if the refined class is slower, re-run the
+        // search once under the tighter budget (bounded: one extra pass,
+        // only in the SLO-dangerous direction).
+        if result.feasible {
+            let refined = speed_at(result.paths[0].configs[0].resources());
+            if refined > speed + 1e-9 {
+                speed = refined;
+                gslo_eff = gslo / (p95 * speed);
+                let r2 = self.run_search(&table, gslo_eff);
+                expansions += r2.expansions;
+                result = r2;
+            }
+        }
 
         if !result.feasible {
             // No path fits the conservative (tail- and margin-adjusted)
@@ -206,7 +239,15 @@ impl Scheduler for EsgScheduler {
             //   resource-maximal configs would steal capacity from
             //   invocations that can still win; drain cost-efficiently
             //   instead (largest affordable batch, cheapest per job).
-            let winnable = table.min_total_time() <= slack.max(0.0) * window_share;
+            // "Winnable" is judged at the *fastest* class any feasible
+            // node offers — a borderline deadline may still be met by
+            // racing on a fast node even when the locality pick is slow.
+            let best_speed = ctx
+                .cluster
+                .fastest_fit(Config::MIN.resources())
+                .map(|n| ctx.cluster.speed_of(n))
+                .unwrap_or(speed);
+            let winnable = table.min_total_time() * best_speed <= slack.max(0.0) * window_share;
             let candidates: Vec<Config> = if winnable {
                 result
                     .first_stage_candidates()
@@ -275,7 +316,7 @@ impl Scheduler for EsgScheduler {
                         };
                     }
                     let wait = (actual - qlen) as f64 * interval;
-                    if r.paths[0].time_ms * p95 + wait <= gslo {
+                    if r.paths[0].time_ms * p95 * speed + wait <= gslo {
                         self.waiting.insert(key, (ctx.now_ms + wait, actual));
                         return Outcome {
                             candidates: Vec::new(),
@@ -334,12 +375,7 @@ mod tests {
     fn idle_cluster(n: usize) -> ClusterView {
         ClusterView {
             nodes: (0..n as u32)
-                .map(|i| NodeView {
-                    id: NodeId(i),
-                    free: Resources::new(16, 7),
-                    total: Resources::new(16, 7),
-                    warm: vec![],
-                })
+                .map(|i| NodeView::idle(NodeId(i), Resources::new(16, 7)))
                 .collect(),
         }
     }
@@ -488,6 +524,36 @@ mod tests {
         let o8 = k8.schedule(&c);
         assert_eq!(o1.candidates.len(), 1);
         assert!(o8.candidates.len() >= o1.candidates.len());
+    }
+
+    #[test]
+    fn slow_node_class_tightens_the_chosen_config() {
+        let env = env();
+        let fast = idle_cluster(4);
+        let mut slow = idle_cluster(4);
+        for n in &mut slow.nodes {
+            n.speed = 2.5;
+        }
+        let jobs = vec![job(900.0, None)];
+        let mut a = EsgScheduler::new();
+        let mut b = EsgScheduler::new();
+        let out_fast = a.schedule(&ctx(&env, &fast, &jobs, 0, 0));
+        let out_slow = b.schedule(&ctx(&env, &slow, &jobs, 0, 0));
+        assert!(!out_fast.candidates.is_empty());
+        assert!(!out_slow.candidates.is_empty());
+        let p = &env.profiles;
+        let lat = |c: Config| {
+            p.profile(env.apps[0].nodes[0])
+                .find(c)
+                .expect("grid config")
+                .latency_ms
+        };
+        // The slow class eats the budget: ESG must pick a config at least
+        // as fast (in baseline profile terms) as on the fast cluster.
+        assert!(
+            lat(out_slow.candidates[0]) <= lat(out_fast.candidates[0]),
+            "slow cluster chose a slower config"
+        );
     }
 
     #[test]

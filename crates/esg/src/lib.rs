@@ -48,13 +48,16 @@ pub mod prelude {
     pub use esg_core::{EsgScheduler, SearchVariant};
     pub use esg_dag::{Dag, DominatorTree, SloPlan};
     pub use esg_model::{
-        standard_apps, standard_catalog, AppId, AppSpec, Config, ConfigGrid, FnId, PriceModel,
-        Resources, Scenario, SimTime, SloClass, WorkloadClass,
+        standard_apps, standard_catalog, AppId, AppSpec, ChurnPlan, ClusterSpec, Config,
+        ConfigGrid, FnId, NodeClass, NodeId, PriceModel, Resources, Scenario, SimTime, SloClass,
+        TrafficShape, WorkloadClass,
     };
     pub use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
     pub use esg_sim::{
-        run_simulation, Capabilities, ExperimentResult, MinScheduler, OverheadModel, Scheduler,
-        SimConfig, SimEnv,
+        run_simulation, Capabilities, ExperimentResult, MinScheduler, NodeSummary, OverheadModel,
+        Scheduler, SimConfig, SimEnv,
     };
-    pub use esg_workload::{ArrivalPredictor, AzureLikeTrace, Workload, WorkloadGen};
+    pub use esg_workload::{
+        shaped_workload, ArrivalPredictor, AzureLikeTrace, Workload, WorkloadGen,
+    };
 }

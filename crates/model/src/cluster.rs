@@ -1,0 +1,371 @@
+//! Heterogeneous-cluster vocabulary: node classes, cluster specs, and
+//! cluster-churn plans.
+//!
+//! The paper's testbed is 16 identical invokers (Table 2: 16 vCPUs and an
+//! A100 split into 7 MIG vGPUs per node), but Appendix A notes the
+//! algorithms tolerate heterogeneous hardware. These types describe such
+//! clusters declaratively: a [`NodeClass`] names a GPU flavor, its vGPU
+//! slice count, vCPU count, a latency scale factor, and per-flavor
+//! pricing; a [`ClusterSpec`] is an ordered multiset of classes; a
+//! [`ChurnPlan`] scripts node drains and joins at simulated times.
+//!
+//! Everything here is plain data — `esg-sim` turns a spec into live nodes
+//! and applies churn events inside its event loop.
+
+use crate::ids::NodeId;
+use crate::resources::Resources;
+
+/// A GPU flavor a node class can carry.
+///
+/// Flavors matter only through the scale factors on the owning
+/// [`NodeClass`]; the enum exists so reports and axes can name hardware
+/// the way the related work does (HAS-GPU's mixed fine-grained GPUs,
+/// FaSTube's topology-sensitive transfer paths).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GpuFlavor {
+    /// NVIDIA A100 with MIG partitioning — the paper's Table-2 hardware.
+    A100,
+    /// NVIDIA V100: no MIG; vGPUs model MPS time slices.
+    V100,
+    /// NVIDIA T4: small inference card, coarse slices.
+    T4,
+}
+
+impl std::fmt::Display for GpuFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GpuFlavor::A100 => "a100",
+            GpuFlavor::V100 => "v100",
+            GpuFlavor::T4 => "t4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One class of invoker node in a (possibly heterogeneous) cluster.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NodeClass {
+    /// Display name (axis labels, reports).
+    pub name: String,
+    /// GPU flavor backing the vGPU slices.
+    pub gpu: GpuFlavor,
+    /// vGPU slices per node (7 MIG partitions on the paper's A100s).
+    pub vgpu_slices: u32,
+    /// vCPUs per node.
+    pub vcpus: u32,
+    /// Execution-latency scale factor relative to the Table-2 A100
+    /// baseline: profiles are measured on the baseline, so a task on this
+    /// class runs `speed ×` the profiled latency (1.0 = baseline, larger
+    /// is slower).
+    pub speed: f64,
+    /// Scale factor on *remote* transfer latency for hand-offs touching
+    /// this node (per-class topology: a T4 box on a slower link pays more
+    /// per MB than an A100 box on the fast fabric).
+    pub link_scale: f64,
+    /// Per-flavor price multiplier on the §4.1 resource prices.
+    pub price_scale: f64,
+}
+
+impl NodeClass {
+    /// The paper's Table-2 node: 16 vCPUs, an A100 in 7 MIG slices,
+    /// baseline speed, fabric link, baseline pricing.
+    pub fn a100() -> NodeClass {
+        NodeClass {
+            name: "a100".into(),
+            gpu: GpuFlavor::A100,
+            vgpu_slices: 7,
+            vcpus: 16,
+            speed: 1.0,
+            link_scale: 1.0,
+            price_scale: 1.0,
+        }
+    }
+
+    /// A V100 node: same vCPU count, 4 coarser vGPU slices, ~40% slower
+    /// per profiled latency, cheaper per slice.
+    pub fn v100() -> NodeClass {
+        NodeClass {
+            name: "v100".into(),
+            gpu: GpuFlavor::V100,
+            vgpu_slices: 4,
+            vcpus: 16,
+            speed: 1.4,
+            link_scale: 1.0,
+            price_scale: 0.7,
+        }
+    }
+
+    /// A T4 node: 8 vCPUs, 2 big slices, ~2.2× the baseline latency, on a
+    /// slower link, at a fraction of the price.
+    pub fn t4() -> NodeClass {
+        NodeClass {
+            name: "t4".into(),
+            gpu: GpuFlavor::T4,
+            vgpu_slices: 2,
+            vcpus: 8,
+            speed: 2.2,
+            link_scale: 1.25,
+            price_scale: 0.35,
+        }
+    }
+
+    /// A custom class over explicit capacities at baseline scale factors
+    /// (the shape `Cluster::heterogeneous` historically accepted).
+    pub fn custom(resources: Resources) -> NodeClass {
+        NodeClass {
+            name: format!("custom-{resources}"),
+            gpu: GpuFlavor::A100,
+            vgpu_slices: resources.vgpus,
+            vcpus: resources.vcpus,
+            speed: 1.0,
+            link_scale: 1.0,
+            price_scale: 1.0,
+        }
+    }
+
+    /// Renames the class (distinct axis labels for tweaked variants).
+    pub fn named(mut self, name: impl Into<String>) -> NodeClass {
+        self.name = name.into();
+        self
+    }
+
+    /// Overrides the latency scale factor.
+    pub fn with_speed(mut self, speed: f64) -> NodeClass {
+        assert!(speed > 0.0, "speed factor must be positive");
+        self.speed = speed;
+        self
+    }
+
+    /// Overrides the remote-link scale factor.
+    pub fn with_link_scale(mut self, link_scale: f64) -> NodeClass {
+        assert!(link_scale > 0.0, "link scale must be positive");
+        self.link_scale = link_scale;
+        self
+    }
+
+    /// The class's per-node resource vector.
+    #[inline]
+    pub fn resources(&self) -> Resources {
+        Resources::new(self.vcpus, self.vgpu_slices)
+    }
+}
+
+impl std::fmt::Display for NodeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.name, self.resources())
+    }
+}
+
+/// A declarative cluster: a name plus one [`NodeClass`] per node, in
+/// [`NodeId`] order.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClusterSpec {
+    /// Display name (sweep-axis labels, reports).
+    pub name: String,
+    /// One class per node; `NodeId(i)` gets `nodes[i]`.
+    pub nodes: Vec<NodeClass>,
+}
+
+impl ClusterSpec {
+    /// An empty spec to be filled with [`with`](Self::with).
+    pub fn new(name: impl Into<String>) -> ClusterSpec {
+        ClusterSpec {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Appends `count` nodes of `class`.
+    pub fn with(mut self, class: NodeClass, count: usize) -> ClusterSpec {
+        self.nodes.extend(std::iter::repeat_n(class, count));
+        self
+    }
+
+    /// The paper's homogeneous testbed: 16 × [`NodeClass::a100`].
+    pub fn paper() -> ClusterSpec {
+        ClusterSpec::new("paper-16xa100").with(NodeClass::a100(), 16)
+    }
+
+    /// A mixed-MIG cluster: 8 A100s, 4 V100s, 4 T4s — same node count as
+    /// the paper, heterogeneous capacity and speed (HAS-GPU's setting).
+    pub fn mixed_mig() -> ClusterSpec {
+        ClusterSpec::new("mixed-mig")
+            .with(NodeClass::a100(), 8)
+            .with(NodeClass::v100(), 4)
+            .with(NodeClass::t4(), 4)
+    }
+
+    /// A skewed cluster: 4 fast A100s carry most capacity, 12 slow T4s on
+    /// slower links pad it out — the placement-hostile case FaaSTube's
+    /// topology argument targets.
+    pub fn skewed() -> ClusterSpec {
+        ClusterSpec::new("skewed")
+            .with(NodeClass::a100(), 4)
+            .with(NodeClass::t4(), 12)
+    }
+
+    /// A homogeneous spec of `count` nodes at explicit capacities.
+    pub fn homogeneous(count: usize, per_node: Resources) -> ClusterSpec {
+        ClusterSpec::new(format!("{count}x{per_node}")).with(NodeClass::custom(per_node), count)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the spec has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total cluster capacity.
+    pub fn total_resources(&self) -> Resources {
+        self.nodes
+            .iter()
+            .fold(Resources::ZERO, |acc, c| acc + c.resources())
+    }
+}
+
+/// One scripted cluster-membership change.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ChurnEvent {
+    /// Node `node` stops accepting new placements at `at_ms`; tasks
+    /// already admitted run to completion.
+    Drain {
+        /// Simulated time of the drain, ms.
+        at_ms: f64,
+        /// The node to drain.
+        node: NodeId,
+    },
+    /// A new node of `class` joins the cluster at `at_ms` (cold: no warm
+    /// containers).
+    Join {
+        /// Simulated time of the join, ms.
+        at_ms: f64,
+        /// The class of the joining node.
+        class: NodeClass,
+    },
+}
+
+impl ChurnEvent {
+    /// The event's simulated time, ms.
+    pub fn at_ms(&self) -> f64 {
+        match self {
+            ChurnEvent::Drain { at_ms, .. } | ChurnEvent::Join { at_ms, .. } => *at_ms,
+        }
+    }
+}
+
+/// A scripted sequence of cluster-membership changes for one run.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ChurnPlan {
+    /// The events, in any order (the simulator's event queue orders them
+    /// by time).
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// The empty plan: a static cluster.
+    pub fn none() -> ChurnPlan {
+        ChurnPlan::default()
+    }
+
+    /// True when no churn is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends a drain of `node` at `at_ms`.
+    pub fn drain(mut self, at_ms: f64, node: NodeId) -> ChurnPlan {
+        self.events.push(ChurnEvent::Drain { at_ms, node });
+        self
+    }
+
+    /// Appends a join of a `class` node at `at_ms`.
+    pub fn join(mut self, at_ms: f64, class: NodeClass) -> ChurnPlan {
+        self.events.push(ChurnEvent::Join { at_ms, class });
+        self
+    }
+
+    /// A rolling-restart-style plan: drain one node and join a same-class
+    /// replacement `gap_ms` later, starting at `start_ms`.
+    pub fn rolling_replace(
+        start_ms: f64,
+        gap_ms: f64,
+        node: NodeId,
+        class: NodeClass,
+    ) -> ChurnPlan {
+        ChurnPlan::none()
+            .drain(start_ms, node)
+            .join(start_ms + gap_ms, class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_matches_table2() {
+        let s = ClusterSpec::paper();
+        assert_eq!(s.len(), 16);
+        assert!(s
+            .nodes
+            .iter()
+            .all(|c| c.resources() == Resources::new(16, 7)));
+        assert!(s
+            .nodes
+            .iter()
+            .all(|c| c.speed == 1.0 && c.price_scale == 1.0));
+        assert_eq!(s.total_resources(), Resources::new(256, 112));
+    }
+
+    #[test]
+    fn presets_are_heterogeneous() {
+        let m = ClusterSpec::mixed_mig();
+        assert_eq!(m.len(), 16);
+        let distinct: std::collections::HashSet<&str> =
+            m.nodes.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(distinct.len(), 3);
+        let s = ClusterSpec::skewed();
+        assert_eq!(s.len(), 16);
+        assert!(s.nodes[4].speed > s.nodes[0].speed);
+        assert!(s.nodes[4].link_scale > s.nodes[0].link_scale);
+    }
+
+    #[test]
+    fn class_builders() {
+        let fast_t4 = NodeClass::t4().with_speed(1.5).named("t4-oc");
+        assert_eq!(fast_t4.name, "t4-oc");
+        assert_eq!(fast_t4.speed, 1.5);
+        assert_eq!(
+            NodeClass::custom(Resources::new(8, 4)).resources(),
+            Resources::new(8, 4)
+        );
+        assert_eq!(NodeClass::a100().to_string(), "a100(16c/7g)");
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let s = ClusterSpec::homogeneous(4, Resources::new(8, 2));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.total_resources(), Resources::new(32, 8));
+    }
+
+    #[test]
+    fn churn_plan_builders() {
+        let p = ChurnPlan::none()
+            .drain(1000.0, NodeId(3))
+            .join(2000.0, NodeClass::t4());
+        assert_eq!(p.events.len(), 2);
+        assert_eq!(p.events[0].at_ms(), 1000.0);
+        assert!(matches!(p.events[1], ChurnEvent::Join { .. }));
+        let r = ChurnPlan::rolling_replace(500.0, 250.0, NodeId(0), NodeClass::a100());
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[1].at_ms(), 750.0);
+        assert!(ChurnPlan::none().is_empty());
+    }
+}

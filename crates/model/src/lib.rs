@@ -5,8 +5,10 @@
 //! `(batch size, #vCPUs, #vGPUs)` introduced by the paper (§3.2), the cluster
 //! resource vector, the pricing model (§4.1), the Table-3 function catalog,
 //! the four evaluated applications, the SLO/workload scenario definitions,
-//! and small deterministic statistics helpers (Box–Muller Gaussian sampling,
-//! summary statistics) used throughout the emulation.
+//! the heterogeneous-cluster vocabulary ([`NodeClass`], [`ClusterSpec`],
+//! [`ChurnPlan`], [`TrafficShape`]), and small deterministic statistics
+//! helpers (Box–Muller Gaussian sampling, summary statistics) used
+//! throughout the emulation.
 //!
 //! Everything here is plain data with no scheduling or simulation logic, so
 //! that the algorithm crates (`esg-core`, `esg-baselines`) and the substrate
@@ -17,6 +19,7 @@
 
 pub mod apps;
 pub mod catalog;
+pub mod cluster;
 pub mod config;
 pub mod ids;
 pub mod price;
@@ -27,10 +30,11 @@ pub mod time;
 
 pub use apps::{standard_app_ids, standard_apps, AppSpec};
 pub use catalog::{standard_catalog, Catalog, FunctionSpec};
+pub use cluster::{ChurnEvent, ChurnPlan, ClusterSpec, GpuFlavor, NodeClass};
 pub use config::{Config, ConfigGrid};
 pub use ids::{AppId, FnId, InvocationId, JobId, NodeId};
 pub use price::PriceModel;
 pub use resources::Resources;
-pub use scenario::{Scenario, SloClass, WorkloadClass};
+pub use scenario::{Scenario, SloClass, TrafficShape, WorkloadClass};
 pub use stats::{percentile, BoxStats, Ewma, Gaussian, Summary};
 pub use time::SimTime;

@@ -88,6 +88,52 @@ impl std::fmt::Display for WorkloadClass {
     }
 }
 
+/// The temporal shape of a workload's arrival process.
+///
+/// The paper evaluates steady uniform-interval arrivals only (§4.1); the
+/// other shapes modulate the same class-determined mean rate the way real
+/// serverless traffic does (Azure Functions traces, Shahrad et al.
+/// ATC '20): episodic bursts, a diurnal cycle, and a synthetic
+/// Azure-trace replay combining both. Generators live in `esg-workload`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TrafficShape {
+    /// Uniform intervals from the class range — the paper's §4.1 shape.
+    #[default]
+    Steady,
+    /// Episodic bursts: short windows at a multiple of the class rate,
+    /// quiet stretches in between, same long-run mean.
+    Bursty,
+    /// A sinusoidal (diurnal) rate cycle around the class mean.
+    Diurnal,
+    /// Synthetic Azure-trace replay: diurnal cycle + random bursts +
+    /// lognormal-ish dispersion (the `AzureLikeTrace` generator).
+    AzureReplay,
+}
+
+impl TrafficShape {
+    /// All four shapes, steady first.
+    pub fn all() -> [TrafficShape; 4] {
+        [
+            TrafficShape::Steady,
+            TrafficShape::Bursty,
+            TrafficShape::Diurnal,
+            TrafficShape::AzureReplay,
+        ]
+    }
+}
+
+impl std::fmt::Display for TrafficShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TrafficShape::Steady => "steady",
+            TrafficShape::Bursty => "bursty",
+            TrafficShape::Diurnal => "diurnal",
+            TrafficShape::AzureReplay => "azure",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A paired evaluation scenario (§4.1): "strict for the light case, moderate
 /// for the normal case, and relaxed for the heavy case".
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -158,6 +204,13 @@ mod tests {
         let (l_lo, l_hi) = WorkloadClass::Light.interval_range_ms();
         assert_eq!((n_lo, n_hi), (2.0 * h_lo, 2.0 * h_hi));
         assert_eq!((l_lo, l_hi), (2.0 * n_lo, 2.0 * n_hi));
+    }
+
+    #[test]
+    fn traffic_shape_display_and_default() {
+        assert_eq!(TrafficShape::default(), TrafficShape::Steady);
+        let labels: Vec<String> = TrafficShape::all().iter().map(|t| t.to_string()).collect();
+        assert_eq!(labels, vec!["steady", "bursty", "diurnal", "azure"]);
     }
 
     #[test]

@@ -1,13 +1,20 @@
-//! The invoker cluster: nodes, resources, container warmth.
+//! The invoker cluster: nodes, node classes, resources, container warmth,
+//! and membership churn.
 //!
-//! Each node models an invoker machine (Table 2): a fixed pool of vCPUs and
-//! vGPUs (MIG partitions), a set of *warm slots* per function implementing
-//! OpenWhisk's 10-minute keep-alive (§2), and time-weighted utilisation
-//! accounting. Warm slots hold no compute resources (a paused container
-//! keeps memory only); a task that finds a warm slot skips the Table-3 cold
-//! start.
+//! Each node models an invoker machine of some [`NodeClass`] (the paper's
+//! Table-2 testbed is 16 identical A100 nodes; Appendix A tolerates
+//! heterogeneity): a pool of vCPUs and vGPUs (MIG partitions), a set of
+//! *warm slots* per function implementing OpenWhisk's 10-minute keep-alive
+//! (§2), and time-weighted utilisation accounting. Warm slots hold no
+//! compute resources (a paused container keeps memory only); a task that
+//! finds a warm slot skips the Table-3 cold start.
+//!
+//! Clusters are dynamic: a node can [`drain`](Node::drain) (stop accepting
+//! new placements; admitted work completes; its capacity stays owned until
+//! run end for utilisation accounting) and new nodes can
+//! [`join`](Cluster::join) mid-run.
 
-use esg_model::{FnId, NodeId, Resources, SimTime};
+use esg_model::{ClusterSpec, FnId, NodeClass, NodeId, Resources, SimTime};
 use std::collections::HashMap;
 
 /// A warm (or warming) container slot for one function on one node.
@@ -26,6 +33,8 @@ pub struct WarmSlot {
 pub struct Node {
     /// Node id.
     pub id: NodeId,
+    /// The node's class: capacity plus speed/link/price scale factors.
+    pub class: NodeClass,
     /// Total resources.
     pub total: Resources,
     /// Physically unattached resources (attachment spans execution only).
@@ -34,25 +43,47 @@ pub struct Node {
     /// Placement admits against commitments, not physical attachment, so a
     /// task in its init phase still claims its slot on the node.
     pub committed: Resources,
+    /// Whether the node accepts new placements. Draining flips this off;
+    /// already-admitted tasks run to completion.
+    pub online: bool,
     warm: HashMap<FnId, Vec<WarmSlot>>,
-    // Utilisation accounting: time-weighted busy-resource integral.
+    // Utilisation accounting: time-weighted busy- and capacity-resource
+    // integrals. Capacity integrates from the node's join time, so a
+    // late-joining node does not dilute utilisation for the span it did
+    // not exist; a drained node keeps owning its capacity until run end.
     busy_vcpu_area_us: f64,
     busy_vgpu_area_us: f64,
+    cap_vcpu_area_us: f64,
+    cap_vgpu_area_us: f64,
+    peak_used: Resources,
     last_change: SimTime,
 }
 
 impl Node {
-    /// Creates an idle node.
+    /// Creates an idle node of a synthesized baseline-speed class (the
+    /// homogeneous Table-2 path).
     pub fn new(id: NodeId, total: Resources) -> Node {
+        Node::with_class(id, NodeClass::custom(total), SimTime::ZERO)
+    }
+
+    /// Creates an idle node of `class`, existing from `since` (join time;
+    /// utilisation accounting starts there).
+    pub fn with_class(id: NodeId, class: NodeClass, since: SimTime) -> Node {
+        let total = class.resources();
         Node {
             id,
+            class,
             total,
             free: total,
             committed: Resources::ZERO,
+            online: true,
             warm: HashMap::new(),
             busy_vcpu_area_us: 0.0,
             busy_vgpu_area_us: 0.0,
-            last_change: SimTime::ZERO,
+            cap_vcpu_area_us: 0.0,
+            cap_vgpu_area_us: 0.0,
+            peak_used: Resources::ZERO,
+            last_change: since,
         }
     }
 
@@ -61,7 +92,23 @@ impl Node {
         let busy = self.total - self.free;
         self.busy_vcpu_area_us += busy.vcpus as f64 * dt;
         self.busy_vgpu_area_us += busy.vgpus as f64 * dt;
+        self.cap_vcpu_area_us += self.total.vcpus as f64 * dt;
+        self.cap_vgpu_area_us += self.total.vgpus as f64 * dt;
         self.last_change = now;
+    }
+
+    /// Takes the node out of placement rotation: no new work lands here,
+    /// warm containers are killed, admitted tasks complete normally.
+    pub fn drain(&mut self, now: SimTime) {
+        self.accumulate(now);
+        self.online = false;
+        self.warm.clear();
+    }
+
+    /// Peak simultaneous resource attachment observed so far.
+    #[inline]
+    pub fn peak_used(&self) -> Resources {
+        self.peak_used
     }
 
     /// Placement-available resources: total minus commitments.
@@ -94,6 +141,11 @@ impl Node {
         }
         self.accumulate(now);
         self.free -= demand;
+        let used = self.total - self.free;
+        self.peak_used = Resources::new(
+            self.peak_used.vcpus.max(used.vcpus),
+            self.peak_used.vgpus.max(used.vgpus),
+        );
         true
     }
 
@@ -212,6 +264,13 @@ impl Node {
         self.accumulate(now);
         (self.busy_vcpu_area_us, self.busy_vgpu_area_us)
     }
+
+    /// Capacity-time integrals `(vcpu_area_us, vgpu_area_us)` accumulated
+    /// so far (complete after [`finish`](Self::finish)): the utilisation
+    /// denominator, which respects join times on churning clusters.
+    pub fn capacity_areas(&self) -> (f64, f64) {
+        (self.cap_vcpu_area_us, self.cap_vgpu_area_us)
+    }
 }
 
 /// The whole invoker cluster.
@@ -230,8 +289,9 @@ impl Cluster {
         }
     }
 
-    /// Creates a heterogeneous cluster from explicit node capacities
-    /// (Appendix A notes the algorithms tolerate heterogeneity).
+    /// Creates a heterogeneous cluster from explicit node capacities at
+    /// baseline scale factors (Appendix A notes the algorithms tolerate
+    /// heterogeneity). For classed nodes use [`Cluster::from_spec`].
     pub fn heterogeneous(capacities: &[Resources]) -> Cluster {
         Cluster {
             nodes: capacities
@@ -240,6 +300,27 @@ impl Cluster {
                 .map(|(i, &r)| Node::new(NodeId(i as u32), r))
                 .collect(),
         }
+    }
+
+    /// Materialises a declarative [`ClusterSpec`]: one node per spec
+    /// entry, in [`NodeId`] order.
+    pub fn from_spec(spec: &ClusterSpec) -> Cluster {
+        Cluster {
+            nodes: spec
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Node::with_class(NodeId(i as u32), c.clone(), SimTime::ZERO))
+                .collect(),
+        }
+    }
+
+    /// Adds a fresh (cold, idle) node of `class` at `now` and returns its
+    /// id. Ids are append-only; drained nodes keep theirs.
+    pub fn join(&mut self, class: NodeClass, now: SimTime) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::with_class(id, class, now));
+        id
     }
 
     /// Number of nodes.
@@ -372,6 +453,49 @@ mod tests {
         let h = Cluster::heterogeneous(&[Resources::new(8, 2), Resources::new(32, 7)]);
         assert_eq!(h.len(), 2);
         assert_eq!(h.node(NodeId(1)).total, Resources::new(32, 7));
+    }
+
+    #[test]
+    fn from_spec_and_join_and_drain() {
+        use esg_model::{ClusterSpec, NodeClass};
+        let mut c = Cluster::from_spec(&ClusterSpec::mixed_mig());
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.node(NodeId(0)).class.name, "a100");
+        assert_eq!(c.node(NodeId(15)).class.name, "t4");
+        assert_eq!(c.node(NodeId(15)).total, Resources::new(8, 2));
+        // Join a node mid-run.
+        let id = c.join(NodeClass::v100(), SimTime::from_ms(500.0));
+        assert_eq!(id, NodeId(16));
+        assert_eq!(c.len(), 17);
+        assert!(c.node(id).online);
+        // Drain kills warmth and takes the node offline.
+        let keep = SimTime::from_secs(600.0);
+        c.node_mut(NodeId(0))
+            .return_slot(FnId(1), SimTime::from_ms(10.0), keep, false);
+        c.node_mut(NodeId(0)).drain(SimTime::from_ms(600.0));
+        assert!(!c.node(NodeId(0)).online);
+        assert!(!c.node(NodeId(0)).has_warm(FnId(1), SimTime::from_ms(700.0)));
+    }
+
+    #[test]
+    fn peak_usage_tracks_high_water_mark() {
+        let mut n = node();
+        assert!(n.allocate(Resources::new(4, 2), SimTime::from_ms(0.0)));
+        assert!(n.allocate(Resources::new(8, 1), SimTime::from_ms(1.0)));
+        n.release(Resources::new(8, 1), SimTime::from_ms(2.0));
+        assert!(n.allocate(Resources::new(2, 0), SimTime::from_ms(3.0)));
+        assert_eq!(n.peak_used(), Resources::new(12, 3));
+    }
+
+    #[test]
+    fn late_join_capacity_area_starts_at_join() {
+        use esg_model::NodeClass;
+        let mut n = Node::with_class(NodeId(9), NodeClass::a100(), SimTime::from_ms(100.0));
+        let _ = n.finish(SimTime::from_ms(300.0));
+        let (cpu_cap, gpu_cap) = n.capacity_areas();
+        // 200 ms of existence × (16 vCPU, 7 vGPU).
+        assert!((cpu_cap - 16.0 * 200_000.0).abs() < 1.0);
+        assert!((gpu_cap - 7.0 * 200_000.0).abs() < 1.0);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum Event {
     TaskComplete(u64),
     /// A pre-warm timer fires for `(node, function)`.
     Prewarm(u32, u32),
+    /// A scripted cluster-membership change fires (index into the run's
+    /// `ChurnPlan`).
+    Churn(usize),
 }
 
 /// A time-ordered event queue with deterministic tie-breaking.

@@ -5,7 +5,12 @@
 //! serverless functions measured on actual machines" (§4). This crate is
 //! that framework, rebuilt as a deterministic discrete-event simulation:
 //!
-//! * a 16-node cluster, each node with 16 vCPUs and 7 MIG vGPUs (Table 2);
+//! * a cluster of invoker nodes — the paper's homogeneous Table-2 testbed
+//!   (16 nodes × 16 vCPUs × 7 MIG vGPUs) by default, or any
+//!   `esg_model::ClusterSpec` of heterogeneous node classes (per-class
+//!   capacity, execution-speed, link, and price scale factors), with
+//!   scripted churn (`esg_model::ChurnPlan` node drains/joins) applied by
+//!   the event loop mid-run;
 //! * container lifecycle with Table-3 cold starts, a 10-minute keep-alive
 //!   (OpenWhisk's policy, §2), and EWMA-driven pre-warming (§4);
 //! * app-function-wise (AFW) job queues on the controller (§3.1);
@@ -32,7 +37,9 @@
 //! effort into simulated controller time, calibrated so a brute-force
 //! search of a 3-stage group at 256 configurations per function costs the
 //! paper's 7258 ms (§5.3: ≈0.43 µs per expansion). Real wall time is also
-//! recorded, and both are reported in EXPERIMENTS.md.
+//! recorded, and both are reported in the generated `EXPERIMENTS.md` at
+//! the workspace root (rendered by `esg-bench`'s emitter from the
+//! `BENCH_<suite>.json` artifacts).
 
 #![warn(missing_docs)]
 
@@ -45,7 +52,7 @@ pub mod workflow;
 
 pub use cluster::{Cluster, Node};
 pub use event::{Event, EventQueue};
-pub use metrics::{AppMetrics, ExperimentResult};
+pub use metrics::{AppMetrics, ExperimentResult, NodeSummary};
 pub use platform::{run_simulation, MinScheduler, SimConfig, SimEnv, Simulation};
 pub use sched::{
     home_node, place_locality_first, place_min_fragmentation, Capabilities, ClusterView, JobView,

@@ -5,7 +5,22 @@
 //! costs, scheduling-overhead samples (Fig. 10), configuration-miss counts
 //! (Table 4), start/transfer counters, and utilisation (Fig. 12).
 
-use esg_model::{AppId, BoxStats, Summary};
+use esg_model::{AppId, BoxStats, Resources, Summary};
+
+/// End-of-run summary of one cluster node (heterogeneity/churn audit
+/// trail: the capacity property tests assert `peak_used ≤ total` here).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeSummary {
+    /// Node-class name ("a100", "t4", "custom-16c/7g", …).
+    pub class: String,
+    /// Total capacity of the node.
+    pub total: Resources,
+    /// Peak simultaneous resource attachment observed.
+    pub peak_used: Resources,
+    /// Whether the node was still accepting placements at run end
+    /// (false = drained).
+    pub online: bool,
+}
 
 /// Per-application accumulators.
 #[derive(Clone, Debug, Default)]
@@ -99,6 +114,9 @@ pub struct ExperimentResult {
     pub phase_exec_queue_ms: Summary,
     /// Per-task execution, ms.
     pub phase_exec_ms: Summary,
+    /// Per-node end-of-run summaries, in `NodeId` order (includes nodes
+    /// drained or joined by churn).
+    pub nodes: Vec<NodeSummary>,
 }
 
 impl ExperimentResult {

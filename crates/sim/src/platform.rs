@@ -13,15 +13,15 @@
 
 use crate::cluster::Cluster;
 use crate::event::{Event, EventQueue};
-use crate::metrics::{AppMetrics, ExperimentResult};
+use crate::metrics::{AppMetrics, ExperimentResult, NodeSummary};
 use crate::sched::{
     home_node, ClusterView, JobView, NodeView, Outcome, OverheadModel, QueueKey, SchedCtx,
     Scheduler,
 };
 use crate::workflow::{AfwQueue, Job, WorkflowInstance};
 use esg_model::{
-    standard_apps, standard_catalog, AppId, AppSpec, Catalog, Config, ConfigGrid, FnId,
-    InvocationId, NodeId, PriceModel, Resources, SimTime, SloClass,
+    standard_apps, standard_catalog, AppId, AppSpec, Catalog, ChurnEvent, ChurnPlan, ClusterSpec,
+    Config, ConfigGrid, FnId, InvocationId, NodeId, PriceModel, Resources, SimTime, SloClass,
 };
 use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
 use esg_workload::{ArrivalPredictor, Workload};
@@ -87,16 +87,20 @@ impl SimEnv {
 }
 
 /// Platform knobs (Table 2 defaults).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Number of invoker nodes.
+    /// Number of invoker nodes (homogeneous path; ignored when `cluster`
+    /// is set).
     pub nodes: usize,
-    /// Resources per node.
+    /// Resources per node (homogeneous path; ignored when `cluster` is
+    /// set).
     pub node_resources: Resources,
-    /// Explicit per-node capacities for heterogeneous clusters (Appendix A:
-    /// the algorithms tolerate heterogeneous hardware). When non-empty this
-    /// overrides `nodes`/`node_resources`.
-    pub heterogeneous_nodes: &'static [Resources],
+    /// Declarative cluster: per-node classes with speed/link/price scale
+    /// factors (Appendix A: the algorithms tolerate heterogeneous
+    /// hardware). When set this overrides `nodes`/`node_resources`.
+    pub cluster: Option<ClusterSpec>,
+    /// Scripted node drains/joins applied by the event loop mid-run.
+    pub churn: ChurnPlan,
     /// Keep-alive for warm containers, ms (OpenWhisk: 10 minutes).
     pub keep_alive_ms: f64,
     /// Search-effort → controller-time conversion.
@@ -135,7 +139,8 @@ impl Default for SimConfig {
         SimConfig {
             nodes: 16,
             node_resources: Resources::new(16, 7),
-            heterogeneous_nodes: &[],
+            cluster: None,
+            churn: ChurnPlan::none(),
             keep_alive_ms: 600_000.0,
             overhead: OverheadModel::default(),
             charge_overhead: true,
@@ -265,11 +270,13 @@ impl<'a> Simulation<'a> {
                 ..AppMetrics::default()
             })
             .collect();
-        let cluster = if cfg.heterogeneous_nodes.is_empty() {
-            Cluster::new(cfg.nodes, cfg.node_resources)
-        } else {
-            Cluster::heterogeneous(cfg.heterogeneous_nodes)
+        let cluster = match &cfg.cluster {
+            Some(spec) => Cluster::from_spec(spec),
+            None => Cluster::new(cfg.nodes, cfg.node_resources),
         };
+        let initial_nodes = cluster.len();
+        let prewarm_alpha = cfg.prewarm_alpha;
+        let seed = cfg.seed;
         Simulation {
             env,
             cfg,
@@ -279,7 +286,7 @@ impl<'a> Simulation<'a> {
             events: EventQueue::new(),
             cluster,
             queues: vec![AfwQueue::new(); nq],
-            predictors: vec![ArrivalPredictor::new(cfg.prewarm_alpha); nq],
+            predictors: vec![ArrivalPredictor::new(prewarm_alpha); nq],
             queue_intervals: vec![esg_model::Ewma::new(0.3); nq],
             queue_last_arrival: vec![None; nq],
             last_node: vec![None; nq],
@@ -292,16 +299,9 @@ impl<'a> Simulation<'a> {
             next_task: 0,
             queue_busy_until: vec![SimTime::ZERO; nq],
             recheck: Vec::new(),
-            waiting_exec: vec![
-                std::collections::VecDeque::new();
-                if cfg.heterogeneous_nodes.is_empty() {
-                    cfg.nodes
-                } else {
-                    cfg.heterogeneous_nodes.len()
-                }
-            ],
+            waiting_exec: vec![std::collections::VecDeque::new(); initial_nodes],
             noise: env.noise.clone(),
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: StdRng::seed_from_u64(seed),
             metrics,
             slo_ms,
             base_ms,
@@ -326,12 +326,28 @@ impl<'a> Simulation<'a> {
             self.events
                 .push(SimTime::from_ms(a.at_ms), Event::Arrival(i));
         }
+        for (i, ev) in self.cfg.churn.events.iter().enumerate() {
+            self.events
+                .push(SimTime::from_ms(ev.at_ms()), Event::Churn(i));
+        }
+        let mut arrivals_remaining = self.workload.arrivals.len();
         while let Some((t, ev)) = self.events.pop() {
             if self.cfg.max_sim_ms > 0.0 && t.as_ms() > self.cfg.max_sim_ms {
                 break;
             }
+            // All work is done: no arrivals left to deliver, no live
+            // invocations, no running tasks. Remaining events (pre-warm
+            // timers, scripted churn past the workload) cannot create
+            // work, and letting them advance the clock would inflate the
+            // makespan and dilute the utilisation denominators.
+            if arrivals_remaining == 0 && self.invocations.is_empty() && self.tasks.is_empty() {
+                break;
+            }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            if matches!(ev, Event::Arrival(_)) {
+                arrivals_remaining -= 1;
+            }
             match ev {
                 Event::Arrival(i) => {
                     self.handle_arrival(i);
@@ -344,9 +360,30 @@ impl<'a> Simulation<'a> {
                     self.wake_controller();
                 }
                 Event::Prewarm(node, f) => self.handle_prewarm(NodeId(node), FnId(f)),
+                Event::Churn(i) => {
+                    self.handle_churn(i);
+                    self.wake_controller();
+                }
             }
         }
         self.finish()
+    }
+
+    /// Applies the `i`-th scripted membership change: a drain takes the
+    /// node out of placement rotation (admitted work completes), a join
+    /// appends a fresh cold node.
+    fn handle_churn(&mut self, i: usize) {
+        match self.cfg.churn.events[i].clone() {
+            ChurnEvent::Drain { node, .. } => {
+                if node.index() < self.cluster.len() {
+                    self.cluster.node_mut(node).drain(self.now);
+                }
+            }
+            ChurnEvent::Join { class, .. } => {
+                self.cluster.join(class, self.now);
+                self.waiting_exec.push(std::collections::VecDeque::new());
+            }
+        }
     }
 
     fn wake_controller(&mut self) {
@@ -411,9 +448,9 @@ impl<'a> Simulation<'a> {
         let cold = SimTime::from_ms(self.env.catalog.get(f).cold_start_ms);
         let cap = self.cfg.prewarm_pool_cap;
         let n = self.cluster.node_mut(node);
-        // Grow the pool when no idle warm slot exists (concurrency
-        // pressure), bounded by the pool cap.
-        if !n.has_warm(f, self.now) && n.slot_count(f, self.now) < cap {
+        // Drained nodes take no new containers; grow the pool when no idle
+        // warm slot exists (concurrency pressure), bounded by the pool cap.
+        if n.online && !n.has_warm(f, self.now) && n.slot_count(f, self.now) < cap {
             n.prewarm(f, self.now + cold, keep);
         }
     }
@@ -427,10 +464,18 @@ impl<'a> Simulation<'a> {
                 .map(|n| NodeView {
                     id: n.id,
                     // Placement admits against commitments: a task in its
-                    // init phase still owns its slot.
-                    free: n.uncommitted(),
+                    // init phase still owns its slot. A draining node
+                    // advertises nothing.
+                    free: if n.online {
+                        n.uncommitted()
+                    } else {
+                        Resources::ZERO
+                    },
                     total: n.total,
                     warm: n.warm_functions(self.now),
+                    speed: n.class.speed,
+                    link_scale: n.class.link_scale,
+                    online: n.online,
                 })
                 .collect(),
         }
@@ -637,6 +682,10 @@ impl<'a> Simulation<'a> {
 
         // Data transfer: one input per job; local when the producing node is
         // this node. Entry-stage inputs come from the gateway (remote).
+        // Remote hand-offs respect per-class topology: the slower of the
+        // two endpoints' links scales the cost (§3.4; FaaSTube's
+        // cross-node-transfer argument).
+        let dst_link = self.cluster.node(node).class.link_scale;
         let mut rate_ms = 0.0;
         let mut base_ms = 0.0f64;
         for j in &jobs {
@@ -646,13 +695,24 @@ impl<'a> Simulation<'a> {
                 rate_ms += self.env.transfer.local_ms_per_mb * spec.input_mb;
                 base_ms = base_ms.max(self.env.transfer.local_base_ms);
             } else {
+                let link = match j.pred_node {
+                    Some(src) if src.index() < self.cluster.len() => {
+                        dst_link.max(self.cluster.node(src).class.link_scale)
+                    }
+                    _ => dst_link, // gateway: only the destination link counts
+                };
                 self.metrics.remote_transfers += 1;
-                rate_ms += self.env.transfer.remote_ms_per_mb * spec.input_mb;
-                base_ms = base_ms.max(self.env.transfer.remote_base_ms);
+                rate_ms += self.env.transfer.remote_ms_per_mb * spec.input_mb * link;
+                base_ms = base_ms.max(self.env.transfer.remote_base_ms * link);
             }
         }
         let transfer_ms = base_ms + rate_ms;
-        let exec_ms = self.noise.noisy_ms(latency_ms(spec, config), &mut self.rng);
+        // Profiles are measured on the baseline class; this node runs at
+        // its class's latency scale factor.
+        let node_speed = self.cluster.node(node).class.speed;
+        let exec_ms = self
+            .noise
+            .noisy_ms(latency_ms(spec, config) * node_speed, &mut self.rng);
 
         self.metrics.dispatches += 1;
         if let Some(oldest) = jobs.first() {
@@ -729,16 +789,22 @@ impl<'a> Simulation<'a> {
     }
 
     fn begin_exec(&mut self, id: u64) {
-        let (key, config, exec_ms) = {
+        let (key, config, exec_ms, price_scale) = {
             let t = &self.tasks[&id];
             self.metrics
                 .phase_exec_queue_ms
                 .add(self.now.saturating_since(t.init_ready_at).as_ms());
             self.metrics.phase_exec_ms.add(t.exec_ms);
-            (t.key, t.config, t.exec_ms)
+            (
+                t.key,
+                t.config,
+                t.exec_ms,
+                self.cluster.node(t.node).class.price_scale,
+            )
         };
-        // Billing covers the span resources are actually attached.
-        let cost = self.env.price.task_cost_cents(config, exec_ms);
+        // Billing covers the span resources are actually attached, at the
+        // hosting class's per-flavor price.
+        let cost = self.env.price.task_cost_cents(config, exec_ms) * price_scale;
         self.metrics.apps[key.app.index()].cost_cents += cost;
         self.events.push(
             self.now + SimTime::from_ms(exec_ms),
@@ -818,20 +884,38 @@ impl<'a> Simulation<'a> {
     }
 
     fn finish(mut self) -> ExperimentResult {
-        let span_us = self.now.0.max(1) as f64;
         let mut cpu_area = 0.0;
         let mut gpu_area = 0.0;
-        let mut cpu_total = 0u64;
-        let mut gpu_total = 0u64;
+        let mut cpu_cap_area = 0.0;
+        let mut gpu_cap_area = 0.0;
+        let now = self.now;
         for n in self.cluster.nodes_mut() {
-            let (c, g) = n.finish(self.now);
+            let (c, g) = n.finish(now);
             cpu_area += c;
             gpu_area += g;
-            cpu_total += n.total.vcpus as u64;
-            gpu_total += n.total.vgpus as u64;
+            let (cc, gc) = n.capacity_areas();
+            cpu_cap_area += cc;
+            gpu_cap_area += gc;
+            self.metrics.nodes.push(NodeSummary {
+                class: n.class.name.clone(),
+                total: n.total,
+                peak_used: n.peak_used(),
+                online: n.online,
+            });
         }
-        self.metrics.vcpu_utilisation = cpu_area / (cpu_total as f64 * span_us);
-        self.metrics.vgpu_utilisation = gpu_area / (gpu_total as f64 * span_us);
+        // Capacity-time denominators: on a static cluster this equals
+        // `total × span`; on a churning one, joins only count from their
+        // join time.
+        self.metrics.vcpu_utilisation = if cpu_cap_area > 0.0 {
+            cpu_area / cpu_cap_area
+        } else {
+            0.0
+        };
+        self.metrics.vgpu_utilisation = if gpu_cap_area > 0.0 {
+            gpu_area / gpu_cap_area
+        } else {
+            0.0
+        };
         self.metrics.makespan_ms = self.now.as_ms();
         self.metrics
     }
@@ -1028,6 +1112,166 @@ mod tests {
         assert!(r.vcpu_utilisation >= 0.0 && r.vcpu_utilisation <= 1.0);
         assert!(r.vgpu_utilisation >= 0.0 && r.vgpu_utilisation <= 1.0);
         assert!(r.vgpu_utilisation > 0.0);
+    }
+
+    #[test]
+    fn hetero_cluster_from_spec_slows_and_reprices_execution() {
+        use esg_model::{ClusterSpec, NodeClass};
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let w = small_workload(30);
+        let run = |spec: ClusterSpec| {
+            let mut s = MinScheduler;
+            run_simulation(
+                &env,
+                SimConfig {
+                    cluster: Some(spec),
+                    ..SimConfig::default()
+                },
+                &mut s,
+                &w,
+                "spec",
+            )
+        };
+        // 16 "T4-speed" nodes at paper capacity vs the paper baseline:
+        // identical placement decisions, scaled latency and price.
+        let slow_class = NodeClass::a100().with_speed(2.0).named("a100-half");
+        let base = run(ClusterSpec::paper());
+        let slow = run(ClusterSpec::new("slow").with(slow_class, 16));
+        assert_eq!(base.total_completed(), 30);
+        assert_eq!(slow.total_completed(), 30);
+        let mean = |r: &ExperimentResult| {
+            r.apps.iter().map(AppMetrics::mean_latency_ms).sum::<f64>() / r.apps.len() as f64
+        };
+        assert!(
+            mean(&slow) > 1.3 * mean(&base),
+            "slow {} vs base {}",
+            mean(&slow),
+            mean(&base)
+        );
+        // Same spec, cheaper flavor: identical latency, scaled cost.
+        let cheap_class = NodeClass::a100().named("a100-cheap");
+        let mut cheap_class = cheap_class;
+        cheap_class.price_scale = 0.5;
+        let cheap = run(ClusterSpec::new("cheap").with(cheap_class, 16));
+        assert!((cheap.total_cost_cents() - 0.5 * base.total_cost_cents()).abs() < 1e-6);
+        // Node summaries record the classes.
+        assert_eq!(base.nodes.len(), 16);
+        assert!(base.nodes.iter().all(|n| n.class == "a100"));
+        assert!(base.nodes.iter().all(|n| n.total.contains(n.peak_used)));
+    }
+
+    #[test]
+    fn drain_stops_new_placements_but_completes_admitted_work() {
+        use esg_model::{ChurnPlan, NodeId};
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let w = small_workload(40);
+        // Drain half the cluster early: everything must still complete on
+        // the remaining nodes.
+        let mut plan = ChurnPlan::none();
+        for i in 0..8u32 {
+            plan = plan.drain(50.0, NodeId(i));
+        }
+        let mut s = MinScheduler;
+        let r = run_simulation(
+            &env,
+            SimConfig {
+                churn: plan,
+                ..SimConfig::default()
+            },
+            &mut s,
+            &w,
+            "drain",
+        );
+        assert_eq!(r.total_completed(), 40);
+        assert_eq!(r.nodes.iter().filter(|n| !n.online).count(), 8);
+    }
+
+    #[test]
+    fn join_mid_run_adds_capacity_and_summary() {
+        use esg_model::{ChurnPlan, NodeClass};
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let w = small_workload(30);
+        let plan = ChurnPlan::none()
+            .join(100.0, NodeClass::a100().named("late-a100"))
+            .join(200.0, NodeClass::t4());
+        let mut s = MinScheduler;
+        let r = run_simulation(
+            &env,
+            SimConfig {
+                churn: plan,
+                ..SimConfig::default()
+            },
+            &mut s,
+            &w,
+            "join",
+        );
+        assert_eq!(r.total_completed(), 30);
+        assert_eq!(r.nodes.len(), 18);
+        assert_eq!(r.nodes[16].class, "late-a100");
+        assert_eq!(r.nodes[17].class, "t4");
+        assert!(r.vgpu_utilisation > 0.0 && r.vgpu_utilisation <= 1.0);
+    }
+
+    #[test]
+    fn trailing_churn_does_not_inflate_makespan_or_dilute_utilisation() {
+        use esg_model::{ChurnPlan, NodeClass, NodeId};
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let w = small_workload(20);
+        let base = {
+            let mut s = MinScheduler;
+            run_simulation(&env, SimConfig::default(), &mut s, &w, "b")
+        };
+        // Churn scripted long after the last completion must not advance
+        // the simulation clock.
+        let mut s = MinScheduler;
+        let late = run_simulation(
+            &env,
+            SimConfig {
+                churn: ChurnPlan::none()
+                    .drain(10_000_000.0, NodeId(0))
+                    .join(20_000_000.0, NodeClass::t4()),
+                ..SimConfig::default()
+            },
+            &mut s,
+            &w,
+            "late-churn",
+        );
+        assert_eq!(late.total_completed(), 20);
+        assert!(
+            late.makespan_ms <= base.makespan_ms + 1.0,
+            "trailing churn inflated makespan: {} vs {}",
+            late.makespan_ms,
+            base.makespan_ms
+        );
+        assert!((late.vgpu_utilisation - base.vgpu_utilisation).abs() < 1e-9);
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        use esg_model::{ChurnPlan, NodeClass, NodeId};
+        let env = SimEnv::standard(SloClass::Moderate);
+        let w = small_workload(25);
+        let run = || {
+            let mut s = MinScheduler;
+            run_simulation(
+                &env,
+                SimConfig {
+                    cluster: Some(esg_model::ClusterSpec::mixed_mig()),
+                    churn: ChurnPlan::rolling_replace(80.0, 120.0, NodeId(2), NodeClass::v100()),
+                    ..SimConfig::default()
+                },
+                &mut s,
+                &w,
+                "churn-det",
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(format!("{:?}", a.nodes), format!("{:?}", b.nodes));
+        assert_eq!(a.dispatches, b.dispatches);
+        for (x, y) in a.apps.iter().zip(&b.apps) {
+            assert_eq!(x.latencies_ms, y.latencies_ms);
+        }
     }
 
     #[test]

@@ -43,23 +43,44 @@ pub struct JobView {
 pub struct NodeView {
     /// Node id.
     pub id: NodeId,
-    /// Free resources at snapshot time.
+    /// Free resources at snapshot time (zero while draining).
     pub free: Resources,
     /// Total resources.
     pub total: Resources,
     /// Functions with a usable warm container right now.
     pub warm: Vec<FnId>,
+    /// Execution-latency scale factor of the node's class (1.0 = the
+    /// Table-2 baseline the profiles were measured on; larger is slower).
+    pub speed: f64,
+    /// Remote-transfer latency scale factor of the node's class.
+    pub link_scale: f64,
+    /// False while the node drains: no new placements land here.
+    pub online: bool,
 }
 
 impl NodeView {
+    /// A baseline-class view: full capacity free, no warmth, Table-2
+    /// scale factors. Tests and custom snapshots tweak from here.
+    pub fn idle(id: NodeId, total: Resources) -> NodeView {
+        NodeView {
+            id,
+            free: total,
+            total,
+            warm: Vec::new(),
+            speed: 1.0,
+            link_scale: 1.0,
+            online: true,
+        }
+    }
+
     /// True when the node has a warm container for `f`.
     pub fn has_warm(&self, f: FnId) -> bool {
         self.warm.contains(&f)
     }
 
-    /// True when the node can host `demand`.
+    /// True when the node accepts placements and can host `demand`.
     pub fn fits(&self, demand: Resources) -> bool {
-        self.free.contains(demand)
+        self.online && self.free.contains(demand)
     }
 }
 
@@ -86,6 +107,30 @@ impl ClusterView {
                     .weighted(1.0, 16.0 / 7.0)
                     .total_cmp(&b.free.weighted(1.0, 16.0 / 7.0))
                     .then(b.id.0.cmp(&a.id.0))
+            })
+            .map(|n| n.id)
+    }
+
+    /// The execution-latency scale factor of `node` (1.0 when out of
+    /// range, which cannot happen for ids taken from this snapshot).
+    pub fn speed_of(&self, node: NodeId) -> f64 {
+        self.nodes.get(node.index()).map_or(1.0, |n| n.speed)
+    }
+
+    /// The fastest (lowest speed factor) feasible node; ties broken by
+    /// most free weighted resources, then node id. Speed-aware schedulers
+    /// use this to bound how fast the cluster can run `demand` right now.
+    pub fn fastest_fit(&self, demand: Resources) -> Option<NodeId> {
+        self.feasible(demand)
+            .min_by(|a, b| {
+                a.speed
+                    .total_cmp(&b.speed)
+                    .then(
+                        b.free
+                            .weighted(1.0, 16.0 / 7.0)
+                            .total_cmp(&a.free.weighted(1.0, 16.0 / 7.0)),
+                    )
+                    .then(a.id.0.cmp(&b.id.0))
             })
             .map(|n| n.id)
     }
@@ -408,21 +453,13 @@ mod tests {
 
     #[test]
     fn cluster_view_queries() {
+        let mut n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        n0.free = Resources::new(2, 1);
+        n0.warm = vec![FnId(1)];
+        let mut n1 = NodeView::idle(NodeId(1), Resources::new(16, 7));
+        n1.free = Resources::new(10, 3);
         let view = ClusterView {
-            nodes: vec![
-                NodeView {
-                    id: NodeId(0),
-                    free: Resources::new(2, 1),
-                    total: Resources::new(16, 7),
-                    warm: vec![FnId(1)],
-                },
-                NodeView {
-                    id: NodeId(1),
-                    free: Resources::new(10, 3),
-                    total: Resources::new(16, 7),
-                    warm: vec![],
-                },
-            ],
+            nodes: vec![n0, n1],
         };
         assert_eq!(view.feasible(Resources::new(4, 1)).count(), 1);
         assert_eq!(view.most_free(Resources::new(1, 1)), Some(NodeId(1)));
@@ -432,22 +469,45 @@ mod tests {
     }
 
     #[test]
-    fn min_fragmentation_picks_tightest_fit() {
+    fn offline_nodes_are_never_feasible() {
+        let mut n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        n0.online = false;
+        n0.free = Resources::ZERO; // the platform zeroes a draining node's view
+        let n1 = NodeView::idle(NodeId(1), Resources::new(4, 2));
         let view = ClusterView {
-            nodes: vec![
-                NodeView {
-                    id: NodeId(0),
-                    free: Resources::new(16, 7),
-                    total: Resources::new(16, 7),
-                    warm: vec![],
-                },
-                NodeView {
-                    id: NodeId(1),
-                    free: Resources::new(4, 2),
-                    total: Resources::new(16, 7),
-                    warm: vec![],
-                },
-            ],
+            nodes: vec![n0, n1],
+        };
+        assert!(!view.nodes[0].fits(Resources::new(1, 0)));
+        assert_eq!(view.feasible(Resources::new(1, 1)).count(), 1);
+        assert_eq!(view.most_free(Resources::new(1, 1)), Some(NodeId(1)));
+        assert_eq!(
+            place_min_fragmentation(&view, Resources::new(1, 1), 1.0, 2.0),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn fastest_fit_prefers_low_speed_factor() {
+        let mut slow = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        slow.speed = 2.2;
+        let fast = NodeView::idle(NodeId(1), Resources::new(8, 2));
+        let view = ClusterView {
+            nodes: vec![slow, fast],
+        };
+        assert_eq!(view.fastest_fit(Resources::new(4, 1)), Some(NodeId(1)));
+        // Demand only the slow node can host falls back to it.
+        assert_eq!(view.fastest_fit(Resources::new(12, 4)), Some(NodeId(0)));
+        assert_eq!(view.speed_of(NodeId(0)), 2.2);
+        assert_eq!(view.speed_of(NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn min_fragmentation_picks_tightest_fit() {
+        let n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        let mut n1 = NodeView::idle(NodeId(1), Resources::new(16, 7));
+        n1.free = Resources::new(4, 2);
+        let view = ClusterView {
+            nodes: vec![n0, n1],
         };
         // Best fit leaves the least behind -> node 1.
         assert_eq!(

@@ -10,6 +10,9 @@
 //! * [`azure`] — a synthetic Azure-like per-minute rate trace (diurnal
 //!   pattern plus bursts) for the pre-warming study, replacing the
 //!   proprietary raw traces (see DESIGN.md substitutions);
+//! * [`shapes`] — traffic-shape generators (`steady`, `bursty`,
+//!   `diurnal`, `azure` replay) keyed by `esg_model::TrafficShape`, all
+//!   holding the class mean rate so shapes compare apples-to-apples;
 //! * [`predictor`] — the EWMA inter-arrival predictor the pre-warming
 //!   proxy threads use (§4).
 
@@ -18,7 +21,9 @@
 pub mod arrivals;
 pub mod azure;
 pub mod predictor;
+pub mod shapes;
 
 pub use arrivals::{Arrival, Workload, WorkloadGen};
 pub use azure::AzureLikeTrace;
 pub use predictor::ArrivalPredictor;
+pub use shapes::shaped_workload;

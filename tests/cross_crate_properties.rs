@@ -51,6 +51,50 @@ proptest! {
         }
     }
 
+    /// Heterogeneous placement never exceeds any node's own capacity:
+    /// whatever mix of classes a cluster carries, each node's peak
+    /// simultaneous attachment stays inside that node's resources, and
+    /// every invocation still completes.
+    #[test]
+    fn heterogeneous_placement_respects_per_node_capacity(
+        picks in proptest::collection::vec(0usize..3, 2..7),
+        n in 8usize..25,
+        seed in 0u64..200,
+    ) {
+        use esg::model::{ClusterSpec, NodeClass};
+        let classes = [NodeClass::a100(), NodeClass::v100(), NodeClass::t4()];
+        let spec = picks
+            .iter()
+            .fold(ClusterSpec::new("prop-hetero"), |s, &i| {
+                s.with(classes[i].clone(), 1)
+            });
+        let env = SimEnv::with_grid(
+            SloClass::Relaxed,
+            ConfigGrid::new(vec![1, 2], vec![1, 2], vec![1, 2]),
+        );
+        let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), seed)
+            .generate(n);
+        let mut s = esg::core::EsgScheduler::new();
+        let cfg = SimConfig {
+            cluster: Some(spec.clone()),
+            ..SimConfig::default()
+        };
+        let r = run_simulation(&env, cfg, &mut s, &w, "prop-hetero");
+        prop_assert_eq!(r.total_completed() as usize, n);
+        prop_assert_eq!(r.nodes.len(), spec.len());
+        for (node, class) in r.nodes.iter().zip(&spec.nodes) {
+            prop_assert_eq!(&node.class, &class.name);
+            prop_assert_eq!(node.total, class.resources());
+            prop_assert!(
+                node.total.contains(node.peak_used),
+                "class {} peak {} exceeds total {}",
+                node.class,
+                node.peak_used,
+                node.total
+            );
+        }
+    }
+
     /// The SLO plan of every catalog app always covers all stages exactly
     /// once with positive quotas, regardless of group size.
     #[test]

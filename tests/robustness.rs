@@ -119,14 +119,11 @@ fn single_invocation_runs_alone() {
 #[test]
 fn truly_heterogeneous_cluster_completes_and_respects_capacities() {
     // Mixed node classes (Appendix A): two big, two medium, two small.
-    static NODES: [Resources; 6] = [
-        Resources::new(16, 7),
-        Resources::new(16, 7),
-        Resources::new(8, 4),
-        Resources::new(8, 4),
-        Resources::new(4, 2),
-        Resources::new(4, 2),
-    ];
+    use esg::model::{ClusterSpec, NodeClass};
+    let spec = ClusterSpec::new("robustness-mixed")
+        .with(NodeClass::custom(Resources::new(16, 7)), 2)
+        .with(NodeClass::custom(Resources::new(8, 4)), 2)
+        .with(NodeClass::custom(Resources::new(4, 2)), 2);
     let env = SimEnv::with_grid(
         SloClass::Relaxed,
         ConfigGrid::new(vec![1, 2], vec![1, 2, 4], vec![1, 2]),
@@ -134,10 +131,60 @@ fn truly_heterogeneous_cluster_completes_and_respects_capacities() {
     let w = WorkloadGen::new(WorkloadClass::Light, esg::model::standard_app_ids(), 17).generate(60);
     let mut s = esg::core::EsgScheduler::new();
     let cfg = SimConfig {
-        heterogeneous_nodes: &NODES,
+        cluster: Some(spec),
         ..SimConfig::default()
     };
     let r = run_simulation(&env, cfg, &mut s, &w, "hetero-mixed");
     assert_eq!(r.total_completed(), 60);
     assert!(r.vgpu_utilisation > 0.0 && r.vgpu_utilisation <= 1.0);
+    // No node's peak attachment may exceed its own capacity.
+    assert_eq!(r.nodes.len(), 6);
+    for n in &r.nodes {
+        assert!(
+            n.total.contains(n.peak_used),
+            "node class {} exceeded capacity: peak {} total {}",
+            n.class,
+            n.peak_used,
+            n.total
+        );
+    }
+}
+
+#[test]
+fn mixed_speed_cluster_under_every_traffic_shape() {
+    // The full hetero surface at once: classed nodes (speed, link, price
+    // scale), each traffic shape, and a mid-run drain+join — everything
+    // must complete and respect capacity.
+    use esg::model::{ChurnPlan, ClusterSpec, NodeClass, TrafficShape};
+    let env = SimEnv::with_grid(
+        SloClass::Relaxed,
+        ConfigGrid::new(vec![1, 2], vec![1, 2, 4], vec![1, 2]),
+    );
+    for shape in TrafficShape::all() {
+        let w = esg::workload::shaped_workload(
+            WorkloadClass::Light,
+            shape,
+            &esg::model::standard_app_ids(),
+            23,
+            8_000.0,
+        );
+        let mut s = esg::core::EsgScheduler::new();
+        let cfg = SimConfig {
+            cluster: Some(ClusterSpec::mixed_mig()),
+            churn: ChurnPlan::rolling_replace(500.0, 400.0, esg::model::NodeId(1), NodeClass::t4()),
+            max_sim_ms: 120_000.0,
+            ..SimConfig::default()
+        };
+        let r = run_simulation(&env, cfg, &mut s, &w, "hetero-shape");
+        assert_eq!(
+            r.total_completed(),
+            w.len() as u64,
+            "{shape}: {} of {} completed",
+            r.total_completed(),
+            w.len()
+        );
+        for n in &r.nodes {
+            assert!(n.total.contains(n.peak_used), "{shape}: capacity exceeded");
+        }
+    }
 }
