@@ -1,0 +1,218 @@
+//! Scheduler-overhead microbenches: cold search vs warm plan-cache hit.
+//!
+//! §5.3 argues ESG's pruned search keeps per-request planning ~ms-scale;
+//! this target measures our implementation's actual wall-clock planning
+//! latency and the plan cache's amortisation on top of it, across
+//! pipeline widths (1–8 stages) and GSLO tightness levels (tight budgets
+//! prune harder, §5.3's "overhead increases with more relaxed SLO"). A
+//! second table isolates the zero-alloc A\* rework: fresh allocations per
+//! call vs the reused `SearchScratch` arena.
+//!
+//! Artifacts: `BENCH_overhead.json` under `bench_results/` (the
+//! committed copy is the CI perf-gate baseline — see
+//! `.github/workflows/ci.yml` and `esg-bench`'s `perf-gate` binary) and
+//! the "Scheduling overhead" tables in `EXPERIMENTS.md` between the
+//! `<!-- BENCH:overhead:begin/end -->` markers.
+//!
+//! `ESG_SMOKE=1` cuts the sample count for CI runs; case labels are
+//! unchanged so smoke runs stay comparable to the committed baseline.
+
+use criterion::{BenchmarkId, Criterion};
+use esg_bench::{render_overhead_markdown, section, update_experiments_md, write_json};
+use esg_core::{
+    astar_search_bounded, astar_search_with, quantize_gslo, CachedPlan, PlanCache, PlanKey,
+    SearchScratch, StageTable,
+};
+use esg_model::{standard_catalog, ConfigGrid, FnId, PriceModel};
+use esg_profile::ProfileTable;
+use serde_json::json;
+use std::hint::black_box;
+
+const WIDTHS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+const TIGHTNESS: [(&str, f64); 3] = [("tight", 1.1), ("medium", 1.5), ("loose", 3.0)];
+/// Widths for the alloc-vs-scratch ablation (medium tightness only).
+const SCRATCH_WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// Case coordinates recorded next to each criterion report.
+struct CaseMeta {
+    label: String,
+    kind: &'static str,
+    width: usize,
+    slo: &'static str,
+}
+
+/// A `width`-stage pipeline cycling through the Table-3 catalog.
+fn fns_for(width: usize) -> Vec<FnId> {
+    (0..width).map(|i| FnId((i % 6) as u32)).collect()
+}
+
+fn main() {
+    let smoke = std::env::var("ESG_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    // Smoke keeps enough samples for a stable median: the perf-gate
+    // compares this run against the committed full-run baseline, and 5
+    // samples under CI-runner load produced ±40% medians on µs cases.
+    let samples = if smoke { 15 } else { 40 };
+    section(if smoke {
+        "Scheduling overhead: cold search vs warm plan cache (smoke mode)"
+    } else {
+        "Scheduling overhead: cold search vs warm plan cache"
+    });
+
+    let profiles = ProfileTable::build(
+        &standard_catalog(),
+        &ConfigGrid::default(),
+        &PriceModel::default(),
+    );
+    let cap = profiles.grid().max_batch();
+    let mut c = Criterion::default().sample_size(samples);
+    let mut metas: Vec<CaseMeta> = Vec::new();
+
+    {
+        let mut group = c.benchmark_group("overhead");
+        let mut scratch = SearchScratch::new();
+        for &w in &WIDTHS {
+            let fns = fns_for(w);
+            for (slo_name, mult) in TIGHTNESS {
+                let table = StageTable::build(&fns, &profiles, cap);
+                // The budget the scheduler would search with: quantized
+                // onto the plan-cache bucket grid.
+                let gslo = quantize_gslo(table.min_total_time() * mult);
+
+                // Cold: the full miss path — stage-table build plus the
+                // dispatch-quality A* (K=5, 50% premium band).
+                let param = format!("w{w}/{slo_name}");
+                group.bench_with_input(BenchmarkId::new("cold", &param), &fns, |b, fns| {
+                    b.iter(|| {
+                        let t = StageTable::build(fns, &profiles, cap);
+                        black_box(astar_search_with(&t, gslo, 5, 0.5, &mut scratch))
+                    })
+                });
+                metas.push(CaseMeta {
+                    label: format!("overhead/cold/{param}"),
+                    kind: "cold",
+                    width: w,
+                    slo: slo_name,
+                });
+
+                // Warm: the hit path — key fingerprint plus an LRU lookup
+                // returning the memoised K-path result.
+                let key = PlanKey {
+                    dag_fp: 0x5eed,
+                    window_fp: PlanKey::window_fingerprint(&fns, cap),
+                    gslo_bits: gslo.to_bits(),
+                    speed_bits: 1.0f64.to_bits(),
+                    k: 5,
+                    premium_bits: 0.5f64.to_bits(),
+                    variant: 0,
+                };
+                let mut cache = PlanCache::new();
+                cache.insert(
+                    key,
+                    CachedPlan {
+                        result: astar_search_with(&table, gslo, 5, 0.5, &mut scratch),
+                        min_total_ms: table.min_total_time(),
+                    },
+                );
+                group.bench_with_input(BenchmarkId::new("warm", &param), &fns, |b, fns| {
+                    b.iter(|| {
+                        let k = PlanKey {
+                            window_fp: PlanKey::window_fingerprint(fns, cap),
+                            ..key
+                        };
+                        black_box(cache.get(&k)).expect("pre-populated key must hit")
+                    })
+                });
+                metas.push(CaseMeta {
+                    label: format!("overhead/warm/{param}"),
+                    kind: "warm",
+                    width: w,
+                    slo: slo_name,
+                });
+            }
+        }
+
+        // The zero-alloc rework in isolation: identical searches, fresh
+        // allocations per call vs the reused scratch arena.
+        for &w in &SCRATCH_WIDTHS {
+            let fns = fns_for(w);
+            let table = StageTable::build(&fns, &profiles, cap);
+            let gslo = quantize_gslo(table.min_total_time() * 1.5);
+            let param = format!("w{w}/medium");
+            group.bench_with_input(BenchmarkId::new("astar-alloc", &param), &table, |b, t| {
+                b.iter(|| black_box(astar_search_bounded(t, gslo, 5, 0.5)))
+            });
+            metas.push(CaseMeta {
+                label: format!("overhead/astar-alloc/{param}"),
+                kind: "astar-alloc",
+                width: w,
+                slo: "medium",
+            });
+            group.bench_with_input(BenchmarkId::new("astar-scratch", &param), &table, |b, t| {
+                b.iter(|| black_box(astar_search_with(t, gslo, 5, 0.5, &mut scratch)))
+            });
+            metas.push(CaseMeta {
+                label: format!("overhead/astar-scratch/{param}"),
+                kind: "astar-scratch",
+                width: w,
+                slo: "medium",
+            });
+        }
+        group.finish();
+    }
+
+    // Assemble the artifact from the collected reports.
+    let cases: Vec<serde_json::Value> = metas
+        .iter()
+        .map(|m| {
+            let r = c
+                .reports()
+                .iter()
+                .find(|r| r.label == m.label)
+                .unwrap_or_else(|| panic!("no report for case {}", m.label));
+            json!({
+                "case": (m.label.clone()),
+                "kind": (m.kind),
+                "width": (m.width),
+                "slo": (m.slo),
+                "median_ns": (r.median_ns),
+                "mean_ns": (r.mean_ns),
+                "min_ns": (r.min_ns),
+                "samples": (r.samples),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "suite": "overhead",
+        "samples": samples,
+        "smoke": smoke,
+        "cases": cases,
+    });
+    write_json("BENCH_overhead", &doc);
+    if smoke {
+        // Smoke runs exercise the pipeline; never overwrite the committed
+        // full-run tables with 5-sample numbers.
+        eprintln!("[md] smoke mode: skipping EXPERIMENTS.md update");
+    } else {
+        update_experiments_md("overhead", &render_overhead_markdown(&doc));
+    }
+
+    // Headline: the warm/cold amortisation factor per case pair.
+    let median = |label: &str| {
+        c.reports()
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.median_ns)
+            .unwrap_or(0.0)
+    };
+    let mut worst = f64::INFINITY;
+    for &w in &WIDTHS {
+        for (slo_name, _) in TIGHTNESS {
+            let cold = median(&format!("overhead/cold/w{w}/{slo_name}"));
+            let warm = median(&format!("overhead/warm/w{w}/{slo_name}"));
+            if warm > 0.0 {
+                worst = worst.min(cold / warm);
+            }
+        }
+    }
+    println!("\nminimum warm-cache speedup across cases: {worst:.0}× (target ≥5×)");
+}

@@ -128,6 +128,96 @@ locality % | mean overhead (ms) | vGPU util % |\n\
     out
 }
 
+/// Renders a `BENCH_overhead.json` document (written by `cargo bench
+/// --bench overhead`) into the "Scheduling overhead" Markdown tables:
+/// cold-search vs warm-cache-hit medians per (pipeline width, GSLO
+/// tightness), plus the fresh-alloc vs reused-scratch A* comparison.
+pub fn render_overhead_markdown(doc: &Value) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let samples = doc.get("samples").and_then(Value::as_u64).unwrap_or(0);
+    let cases = doc
+        .get("cases")
+        .and_then(Value::as_array)
+        .unwrap_or_default();
+    writeln!(
+        out,
+        "Suite `overhead` — per-dispatch planning latency, {samples} samples per case \
+(regenerate: `cargo bench --bench overhead`). *Cold* runs the full miss \
+path (stage-table build + A\\* search); *warm* answers from the plan \
+cache. Medians, wall clock."
+    )
+    .expect("writing to String cannot fail");
+
+    let field = |c: &Value, k: &str| c.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+    let median_us = |c: &Value| c.get("median_ns").and_then(Value::as_f64).unwrap_or(0.0) / 1_000.0;
+    let find = |kind: &str, width: u64, slo: &str| {
+        cases.iter().find(|c| {
+            field(c, "kind") == kind
+                && c.get("width").and_then(Value::as_u64) == Some(width)
+                && field(c, "slo") == slo
+        })
+    };
+
+    // Main table: cold vs warm per (width, tightness), in case order.
+    let mut seen: Vec<(u64, String)> = Vec::new();
+    for c in cases {
+        if field(c, "kind") != "cold" {
+            continue;
+        }
+        if let Some(w) = c.get("width").and_then(Value::as_u64) {
+            let key = (w, field(c, "slo"));
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+    }
+    out.push_str(
+        "\n| stages | GSLO tightness | cold search (µs) | warm hit (µs) | speedup (×) |\n\
+|---:|---|---:|---:|---:|\n",
+    );
+    for (w, slo) in &seen {
+        let (Some(cold), Some(warm)) = (find("cold", *w, slo), find("warm", *w, slo)) else {
+            continue;
+        };
+        let (c_us, w_us) = (median_us(cold), median_us(warm));
+        let speedup = if w_us > 0.0 { c_us / w_us } else { 0.0 };
+        writeln!(
+            out,
+            "| {w} | {slo} | {c_us:.2} | {w_us:.3} | {speedup:.0} |"
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    // Secondary table: the zero-alloc A* rework (fresh allocations per
+    // call vs reused SearchScratch arena).
+    let mut widths: Vec<u64> = cases
+        .iter()
+        .filter(|c| field(c, "kind") == "astar-alloc")
+        .filter_map(|c| c.get("width").and_then(Value::as_u64))
+        .collect();
+    widths.dedup();
+    if !widths.is_empty() {
+        out.push_str(
+            "\n| stages | fresh-alloc A\\* (µs) | reused-scratch A\\* (µs) | scratch gain (×) |\n\
+|---:|---:|---:|---:|\n",
+        );
+        for w in widths {
+            let (Some(alloc), Some(scratch)) = (
+                find("astar-alloc", w, "medium"),
+                find("astar-scratch", w, "medium"),
+            ) else {
+                continue;
+            };
+            let (a_us, s_us) = (median_us(alloc), median_us(scratch));
+            let gain = if s_us > 0.0 { a_us / s_us } else { 0.0 };
+            writeln!(out, "| {w} | {a_us:.2} | {s_us:.2} | {gain:.2} |")
+                .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
 /// The generated experiment report: `$ESG_EXPERIMENTS_MD` when set, else
 /// the workspace-level `EXPERIMENTS.md`.
 pub fn experiments_md_path() -> PathBuf {
@@ -261,6 +351,51 @@ mod tests {
         assert!(three.contains("## Suite `other`"));
         assert!(three.contains("v2 rows"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overhead_markdown_renders_pairs_and_speedups() {
+        let doc = json!({
+            "suite": "overhead",
+            "samples": 30,
+            "cases": [
+                {"case": "overhead/cold/w3/tight", "kind": "cold", "width": 3,
+                 "slo": "tight", "median_ns": 50_000.0, "mean_ns": 51_000.0,
+                 "min_ns": 48_000.0, "samples": 30},
+                {"case": "overhead/warm/w3/tight", "kind": "warm", "width": 3,
+                 "slo": "tight", "median_ns": 500.0, "mean_ns": 510.0,
+                 "min_ns": 480.0, "samples": 30},
+                {"case": "overhead/astar-alloc/w3/medium", "kind": "astar-alloc",
+                 "width": 3, "slo": "medium", "median_ns": 40_000.0,
+                 "mean_ns": 40_000.0, "min_ns": 39_000.0, "samples": 30},
+                {"case": "overhead/astar-scratch/w3/medium", "kind": "astar-scratch",
+                 "width": 3, "slo": "medium", "median_ns": 20_000.0,
+                 "mean_ns": 20_000.0, "min_ns": 19_000.0, "samples": 30}
+            ]
+        });
+        let md = render_overhead_markdown(&doc);
+        assert!(md.contains("30 samples per case"));
+        // 50 µs cold vs 0.5 µs warm → 100× speedup.
+        assert!(md.contains("| 3 | tight | 50.00 | 0.500 | 100 |"), "{md}");
+        // 40 µs alloc vs 20 µs scratch → 2.00× gain.
+        assert!(md.contains("| 3 | 40.00 | 20.00 | 2.00 |"), "{md}");
+    }
+
+    #[test]
+    fn overhead_markdown_skips_unpaired_cases() {
+        let doc = json!({
+            "suite": "overhead", "samples": 5,
+            "cases": [
+                {"case": "overhead/cold/w2/loose", "kind": "cold", "width": 2,
+                 "slo": "loose", "median_ns": 1000.0, "mean_ns": 1000.0,
+                 "min_ns": 900.0, "samples": 5}
+            ]
+        });
+        let md = render_overhead_markdown(&doc);
+        assert!(
+            !md.contains("| 2 | loose |"),
+            "cold without warm must be dropped"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@
 mod emit;
 mod suite;
 
-pub use emit::{render_bench_markdown, results_dir, update_experiments_md, write_csv, write_json};
+pub use emit::{
+    experiments_md_path, render_bench_markdown, render_overhead_markdown, results_dir,
+    update_experiments_md, write_csv, write_json,
+};
 pub use suite::{
     ClusterCase, ExperimentSuite, RunSpec, ScenarioMatrix, SchedSpec, Sweep, SweepResult,
 };

@@ -462,6 +462,13 @@ impl SweepResult {
         o.insert("cold_start_rate", r.cold_start_rate());
         o.insert("locality_rate", r.locality_rate());
         o.insert("mean_overhead_ms", r.mean_overhead_ms());
+        o.insert("searches", r.scheduler_stats.searches);
+        o.insert("plan_cache_hits", r.scheduler_stats.plan_cache_hits);
+        o.insert("plan_cache_misses", r.scheduler_stats.plan_cache_misses);
+        o.insert(
+            "plan_cache_hit_rate",
+            r.scheduler_stats.plan_cache_hit_rate(),
+        );
         o.insert("vcpu_utilisation", r.vcpu_utilisation);
         o.insert("vgpu_utilisation", r.vgpu_utilisation);
         o.insert("makespan_ms", r.makespan_ms);

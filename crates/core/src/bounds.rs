@@ -18,11 +18,23 @@ use esg_model::{Config, FnId};
 use esg_profile::{ProfileEntry, ProfileTable};
 
 /// Pre-processed stage data for one ESG_1Q invocation.
+///
+/// Entries are *interned* at build time into one flat arena (`entries` +
+/// `offsets`) instead of a `Vec<Vec<_>>`: a dispatch-path build performs
+/// exactly two allocations for the entry storage regardless of stage
+/// count, and the per-stage slices stay contiguous for the search's
+/// sequential scans. Profiles arrive pre-sorted ascending by latency
+/// (`FunctionProfile::entries`), so build never re-sorts — sortedness is
+/// asserted in debug builds only.
 #[derive(Clone, Debug)]
 pub struct StageTable {
-    /// Per stage: profile entries ascending by latency, with the first
-    /// stage's batch capped at the queue length.
-    entries: Vec<Vec<ProfileEntry>>,
+    /// All stages' profile entries, concatenated; each stage's slice is
+    /// ascending by latency, with the first stage's batch capped at the
+    /// queue length.
+    entries: Vec<ProfileEntry>,
+    /// Stage boundaries into `entries`: stage `s` is
+    /// `entries[offsets[s]..offsets[s+1]]`.
+    offsets: Vec<u32>,
     /// Suffix sums over stages `s..` of the minimum latency.
     min_lat_suffix: Vec<f64>,
     /// Suffix sums over stages `s..` of the minimum per-job cost.
@@ -41,20 +53,23 @@ impl StageTable {
         first_stage_max_batch: u32,
     ) -> StageTable {
         assert!(!stages.is_empty(), "need at least one stage");
-        let entries: Vec<Vec<ProfileEntry>> = stages
+        let n = stages.len();
+        let total: usize = stages
             .iter()
-            .enumerate()
-            .map(|(i, &f)| {
-                let all = profiles.profile(f).entries();
-                if i == 0 {
-                    let capped: Vec<ProfileEntry> = all
-                        .iter()
-                        .filter(|e| e.config.batch <= first_stage_max_batch)
-                        .copied()
-                        .collect();
-                    if !capped.is_empty() {
-                        return capped;
-                    }
+            .map(|&f| profiles.profile(f).entries().len())
+            .sum();
+        let mut entries: Vec<ProfileEntry> = Vec::with_capacity(total);
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for (i, &f) in stages.iter().enumerate() {
+            let all = profiles.profile(f).entries();
+            if i == 0 {
+                let start = entries.len();
+                entries.extend(
+                    all.iter()
+                        .filter(|e| e.config.batch <= first_stage_max_batch),
+                );
+                if entries.len() == start {
                     // Grid without a small-enough batch: keep the smallest
                     // batch available; the dispatcher clamps it to the live
                     // queue length anyway.
@@ -63,34 +78,41 @@ impl StageTable {
                         .map(|e| e.config.batch)
                         .min()
                         .expect("non-empty profile");
-                    all.iter()
-                        .filter(|e| e.config.batch == min_batch)
-                        .copied()
-                        .collect()
-                } else {
-                    all.to_vec()
+                    entries.extend(all.iter().filter(|e| e.config.batch == min_batch));
                 }
-            })
-            .collect();
-        debug_assert!(entries.iter().all(|e| !e.is_empty()));
+            } else {
+                entries.extend_from_slice(all);
+            }
+            offsets.push(entries.len() as u32);
+        }
+        debug_assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(
+            (0..n).all(|s| {
+                entries[offsets[s] as usize..offsets[s + 1] as usize]
+                    .windows(2)
+                    .all(|w| w[0].latency_ms <= w[1].latency_ms)
+            }),
+            "profiles must arrive sorted ascending by latency"
+        );
 
-        let n = stages.len();
         let mut min_lat_suffix = vec![0.0; n + 1];
         let mut min_cost_suffix = vec![0.0; n + 1];
         let mut fastest_cost_suffix = vec![0.0; n + 1];
         for s in (0..n).rev() {
-            let min_lat = entries[s].first().expect("non-empty").latency_ms;
-            let min_cost = entries[s]
+            let stage = &entries[offsets[s] as usize..offsets[s + 1] as usize];
+            let min_lat = stage.first().expect("non-empty").latency_ms;
+            let min_cost = stage
                 .iter()
                 .map(|e| e.per_job_cost_cents)
                 .fold(f64::INFINITY, f64::min);
-            let fastest_cost = entries[s].first().expect("non-empty").per_job_cost_cents;
+            let fastest_cost = stage.first().expect("non-empty").per_job_cost_cents;
             min_lat_suffix[s] = min_lat_suffix[s + 1] + min_lat;
             min_cost_suffix[s] = min_cost_suffix[s + 1] + min_cost;
             fastest_cost_suffix[s] = fastest_cost_suffix[s + 1] + fastest_cost;
         }
         StageTable {
             entries,
+            offsets,
             min_lat_suffix,
             min_cost_suffix,
             fastest_cost_suffix,
@@ -100,13 +122,13 @@ impl StageTable {
     /// Number of stages.
     #[inline]
     pub fn num_stages(&self) -> usize {
-        self.entries.len()
+        self.offsets.len() - 1
     }
 
     /// Entries of stage `s`, ascending latency.
     #[inline]
     pub fn entries(&self, s: usize) -> &[ProfileEntry] {
-        &self.entries[s]
+        &self.entries[self.offsets[s] as usize..self.offsets[s + 1] as usize]
     }
 
     /// `tLow`: `time_so_far` plus the minimal remaining latency from stage
@@ -135,7 +157,7 @@ impl StageTable {
         let mut time = 0.0;
         let mut cost = 0.0;
         for s in 0..self.num_stages() {
-            let e = &self.entries[s][0];
+            let e = &self.entries(s)[0];
             configs.push(e.config);
             time += e.latency_ms;
             cost += e.per_job_cost_cents;

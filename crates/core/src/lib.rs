@@ -9,8 +9,13 @@
 //!   `rscFastest` (an achievable cost upper bound used to tighten the
 //!   cost blade);
 //! * [`search`] — ESG_1Q in both published forms: the stage-wise
-//!   Algorithm-1 variant and the A* best-first variant, each returning the
-//!   configuration priority queue of the K cheapest SLO-feasible paths;
+//!   Algorithm-1 variant and the A* best-first variant (allocation-free
+//!   inner loop over a reusable [`SearchScratch`] arena), each returning
+//!   the configuration priority queue of the K cheapest SLO-feasible
+//!   paths;
+//! * [`cache`] — the [`PlanCache`]: memoised search results keyed on the
+//!   reduced-DAG fingerprint, the quantized effective GSLO, and the
+//!   node-class speed factor, LRU-bounded and churn-invalidated;
 //! * [`brute`] — exhaustive search, the §5.3 baseline and the oracle for
 //!   optimality tests;
 //! * [`plan`] — per-application dominator-based SLO distribution
@@ -24,14 +29,17 @@
 
 pub mod bounds;
 pub mod brute;
+pub mod cache;
 pub mod plan;
 pub mod scheduler;
 pub mod search;
 
 pub use bounds::StageTable;
 pub use brute::brute_force;
+pub use cache::{quantize_gslo, CacheStats, CachedPlan, PlanCache, PlanKey};
 pub use plan::AppPlans;
 pub use scheduler::{EsgScheduler, SearchVariant};
 pub use search::{
-    astar_search, astar_search_bounded, stagewise_search, PathCandidate, SearchResult,
+    astar_search, astar_search_bounded, astar_search_with, stagewise_search, PathCandidate,
+    SearchResult, SearchScratch,
 };

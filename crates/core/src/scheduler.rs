@@ -15,10 +15,11 @@
 //!    warm invokers, freest cold invoker.
 
 use crate::bounds::StageTable;
+use crate::cache::{quantize_gslo, CachedPlan, PlanCache, PlanKey};
 use crate::plan::AppPlans;
-use crate::search::{astar_search_bounded, stagewise_search, SearchResult};
+use crate::search::{astar_search_with, stagewise_search, SearchScratch};
 use esg_model::{Config, FnId, NodeId};
-use esg_sim::{place_locality_first, Capabilities, Outcome, SchedCtx, Scheduler};
+use esg_sim::{place_locality_first, Capabilities, Outcome, SchedCtx, Scheduler, SchedulerStats};
 
 /// Which published ESG_1Q formulation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -31,7 +32,7 @@ pub enum SearchVariant {
 }
 
 /// The ESG scheduling algorithm.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EsgScheduler {
     group_size: usize,
     k: usize,
@@ -41,10 +42,25 @@ pub struct EsgScheduler {
     /// `(app, stage) → (hold until ms, target batch)`. Re-checks while
     /// holding are cheap (no full search).
     waiting: std::collections::HashMap<(u32, usize), (f64, u32)>,
+    /// Memoised searches (None = caching disabled; the search budget is
+    /// quantized either way, so disabling the cache cannot change
+    /// decisions — see `crate::cache`).
+    cache: Option<PlanCache>,
+    /// Reused A* allocations (arena, open list, Pareto fronts).
+    scratch: SearchScratch,
+    /// Full searches actually executed.
+    searches: u64,
+}
+
+impl Default for EsgScheduler {
+    fn default() -> Self {
+        EsgScheduler::new()
+    }
 }
 
 impl EsgScheduler {
-    /// ESG with the paper's defaults: group size 3, K = 5, A* search.
+    /// ESG with the paper's defaults: group size 3, K = 5, A* search,
+    /// plan cache on.
     pub fn new() -> EsgScheduler {
         EsgScheduler {
             group_size: 3,
@@ -52,6 +68,9 @@ impl EsgScheduler {
             variant: SearchVariant::AStar,
             plans: None,
             waiting: std::collections::HashMap::new(),
+            cache: Some(PlanCache::new()),
+            scratch: SearchScratch::new(),
+            searches: 0,
         }
     }
 
@@ -75,6 +94,20 @@ impl EsgScheduler {
         self
     }
 
+    /// Bounds the plan cache to `capacity` entries.
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Some(PlanCache::with_capacity(capacity));
+        self
+    }
+
+    /// Disables the plan cache (every dispatch searches from scratch).
+    /// Decisions are unchanged — the cache is a pure memo — which
+    /// `tests/plan_cache_equivalence.rs` pins bit-for-bit.
+    pub fn without_plan_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
     /// The configured K.
     pub fn k(&self) -> usize {
         self.k
@@ -85,21 +118,61 @@ impl EsgScheduler {
         self.group_size
     }
 
-    /// Dispatch-quality search: K alternates within a 50% premium band
-    /// (alternates far above the optimum never beat re-running the search).
-    fn run_search(&self, table: &StageTable, gslo: f64) -> SearchResult {
-        match self.variant {
-            SearchVariant::AStar => astar_search_bounded(table, gslo, self.k, 0.5),
-            SearchVariant::StageWise => stagewise_search(table, gslo, self.k),
+    /// One memoised ESG_1Q invocation over the window `(fns, cap)`.
+    ///
+    /// The effective budget is quantized onto the cache's bucket grid
+    /// first (cache on or off — quantization is what makes the memo
+    /// semantically invisible), then the cache is consulted before a real
+    /// search runs. `probe` selects the cheap K=1 exact form used for
+    /// wait-target evaluation; dispatch-quality searches use K with a 50%
+    /// premium band (alternates far above the optimum never beat
+    /// re-running the search).
+    #[allow(clippy::too_many_arguments)] // the seven are the key's coordinates
+    fn plan_window(
+        &mut self,
+        ctx: &SchedCtx<'_>,
+        dag_fp: u64,
+        fns: &[FnId],
+        cap: u32,
+        gslo_eff: f64,
+        speed: f64,
+        probe: bool,
+    ) -> CachedPlan {
+        let gslo_q = quantize_gslo(gslo_eff);
+        let (k, premium): (usize, f64) = if probe { (1, 0.0) } else { (self.k, 0.5) };
+        let key = PlanKey {
+            dag_fp,
+            window_fp: PlanKey::window_fingerprint(fns, cap),
+            gslo_bits: gslo_q.to_bits(),
+            speed_bits: speed.to_bits(),
+            k: k as u32,
+            premium_bits: premium.to_bits(),
+            variant: match self.variant {
+                SearchVariant::AStar => 0,
+                SearchVariant::StageWise => 1,
+            },
+        };
+        if let Some(cache) = &mut self.cache {
+            if let Some(hit) = cache.get(&key) {
+                return hit;
+            }
         }
-    }
-
-    /// Probe search: only the optimum matters (wait-target evaluation).
-    fn probe_search(&self, table: &StageTable, gslo: f64) -> SearchResult {
-        match self.variant {
-            SearchVariant::AStar => astar_search_bounded(table, gslo, 1, 0.0),
-            SearchVariant::StageWise => stagewise_search(table, gslo, 1),
+        let table = StageTable::build(fns, ctx.profiles, cap);
+        self.searches += 1;
+        let result = match self.variant {
+            SearchVariant::AStar => {
+                astar_search_with(&table, gslo_q, k, premium, &mut self.scratch)
+            }
+            SearchVariant::StageWise => stagewise_search(&table, gslo_q, k),
+        };
+        let plan = CachedPlan {
+            result,
+            min_total_ms: table.min_total_time(),
+        };
+        if let Some(cache) = &mut self.cache {
+            cache.insert(key, plan.clone());
         }
+        plan
     }
 }
 
@@ -127,6 +200,7 @@ impl Scheduler for EsgScheduler {
             .plans
             .get_or_insert_with(|| AppPlans::build(ctx.apps, ctx.profiles, group_size));
         let plan = plans.plan(ctx.key.app.index());
+        let dag_fp = plan.fingerprint;
         let stage = ctx.key.stage;
 
         // Remaining stages of this stage's group, as functions.
@@ -204,11 +278,13 @@ impl Scheduler for EsgScheduler {
 
         // First search without a batch cap: ESG_1Q explores the full
         // (batch, vCPUs, vGPUs) space (§3.1 — "ESG_1Q does not consider
-        // current resource availability constraints").
+        // current resource availability constraints"). The plan cache is
+        // consulted before any table is built or search run; a hit replays
+        // the memoised result (same expansions, so the simulated overhead
+        // accounting is cache-oblivious).
         let max_batch = ctx.profiles.grid().max_batch();
-        let table = StageTable::build(&fns, ctx.profiles, max_batch);
-        let mut result = self.run_search(&table, gslo_eff);
-        let mut expansions = result.expansions;
+        let mut planned = self.plan_window(ctx, dag_fp, &fns, max_batch, gslo_eff, speed, false);
+        let mut expansions = planned.result.expansions;
 
         // Refine the class probe: the MIN-demand probe can land on a fast
         // node that lacks room for the *chosen* config's real demand, in
@@ -217,16 +293,19 @@ impl Scheduler for EsgScheduler {
         // config's demand; if the refined class is slower, re-run the
         // search once under the tighter budget (bounded: one extra pass,
         // only in the SLO-dangerous direction).
-        if result.feasible {
-            let refined = speed_at(result.paths[0].configs[0].resources());
+        if planned.result.feasible {
+            let refined = speed_at(planned.result.paths[0].configs[0].resources());
             if refined > speed + 1e-9 {
                 speed = refined;
                 gslo_eff = gslo / (p95 * speed);
-                let r2 = self.run_search(&table, gslo_eff);
-                expansions += r2.expansions;
-                result = r2;
+                let p2 = self.plan_window(ctx, dag_fp, &fns, max_batch, gslo_eff, speed, false);
+                expansions += p2.result.expansions;
+                planned = p2;
             }
         }
+
+        let min_total_ms = planned.min_total_ms;
+        let result = planned.result;
 
         if !result.feasible {
             // No path fits the conservative (tail- and margin-adjusted)
@@ -247,7 +326,7 @@ impl Scheduler for EsgScheduler {
                 .fastest_fit(Config::MIN.resources())
                 .map(|n| ctx.cluster.speed_of(n))
                 .unwrap_or(speed);
-            let winnable = table.min_total_time() * best_speed <= slack.max(0.0) * window_share;
+            let winnable = min_total_ms * best_speed <= slack.max(0.0) * window_share;
             let candidates: Vec<Config> = if winnable {
                 result
                     .first_stage_candidates()
@@ -298,8 +377,9 @@ impl Scheduler for EsgScheduler {
                     let r = if b == best_batch {
                         cached.take().expect("first iteration only")
                     } else {
-                        let t = StageTable::build(&fns, ctx.profiles, b);
-                        let r = self.probe_search(&t, gslo_eff);
+                        let r = self
+                            .plan_window(ctx, dag_fp, &fns, b, gslo_eff, speed, true)
+                            .result;
                         expansions += r.expansions;
                         r
                     };
@@ -326,8 +406,9 @@ impl Scheduler for EsgScheduler {
                     }
                 }
             }
-            let capped = StageTable::build(&fns, ctx.profiles, qlen);
-            let capped_result = self.run_search(&capped, gslo_eff);
+            let capped_result = self
+                .plan_window(ctx, dag_fp, &fns, qlen, gslo_eff, speed, false)
+                .result;
             expansions += capped_result.expansions;
             return Outcome {
                 candidates: capped_result.first_stage_candidates(),
@@ -358,6 +439,27 @@ impl Scheduler for EsgScheduler {
             .take(config.batch as usize)
             .find_map(|j| j.pred_node);
         place_locality_first(ctx, config.resources(), preferred)
+    }
+
+    fn notify_churn(&mut self, _node: NodeId, _joined: bool) {
+        // Membership changed: recent keys were shaped by a speed landscape
+        // that no longer exists. Entries are never *wrong* (keys capture
+        // every search input), but letting a dead regime squat in the LRU
+        // wastes the bound, so drop everything and repopulate.
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate();
+        }
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        let c = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        SchedulerStats {
+            searches: self.searches,
+            plan_cache_hits: c.hits,
+            plan_cache_misses: c.misses,
+            plan_cache_evictions: c.evictions,
+            plan_cache_invalidations: c.invalidations,
+        }
     }
 }
 

@@ -165,6 +165,13 @@ impl ParetoFront {
         }
     }
 
+    /// Empties the frontier for reuse under a (possibly different) tie
+    /// budget, keeping the point allocation.
+    fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.points.clear();
+    }
+
     /// Returns true when a prefix with `(time, cost)` is worth keeping,
     /// recording it; false when an existing prefix dominates it.
     fn admit(&mut self, time: f64, cost: f64) -> bool {
@@ -190,11 +197,16 @@ impl ParetoFront {
     }
 }
 
-/// Ordered heap node for the A* variant.
+/// Ordered heap node for the A* variant. The partial path lives in the
+/// [`SearchScratch`] arena; the heap node carries only its index plus the
+/// running totals, so pushing a child never clones a configuration vector.
 struct AstarNode {
     f: f64, // cost so far + admissible remaining-cost heuristic
-    partial: Partial,
-    next_stage: usize,
+    time_ms: f64,
+    cost_cents: f64,
+    /// Index of this prefix's last arena entry (`u32::MAX` = empty root).
+    arena: u32,
+    next_stage: u32,
 }
 
 impl PartialEq for AstarNode {
@@ -211,6 +223,69 @@ impl PartialOrd for AstarNode {
 impl Ord for AstarNode {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.f.total_cmp(&other.f)
+    }
+}
+
+/// One expanded prefix step: the chosen configuration plus a parent
+/// pointer into the same arena (`u32::MAX` terminates at the root).
+#[derive(Clone, Copy, Debug)]
+struct ArenaStep {
+    config: Config,
+    parent: u32,
+}
+
+/// Reusable allocations for [`astar_search_with`]: the parent-pointer
+/// arena of expanded prefixes, the open list, and the per-stage Pareto
+/// fronts. A long-lived searcher (the scheduler) keeps one scratch and
+/// passes it to every search; `reset` clears lengths but keeps capacity,
+/// so steady-state dispatch runs the A* inner loop without heap
+/// allocation (goal paths are the only per-call allocation, K small).
+#[derive(Default)]
+pub struct SearchScratch {
+    arena: Vec<ArenaStep>,
+    heap: BinaryHeap<Reverse<AstarNode>>,
+    fronts: Vec<ParetoFront>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; capacity grows on first use and is retained.
+    pub fn new() -> SearchScratch {
+        SearchScratch::default()
+    }
+
+    /// Clears per-search state, keeping allocations, and sizes the Pareto
+    /// fronts for an `n`-stage search with tie budget `k`.
+    fn reset(&mut self, n: usize, k: usize) {
+        self.arena.clear();
+        self.heap.clear();
+        for f in &mut self.fronts {
+            f.reset(k);
+        }
+        while self.fronts.len() <= n {
+            self.fronts.push(ParetoFront::new(k));
+        }
+    }
+
+    /// Materialises the `len`-stage path ending at arena index `last`.
+    fn path(&self, last: u32, len: usize) -> Vec<Config> {
+        let mut configs = vec![Config::MIN; len];
+        let mut cur = last;
+        for slot in configs.iter_mut().rev() {
+            let step = self.arena[cur as usize];
+            *slot = step.config;
+            cur = step.parent;
+        }
+        debug_assert_eq!(cur, u32::MAX, "path length must match arena chain");
+        configs
+    }
+}
+
+impl std::fmt::Debug for SearchScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchScratch")
+            .field("arena_capacity", &self.arena.capacity())
+            .field("fronts", &self.fronts.len())
+            .finish()
     }
 }
 
@@ -235,10 +310,24 @@ pub fn astar_search_bounded(
     k: usize,
     premium: f64,
 ) -> SearchResult {
+    astar_search_with(table, gslo_ms, k, premium, &mut SearchScratch::new())
+}
+
+/// [`astar_search_bounded`] over caller-owned [`SearchScratch`] storage.
+/// Results are bit-identical to the one-shot form — the scratch only
+/// changes where intermediate state lives, not the expansion order (heap
+/// ordering keys are unchanged).
+pub fn astar_search_with(
+    table: &StageTable,
+    gslo_ms: f64,
+    k: usize,
+    premium: f64,
+    scratch: &mut SearchScratch,
+) -> SearchResult {
     assert!(k >= 1, "K must be at least 1");
     let n = table.num_stages();
     let mut expansions: u64 = 0;
-    let mut heap: BinaryHeap<Reverse<AstarNode>> = BinaryHeap::new();
+    scratch.reset(n, k);
     let mut min_rsc = MinRsc::new(k);
     let mut goals: Vec<PathCandidate> = Vec::with_capacity(k);
     // Third blade: per-stage Pareto dominance. A prefix that is no faster
@@ -247,19 +336,16 @@ pub fn astar_search_bounded(
     // `k` exact ties are kept so alternates survive; rank-1 optimality is
     // preserved because some non-dominated prefix always carries a path of
     // the optimal cost.
-    let mut fronts: Vec<ParetoFront> = (0..=n).map(|_| ParetoFront::new(k)).collect();
 
-    heap.push(Reverse(AstarNode {
+    scratch.heap.push(Reverse(AstarNode {
         f: table.rsc_low(0.0, 0),
-        partial: Partial {
-            configs: Vec::new(),
-            time_ms: 0.0,
-            cost_cents: 0.0,
-        },
+        time_ms: 0.0,
+        cost_cents: 0.0,
+        arena: u32::MAX,
         next_stage: 0,
     }));
 
-    while let Some(Reverse(node)) = heap.pop() {
+    while let Some(Reverse(node)) = scratch.heap.pop() {
         if let Some(first) = goals.first() {
             // f is non-decreasing along pops (consistent heuristic): once
             // the frontier exceeds the premium band, no acceptable
@@ -268,45 +354,46 @@ pub fn astar_search_bounded(
                 break;
             }
         }
-        if node.next_stage == n {
+        if node.next_stage as usize == n {
             goals.push(PathCandidate {
-                configs: node.partial.configs,
-                time_ms: node.partial.time_ms,
-                cost_cents: node.partial.cost_cents,
+                configs: scratch.path(node.arena, n),
+                time_ms: node.time_ms,
+                cost_cents: node.cost_cents,
             });
             if goals.len() >= k {
                 break;
             }
             continue;
         }
-        let s = node.next_stage;
+        let s = node.next_stage as usize;
         for e in table.entries(s) {
             expansions += 1;
-            let time = node.partial.time_ms + e.latency_ms;
+            let time = node.time_ms + e.latency_ms;
             if table.t_low(time, s + 1) > gslo_ms {
                 break; // ascending latency
             }
-            let cost = node.partial.cost_cents + e.per_job_cost_cents;
+            let cost = node.cost_cents + e.per_job_cost_cents;
             let f = table.rsc_low(cost, s + 1);
             // Strict comparison: a child whose lower bound ties the K-th
             // distinct upper bound may still *be* that K-th path.
             if f > min_rsc.kth() {
                 continue;
             }
-            if !fronts[s + 1].admit(time, cost) {
+            if !scratch.fronts[s + 1].admit(time, cost) {
                 continue;
             }
             min_rsc.insert_distinct(table.rsc_fastest(cost, s + 1));
-            let mut configs = node.partial.configs.clone();
-            configs.push(e.config);
-            heap.push(Reverse(AstarNode {
+            let idx = scratch.arena.len() as u32;
+            scratch.arena.push(ArenaStep {
+                config: e.config,
+                parent: node.arena,
+            });
+            scratch.heap.push(Reverse(AstarNode {
                 f,
-                partial: Partial {
-                    configs,
-                    time_ms: time,
-                    cost_cents: cost,
-                },
-                next_stage: s + 1,
+                time_ms: time,
+                cost_cents: cost,
+                arena: idx,
+                next_stage: node.next_stage + 1,
             }));
         }
     }
@@ -476,6 +563,39 @@ mod tests {
             tight.expansions,
             loose.expansions
         );
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        let p = profiles(small_grid());
+        let mut scratch = SearchScratch::new();
+        // Interleave tables of different widths and targets so stale arena
+        // or front state from one search would corrupt the next.
+        let windows: [&[FnId]; 3] = [
+            &[FnId(0), FnId(1), FnId(3)],
+            &[FnId(4)],
+            &[FnId(2), FnId(0)],
+        ];
+        for stages in windows {
+            let table = StageTable::build(stages, &p, 8);
+            for mult in [0.9, 1.05, 1.5, 3.0] {
+                let gslo = table.min_total_time() * mult;
+                for k in [1, 5] {
+                    for premium in [0.0, 0.5, f64::INFINITY] {
+                        let fresh = astar_search_bounded(&table, gslo, k, premium);
+                        let reused = astar_search_with(&table, gslo, k, premium, &mut scratch);
+                        assert_eq!(fresh.feasible, reused.feasible);
+                        assert_eq!(fresh.expansions, reused.expansions);
+                        assert_eq!(fresh.paths.len(), reused.paths.len());
+                        for (a, b) in fresh.paths.iter().zip(&reused.paths) {
+                            assert_eq!(a.configs, b.configs);
+                            assert_eq!(a.time_ms.to_bits(), b.time_ms.to_bits());
+                            assert_eq!(a.cost_cents.to_bits(), b.cost_cents.to_bits());
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -180,6 +180,28 @@ impl Dag {
             && (0..self.len()).all(|v| self.succs[v].len() <= 1 && self.preds[v].len() <= 1)
     }
 
+    /// A structural fingerprint of the DAG: FNV-1a over the node count and
+    /// the sorted edge list. Two DAGs share a fingerprint iff they have the
+    /// same shape (same node indices, same edges) — the raw component of
+    /// the plan-cache key when the reduction of [`crate::Hierarchy`] is not
+    /// applicable. Stable across processes (no pointer or RandomState
+    /// input).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.len() as u64);
+        for v in 0..self.len() {
+            // succs are stored in first-seen edge order; hash sorted so
+            // logically equal DAGs built from permuted edge lists agree.
+            let mut ss = self.succs[v].clone();
+            ss.sort_unstable();
+            for s in ss {
+                h.write_u64(v as u64);
+                h.write_u64(s as u64);
+            }
+        }
+        h.finish()
+    }
+
     /// Whether `target` is reachable from `from` (inclusive of equality).
     pub fn reaches(&self, from: usize, target: usize) -> bool {
         if from == target {
@@ -221,6 +243,42 @@ impl Dag {
             self.paths_rec(s as usize, to, path, out);
             path.pop();
         }
+    }
+}
+
+/// A minimal FNV-1a hasher: deterministic across processes and platforms
+/// (unlike `DefaultHasher`, whose keys are randomised per process), which
+/// plan-cache fingerprints require so committed artifacts stay
+/// comparable. Public because every fingerprint in the workspace (DAG
+/// shape, reduced hierarchy, the scheduler's window keys) must mix with
+/// the *same* function — duplicating the constants would let the copies
+/// silently diverge.
+#[derive(Clone, Debug)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    /// Mixes the little-endian bytes of `v` into the state.
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -346,5 +404,24 @@ mod tests {
         assert_eq!(d.all_paths(0, 6).len(), 4);
         assert_eq!(d.all_paths(6, 0).len(), 0);
         assert_eq!(d.all_paths(3, 3), vec![vec![3]]);
+    }
+
+    #[test]
+    fn fingerprint_is_shape_sensitive_and_edge_order_insensitive() {
+        let a = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).expect("valid");
+        let b = Dag::new(4, &[(2, 3), (1, 3), (0, 2), (0, 1)]).expect("valid");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "edge order must not matter"
+        );
+        let chain = Dag::new(4, &[(0, 1), (1, 2), (2, 3)]).expect("valid");
+        assert_ne!(a.fingerprint(), chain.fingerprint());
+        let smaller = Dag::new(3, &[(0, 1), (1, 2)]).expect("valid");
+        assert_ne!(
+            chain.fingerprint(),
+            smaller.fingerprint(),
+            "node count hashed"
+        );
     }
 }

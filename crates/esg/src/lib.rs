@@ -45,7 +45,7 @@ pub mod prelude {
     pub use esg_baselines::{
         AquatopeScheduler, FastGShareScheduler, InflessScheduler, OrionScheduler,
     };
-    pub use esg_core::{EsgScheduler, SearchVariant};
+    pub use esg_core::{EsgScheduler, PlanCache, SearchScratch, SearchVariant};
     pub use esg_dag::{Dag, DominatorTree, SloPlan};
     pub use esg_model::{
         standard_apps, standard_catalog, AppId, AppSpec, ChurnPlan, ClusterSpec, Config,
@@ -55,7 +55,7 @@ pub mod prelude {
     pub use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
     pub use esg_sim::{
         run_simulation, Capabilities, ExperimentResult, MinScheduler, NodeSummary, OverheadModel,
-        Scheduler, SimConfig, SimEnv,
+        Scheduler, SchedulerStats, SimConfig, SimEnv,
     };
     pub use esg_workload::{
         shaped_workload, ArrivalPredictor, AzureLikeTrace, Workload, WorkloadGen,

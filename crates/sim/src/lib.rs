@@ -56,6 +56,6 @@ pub use metrics::{AppMetrics, ExperimentResult, NodeSummary};
 pub use platform::{run_simulation, MinScheduler, SimConfig, SimEnv, Simulation};
 pub use sched::{
     home_node, place_locality_first, place_min_fragmentation, Capabilities, ClusterView, JobView,
-    NodeView, Outcome, OverheadModel, QueueKey, SchedCtx, Scheduler,
+    NodeView, Outcome, OverheadModel, QueueKey, SchedCtx, Scheduler, SchedulerStats,
 };
 pub use workflow::{AfwQueue, Job, WorkflowInstance};

@@ -5,6 +5,7 @@
 //! costs, scheduling-overhead samples (Fig. 10), configuration-miss counts
 //! (Table 4), start/transfer counters, and utilisation (Fig. 12).
 
+use crate::sched::SchedulerStats;
 use esg_model::{AppId, BoxStats, Resources, Summary};
 
 /// End-of-run summary of one cluster node (heterogeneity/churn audit
@@ -117,6 +118,10 @@ pub struct ExperimentResult {
     /// Per-node end-of-run summaries, in `NodeId` order (includes nodes
     /// drained or joined by churn).
     pub nodes: Vec<NodeSummary>,
+    /// Scheduler-reported counters (searches run, plan-cache hit/miss/
+    /// eviction/invalidation totals). Deterministic — cache hits replay
+    /// memoised expansion counts, so these are a pure function of the run.
+    pub scheduler_stats: SchedulerStats,
 }
 
 impl ExperimentResult {

@@ -377,11 +377,13 @@ impl<'a> Simulation<'a> {
             ChurnEvent::Drain { node, .. } => {
                 if node.index() < self.cluster.len() {
                     self.cluster.node_mut(node).drain(self.now);
+                    self.sched.notify_churn(node, false);
                 }
             }
             ChurnEvent::Join { class, .. } => {
-                self.cluster.join(class, self.now);
+                let joined = self.cluster.join(class, self.now);
                 self.waiting_exec.push(std::collections::VecDeque::new());
+                self.sched.notify_churn(joined, true);
             }
         }
     }
@@ -917,6 +919,7 @@ impl<'a> Simulation<'a> {
             0.0
         };
         self.metrics.makespan_ms = self.now.as_ms();
+        self.metrics.scheduler_stats = self.sched.stats();
         self.metrics
     }
 }

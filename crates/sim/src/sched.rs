@@ -224,6 +224,43 @@ impl Outcome {
     }
 }
 
+/// Self-reported scheduler counters, collected into `ExperimentResult`
+/// at the end of a run.
+///
+/// The interesting story is the plan cache: a scheduler that memoises its
+/// searches reports how often dispatch was answered from the memo instead
+/// of a fresh search. Cache hits replay the memoised expansion count, so
+/// the *simulated* overhead model stays identical between cached and
+/// uncached runs (results are comparable bit-for-bit); the saving is
+/// real wall-clock planning time, measured by `cargo bench --bench
+/// overhead`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Full searches actually executed (cache misses + uncached runs).
+    pub searches: u64,
+    /// Dispatch decisions answered from the plan cache.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that fell through to a real search.
+    pub plan_cache_misses: u64,
+    /// Plan-cache entries dropped by the LRU bound.
+    pub plan_cache_evictions: u64,
+    /// Wholesale plan-cache invalidations (churn notifications).
+    pub plan_cache_invalidations: u64,
+}
+
+impl SchedulerStats {
+    /// Fraction of cache lookups answered from the memo (0 when the
+    /// scheduler never consulted a cache).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let lookups = self.plan_cache_hits + self.plan_cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// Feature matrix entries (paper Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Capabilities {
@@ -265,6 +302,19 @@ pub trait Scheduler {
         node: NodeId,
     ) {
         let _ = (key, dispatched, config, node);
+    }
+
+    /// Notification that cluster membership changed: `node` drained
+    /// (`joined == false`) or joined (`joined == true`). Caching
+    /// schedulers invalidate speed-dependent memos here.
+    fn notify_churn(&mut self, node: NodeId, joined: bool) {
+        let _ = (node, joined);
+    }
+
+    /// End-of-run counters, copied into `ExperimentResult::scheduler_stats`
+    /// by the platform. The default reports nothing.
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats::default()
     }
 }
 

@@ -1,0 +1,126 @@
+//! The plan cache must be semantically invisible: dispatch with the memo
+//! enabled produces bit-identical `ExperimentResult`s to dispatch without
+//! it, including across cluster churn (which invalidates the cache
+//! mid-run) and bursty traffic (which exercises the batch-hold probes).
+//!
+//! This holds because the search budget is quantized onto the cache's
+//! bucket grid whether or not the cache is consulted, and a cache hit
+//! replays the memoised search result verbatim — expansions included, so
+//! even the simulated-overhead accounting cannot diverge.
+
+use esg::prelude::*;
+use proptest::prelude::*;
+
+/// The comparison form: wall-clock samples are non-deterministic by
+/// nature, and the scheduler's self-reported counters legitimately differ
+/// between a cached and an uncached run (that difference is the point).
+/// Everything else must match bit-for-bit.
+fn canonical(mut r: ExperimentResult) -> String {
+    r.wall_overhead_ms.clear();
+    r.scheduler_stats = SchedulerStats::default();
+    format!("{r:?}")
+}
+
+fn churny_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        cluster: Some(ClusterSpec::skewed()),
+        churn: ChurnPlan::none()
+            .drain(600.0, NodeId(0))
+            .join(1_000.0, NodeClass::t4())
+            .drain(1_800.0, NodeId(2))
+            .join(2_400.0, NodeClass::v100()),
+        ..SimConfig::default()
+    }
+}
+
+fn run_pair(
+    slo: SloClass,
+    workload: &Workload,
+    cfg: &SimConfig,
+) -> (ExperimentResult, ExperimentResult) {
+    let env = SimEnv::standard(slo);
+    let mut cached = EsgScheduler::new();
+    let mut uncached = EsgScheduler::new().without_plan_cache();
+    let a = run_simulation(&env, cfg.clone(), &mut cached, workload, "cache-eq");
+    let b = run_simulation(&env, cfg.clone(), &mut uncached, workload, "cache-eq");
+    (a, b)
+}
+
+#[test]
+fn cached_dispatch_is_bit_identical_under_heavy_churn() {
+    let workload = shaped_workload(
+        WorkloadClass::Normal,
+        TrafficShape::Bursty,
+        &esg::model::standard_app_ids(),
+        42,
+        4_000.0,
+    );
+    let (cached, uncached) = run_pair(SloClass::Moderate, &workload, &churny_config(42));
+    assert!(cached.arrivals > 0);
+    assert!(
+        cached.scheduler_stats.plan_cache_hits > 0,
+        "the memo never fired — the equivalence below would be vacuous"
+    );
+    assert!(
+        cached.scheduler_stats.plan_cache_invalidations >= 4,
+        "every churn event must invalidate, got {:?}",
+        cached.scheduler_stats
+    );
+    assert_eq!(
+        uncached.scheduler_stats.plan_cache_hits + uncached.scheduler_stats.plan_cache_misses,
+        0,
+        "the uncached scheduler must not consult a cache"
+    );
+    assert_eq!(canonical(cached), canonical(uncached));
+}
+
+#[test]
+fn tiny_cache_thrashes_but_stays_equivalent() {
+    // A capacity-2 cache evicts constantly; eviction must be as invisible
+    // as hits are.
+    let workload = shaped_workload(
+        WorkloadClass::Normal,
+        TrafficShape::Steady,
+        &esg::model::standard_app_ids(),
+        7,
+        3_000.0,
+    );
+    let env = SimEnv::standard(SloClass::Strict);
+    let mut tiny = EsgScheduler::new().with_plan_cache_capacity(2);
+    let mut off = EsgScheduler::new().without_plan_cache();
+    let cfg = churny_config(7);
+    let a = run_simulation(&env, cfg.clone(), &mut tiny, &workload, "cache-eq");
+    let b = run_simulation(&env, cfg, &mut off, &workload, "cache-eq");
+    assert!(
+        a.scheduler_stats.plan_cache_evictions > 0,
+        "capacity 2 must evict, got {:?}",
+        a.scheduler_stats
+    );
+    assert_eq!(canonical(a), canonical(b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property form of the equivalence: random seeds, SLO classes, and
+    /// traffic shapes over the churning skewed cluster.
+    #[test]
+    fn cached_equals_uncached_across_random_churny_sweeps(
+        seed in 0u64..1_000,
+        slo_idx in 0usize..3,
+        shape_idx in 0usize..3,
+    ) {
+        let slo = [SloClass::Strict, SloClass::Moderate, SloClass::Relaxed][slo_idx];
+        let shape = [TrafficShape::Steady, TrafficShape::Bursty, TrafficShape::Diurnal][shape_idx];
+        let workload = shaped_workload(
+            WorkloadClass::Light,
+            shape,
+            &esg::model::standard_app_ids(),
+            seed,
+            2_500.0,
+        );
+        let (cached, uncached) = run_pair(slo, &workload, &churny_config(seed));
+        prop_assert_eq!(canonical(cached), canonical(uncached));
+    }
+}

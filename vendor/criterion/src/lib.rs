@@ -13,14 +13,35 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+/// Summary statistics of one completed benchmark (shim extension:
+/// upstream criterion reports through its own output machinery; offline
+/// targets read these to emit `BENCH_*.json` artifacts).
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Group-qualified benchmark label (`group/function/param`).
+    pub label: String,
+    /// Median one-shot sample, nanoseconds.
+    pub median_ns: f64,
+    /// Mean one-shot sample, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest one-shot sample, nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    reports: Vec<Report>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            reports: Vec::new(),
+        }
     }
 }
 
@@ -46,8 +67,16 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), self.sample_size, &mut f);
+        if let Some(r) = run_one(&id.to_string(), self.sample_size, &mut f) {
+            self.reports.push(r);
+        }
         self
+    }
+
+    /// All completed measurements so far, in execution order (shim
+    /// extension; see [`Report`]).
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
     }
 }
 
@@ -64,7 +93,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, self.criterion.sample_size, &mut f);
+        if let Some(r) = run_one(&label, self.criterion.sample_size, &mut f) {
+            self.criterion.reports.push(r);
+        }
         self
     }
 
@@ -79,11 +110,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(
+        if let Some(r) = run_one(
             &label,
             self.criterion.sample_size,
             &mut |b: &mut Bencher| f(b, input),
-        );
+        ) {
+            self.criterion.reports.push(r);
+        }
         self
     }
 
@@ -137,7 +170,7 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) -> Option<Report> {
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size),
         sample_size,
@@ -145,7 +178,7 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     f(&mut b);
     if b.samples.is_empty() {
         println!("  {label:<40} (no samples)");
-        return;
+        return None;
     }
     b.samples.sort_unstable();
     let min = b.samples[0];
@@ -158,6 +191,13 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
         fmt_duration(min),
         b.samples.len(),
     );
+    Some(Report {
+        label: label.to_string(),
+        median_ns: median.as_nanos() as f64,
+        mean_ns: mean.as_nanos() as f64,
+        min_ns: min.as_nanos() as f64,
+        samples: b.samples.len(),
+    })
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -221,6 +261,12 @@ mod tests {
     fn harness_runs() {
         let mut c = Criterion::default().sample_size(3);
         sample_target(&mut c);
+        let reports = c.reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].label, "shim/add/3");
+        assert_eq!(reports[1].label, "free");
+        assert_eq!(reports[0].samples, 3);
+        assert!(reports[0].median_ns >= reports[0].min_ns);
     }
 
     #[test]
