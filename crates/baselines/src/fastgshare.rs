@@ -221,7 +221,7 @@ mod tests {
     fn gpu_defrag_placement() {
         let env = SimEnv::standard(SloClass::Moderate);
         let mut cluster = idle_cluster(3);
-        cluster.nodes[2].free = Resources::new(16, 2);
+        cluster.node_mut(NodeId(2)).free = Resources::new(16, 2);
         let jobs = jobs_with_slack(&[500.0]);
         let mut s = FastGShareScheduler::new();
         let c = ctx_for(&env, &cluster, &jobs, 0, 0, 50.0);

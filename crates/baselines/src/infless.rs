@@ -204,7 +204,7 @@ mod tests {
     fn placement_minimises_fragmentation() {
         let env = SimEnv::standard(SloClass::Moderate);
         let mut cluster = idle_cluster(3);
-        cluster.nodes[1].free = esg_model::Resources::new(3, 2);
+        cluster.node_mut(NodeId(1)).free = esg_model::Resources::new(3, 2);
         let jobs = jobs_with_slack(&[500.0]);
         let mut s = InflessScheduler::new();
         let c = ctx_for(&env, &cluster, &jobs, 0, 0, 100.0);

@@ -15,7 +15,7 @@
 use esg_model::{AppSpec, Config, InvocationId, NodeId};
 use esg_profile::latency_ms;
 use esg_sim::{
-    place_locality_first, Capabilities, Outcome, OverheadModel, QueueKey, SchedCtx, Scheduler,
+    place_locality_first, Capabilities, Outcome, OverheadModel, SchedCtx, Scheduler, SchedulerEvent,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -263,22 +263,22 @@ impl Scheduler for OrionScheduler {
         place_locality_first(ctx, config.resources(), preferred)
     }
 
-    fn notify_dispatch(
-        &mut self,
-        key: QueueKey,
-        dispatched: &[InvocationId],
-        _config: Config,
-        _node: NodeId,
-    ) {
+    fn on_event(&mut self, event: &SchedulerEvent<'_>) {
+        let SchedulerEvent::Dispatched {
+            key, invocations, ..
+        } = *event
+        else {
+            return;
+        };
         if key.stage == 0 {
             if let Some(plan) = self.pending.take() {
-                for &inv in dispatched {
+                for &inv in invocations {
                     self.plans.insert(inv, plan.clone());
                 }
             }
         } else {
             // Drop plans after the final stage to bound memory.
-            for &inv in dispatched {
+            for &inv in invocations {
                 if let Some(plan) = self.plans.get(&inv) {
                     if key.stage + 1 >= plan.len() {
                         self.plans.remove(&inv);
@@ -353,7 +353,13 @@ mod tests {
         let c0 = ctx_for(&env, &cluster, &jobs, 0, 0, 20.0);
         let out0 = s.schedule(&c0);
         let invs: Vec<InvocationId> = jobs.iter().map(|j| j.invocation).collect();
-        s.notify_dispatch(c0.key, &invs, out0.candidates[0], NodeId(0));
+        s.on_event(&SchedulerEvent::Dispatched {
+            key: c0.key,
+            invocations: &invs,
+            config: out0.candidates[0],
+            node: NodeId(0),
+            now_ms: 20.0,
+        });
         assert_eq!(s.plans.len(), 2);
 
         // Stage 1 replays the plan for the oldest invocation.
@@ -367,7 +373,13 @@ mod tests {
         // Plans are dropped after the last stage dispatch.
         let c2 = ctx_for(&env, &cluster, &jobs, 0, 2, 400.0);
         let out2 = s.schedule(&c2);
-        s.notify_dispatch(c2.key, &invs, out2.candidates[0], NodeId(0));
+        s.on_event(&SchedulerEvent::Dispatched {
+            key: c2.key,
+            invocations: &invs,
+            config: out2.candidates[0],
+            node: NodeId(0),
+            now_ms: 400.0,
+        });
         assert!(s.plans.is_empty());
     }
 

@@ -1,15 +1,15 @@
 //! Shared fixtures for baseline scheduler tests (test builds only).
 
 use esg_model::{AppId, InvocationId, NodeId, Resources};
-use esg_sim::{ClusterView, JobView, NodeView, QueueKey, SchedCtx, SimEnv};
+use esg_sim::{ClusterState, JobView, NodeView, QueueKey, SchedCtx, SimEnv};
 
 /// An idle cluster of `n` standard (Table-2 baseline class) nodes.
-pub fn idle_cluster(n: usize) -> ClusterView {
-    ClusterView {
-        nodes: (0..n as u32)
+pub fn idle_cluster(n: usize) -> ClusterState {
+    ClusterState::from_views(
+        (0..n as u32)
             .map(|i| NodeView::idle(NodeId(i), Resources::new(16, 7)))
             .collect(),
-    }
+    )
 }
 
 /// Jobs with the given slacks, all ready and arriving slightly in the past.
@@ -30,7 +30,7 @@ pub fn jobs_with_slack(slacks: &[f64]) -> Vec<JobView> {
 /// Builds a scheduling context for `(app, stage)` at `now_ms`.
 pub fn ctx_for<'a>(
     env: &'a SimEnv,
-    cluster: &'a ClusterView,
+    cluster: &'a ClusterState,
     jobs: &'a [JobView],
     app: u32,
     stage: usize,

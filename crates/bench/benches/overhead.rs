@@ -14,6 +14,15 @@
 //! the "Scheduling overhead" tables in `EXPERIMENTS.md` between the
 //! `<!-- BENCH:overhead:begin/end -->` markers.
 //!
+//! A third ablation, `snapshot-vs-incremental`, measures the control
+//! plane's cluster-visibility cost: rebuilding the scheduler-facing view
+//! from scratch per decision (the pre-round-API contract,
+//! `ClusterState::from_cluster`) against the incremental
+//! touch-and-refresh path the platform now runs — and asserts the
+//! incremental path performs **zero per-decision allocations** in steady
+//! state (every node's warm buffer must stay pointer- and
+//! capacity-stable across thousands of dispatch-shaped refreshes).
+//!
 //! `ESG_SMOKE=1` cuts the sample count for CI runs; case labels are
 //! unchanged so smoke runs stay comparable to the committed baseline.
 
@@ -23,8 +32,9 @@ use esg_core::{
     astar_search_bounded, astar_search_with, quantize_gslo, CachedPlan, PlanCache, PlanKey,
     SearchScratch, StageTable,
 };
-use esg_model::{standard_catalog, ConfigGrid, FnId, PriceModel};
+use esg_model::{standard_catalog, ConfigGrid, FnId, NodeId, PriceModel, Resources, SimTime};
 use esg_profile::ProfileTable;
+use esg_sim::{Cluster, ClusterState};
 use serde_json::json;
 use std::hint::black_box;
 
@@ -32,6 +42,24 @@ const WIDTHS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 const TIGHTNESS: [(&str, f64); 3] = [("tight", 1.1), ("medium", 1.5), ("loose", 3.0)];
 /// Widths for the alloc-vs-scratch ablation (medium tightness only).
 const SCRATCH_WIDTHS: [usize; 3] = [2, 4, 8];
+/// Cluster sizes for the snapshot-vs-incremental view ablation.
+const VIEW_NODES: [usize; 2] = [16, 64];
+
+/// A warmed, partially committed cluster — the steady state the platform
+/// refreshes views in.
+fn busy_cluster(n: usize) -> Cluster {
+    let keep = SimTime::from_secs(600.0);
+    let mut cluster = Cluster::new(n, Resources::new(16, 7));
+    for i in 0..n as u32 {
+        for f in 0..6u32 {
+            cluster
+                .node_mut(NodeId(i))
+                .return_slot(FnId(f), SimTime::ZERO, keep, false);
+        }
+        assert!(cluster.node_mut(NodeId(i)).commit(Resources::new(4, 2)));
+    }
+    cluster
+}
 
 /// Case coordinates recorded next to each criterion report.
 struct CaseMeta {
@@ -156,6 +184,69 @@ fn main() {
                 width: w,
                 slo: "medium",
             });
+        }
+
+        // Snapshot-vs-incremental view ablation: what one decision's
+        // cluster visibility costs under the old rebuild contract vs the
+        // new in-place refresh (one dispatch-shaped touch per decision).
+        for &n in &VIEW_NODES {
+            let cluster = busy_cluster(n);
+            let now = SimTime::from_ms(10.0);
+            let param = format!("n{n}");
+            group.bench_with_input(
+                BenchmarkId::new("view-snapshot", &param),
+                &cluster,
+                |b, c| b.iter(|| black_box(ClusterState::from_cluster(c, now))),
+            );
+            metas.push(CaseMeta {
+                label: format!("overhead/view-snapshot/{param}"),
+                kind: "view-snapshot",
+                width: n,
+                slo: "n/a",
+            });
+            let mut state = ClusterState::from_cluster(&cluster, now);
+            group.bench_with_input(
+                BenchmarkId::new("view-incremental", &param),
+                &cluster,
+                |b, c| {
+                    b.iter(|| {
+                        state.touch(NodeId(0));
+                        state.refresh(c, now);
+                        black_box(state.generation())
+                    })
+                },
+            );
+            metas.push(CaseMeta {
+                label: format!("overhead/view-incremental/{param}"),
+                kind: "view-incremental",
+                width: n,
+                slo: "n/a",
+            });
+
+            // Zero-alloc assertion: across thousands of dispatch-shaped
+            // refreshes touching every node, no view buffer may move or
+            // grow — i.e. steady-state dispatch performs zero
+            // per-decision cluster-view allocations.
+            let fingerprint = |s: &ClusterState| -> Vec<(*const FnId, usize)> {
+                s.nodes()
+                    .iter()
+                    .map(|v| (v.warm.as_ptr(), v.warm.capacity()))
+                    .collect()
+            };
+            let before = fingerprint(&state);
+            for step in 0..10_000u64 {
+                state.touch(NodeId((step % n as u64) as u32));
+                state.refresh(&cluster, now);
+            }
+            assert_eq!(
+                before,
+                fingerprint(&state),
+                "incremental refresh reallocated a view buffer (n = {n})"
+            );
+            println!(
+                "zero-alloc check (n={n}): all {n} warm buffers pointer- and \
+capacity-stable across 10k dispatch-shaped refreshes"
+            );
         }
         group.finish();
     }

@@ -215,6 +215,34 @@ cache. Medians, wall clock."
                 .expect("writing to String cannot fail");
         }
     }
+
+    // Tertiary table: cluster visibility — per-decision snapshot rebuild
+    // (the pre-round-API contract) vs the incremental touch-and-refresh
+    // the platform now runs (zero allocations in steady state).
+    let mut nodes: Vec<u64> = cases
+        .iter()
+        .filter(|c| field(c, "kind") == "view-snapshot")
+        .filter_map(|c| c.get("width").and_then(Value::as_u64))
+        .collect();
+    nodes.dedup();
+    if !nodes.is_empty() {
+        out.push_str(
+            "\n| nodes | snapshot rebuild (µs) | incremental refresh (µs) | removed cost (×) |\n\
+|---:|---:|---:|---:|\n",
+        );
+        for n in nodes {
+            let (Some(snap), Some(inc)) = (
+                find("view-snapshot", n, "n/a"),
+                find("view-incremental", n, "n/a"),
+            ) else {
+                continue;
+            };
+            let (s_us, i_us) = (median_us(snap), median_us(inc));
+            let gain = if i_us > 0.0 { s_us / i_us } else { 0.0 };
+            writeln!(out, "| {n} | {s_us:.2} | {i_us:.3} | {gain:.0} |")
+                .expect("writing to String cannot fail");
+        }
+    }
     out
 }
 
@@ -370,7 +398,13 @@ mod tests {
                  "mean_ns": 40_000.0, "min_ns": 39_000.0, "samples": 30},
                 {"case": "overhead/astar-scratch/w3/medium", "kind": "astar-scratch",
                  "width": 3, "slo": "medium", "median_ns": 20_000.0,
-                 "mean_ns": 20_000.0, "min_ns": 19_000.0, "samples": 30}
+                 "mean_ns": 20_000.0, "min_ns": 19_000.0, "samples": 30},
+                {"case": "overhead/view-snapshot/n16", "kind": "view-snapshot",
+                 "width": 16, "slo": "n/a", "median_ns": 5_000.0,
+                 "mean_ns": 5_000.0, "min_ns": 4_800.0, "samples": 30},
+                {"case": "overhead/view-incremental/n16", "kind": "view-incremental",
+                 "width": 16, "slo": "n/a", "median_ns": 250.0,
+                 "mean_ns": 255.0, "min_ns": 240.0, "samples": 30}
             ]
         });
         let md = render_overhead_markdown(&doc);
@@ -379,6 +413,8 @@ mod tests {
         assert!(md.contains("| 3 | tight | 50.00 | 0.500 | 100 |"), "{md}");
         // 40 µs alloc vs 20 µs scratch → 2.00× gain.
         assert!(md.contains("| 3 | 40.00 | 20.00 | 2.00 |"), "{md}");
+        // 5 µs snapshot vs 0.25 µs incremental → 20× removed cost.
+        assert!(md.contains("| 16 | 5.00 | 0.250 | 20 |"), "{md}");
     }
 
     #[test]

@@ -19,7 +19,10 @@ use crate::cache::{quantize_gslo, CachedPlan, PlanCache, PlanKey};
 use crate::plan::AppPlans;
 use crate::search::{astar_search_with, stagewise_search, SearchScratch};
 use esg_model::{Config, FnId, NodeId};
-use esg_sim::{place_locality_first, Capabilities, Outcome, SchedCtx, Scheduler, SchedulerStats};
+use esg_sim::{
+    place_locality_first, Capabilities, Outcome, SchedCtx, Scheduler, SchedulerEvent,
+    SchedulerStats,
+};
 
 /// Which published ESG_1Q formulation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -441,13 +444,15 @@ impl Scheduler for EsgScheduler {
         place_locality_first(ctx, config.resources(), preferred)
     }
 
-    fn notify_churn(&mut self, _node: NodeId, _joined: bool) {
+    fn on_event(&mut self, event: &SchedulerEvent<'_>) {
         // Membership changed: recent keys were shaped by a speed landscape
         // that no longer exists. Entries are never *wrong* (keys capture
         // every search input), but letting a dead regime squat in the LRU
         // wastes the bound, so drop everything and repopulate.
-        if let Some(cache) = &mut self.cache {
-            cache.invalidate();
+        if let SchedulerEvent::Churn { .. } = event {
+            if let Some(cache) = &mut self.cache {
+                cache.invalidate();
+            }
         }
     }
 
@@ -468,23 +473,23 @@ mod tests {
     use super::*;
     use esg_model::{AppId, Resources, SloClass};
 
-    use esg_sim::{ClusterView, NodeView, QueueKey, SimEnv};
+    use esg_sim::{ClusterState, NodeView, QueueKey, SimEnv};
 
     fn env() -> SimEnv {
         SimEnv::standard(SloClass::Moderate)
     }
 
-    fn idle_cluster(n: usize) -> ClusterView {
-        ClusterView {
-            nodes: (0..n as u32)
+    fn idle_cluster(n: usize) -> ClusterState {
+        ClusterState::from_views(
+            (0..n as u32)
                 .map(|i| NodeView::idle(NodeId(i), Resources::new(16, 7)))
                 .collect(),
-        }
+        )
     }
 
     fn ctx<'a>(
         env: &'a SimEnv,
-        cluster: &'a ClusterView,
+        cluster: &'a ClusterState,
         jobs: &'a [esg_sim::JobView],
         app: u32,
         stage: usize,
@@ -592,7 +597,7 @@ mod tests {
     fn placement_falls_back_when_pred_full() {
         let env = env();
         let mut cluster = idle_cluster(8);
-        cluster.nodes[5].free = Resources::new(0, 0);
+        cluster.node_mut(NodeId(5)).free = Resources::new(0, 0);
         let jobs = vec![job(800.0, Some(NodeId(5)))];
         let mut s = EsgScheduler::new();
         let c = ctx(&env, &cluster, &jobs, 0, 1);
@@ -633,8 +638,8 @@ mod tests {
         let env = env();
         let fast = idle_cluster(4);
         let mut slow = idle_cluster(4);
-        for n in &mut slow.nodes {
-            n.speed = 2.5;
+        for i in 0..4u32 {
+            slow.node_mut(NodeId(i)).speed = 2.5;
         }
         let jobs = vec![job(900.0, None)];
         let mut a = EsgScheduler::new();

@@ -54,8 +54,9 @@ pub mod prelude {
     };
     pub use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
     pub use esg_sim::{
-        run_simulation, Capabilities, ExperimentResult, MinScheduler, NodeSummary, OverheadModel,
-        Scheduler, SchedulerStats, SimConfig, SimEnv,
+        run_simulation, Capabilities, ClusterState, ExperimentResult, MinScheduler, NodeSummary,
+        NodeView, OverheadModel, QueueView, RoundCtx, SchedCtx, Scheduler, SchedulerEvent,
+        SchedulerStats, Sim, SimBuilder, SimConfig, SimEnv, SimError,
     };
     pub use esg_workload::{
         shaped_workload, ArrivalPredictor, AzureLikeTrace, Workload, WorkloadGen,

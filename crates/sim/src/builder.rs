@@ -1,0 +1,575 @@
+//! The validating front door for simulation runs: [`SimBuilder`] →
+//! [`Sim`] → [`ExperimentResult`].
+//!
+//! `SimEnv`/`SimConfig` are plain knob records: a struct literal accepts
+//! an empty cluster, a zero keep-alive, or a churn script draining a
+//! node that never exists, and the mistake surfaces as a panic deep
+//! inside the event loop (or as a silently ignored churn event). The
+//! builder checks every cross-field invariant up front and returns a
+//! typed [`SimError`] instead, then bundles the validated environment
+//! and configuration as a reusable [`Sim`].
+//!
+//! ```
+//! use esg_sim::{MinScheduler, SimBuilder};
+//! use esg_model::{SloClass, WorkloadClass};
+//! use esg_workload::WorkloadGen;
+//!
+//! let sim = SimBuilder::new(SloClass::Moderate)
+//!     .warmup_exclude_ms(1_000.0)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid configuration");
+//! let workload = WorkloadGen::new(
+//!     WorkloadClass::Light,
+//!     esg_model::standard_app_ids(),
+//!     7,
+//! )
+//! .generate(10);
+//! let mut sched = MinScheduler;
+//! let result = sim.run(&mut sched, &workload, "doc");
+//! assert_eq!(result.arrivals, 10);
+//! ```
+
+use crate::metrics::ExperimentResult;
+use crate::platform::{run_simulation, SimConfig, SimEnv};
+use crate::sched::{OverheadModel, Scheduler};
+use esg_model::{AppSpec, ChurnEvent, ChurnPlan, ClusterSpec, ConfigGrid, Resources, SloClass};
+use esg_workload::Workload;
+
+/// A configuration rejected by [`SimBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The cluster would have no usable node (zero nodes, or a node with
+    /// no resources at all).
+    EmptyCluster,
+    /// The environment would have no applications (or an app without
+    /// stages), so no queue could ever form.
+    NoApplications,
+    /// A scalar knob is out of its valid range.
+    InvalidKnob {
+        /// Which knob.
+        knob: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What the knob requires.
+        requirement: &'static str,
+    },
+    /// A churn event is inconsistent with cluster membership at its
+    /// scripted time (e.g. draining a node that will not exist).
+    InvalidChurn {
+        /// Index into the churn plan's event list.
+        index: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A custom application references a function outside the catalog.
+    UnknownFunction {
+        /// The offending application's name.
+        app: String,
+        /// The out-of-catalog function id.
+        function: esg_model::FnId,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EmptyCluster => write!(f, "cluster has no usable node"),
+            SimError::NoApplications => write!(f, "environment has no runnable application"),
+            SimError::InvalidKnob {
+                knob,
+                value,
+                requirement,
+            } => write!(f, "knob {knob} = {value} violates: {requirement}"),
+            SimError::InvalidChurn { index, reason } => {
+                write!(f, "churn event #{index}: {reason}")
+            }
+            SimError::UnknownFunction { app, function } => {
+                write!(f, "app {app} references {function:?}, not in the catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Fluent, validating constructor for simulation runs.
+///
+/// Every setter mirrors a [`SimConfig`]/[`SimEnv`] knob;
+/// [`build`](Self::build) validates the whole bundle and returns a
+/// [`Sim`] or a typed [`SimError`]. Defaults are the paper's Table-2
+/// platform on the standard environment.
+#[derive(Clone, Debug)]
+pub struct SimBuilder {
+    slo: SloClass,
+    grid: ConfigGrid,
+    apps: Option<Vec<AppSpec>>,
+    cfg: SimConfig,
+}
+
+impl SimBuilder {
+    /// A builder for the standard environment under `slo`.
+    pub fn new(slo: SloClass) -> SimBuilder {
+        SimBuilder {
+            slo,
+            grid: ConfigGrid::default(),
+            apps: None,
+            cfg: SimConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration grid (ablations restrict it, overhead
+    /// sweeps enlarge it).
+    pub fn grid(mut self, grid: ConfigGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Replaces the §4.1 standard applications with custom specs.
+    pub fn apps(mut self, apps: Vec<AppSpec>) -> Self {
+        self.apps = Some(apps);
+        self
+    }
+
+    /// A homogeneous cluster of `n` nodes (Table-2 resources unless
+    /// [`node_resources`](Self::node_resources) overrides them).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.nodes = n;
+        self.cfg.cluster = None;
+        self
+    }
+
+    /// Per-node resources for the homogeneous path.
+    pub fn node_resources(mut self, r: Resources) -> Self {
+        self.cfg.node_resources = r;
+        self
+    }
+
+    /// A declarative heterogeneous cluster (overrides
+    /// [`nodes`](Self::nodes)).
+    pub fn cluster(mut self, spec: ClusterSpec) -> Self {
+        self.cfg.cluster = Some(spec);
+        self
+    }
+
+    /// Scripted node drains/joins applied mid-run.
+    pub fn churn(mut self, plan: ChurnPlan) -> Self {
+        self.cfg.churn = plan;
+        self
+    }
+
+    /// Warm-container keep-alive, ms.
+    pub fn keep_alive_ms(mut self, ms: f64) -> Self {
+        self.cfg.keep_alive_ms = ms;
+        self
+    }
+
+    /// Search-effort → controller-time conversion.
+    pub fn overhead(mut self, model: OverheadModel) -> Self {
+        self.cfg.overhead = model;
+        self
+    }
+
+    /// Whether decision time occupies the controller ("w/o searching
+    /// overhead" variants disable it).
+    pub fn charge_overhead(mut self, on: bool) -> Self {
+        self.cfg.charge_overhead = on;
+        self
+    }
+
+    /// Enables/disables the EWMA pre-warming proxy.
+    pub fn prewarm(mut self, on: bool) -> Self {
+        self.cfg.prewarm = on;
+        self
+    }
+
+    /// EWMA smoothing factor for the pre-warmer, in `(0, 1]`.
+    pub fn prewarm_alpha(mut self, alpha: f64) -> Self {
+        self.cfg.prewarm_alpha = alpha;
+        self
+    }
+
+    /// Warm containers per (node, function) installed at t = 0.
+    pub fn initial_warm_per_node(mut self, n: u32) -> Self {
+        self.cfg.initial_warm_per_node = n;
+        self
+    }
+
+    /// Pool cap the pre-warm proxy grows towards per (node, function).
+    pub fn prewarm_pool_cap(mut self, cap: usize) -> Self {
+        self.cfg.prewarm_pool_cap = cap;
+        self
+    }
+
+    /// Warm-up window excluded from SLO/latency metrics, ms.
+    pub fn warmup_exclude_ms(mut self, ms: f64) -> Self {
+        self.cfg.warmup_exclude_ms = ms;
+        self
+    }
+
+    /// RNG seed (noise and stochastic scheduler choices).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Recheck rounds before a forced minimum-configuration dispatch.
+    pub fn recheck_limit(mut self, rounds: u32) -> Self {
+        self.cfg.recheck_limit = rounds;
+        self
+    }
+
+    /// Controller back-off when a scan found only skips, ms.
+    pub fn idle_backoff_ms(mut self, ms: f64) -> Self {
+        self.cfg.idle_backoff_ms = ms;
+        self
+    }
+
+    /// Safety cap on simulated time, ms (0 = none).
+    pub fn max_sim_ms(mut self, ms: f64) -> Self {
+        self.cfg.max_sim_ms = ms;
+        self
+    }
+
+    /// Turns on the incremental-vs-snapshot `ClusterState` equivalence
+    /// oracle (test runs only; costs a rebuild per refresh).
+    pub fn validate_cluster_state(mut self, on: bool) -> Self {
+        self.cfg.validate_cluster_state = on;
+        self
+    }
+
+    /// Validates the bundle and materialises the environment.
+    pub fn build(self) -> Result<Sim, SimError> {
+        let SimBuilder {
+            slo,
+            grid,
+            apps,
+            cfg,
+        } = self;
+
+        // Cluster shape.
+        match &cfg.cluster {
+            Some(spec) => {
+                if spec.nodes.is_empty() {
+                    return Err(SimError::EmptyCluster);
+                }
+                if spec.nodes.iter().any(|c| c.resources() == Resources::ZERO) {
+                    return Err(SimError::EmptyCluster);
+                }
+            }
+            None => {
+                if cfg.nodes == 0 || cfg.node_resources == Resources::ZERO {
+                    return Err(SimError::EmptyCluster);
+                }
+            }
+        }
+
+        // Scalar knobs.
+        let positive: [(&str, f64); 3] = [
+            ("keep_alive_ms", cfg.keep_alive_ms),
+            ("prewarm_alpha", cfg.prewarm_alpha),
+            ("idle_backoff_ms", cfg.idle_backoff_ms),
+        ];
+        for (knob, value) in positive {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(SimError::InvalidKnob {
+                    knob,
+                    value,
+                    requirement: "finite and > 0",
+                });
+            }
+        }
+        if cfg.prewarm_alpha > 1.0 {
+            return Err(SimError::InvalidKnob {
+                knob: "prewarm_alpha",
+                value: cfg.prewarm_alpha,
+                requirement: "within (0, 1]",
+            });
+        }
+        let non_negative: [(&str, f64); 2] = [
+            ("warmup_exclude_ms", cfg.warmup_exclude_ms),
+            ("max_sim_ms", cfg.max_sim_ms),
+        ];
+        for (knob, value) in non_negative {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(SimError::InvalidKnob {
+                    knob,
+                    value,
+                    requirement: "finite and >= 0",
+                });
+            }
+        }
+        if cfg.recheck_limit == 0 {
+            return Err(SimError::InvalidKnob {
+                knob: "recheck_limit",
+                value: 0.0,
+                requirement: "at least 1 round before the forced minimum",
+            });
+        }
+
+        // Churn script vs cluster membership: replay the plan in time
+        // order and check that every drain names a node that exists by
+        // then (the platform would otherwise skip it silently).
+        validate_churn(&cfg)?;
+
+        let mut env = SimEnv::with_grid(slo, grid);
+        if let Some(apps) = apps {
+            if apps.is_empty() || apps.iter().any(|a| a.num_stages() == 0) {
+                return Err(SimError::NoApplications);
+            }
+            // Every stage must name a catalog function — an out-of-range
+            // id would otherwise surface as an index panic at the first
+            // dispatch touching it.
+            let known = env.catalog.iter().count();
+            for a in &apps {
+                if let Some(&f) = a.nodes.iter().find(|f| f.index() >= known) {
+                    return Err(SimError::UnknownFunction {
+                        app: a.name.to_string(),
+                        function: f,
+                    });
+                }
+            }
+            env.apps = apps;
+        }
+        Ok(Sim { env, cfg })
+    }
+}
+
+fn validate_churn(cfg: &SimConfig) -> Result<(), SimError> {
+    let initial = match &cfg.cluster {
+        Some(spec) => spec.nodes.len(),
+        None => cfg.nodes,
+    };
+    // Stable sort by time replays the event queue's (time, push-order)
+    // delivery.
+    let mut order: Vec<usize> = (0..cfg.churn.events.len()).collect();
+    order.sort_by(|&a, &b| {
+        cfg.churn.events[a]
+            .at_ms()
+            .total_cmp(&cfg.churn.events[b].at_ms())
+    });
+    let mut members = initial;
+    for index in order {
+        let ev = &cfg.churn.events[index];
+        let at = ev.at_ms();
+        if !(at >= 0.0 && at.is_finite()) {
+            return Err(SimError::InvalidChurn {
+                index,
+                reason: format!("scripted at t = {at} ms (must be finite and >= 0)"),
+            });
+        }
+        match ev {
+            ChurnEvent::Drain { node, .. } => {
+                if node.index() >= members {
+                    return Err(SimError::InvalidChurn {
+                        index,
+                        reason: format!(
+                            "drains {node:?} but only {members} nodes exist at t = {at} ms"
+                        ),
+                    });
+                }
+            }
+            ChurnEvent::Join { .. } => members += 1,
+        }
+    }
+    Ok(())
+}
+
+/// A validated environment + configuration bundle, ready to run any
+/// number of schedulers/workloads over the same setting.
+#[derive(Clone, Debug)]
+pub struct Sim {
+    env: SimEnv,
+    cfg: SimConfig,
+}
+
+impl Sim {
+    /// The validated environment.
+    pub fn env(&self) -> &SimEnv {
+        &self.env
+    }
+
+    /// The validated platform configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `sched` over `workload`, labelling the result `scenario`.
+    pub fn run(
+        &self,
+        sched: &mut dyn Scheduler,
+        workload: &Workload,
+        scenario: &str,
+    ) -> ExperimentResult {
+        run_simulation(&self.env, self.cfg.clone(), sched, workload, scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::MinScheduler;
+    use esg_model::{NodeClass, NodeId, SloClass, WorkloadClass};
+    use esg_workload::WorkloadGen;
+
+    #[test]
+    fn default_builder_runs() {
+        let sim = SimBuilder::new(SloClass::Relaxed).build().expect("valid");
+        let w =
+            WorkloadGen::new(WorkloadClass::Light, esg_model::standard_app_ids(), 3).generate(12);
+        let mut s = MinScheduler;
+        let r = sim.run(&mut s, &w, "builder");
+        assert_eq!(r.total_completed(), 12);
+        assert_eq!(r.scenario, "builder");
+    }
+
+    #[test]
+    fn builder_matches_struct_literal_bit_for_bit() {
+        let w =
+            WorkloadGen::new(WorkloadClass::Light, esg_model::standard_app_ids(), 9).generate(15);
+        let sim = SimBuilder::new(SloClass::Moderate)
+            .warmup_exclude_ms(500.0)
+            .seed(11)
+            .build()
+            .expect("valid");
+        let mut a = MinScheduler;
+        let ra = sim.run(&mut a, &w, "x");
+        let env = SimEnv::standard(SloClass::Moderate);
+        let mut b = MinScheduler;
+        let rb = run_simulation(
+            &env,
+            SimConfig {
+                warmup_exclude_ms: 500.0,
+                seed: 11,
+                ..SimConfig::default()
+            },
+            &mut b,
+            &w,
+            "x",
+        );
+        let canon = |mut r: ExperimentResult| {
+            r.wall_overhead_ms.clear();
+            format!("{r:?}")
+        };
+        assert_eq!(canon(ra), canon(rb));
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        assert_eq!(
+            SimBuilder::new(SloClass::Strict).nodes(0).build().err(),
+            Some(SimError::EmptyCluster)
+        );
+        assert_eq!(
+            SimBuilder::new(SloClass::Strict)
+                .cluster(ClusterSpec::new("none"))
+                .build()
+                .err(),
+            Some(SimError::EmptyCluster)
+        );
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected() {
+        let err = SimBuilder::new(SloClass::Moderate)
+            .keep_alive_ms(0.0)
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "keep_alive_ms",
+                ..
+            }
+        ));
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .prewarm_alpha(1.5)
+            .build()
+            .is_err());
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .recheck_limit(0)
+            .build()
+            .is_err());
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .max_sim_ms(f64::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn churn_script_membership_is_checked() {
+        // Draining node 16 on a 16-node cluster: out of range…
+        let err = SimBuilder::new(SloClass::Moderate)
+            .churn(ChurnPlan::none().drain(100.0, NodeId(16)))
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(err, SimError::InvalidChurn { index: 0, .. }));
+        // …unless a join earlier in time has created it.
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .churn(
+                ChurnPlan::none()
+                    .join(50.0, NodeClass::t4())
+                    .drain(100.0, NodeId(16))
+            )
+            .build()
+            .is_ok());
+        // Negative timestamps are rejected.
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .churn(ChurnPlan::none().drain(-1.0, NodeId(0)))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn custom_apps_are_validated() {
+        assert_eq!(
+            SimBuilder::new(SloClass::Moderate)
+                .apps(Vec::new())
+                .build()
+                .err(),
+            Some(SimError::NoApplications)
+        );
+        let app = AppSpec::pipeline("one", vec![esg_model::FnId(0)]);
+        let sim = SimBuilder::new(SloClass::Moderate)
+            .apps(vec![app])
+            .build()
+            .expect("valid");
+        assert_eq!(sim.env().apps.len(), 1);
+        // A stage naming a function outside the Table-3 catalog is a
+        // typed error, not a later index panic.
+        let bogus = AppSpec::pipeline("bogus", vec![esg_model::FnId(99)]);
+        let err = SimBuilder::new(SloClass::Moderate)
+            .apps(vec![bogus])
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::UnknownFunction {
+                function: esg_model::FnId(99),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let msgs = [
+            SimError::EmptyCluster.to_string(),
+            SimError::NoApplications.to_string(),
+            SimError::InvalidKnob {
+                knob: "keep_alive_ms",
+                value: -1.0,
+                requirement: "finite and > 0",
+            }
+            .to_string(),
+            SimError::InvalidChurn {
+                index: 2,
+                reason: "x".into(),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -244,18 +244,39 @@ impl Node {
 
     /// Functions with a usable warm slot at `now`.
     pub fn warm_functions(&self, now: SimTime) -> Vec<FnId> {
-        let mut out: Vec<FnId> = self
-            .warm
-            .iter()
-            .filter(|(_, slots)| {
-                slots
-                    .iter()
-                    .any(|s| !s.in_use && s.ready_at <= now && s.expires_at > now)
-            })
-            .map(|(&f, _)| f)
-            .collect();
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.warm_functions_into(now, &mut out);
         out
+    }
+
+    /// Writes the functions with a usable warm slot at `now` into `out`
+    /// (sorted, reusing `out`'s capacity — steady-state callers allocate
+    /// nothing) and returns the next instant the set can change *without*
+    /// a platform mutation: the earliest pending expiry of a usable slot
+    /// or ready time of a warming slot (`SimTime(u64::MAX)` when the set
+    /// can only change through an explicit mutation).
+    pub fn warm_functions_into(&self, now: SimTime, out: &mut Vec<FnId>) -> SimTime {
+        out.clear();
+        let mut next_change = SimTime(u64::MAX);
+        for (&f, slots) in &self.warm {
+            let mut usable = false;
+            for s in slots {
+                if s.in_use {
+                    continue; // leaves the pool only via return_slot
+                }
+                if s.ready_at > now {
+                    next_change = next_change.min(s.ready_at); // warms later
+                } else if s.expires_at > now {
+                    usable = true;
+                    next_change = next_change.min(s.expires_at); // dies later
+                }
+            }
+            if usable {
+                out.push(f);
+            }
+        }
+        out.sort_unstable();
+        next_change
     }
 
     /// Finalises utilisation accounting at the end of the run and returns

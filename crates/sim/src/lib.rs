@@ -43,19 +43,24 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod cluster;
 pub mod event;
 pub mod metrics;
 pub mod platform;
 pub mod sched;
+pub mod state;
 pub mod workflow;
 
+pub use builder::{Sim, SimBuilder, SimError};
 pub use cluster::{Cluster, Node};
 pub use event::{Event, EventQueue};
 pub use metrics::{AppMetrics, ExperimentResult, NodeSummary};
 pub use platform::{run_simulation, MinScheduler, SimConfig, SimEnv, Simulation};
 pub use sched::{
-    home_node, place_locality_first, place_min_fragmentation, Capabilities, ClusterView, JobView,
-    NodeView, Outcome, OverheadModel, QueueKey, SchedCtx, Scheduler, SchedulerStats,
+    fill_job_views, home_node, place_locality_first, place_min_fragmentation, Capabilities,
+    JobView, Outcome, OverheadModel, QueueKey, QueueView, RoundCtx, SchedCtx, Scheduler,
+    SchedulerEvent, SchedulerStats,
 };
+pub use state::{ClusterState, NodeView};
 pub use workflow::{AfwQueue, Job, WorkflowInstance};

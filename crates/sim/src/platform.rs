@@ -1,23 +1,36 @@
 //! The simulation platform: environment, configuration, and the
 //! discrete-event loop with the controller model.
 //!
-//! The controller mirrors the paper's §3.1 workflow: it examines AFW
-//! queues round-robin; for a ready queue the scheduler proposes a ranked
-//! configuration list; the dispatcher tries each candidate's placement; on
-//! total failure the queue enters the recheck list, is retried after every
-//! subsequent queue, and is forcibly dispatched at the minimum
-//! configuration after `recheck_limit` rounds. Each decision's search
-//! effort occupies the controller for simulated time given by the
-//! [`OverheadModel`], which is how scheduler overhead degrades SLO
-//! attainment (Fig. 9) and how batches form naturally under load.
+//! The controller mirrors the paper's §3.1 workflow, expressed through
+//! the round-based control-plane API: each controller round collects
+//! every eligible AFW queue and presents the set to the scheduler
+//! ([`Scheduler::schedule_round`]); returned decisions are applied in
+//! order — the dispatcher tries each candidate's placement against the
+//! live [`ClusterState`], on total failure the queue enters the recheck
+//! list, is retried after every subsequent round, and is forcibly
+//! dispatched at the minimum configuration after `recheck_limit` rounds.
+//! Each decision's search effort occupies the controller for simulated
+//! time given by the [`OverheadModel`], which is how scheduler overhead
+//! degrades SLO attainment (Fig. 9) and how batches form naturally under
+//! load.
+//!
+//! The cluster state is maintained *incrementally*: dispatches,
+//! completions, pre-warms, and churn mark the affected node and
+//! [`ClusterState::refresh`] re-syncs exactly those nodes (plus passive
+//! warm-set changes) — nothing is rebuilt per decision, and the
+//! scheduler-facing job views live in per-queue buffers with retained
+//! capacity. `SimConfig::validate_cluster_state` turns on the
+//! equivalence oracle: every refresh point also rebuilds a from-scratch
+//! snapshot and asserts it equals the incremental state.
 
 use crate::cluster::Cluster;
 use crate::event::{Event, EventQueue};
 use crate::metrics::{AppMetrics, ExperimentResult, NodeSummary};
 use crate::sched::{
-    home_node, ClusterView, JobView, NodeView, Outcome, OverheadModel, QueueKey, SchedCtx,
-    Scheduler,
+    fill_job_views, home_node, JobView, Outcome, OverheadModel, QueueKey, QueueView, RoundCtx,
+    SchedCtx, Scheduler, SchedulerEvent,
 };
+use crate::state::ClusterState;
 use crate::workflow::{AfwQueue, Job, WorkflowInstance};
 use esg_model::{
     standard_apps, standard_catalog, AppId, AppSpec, Catalog, ChurnEvent, ChurnPlan, ClusterSpec,
@@ -87,6 +100,11 @@ impl SimEnv {
 }
 
 /// Platform knobs (Table 2 defaults).
+///
+/// This is the low-level knob record; prefer constructing runs through
+/// the validating [`SimBuilder`](crate::SimBuilder) facade, which
+/// returns a typed [`SimError`](crate::SimError) instead of panicking
+/// deep inside the event loop on inconsistent settings.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Number of invoker nodes (homogeneous path; ignored when `cluster`
@@ -132,6 +150,11 @@ pub struct SimConfig {
     pub idle_backoff_ms: f64,
     /// Safety cap on simulated time, ms (0 = none).
     pub max_sim_ms: f64,
+    /// Equivalence oracle: assert at every refresh point that the
+    /// incrementally maintained [`ClusterState`] equals a from-scratch
+    /// snapshot of the cluster (the pre-redesign per-decision rebuild).
+    /// Costs a full rebuild per refresh — test runs only.
+    pub validate_cluster_state: bool,
 }
 
 impl Default for SimConfig {
@@ -153,6 +176,7 @@ impl Default for SimConfig {
             recheck_limit: 3,
             idle_backoff_ms: 1.0,
             max_sim_ms: 0.0,
+            validate_cluster_state: false,
         }
     }
 }
@@ -196,6 +220,9 @@ pub struct Simulation<'a> {
     now: SimTime,
     events: EventQueue,
     cluster: Cluster,
+    /// The scheduler-facing cluster state, maintained incrementally (see
+    /// `crate::state`).
+    state: ClusterState,
     queue_keys: Vec<QueueKey>,
     queue_fn: Vec<FnId>,
     queues: Vec<AfwQueue>,
@@ -218,6 +245,22 @@ pub struct Simulation<'a> {
     queue_intervals: Vec<esg_model::Ewma>,
     queue_last_arrival: Vec<Option<SimTime>>,
     last_node: Vec<Option<NodeId>>,
+    /// Per-queue scheduler-facing job views, rebuilt in place per round
+    /// (retained capacity — no per-decision allocation).
+    job_views: Vec<Vec<JobView>>,
+    /// Reused eligible-queue index buffer for the round driver.
+    eligible: Vec<usize>,
+    /// `decided_stamp[qi] == round_seq` marks a queue already decided in
+    /// the current controller step (each queue is decided at most once
+    /// per step, as in the classic single-pass scan).
+    decided_stamp: Vec<u64>,
+    /// `views_stamp[qi] == round_seq` marks a queue whose job views are
+    /// already current for this step — views are time-invariant within a
+    /// step (fixed `now`, and an undecided queue's jobs cannot change),
+    /// so each queue is refilled at most once per step even though the
+    /// default replay runs one round per decision.
+    views_stamp: Vec<u64>,
+    round_seq: u64,
     noise: NoiseModel,
     rng: StdRng,
     metrics: ExperimentResult,
@@ -274,6 +317,7 @@ impl<'a> Simulation<'a> {
             Some(spec) => Cluster::from_spec(spec),
             None => Cluster::new(cfg.nodes, cfg.node_resources),
         };
+        let state = ClusterState::from_cluster(&cluster, SimTime::ZERO);
         let initial_nodes = cluster.len();
         let prewarm_alpha = cfg.prewarm_alpha;
         let seed = cfg.seed;
@@ -285,6 +329,7 @@ impl<'a> Simulation<'a> {
             now: SimTime::ZERO,
             events: EventQueue::new(),
             cluster,
+            state,
             queues: vec![AfwQueue::new(); nq],
             predictors: vec![ArrivalPredictor::new(prewarm_alpha); nq],
             queue_intervals: vec![esg_model::Ewma::new(0.3); nq],
@@ -300,6 +345,11 @@ impl<'a> Simulation<'a> {
             queue_busy_until: vec![SimTime::ZERO; nq],
             recheck: Vec::new(),
             waiting_exec: vec![std::collections::VecDeque::new(); initial_nodes],
+            job_views: vec![Vec::new(); nq],
+            eligible: Vec::new(),
+            decided_stamp: vec![0; nq],
+            views_stamp: vec![0; nq],
+            round_seq: 0,
             noise: env.noise.clone(),
             rng: StdRng::seed_from_u64(seed),
             metrics,
@@ -320,6 +370,9 @@ impl<'a> Simulation<'a> {
                         n.prewarm(f, SimTime::ZERO, keep);
                     }
                 }
+            }
+            for i in 0..self.cluster.len() {
+                self.state.touch(NodeId(i as u32));
             }
         }
         for (i, a) in self.workload.arrivals.iter().enumerate() {
@@ -377,13 +430,23 @@ impl<'a> Simulation<'a> {
             ChurnEvent::Drain { node, .. } => {
                 if node.index() < self.cluster.len() {
                     self.cluster.node_mut(node).drain(self.now);
-                    self.sched.notify_churn(node, false);
+                    self.state.touch(node);
+                    self.sched.on_event(&SchedulerEvent::Churn {
+                        node,
+                        joined: false,
+                        now_ms: self.now.as_ms(),
+                    });
                 }
             }
             ChurnEvent::Join { class, .. } => {
                 let joined = self.cluster.join(class, self.now);
                 self.waiting_exec.push(std::collections::VecDeque::new());
-                self.sched.notify_churn(joined, true);
+                self.state.note_join(self.cluster.node(joined), self.now);
+                self.sched.on_event(&SchedulerEvent::Churn {
+                    node: joined,
+                    joined: true,
+                    now_ms: self.now.as_ms(),
+                });
             }
         }
     }
@@ -429,6 +492,11 @@ impl<'a> Simulation<'a> {
     fn enqueue_job(&mut self, key: QueueKey, job: Job) {
         let qi = self.queue_index[&key];
         self.queues[qi].push(job);
+        self.sched.on_event(&SchedulerEvent::JobArrived {
+            key,
+            invocation: job.invocation,
+            now_ms: self.now.as_ms(),
+        });
         if let Some(prev) = self.queue_last_arrival[qi] {
             self.queue_intervals[qi].update(self.now.saturating_since(prev).as_ms());
         }
@@ -449,103 +517,146 @@ impl<'a> Simulation<'a> {
         let keep = SimTime::from_ms(self.cfg.keep_alive_ms);
         let cold = SimTime::from_ms(self.env.catalog.get(f).cold_start_ms);
         let cap = self.cfg.prewarm_pool_cap;
+        let now = self.now;
         let n = self.cluster.node_mut(node);
         // Drained nodes take no new containers; grow the pool when no idle
         // warm slot exists (concurrency pressure), bounded by the pool cap.
-        if n.online && !n.has_warm(f, self.now) && n.slot_count(f, self.now) < cap {
-            n.prewarm(f, self.now + cold, keep);
+        if n.online && !n.has_warm(f, now) && n.slot_count(f, now) < cap {
+            n.prewarm(f, now + cold, keep);
+            self.state.touch(node);
         }
     }
 
-    fn cluster_view(&self) -> ClusterView {
-        ClusterView {
-            nodes: self
-                .cluster
-                .nodes()
-                .iter()
-                .map(|n| NodeView {
-                    id: n.id,
-                    // Placement admits against commitments: a task in its
-                    // init phase still owns its slot. A draining node
-                    // advertises nothing.
-                    free: if n.online {
-                        n.uncommitted()
-                    } else {
-                        Resources::ZERO
-                    },
-                    total: n.total,
-                    warm: n.warm_functions(self.now),
-                    speed: n.class.speed,
-                    link_scale: n.class.link_scale,
-                    online: n.online,
-                })
-                .collect(),
+    /// Re-syncs the scheduler-facing state with the cluster (cheap no-op
+    /// when nothing changed). Under `validate_cluster_state`, also
+    /// asserts equivalence with a from-scratch snapshot — the
+    /// pre-redesign per-decision rebuild.
+    fn refresh_state(&mut self) {
+        self.state.refresh(&self.cluster, self.now);
+        if self.cfg.validate_cluster_state {
+            let fresh = ClusterState::from_cluster(&self.cluster, self.now);
+            assert_eq!(
+                fresh.nodes(),
+                self.state.nodes(),
+                "incremental ClusterState diverged from the snapshot rebuild at t={} ms",
+                self.now.as_ms()
+            );
         }
     }
 
-    fn job_views(&self, qi: usize) -> Vec<JobView> {
-        self.queues[qi]
-            .jobs()
-            .map(|j| {
-                let inst = &self.invocations[&j.invocation];
-                JobView {
-                    invocation: j.invocation,
-                    ready_at_ms: j.ready_at.as_ms(),
-                    invocation_arrival_ms: inst.arrived_at.as_ms(),
-                    slack_ms: inst.deadline.as_ms() - self.now.as_ms(),
-                    pred_node: j.pred_node,
-                }
-            })
-            .collect()
+    /// Rebuilds queue `qi`'s scheduler-facing job views in place.
+    fn refill_queue_views(&mut self, qi: usize) {
+        let now = self.now;
+        let invocations = &self.invocations;
+        fill_job_views(
+            &mut self.job_views[qi],
+            self.queues[qi].jobs(),
+            now,
+            |inv| {
+                let inst = &invocations[&inv];
+                (inst.arrived_at, inst.deadline)
+            },
+        );
     }
 
-    /// One controller scan: retry the recheck list, then decide every
-    /// eligible queue (non-empty, not inside its previous decision's
-    /// overhead window, not parked). Queues are scheduled concurrently —
-    /// a decision's search time delays that queue's dispatch, not the
-    /// whole cluster (the paper's Fig. 9 charges Orion's search time to
-    /// the affected jobs).
+    /// One controller step: retry the recheck list, then run scheduling
+    /// rounds until every eligible queue has been decided once. Each
+    /// round presents all still-eligible queues; the default
+    /// [`Scheduler::schedule_round`] decides the first and is re-invoked
+    /// with the rest, so every decision observes the cluster state left
+    /// by the previous dispatch (the classic one-queue-at-a-time
+    /// contract). Queues are scheduled concurrently — a decision's
+    /// search time delays that queue's dispatch, not the whole cluster
+    /// (the paper's Fig. 9 charges Orion's search time to the affected
+    /// jobs).
     fn controller_step(&mut self) {
         self.process_recheck();
+        self.round_seq += 1;
         let nq = self.queue_keys.len();
-        for qi in 0..nq {
-            if self.queues[qi].is_empty() || self.queue_busy_until[qi] > self.now {
-                continue;
+        loop {
+            self.refresh_state();
+            self.eligible.clear();
+            for qi in 0..nq {
+                if self.decided_stamp[qi] == self.round_seq
+                    || self.queues[qi].is_empty()
+                    || self.queue_busy_until[qi] > self.now
+                    || self.recheck.iter().any(|e| e.key == self.queue_keys[qi])
+                {
+                    continue;
+                }
+                self.eligible.push(qi);
             }
-            if self.recheck.iter().any(|e| e.key == self.queue_keys[qi]) {
-                continue;
+            if self.eligible.is_empty() {
+                return;
             }
-            self.decide_queue(qi);
+            for idx in 0..self.eligible.len() {
+                let qi = self.eligible[idx];
+                if self.views_stamp[qi] != self.round_seq {
+                    self.refill_queue_views(qi);
+                    self.views_stamp[qi] = self.round_seq;
+                }
+            }
+            let (decisions, mut wall_ms) = {
+                // The round's queue list is the one remaining per-round
+                // allocation on this path: each `QueueView` borrows that
+                // queue's job-view buffer, so the list cannot outlive the
+                // iteration (the buffers are re-borrowed mutably next
+                // round). It is a handful of fat pointers — the per-node
+                // warm-set clones and job-view vectors the old snapshot
+                // contract rebuilt per decision are gone.
+                let mut queues: Vec<QueueView<'_>> = Vec::with_capacity(self.eligible.len());
+                for &qi in &self.eligible {
+                    let key = self.queue_keys[qi];
+                    queues.push(QueueView {
+                        key,
+                        jobs: &self.job_views[qi],
+                        function: self.queue_fn[qi],
+                        slo_ms: self.slo_ms[key.app.index()],
+                        base_latency_ms: self.base_ms[key.app.index()],
+                        queue_interval_ms: self.queue_intervals[qi].value(),
+                    });
+                }
+                let ctx = RoundCtx {
+                    now_ms: self.now.as_ms(),
+                    queues: &queues,
+                    cluster: &self.state,
+                    profiles: &self.env.profiles,
+                    apps: &self.env.apps,
+                    catalog: &self.env.catalog,
+                    price: &self.env.price,
+                    transfer: &self.env.transfer,
+                    noise: &self.env.noise,
+                };
+                let t0 = Instant::now();
+                let decisions = self.sched.schedule_round(&ctx);
+                (decisions, t0.elapsed().as_secs_f64() * 1000.0)
+            };
+            let mut applied = 0usize;
+            for (key, outcome) in decisions {
+                let Some(&qi) = self.queue_index.get(&key) else {
+                    continue; // unknown queue: ignore
+                };
+                // Only queues presented this round are decidable, once.
+                if self.decided_stamp[qi] == self.round_seq || !self.eligible.contains(&qi) {
+                    continue;
+                }
+                self.decided_stamp[qi] = self.round_seq;
+                applied += 1;
+                self.apply_decision(qi, key, outcome, wall_ms);
+                wall_ms = 0.0; // the round's wall time is charged once
+            }
+            if applied == 0 {
+                // The scheduler declined the round (or returned only
+                // already-decided queues): nothing further to do now.
+                return;
+            }
         }
     }
 
-    fn decide_queue(&mut self, qi: usize) {
-        let key = self.queue_keys[qi];
-        let views = self.job_views(qi);
-        let cluster_view = self.cluster_view();
-        let (outcome, placed, wall_ms) = {
-            let ctx = make_ctx(
-                self.env,
-                &self.slo_ms,
-                &self.base_ms,
-                self.now,
-                key,
-                &views,
-                &cluster_view,
-                self.queue_intervals[qi].value(),
-            );
-            let t0 = Instant::now();
-            let outcome = self.sched.schedule(&ctx);
-            let mut placed = None;
-            for &cand in &outcome.candidates {
-                if let Some(node) = self.sched.place(&ctx, cand) {
-                    placed = Some((cand, node));
-                    break;
-                }
-            }
-            (outcome, placed, t0.elapsed().as_secs_f64() * 1000.0)
-        };
-
+    /// Applies one round decision: charge simulated overhead, then
+    /// dispatch (placing candidates in rank order against the live
+    /// state), skip with back-off, or park on the recheck list.
+    fn apply_decision(&mut self, qi: usize, key: QueueKey, outcome: Outcome, wall_ms: f64) {
         let overhead = self.cfg.overhead.decision_time(outcome.expansions);
         self.metrics.overhead_ms.push(overhead.as_ms());
         self.metrics.wall_overhead_ms.push(wall_ms);
@@ -562,7 +673,34 @@ impl<'a> Simulation<'a> {
             self.queue_busy_until[qi] = self.now + back;
             self.events
                 .push(self.queue_busy_until[qi], Event::ControllerStep);
-        } else if let Some((config, node)) = placed {
+            return;
+        }
+
+        // Placement sees the state left by any earlier decision applied
+        // this round (cheap no-op refresh otherwise).
+        self.refresh_state();
+        let placed = {
+            let ctx = make_ctx(
+                self.env,
+                &self.slo_ms,
+                &self.base_ms,
+                self.now,
+                key,
+                &self.job_views[qi],
+                &self.state,
+                self.queue_intervals[qi].value(),
+            );
+            let mut placed = None;
+            for &cand in &outcome.candidates {
+                if let Some(node) = self.sched.place(&ctx, cand) {
+                    placed = Some((cand, node));
+                    break;
+                }
+            }
+            placed
+        };
+
+        if let Some((config, node)) = placed {
             self.dispatch(key, config, node, outcome.planned_batch, charged);
             self.queue_busy_until[qi] = self.now + charged;
             self.events
@@ -592,6 +730,9 @@ impl<'a> Simulation<'a> {
         if self.recheck.is_empty() {
             return;
         }
+        self.sched.on_event(&SchedulerEvent::RecheckTick {
+            now_ms: self.now.as_ms(),
+        });
         let min_gap = SimTime::from_ms(self.cfg.idle_backoff_ms);
         let entries = std::mem::take(&mut self.recheck);
         for mut entry in entries {
@@ -604,8 +745,8 @@ impl<'a> Simulation<'a> {
                 continue;
             }
             entry.last_retry = self.now;
-            let views = self.job_views(qi);
-            let cluster_view = self.cluster_view();
+            self.refresh_state();
+            self.refill_queue_views(qi);
             let placed = {
                 let ctx = make_ctx(
                     self.env,
@@ -613,8 +754,8 @@ impl<'a> Simulation<'a> {
                     &self.base_ms,
                     self.now,
                     entry.key,
-                    &views,
-                    &cluster_view,
+                    &self.job_views[qi],
+                    &self.state,
                     self.queue_intervals[qi].value(),
                 );
                 let mut placed = None;
@@ -633,7 +774,7 @@ impl<'a> Simulation<'a> {
             entry.rounds += 1;
             if entry.rounds >= self.cfg.recheck_limit {
                 // Forced minimum configuration on the freest node.
-                if let Some(node) = cluster_view.most_free(Config::MIN.resources()) {
+                if let Some(node) = self.state.most_free(Config::MIN.resources()) {
                     self.metrics.forced_min_dispatches += 1;
                     self.dispatch(entry.key, Config::MIN, node, None, SimTime::ZERO);
                     continue;
@@ -675,6 +816,7 @@ impl<'a> Simulation<'a> {
             // claimed when it is actually ready to execute.
             false
         };
+        self.state.touch(node);
         let cold_ms = if was_warm { 0.0 } else { spec.cold_start_ms };
         if was_warm {
             self.metrics.warm_starts += 1;
@@ -731,7 +873,13 @@ impl<'a> Simulation<'a> {
         self.last_node[qi] = Some(node);
 
         let dispatched: Vec<InvocationId> = jobs.iter().map(|j| j.invocation).collect();
-        self.sched.notify_dispatch(key, &dispatched, config, node);
+        self.sched.on_event(&SchedulerEvent::Dispatched {
+            key,
+            invocations: &dispatched,
+            config,
+            node,
+            now_ms: self.now.as_ms(),
+        });
 
         let id = self.next_task;
         self.next_task += 1;
@@ -781,6 +929,7 @@ impl<'a> Simulation<'a> {
                 return false;
             }
             self.tasks.get_mut(&id).expect("live task").committed = true;
+            self.state.touch(node);
         }
         let ok = self.cluster.node_mut(node).allocate(demand, self.now);
         assert!(
@@ -824,8 +973,15 @@ impl<'a> Simulation<'a> {
             n.uncommit(task.config.resources());
             n.return_slot(f, self.now, keep, task.was_warm);
         }
+        self.state.touch(task.node);
         // Freed capacity may admit init-complete tasks waiting on this node.
         self.drain_waiting(task.node);
+        self.sched.on_event(&SchedulerEvent::TaskCompleted {
+            key: task.key,
+            node: task.node,
+            config: task.config,
+            now_ms: self.now.as_ms(),
+        });
         let app_spec = &self.env.apps[task.key.app.index()];
         for job in &task.jobs {
             let Some(inst) = self.invocations.get_mut(&job.invocation) else {
@@ -934,7 +1090,7 @@ fn make_ctx<'b>(
     now: SimTime,
     key: QueueKey,
     jobs: &'b [JobView],
-    cluster: &'b ClusterView,
+    cluster: &'b ClusterState,
     queue_interval_ms: Option<f64>,
 ) -> SchedCtx<'b> {
     let app_idx = key.app.index();
@@ -1037,6 +1193,37 @@ mod tests {
         for (x, y) in a.apps.iter().zip(&b.apps) {
             assert_eq!(x.latencies_ms, y.latencies_ms);
         }
+    }
+
+    #[test]
+    fn validated_state_run_is_bit_identical_to_unvalidated() {
+        // The oracle is read-only: turning it on must not perturb the run
+        // (and the run must survive every per-refresh equivalence
+        // assertion, including across churn).
+        use esg_model::{ChurnPlan, NodeClass, NodeId};
+        let env = SimEnv::standard(SloClass::Moderate);
+        let w = small_workload(30);
+        let run = |validate: bool| {
+            let mut s = MinScheduler;
+            run_simulation(
+                &env,
+                SimConfig {
+                    churn: ChurnPlan::none()
+                        .drain(100.0, NodeId(1))
+                        .join(300.0, NodeClass::t4()),
+                    validate_cluster_state: validate,
+                    ..SimConfig::default()
+                },
+                &mut s,
+                &w,
+                "oracle",
+            )
+        };
+        let mut a = run(true);
+        let mut b = run(false);
+        a.wall_overhead_ms.clear();
+        b.wall_overhead_ms.clear();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]
@@ -1294,5 +1481,58 @@ mod tests {
         );
         assert!(r.total_completed() < 100);
         assert!(r.makespan_ms <= 500.0 + 1.0);
+    }
+
+    /// A cross-queue scheduler exercising the multi-decision round path:
+    /// it decides *every* eligible queue in one `schedule_round` call
+    /// (shortest-queue-first), rather than relying on the default
+    /// one-at-a-time replay.
+    struct GreedyRoundScheduler;
+
+    impl Scheduler for GreedyRoundScheduler {
+        fn name(&self) -> &'static str {
+            "greedy-round"
+        }
+
+        fn capabilities(&self) -> crate::sched::Capabilities {
+            MinScheduler.capabilities()
+        }
+
+        fn schedule(&mut self, _ctx: &SchedCtx<'_>) -> Outcome {
+            Outcome::single(Config::MIN, 1)
+        }
+
+        fn place(&mut self, ctx: &SchedCtx<'_>, config: Config) -> Option<NodeId> {
+            ctx.cluster.most_free(config.resources())
+        }
+
+        fn schedule_round(&mut self, ctx: &RoundCtx<'_>) -> Vec<(QueueKey, Outcome)> {
+            let mut order: Vec<usize> = (0..ctx.queues.len()).collect();
+            order.sort_by_key(|&i| (ctx.queues[i].jobs.len(), i));
+            order
+                .into_iter()
+                .map(|i| (ctx.queues[i].key, self.schedule(&ctx.sched_ctx(i))))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn cross_queue_rounds_complete_all_work() {
+        let env = SimEnv::standard(SloClass::Relaxed);
+        let w = small_workload(40);
+        let mut s = GreedyRoundScheduler;
+        let r = run_simulation(
+            &env,
+            SimConfig {
+                validate_cluster_state: true,
+                ..SimConfig::default()
+            },
+            &mut s,
+            &w,
+            "round",
+        );
+        assert_eq!(r.total_completed(), 40);
+        assert_eq!(r.warm_starts + r.cold_starts, r.dispatches);
+        assert_eq!(r.overhead_ms.len() as u64, r.dispatches + r.rechecks);
     }
 }

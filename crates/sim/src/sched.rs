@@ -1,17 +1,39 @@
-//! The scheduler plug-in interface.
+//! The scheduler plug-in interface: rounds, events, and queries.
 //!
-//! A scheduling algorithm sees an AFW queue plus a cluster snapshot and
-//! returns a ranked list of configuration candidates (ESG's configuration
-//! priority queue, §3.1). The platform then asks the scheduler to *place*
-//! each candidate in turn (ESG_Dispatch semantics) until one fits; on total
-//! failure the queue enters the recheck list.
+//! The platform and schedulers meet at three seams:
 //!
-//! Schedulers also report their search effort in *expanded configurations*;
-//! [`OverheadModel`] converts effort to simulated controller time (see the
-//! crate docs for the calibration to the paper's §5.3 numbers).
+//! * **State** — schedulers borrow the platform's incrementally
+//!   maintained [`ClusterState`] (see `crate::state`); nothing is
+//!   rebuilt or cloned per decision.
+//! * **Rounds** — each controller round presents *all* eligible queues
+//!   through a [`RoundCtx`]; [`Scheduler::schedule_round`] returns ranked
+//!   decisions `(queue, Outcome)` which the platform applies in order
+//!   (placement via [`Scheduler::place`], then dispatch). The provided
+//!   default replays the classic one-queue-at-a-time contract — it
+//!   decides only the first eligible queue via [`Scheduler::schedule`]
+//!   and lets the platform re-invoke the round with the rest, so
+//!   single-queue algorithms migrate mechanically while cross-queue
+//!   policies (global admission, cross-queue packing) can override the
+//!   round and see the whole queue set at once.
+//! * **Events** — the platform narrates its progress through one
+//!   [`Scheduler::on_event`] hook carrying typed [`SchedulerEvent`]s
+//!   (arrivals, dispatches, completions, churn, recheck ticks), which
+//!   subsumes the former ad-hoc `notify_dispatch`/`notify_churn` pair.
+//!
+//! A scheduling algorithm still answers the §3.1 question per queue: a
+//! ranked list of configuration candidates (ESG's configuration priority
+//! queue) that the platform tries to *place* in rank order
+//! (ESG_Dispatch semantics) until one fits; on total failure the queue
+//! enters the recheck list. Schedulers report their search effort in
+//! *expanded configurations*; [`OverheadModel`] converts effort to
+//! simulated controller time (see the crate docs for the calibration to
+//! the paper's §5.3 numbers).
 
+use crate::state::ClusterState;
 use crate::workflow::Job;
-use esg_model::{AppId, AppSpec, Catalog, Config, FnId, NodeId, PriceModel, Resources, SimTime};
+use esg_model::{
+    AppId, AppSpec, Catalog, Config, FnId, InvocationId, NodeId, PriceModel, Resources, SimTime,
+};
 use esg_profile::{NoiseModel, ProfileTable, TransferModel};
 
 /// Identifies one AFW queue: `(application, DAG stage)`.
@@ -27,7 +49,7 @@ pub struct QueueKey {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct JobView {
     /// Owning invocation.
-    pub invocation: esg_model::InvocationId,
+    pub invocation: InvocationId,
     /// When the job entered the queue, ms.
     pub ready_at_ms: f64,
     /// When the owning invocation arrived (start of its SLO clock), ms.
@@ -38,105 +60,7 @@ pub struct JobView {
     pub pred_node: Option<NodeId>,
 }
 
-/// One node in the cluster snapshot.
-#[derive(Clone, Debug, PartialEq)]
-pub struct NodeView {
-    /// Node id.
-    pub id: NodeId,
-    /// Free resources at snapshot time (zero while draining).
-    pub free: Resources,
-    /// Total resources.
-    pub total: Resources,
-    /// Functions with a usable warm container right now.
-    pub warm: Vec<FnId>,
-    /// Execution-latency scale factor of the node's class (1.0 = the
-    /// Table-2 baseline the profiles were measured on; larger is slower).
-    pub speed: f64,
-    /// Remote-transfer latency scale factor of the node's class.
-    pub link_scale: f64,
-    /// False while the node drains: no new placements land here.
-    pub online: bool,
-}
-
-impl NodeView {
-    /// A baseline-class view: full capacity free, no warmth, Table-2
-    /// scale factors. Tests and custom snapshots tweak from here.
-    pub fn idle(id: NodeId, total: Resources) -> NodeView {
-        NodeView {
-            id,
-            free: total,
-            total,
-            warm: Vec::new(),
-            speed: 1.0,
-            link_scale: 1.0,
-            online: true,
-        }
-    }
-
-    /// True when the node has a warm container for `f`.
-    pub fn has_warm(&self, f: FnId) -> bool {
-        self.warm.contains(&f)
-    }
-
-    /// True when the node accepts placements and can host `demand`.
-    pub fn fits(&self, demand: Resources) -> bool {
-        self.online && self.free.contains(demand)
-    }
-}
-
-/// Immutable cluster snapshot for one scheduling decision.
-#[derive(Clone, Debug, Default)]
-pub struct ClusterView {
-    /// All nodes, indexed by `NodeId`.
-    pub nodes: Vec<NodeView>,
-}
-
-impl ClusterView {
-    /// Nodes able to host `demand`.
-    pub fn feasible(&self, demand: Resources) -> impl Iterator<Item = &NodeView> {
-        self.nodes.iter().filter(move |n| n.fits(demand))
-    }
-
-    /// The feasible node with the most free resources (weighted), used for
-    /// cold placement and the forced-minimum fallback. Deterministic
-    /// tie-break on node id.
-    pub fn most_free(&self, demand: Resources) -> Option<NodeId> {
-        self.feasible(demand)
-            .max_by(|a, b| {
-                a.free
-                    .weighted(1.0, 16.0 / 7.0)
-                    .total_cmp(&b.free.weighted(1.0, 16.0 / 7.0))
-                    .then(b.id.0.cmp(&a.id.0))
-            })
-            .map(|n| n.id)
-    }
-
-    /// The execution-latency scale factor of `node` (1.0 when out of
-    /// range, which cannot happen for ids taken from this snapshot).
-    pub fn speed_of(&self, node: NodeId) -> f64 {
-        self.nodes.get(node.index()).map_or(1.0, |n| n.speed)
-    }
-
-    /// The fastest (lowest speed factor) feasible node; ties broken by
-    /// most free weighted resources, then node id. Speed-aware schedulers
-    /// use this to bound how fast the cluster can run `demand` right now.
-    pub fn fastest_fit(&self, demand: Resources) -> Option<NodeId> {
-        self.feasible(demand)
-            .min_by(|a, b| {
-                a.speed
-                    .total_cmp(&b.speed)
-                    .then(
-                        b.free
-                            .weighted(1.0, 16.0 / 7.0)
-                            .total_cmp(&a.free.weighted(1.0, 16.0 / 7.0)),
-                    )
-                    .then(a.id.0.cmp(&b.id.0))
-            })
-            .map(|n| n.id)
-    }
-}
-
-/// Everything a scheduler may consult when deciding.
+/// Everything a scheduler may consult when deciding one queue.
 pub struct SchedCtx<'a> {
     /// Current simulated time, ms.
     pub now_ms: f64,
@@ -154,8 +78,8 @@ pub struct SchedCtx<'a> {
     /// (`None` until two arrivals have been observed). Batching policies
     /// use it to predict how long forming a larger batch would take.
     pub queue_interval_ms: Option<f64>,
-    /// Cluster snapshot.
-    pub cluster: &'a ClusterView,
+    /// The platform's live cluster state (borrowed, never copied).
+    pub cluster: &'a ClusterState,
     /// Performance profiles.
     pub profiles: &'a ProfileTable,
     /// Application specs (index by `AppId`).
@@ -191,6 +115,136 @@ impl SchedCtx<'_> {
             .map(|j| self.now_ms - j.invocation_arrival_ms)
             .fold(0.0, f64::max)
     }
+}
+
+/// One eligible queue as presented to a scheduling round: the per-queue
+/// slice of [`SchedCtx`] (the shared references live on [`RoundCtx`]).
+#[derive(Clone, Copy, Debug)]
+pub struct QueueView<'a> {
+    /// The queue.
+    pub key: QueueKey,
+    /// Queued jobs, oldest first.
+    pub jobs: &'a [JobView],
+    /// The function this queue's stage runs.
+    pub function: FnId,
+    /// End-to-end SLO of the owning application, ms.
+    pub slo_ms: f64,
+    /// Base latency `L` of the owning application, ms.
+    pub base_latency_ms: f64,
+    /// Smoothed inter-arrival interval of jobs into this queue, ms.
+    pub queue_interval_ms: Option<f64>,
+}
+
+/// One controller round: every eligible queue, plus the shared
+/// environment references. Queues appear in the controller's scan order
+/// (the order the classic contract decided them in).
+pub struct RoundCtx<'a> {
+    /// Current simulated time, ms.
+    pub now_ms: f64,
+    /// All eligible queues this round (non-empty, not busy, not parked
+    /// on the recheck list), in scan order.
+    pub queues: &'a [QueueView<'a>],
+    /// The platform's live cluster state (borrowed, never copied).
+    pub cluster: &'a ClusterState,
+    /// Performance profiles.
+    pub profiles: &'a ProfileTable,
+    /// Application specs (index by `AppId`).
+    pub apps: &'a [AppSpec],
+    /// Function catalog.
+    pub catalog: &'a Catalog,
+    /// Pricing.
+    pub price: &'a PriceModel,
+    /// Transfer model.
+    pub transfer: &'a TransferModel,
+    /// Noise model.
+    pub noise: &'a NoiseModel,
+}
+
+impl RoundCtx<'_> {
+    /// The single-queue context of `queues[i]` — what
+    /// [`Scheduler::schedule`] and [`Scheduler::place`] consume.
+    pub fn sched_ctx(&self, i: usize) -> SchedCtx<'_> {
+        let q = &self.queues[i];
+        SchedCtx {
+            now_ms: self.now_ms,
+            key: q.key,
+            jobs: q.jobs,
+            function: q.function,
+            slo_ms: q.slo_ms,
+            base_latency_ms: q.base_latency_ms,
+            queue_interval_ms: q.queue_interval_ms,
+            cluster: self.cluster,
+            profiles: self.profiles,
+            apps: self.apps,
+            catalog: self.catalog,
+            price: self.price,
+            transfer: self.transfer,
+            noise: self.noise,
+        }
+    }
+}
+
+/// A typed control-plane notification, delivered through
+/// [`Scheduler::on_event`] as the platform applies state changes.
+///
+/// Events are *informational*: the default handler ignores them, and a
+/// scheduler that ignores them behaves exactly like one written against
+/// the former `notify_dispatch`/`notify_churn` pair (which
+/// `Dispatched`/`Churn` subsume). Pre-planning schedulers stash
+/// per-invocation plans on `Dispatched`; caching schedulers invalidate
+/// speed-dependent memos on `Churn`.
+#[derive(Clone, Copy, Debug)]
+pub enum SchedulerEvent<'a> {
+    /// A job entered queue `key` (arrival or upstream-stage completion).
+    JobArrived {
+        /// The queue the job joined.
+        key: QueueKey,
+        /// The owning invocation.
+        invocation: InvocationId,
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
+    /// The platform dispatched a task from queue `key` covering
+    /// `invocations`, as `config` on `node`.
+    Dispatched {
+        /// The drained queue.
+        key: QueueKey,
+        /// The invocations covered by the dispatched batch.
+        invocations: &'a [InvocationId],
+        /// The dispatched configuration (batch already clamped).
+        config: Config,
+        /// The hosting node.
+        node: NodeId,
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
+    /// A task of queue `key` finished on `node` and released its
+    /// resources.
+    TaskCompleted {
+        /// The queue whose task completed.
+        key: QueueKey,
+        /// The node that hosted it.
+        node: NodeId,
+        /// The completed task's configuration.
+        config: Config,
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
+    /// Cluster membership changed: `node` drained (`joined == false`) or
+    /// joined (`joined == true`).
+    Churn {
+        /// The affected node.
+        node: NodeId,
+        /// Join (true) vs drain (false).
+        joined: bool,
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
+    /// The platform is about to retry the parked (recheck) queues.
+    RecheckTick {
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
 }
 
 /// The outcome of a scheduling decision.
@@ -284,31 +338,40 @@ pub trait Scheduler {
     /// Table-1 feature row.
     fn capabilities(&self) -> Capabilities;
 
-    /// Chooses ranked configuration candidates for the queue.
+    /// Chooses ranked configuration candidates for one queue.
     fn schedule(&mut self, ctx: &SchedCtx<'_>) -> Outcome;
 
-    /// Chooses a node for `config`, or `None` when nothing fits. Called for
-    /// each candidate in rank order, and again on recheck rounds.
+    /// Chooses a node for `config`, or `None` when nothing fits. Called
+    /// for each candidate in rank order, and again on recheck rounds.
     fn place(&mut self, ctx: &SchedCtx<'_>, config: Config) -> Option<NodeId>;
 
-    /// Notification that the platform dispatched a task from queue `key`
-    /// covering `dispatched` invocations. Pre-planning schedulers (Orion,
-    /// Aquatope) stash per-invocation plans here.
-    fn notify_dispatch(
-        &mut self,
-        key: QueueKey,
-        dispatched: &[esg_model::InvocationId],
-        config: Config,
-        node: NodeId,
-    ) {
-        let _ = (key, dispatched, config, node);
+    /// Decides one controller round over *all* eligible queues.
+    ///
+    /// Returns decisions in the order the platform should apply them
+    /// (placement + dispatch per decision, against the live
+    /// [`ClusterState`]). Decisions for queues not presented in `ctx`
+    /// are ignored; at most one decision per queue per round is applied.
+    ///
+    /// The default replays the classic one-queue-at-a-time contract: it
+    /// decides only the *first* eligible queue (via
+    /// [`schedule`](Self::schedule)) and returns, and the platform
+    /// re-invokes the round with the remaining queues — so every
+    /// decision still observes the cluster state left by the previous
+    /// decision's dispatch, exactly as the pre-round platform behaved
+    /// (pinned bit-for-bit by `tests/control_plane_equivalence.rs`).
+    /// Cross-queue policies override this to rank decisions across the
+    /// whole queue set.
+    fn schedule_round(&mut self, ctx: &RoundCtx<'_>) -> Vec<(QueueKey, Outcome)> {
+        match ctx.queues.first() {
+            Some(q) => vec![(q.key, self.schedule(&ctx.sched_ctx(0)))],
+            None => Vec::new(),
+        }
     }
 
-    /// Notification that cluster membership changed: `node` drained
-    /// (`joined == false`) or joined (`joined == true`). Caching
-    /// schedulers invalidate speed-dependent memos here.
-    fn notify_churn(&mut self, node: NodeId, joined: bool) {
-        let _ = (node, joined);
+    /// Control-plane notification hook; see [`SchedulerEvent`]. The
+    /// default ignores every event.
+    fn on_event(&mut self, event: &SchedulerEvent<'_>) {
+        let _ = event;
     }
 
     /// End-of-run counters, copied into `ExperimentResult::scheduler_stats`
@@ -382,17 +445,17 @@ pub fn place_locality_first(
     demand: Resources,
     preferred: Option<NodeId>,
 ) -> Option<NodeId> {
-    let home = home_node(ctx.key, ctx.cluster.nodes.len());
+    let home = home_node(ctx.key, ctx.cluster.len());
     if let Some(p) = preferred {
-        if ctx.cluster.nodes[p.index()].fits(demand) {
+        if ctx.cluster.node(p).fits(demand) {
             return Some(p);
         }
     }
-    if ctx.cluster.nodes[home.index()].fits(demand) {
+    if ctx.cluster.node(home).fits(demand) {
         return Some(home);
     }
     // Warm invokers with capacity (deterministic id order).
-    for n in &ctx.cluster.nodes {
+    for n in ctx.cluster.nodes() {
         if n.has_warm(ctx.function) && n.fits(demand) {
             return Some(n.id);
         }
@@ -403,7 +466,7 @@ pub fn place_locality_first(
 /// Shared placement policy: minimise leftover fragmentation (INFless-style
 /// best fit over weighted resources).
 pub fn place_min_fragmentation(
-    cluster: &ClusterView,
+    cluster: &ClusterState,
     demand: Resources,
     cpu_weight: f64,
     gpu_weight: f64,
@@ -418,13 +481,17 @@ pub fn place_min_fragmentation(
         .map(|n| n.id)
 }
 
-/// Converts queued [`Job`]s into scheduler-facing views.
-pub fn job_views(
-    jobs: impl Iterator<Item = Job>,
+/// Converts queued [`Job`]s into scheduler-facing views, rebuilding into
+/// `out` (retained capacity — the platform's per-queue buffers make this
+/// allocation-free in steady state).
+pub fn fill_job_views<'j>(
+    out: &mut Vec<JobView>,
+    jobs: impl Iterator<Item = &'j Job>,
     now: SimTime,
-    arrivals: impl Fn(esg_model::InvocationId) -> (SimTime, SimTime),
-) -> Vec<JobView> {
-    jobs.map(|j| {
+    arrivals: impl Fn(InvocationId) -> (SimTime, SimTime),
+) {
+    out.clear();
+    out.extend(jobs.map(|j| {
         let (arrived, deadline) = arrivals(j.invocation);
         JobView {
             invocation: j.invocation,
@@ -433,13 +500,13 @@ pub fn job_views(
             slack_ms: deadline.as_ms() - now.as_ms(),
             pred_node: j.pred_node,
         }
-    })
-    .collect()
+    }));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::NodeView;
 
     #[test]
     fn overhead_model_calibration() {
@@ -502,66 +569,24 @@ mod tests {
     }
 
     #[test]
-    fn cluster_view_queries() {
-        let mut n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
-        n0.free = Resources::new(2, 1);
-        n0.warm = vec![FnId(1)];
-        let mut n1 = NodeView::idle(NodeId(1), Resources::new(16, 7));
-        n1.free = Resources::new(10, 3);
-        let view = ClusterView {
-            nodes: vec![n0, n1],
-        };
-        assert_eq!(view.feasible(Resources::new(4, 1)).count(), 1);
-        assert_eq!(view.most_free(Resources::new(1, 1)), Some(NodeId(1)));
-        assert_eq!(view.most_free(Resources::new(32, 1)), None);
-        assert!(view.nodes[0].has_warm(FnId(1)));
-        assert!(!view.nodes[1].has_warm(FnId(1)));
-    }
-
-    #[test]
-    fn offline_nodes_are_never_feasible() {
-        let mut n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
-        n0.online = false;
-        n0.free = Resources::ZERO; // the platform zeroes a draining node's view
-        let n1 = NodeView::idle(NodeId(1), Resources::new(4, 2));
-        let view = ClusterView {
-            nodes: vec![n0, n1],
-        };
-        assert!(!view.nodes[0].fits(Resources::new(1, 0)));
-        assert_eq!(view.feasible(Resources::new(1, 1)).count(), 1);
-        assert_eq!(view.most_free(Resources::new(1, 1)), Some(NodeId(1)));
-        assert_eq!(
-            place_min_fragmentation(&view, Resources::new(1, 1), 1.0, 2.0),
-            Some(NodeId(1))
-        );
-    }
-
-    #[test]
-    fn fastest_fit_prefers_low_speed_factor() {
-        let mut slow = NodeView::idle(NodeId(0), Resources::new(16, 7));
-        slow.speed = 2.2;
-        let fast = NodeView::idle(NodeId(1), Resources::new(8, 2));
-        let view = ClusterView {
-            nodes: vec![slow, fast],
-        };
-        assert_eq!(view.fastest_fit(Resources::new(4, 1)), Some(NodeId(1)));
-        // Demand only the slow node can host falls back to it.
-        assert_eq!(view.fastest_fit(Resources::new(12, 4)), Some(NodeId(0)));
-        assert_eq!(view.speed_of(NodeId(0)), 2.2);
-        assert_eq!(view.speed_of(NodeId(1)), 1.0);
-    }
-
-    #[test]
     fn min_fragmentation_picks_tightest_fit() {
         let n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
         let mut n1 = NodeView::idle(NodeId(1), Resources::new(16, 7));
         n1.free = Resources::new(4, 2);
-        let view = ClusterView {
-            nodes: vec![n0, n1],
-        };
+        let state = ClusterState::from_views(vec![n0, n1]);
         // Best fit leaves the least behind -> node 1.
         assert_eq!(
-            place_min_fragmentation(&view, Resources::new(4, 2), 1.0, 2.0),
+            place_min_fragmentation(&state, Resources::new(4, 2), 1.0, 2.0),
+            Some(NodeId(1))
+        );
+        // Offline nodes are skipped.
+        let mut off = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        off.online = false;
+        off.free = Resources::ZERO;
+        let n1 = NodeView::idle(NodeId(1), Resources::new(4, 2));
+        let state = ClusterState::from_views(vec![off, n1]);
+        assert_eq!(
+            place_min_fragmentation(&state, Resources::new(1, 1), 1.0, 2.0),
             Some(NodeId(1))
         );
     }
@@ -574,5 +599,31 @@ mod tests {
         assert_eq!(o.candidates.len(), 1);
         assert_eq!(o.planned_batch, Some(2));
         assert_eq!(o.expansions, 5);
+    }
+
+    #[test]
+    fn fill_job_views_reuses_capacity() {
+        let jobs: Vec<Job> = (0..4u64)
+            .map(|i| Job {
+                invocation: InvocationId(i),
+                stage: 0,
+                ready_at: SimTime::from_ms(i as f64),
+                pred_node: None,
+            })
+            .collect();
+        let mut out = Vec::new();
+        let arrivals = |_| (SimTime::ZERO, SimTime::from_ms(100.0));
+        fill_job_views(&mut out, jobs.iter(), SimTime::from_ms(10.0), arrivals);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].slack_ms, 90.0);
+        let ptr = out.as_ptr();
+        fill_job_views(
+            &mut out,
+            jobs.iter().take(2),
+            SimTime::from_ms(20.0),
+            arrivals,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.as_ptr(), ptr, "refill must reuse the buffer");
     }
 }

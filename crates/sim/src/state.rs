@@ -1,0 +1,438 @@
+//! The scheduler-facing cluster state, maintained incrementally by the
+//! platform.
+//!
+//! Before this module existed the platform rebuilt an owned snapshot —
+//! one `NodeView` per node, each cloning its warm-function set — for
+//! *every* scheduling decision, which made cluster visibility the last
+//! per-dispatch allocation on the serving hot path. [`ClusterState`]
+//! replaces the snapshot-rebuild contract:
+//!
+//! * the platform owns one `ClusterState` for the whole run and updates
+//!   it **in place**: [`touch`](ClusterState::touch) marks a node whose
+//!   cluster-side record changed (dispatch commit, completion release,
+//!   pre-warm install, drain), [`note_join`](ClusterState::note_join)
+//!   appends a freshly joined node, and
+//!   [`refresh`](ClusterState::refresh) re-syncs exactly the nodes that
+//!   are dirty — or whose warm set can have changed *passively* (a slot
+//!   expiring, a pre-warmed container becoming ready) since the last
+//!   sync. Warm sets are sorted slices rebuilt into retained buffers, so
+//!   steady-state refreshes allocate nothing (asserted by the
+//!   `snapshot-vs-incremental` ablation in `cargo bench --bench
+//!   overhead`);
+//! * schedulers *borrow* the state (`SchedCtx::cluster`,
+//!   `RoundCtx::cluster`) instead of receiving a fresh copy, and use the
+//!   same query helpers that lived on the old snapshot type —
+//!   [`feasible`](ClusterState::feasible),
+//!   [`most_free`](ClusterState::most_free),
+//!   [`fastest_fit`](ClusterState::fastest_fit),
+//!   [`speed_of`](ClusterState::speed_of);
+//! * every observable change bumps a [`generation`](ClusterState::generation)
+//!   stamp, so caching schedulers can cheaply detect "the cluster moved
+//!   under me" between rounds.
+//!
+//! Equivalence with the old contract is pinned two ways: the
+//! `validate_cluster_state` oracle (the platform rebuilds a from-scratch
+//! snapshot at every refresh point and asserts equality) and the golden
+//! digests of `tests/control_plane_equivalence.rs`.
+
+use crate::cluster::{Cluster, Node};
+use esg_model::{FnId, NodeId, Resources, SimTime};
+
+/// One node as schedulers see it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeView {
+    /// Node id.
+    pub id: NodeId,
+    /// Free resources (total minus commitments; zero while draining).
+    pub free: Resources,
+    /// Total resources.
+    pub total: Resources,
+    /// Functions with a usable warm container right now, **sorted** —
+    /// [`has_warm`](Self::has_warm) binary-searches it.
+    pub warm: Vec<FnId>,
+    /// Execution-latency scale factor of the node's class (1.0 = the
+    /// Table-2 baseline the profiles were measured on; larger is slower).
+    pub speed: f64,
+    /// Remote-transfer latency scale factor of the node's class.
+    pub link_scale: f64,
+    /// False while the node drains: no new placements land here.
+    pub online: bool,
+}
+
+impl NodeView {
+    /// A baseline-class view: full capacity free, no warmth, Table-2
+    /// scale factors. Tests and custom states tweak from here.
+    pub fn idle(id: NodeId, total: Resources) -> NodeView {
+        NodeView {
+            id,
+            free: total,
+            total,
+            warm: Vec::new(),
+            speed: 1.0,
+            link_scale: 1.0,
+            online: true,
+        }
+    }
+
+    /// True when the node has a warm container for `f` (binary search
+    /// over the sorted warm set).
+    pub fn has_warm(&self, f: FnId) -> bool {
+        debug_assert!(
+            self.warm.is_sorted(),
+            "warm set must stay sorted (hand mutations must preserve order)"
+        );
+        self.warm.binary_search(&f).is_ok()
+    }
+
+    /// True when the node accepts placements and can host `demand`.
+    pub fn fits(&self, demand: Resources) -> bool {
+        self.online && self.free.contains(demand)
+    }
+}
+
+/// The incrementally maintained cluster state schedulers decide against.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterState {
+    nodes: Vec<NodeView>,
+    /// Platform mutated this node's record since its last sync.
+    dirty: Vec<bool>,
+    /// Next instant each node's warm set changes without a mutation
+    /// (pending slot expiry / pre-warm readiness).
+    warm_next_change: Vec<SimTime>,
+    generation: u64,
+}
+
+impl ClusterState {
+    /// A state over explicit node views (tests and custom scenarios).
+    /// Warm sets are sorted on entry so `has_warm` may binary-search.
+    pub fn from_views(mut nodes: Vec<NodeView>) -> ClusterState {
+        for n in &mut nodes {
+            n.warm.sort_unstable();
+        }
+        let len = nodes.len();
+        ClusterState {
+            nodes,
+            dirty: vec![false; len],
+            warm_next_change: vec![SimTime(u64::MAX); len],
+            generation: 0,
+        }
+    }
+
+    /// A from-scratch snapshot of `cluster` at `now` — the pre-redesign
+    /// per-decision rebuild. The platform uses it once at start-up (and
+    /// under the `validate_cluster_state` oracle); the overhead bench's
+    /// `snapshot-vs-incremental` ablation measures it against
+    /// [`refresh`](Self::refresh).
+    pub fn from_cluster(cluster: &Cluster, now: SimTime) -> ClusterState {
+        let mut state = ClusterState::from_views(
+            cluster
+                .nodes()
+                .iter()
+                .map(|n| NodeView::idle(n.id, n.total))
+                .collect(),
+        );
+        for i in 0..state.nodes.len() {
+            state.sync_node(i, &cluster.nodes()[i], now);
+        }
+        state
+    }
+
+    /// All nodes, indexed by `NodeId`.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeView] {
+        &self.nodes
+    }
+
+    /// One node's view.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeView {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access for hand-built states (tests tweaking free
+    /// resources, speeds, warmth). Bumps the generation; hand mutations
+    /// do not participate in incremental dirtiness tracking.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeView {
+        self.generation += 1;
+        &mut self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the state has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Monotone stamp, bumped whenever the observable state may have
+    /// changed (platform mutation, passive warm-set change, join).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Marks `node` as mutated on the cluster side; the next
+    /// [`refresh`](Self::refresh) re-syncs it.
+    pub fn touch(&mut self, node: NodeId) {
+        self.dirty[node.index()] = true;
+        self.generation += 1;
+    }
+
+    /// Appends the view of a freshly joined node.
+    pub fn note_join(&mut self, node: &Node, now: SimTime) {
+        debug_assert_eq!(
+            node.id.index(),
+            self.nodes.len(),
+            "join ids are append-only"
+        );
+        self.nodes.push(NodeView::idle(node.id, node.total));
+        self.dirty.push(false);
+        self.warm_next_change.push(SimTime(u64::MAX));
+        let i = self.nodes.len() - 1;
+        self.sync_node(i, node, now);
+    }
+
+    /// Re-syncs every node that is dirty or whose warm set can have
+    /// changed passively since its last sync. In steady state (nothing
+    /// dirty, no pending expiry) this touches nothing and allocates
+    /// nothing.
+    pub fn refresh(&mut self, cluster: &Cluster, now: SimTime) {
+        debug_assert_eq!(self.nodes.len(), cluster.len(), "state tracks every node");
+        for i in 0..self.nodes.len() {
+            if !self.dirty[i] && now < self.warm_next_change[i] {
+                continue;
+            }
+            self.sync_node(i, &cluster.nodes()[i], now);
+        }
+    }
+
+    fn sync_node(&mut self, i: usize, n: &Node, now: SimTime) {
+        let v = &mut self.nodes[i];
+        // Placement admits against commitments: a task in its init phase
+        // still owns its slot. A draining node advertises nothing.
+        v.free = if n.online {
+            n.uncommitted()
+        } else {
+            Resources::ZERO
+        };
+        v.total = n.total;
+        v.speed = n.class.speed;
+        v.link_scale = n.class.link_scale;
+        v.online = n.online;
+        self.warm_next_change[i] = n.warm_functions_into(now, &mut v.warm);
+        self.dirty[i] = false;
+        self.generation += 1;
+    }
+
+    /// Nodes able to host `demand`.
+    pub fn feasible(&self, demand: Resources) -> impl Iterator<Item = &NodeView> {
+        self.nodes.iter().filter(move |n| n.fits(demand))
+    }
+
+    /// The feasible node with the most free resources (weighted), used for
+    /// cold placement and the forced-minimum fallback. Deterministic
+    /// tie-break on node id.
+    pub fn most_free(&self, demand: Resources) -> Option<NodeId> {
+        self.feasible(demand)
+            .max_by(|a, b| {
+                a.free
+                    .weighted(1.0, 16.0 / 7.0)
+                    .total_cmp(&b.free.weighted(1.0, 16.0 / 7.0))
+                    .then(b.id.0.cmp(&a.id.0))
+            })
+            .map(|n| n.id)
+    }
+
+    /// The execution-latency scale factor of `node` (1.0 when out of
+    /// range, which cannot happen for ids taken from this state).
+    pub fn speed_of(&self, node: NodeId) -> f64 {
+        self.nodes.get(node.index()).map_or(1.0, |n| n.speed)
+    }
+
+    /// The fastest (lowest speed factor) feasible node; ties broken by
+    /// most free weighted resources, then node id. Speed-aware schedulers
+    /// use this to bound how fast the cluster can run `demand` right now.
+    pub fn fastest_fit(&self, demand: Resources) -> Option<NodeId> {
+        self.feasible(demand)
+            .min_by(|a, b| {
+                a.speed
+                    .total_cmp(&b.speed)
+                    .then(
+                        b.free
+                            .weighted(1.0, 16.0 / 7.0)
+                            .total_cmp(&a.free.weighted(1.0, 16.0 / 7.0)),
+                    )
+                    .then(a.id.0.cmp(&b.id.0))
+            })
+            .map(|n| n.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_state_queries() {
+        let mut n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        n0.free = Resources::new(2, 1);
+        n0.warm = vec![FnId(1)];
+        let mut n1 = NodeView::idle(NodeId(1), Resources::new(16, 7));
+        n1.free = Resources::new(10, 3);
+        let state = ClusterState::from_views(vec![n0, n1]);
+        assert_eq!(state.feasible(Resources::new(4, 1)).count(), 1);
+        assert_eq!(state.most_free(Resources::new(1, 1)), Some(NodeId(1)));
+        assert_eq!(state.most_free(Resources::new(32, 1)), None);
+        assert!(state.node(NodeId(0)).has_warm(FnId(1)));
+        assert!(!state.node(NodeId(1)).has_warm(FnId(1)));
+    }
+
+    #[test]
+    fn warm_sets_are_sorted_and_binary_searched() {
+        let mut n = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        n.warm = vec![FnId(5), FnId(0), FnId(3)];
+        let state = ClusterState::from_views(vec![n]);
+        assert_eq!(state.node(NodeId(0)).warm, vec![FnId(0), FnId(3), FnId(5)]);
+        for f in [0, 3, 5] {
+            assert!(state.node(NodeId(0)).has_warm(FnId(f)));
+        }
+        for f in [1, 2, 4, 6] {
+            assert!(!state.node(NodeId(0)).has_warm(FnId(f)));
+        }
+    }
+
+    #[test]
+    fn offline_nodes_are_never_feasible() {
+        let mut n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        n0.online = false;
+        n0.free = Resources::ZERO; // the platform zeroes a draining node's view
+        let n1 = NodeView::idle(NodeId(1), Resources::new(4, 2));
+        let state = ClusterState::from_views(vec![n0, n1]);
+        assert!(!state.node(NodeId(0)).fits(Resources::new(1, 0)));
+        assert_eq!(state.feasible(Resources::new(1, 1)).count(), 1);
+        assert_eq!(state.most_free(Resources::new(1, 1)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn fastest_fit_prefers_low_speed_factor() {
+        let mut slow = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        slow.speed = 2.2;
+        let fast = NodeView::idle(NodeId(1), Resources::new(8, 2));
+        let state = ClusterState::from_views(vec![slow, fast]);
+        assert_eq!(state.fastest_fit(Resources::new(4, 1)), Some(NodeId(1)));
+        // Demand only the slow node can host falls back to it.
+        assert_eq!(state.fastest_fit(Resources::new(12, 4)), Some(NodeId(0)));
+        assert_eq!(state.speed_of(NodeId(0)), 2.2);
+        assert_eq!(state.speed_of(NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn incremental_refresh_tracks_snapshot_rebuild() {
+        use esg_model::NodeClass;
+        let keep = SimTime::from_secs(600.0);
+        let mut cluster = Cluster::new(3, Resources::new(16, 7));
+        let t0 = SimTime::from_ms(0.0);
+        let mut state = ClusterState::from_cluster(&cluster, t0);
+        assert_eq!(
+            state.nodes(),
+            ClusterState::from_cluster(&cluster, t0).nodes()
+        );
+
+        // A dispatch-shaped mutation: commit + warm claim on node 1.
+        cluster
+            .node_mut(NodeId(1))
+            .return_slot(FnId(2), t0, keep, false);
+        assert!(cluster.node_mut(NodeId(1)).commit(Resources::new(4, 2)));
+        state.touch(NodeId(1));
+        let t1 = SimTime::from_ms(10.0);
+        state.refresh(&cluster, t1);
+        assert_eq!(
+            state.nodes(),
+            ClusterState::from_cluster(&cluster, t1).nodes()
+        );
+        assert_eq!(state.node(NodeId(1)).free, Resources::new(12, 5));
+        assert!(state.node(NodeId(1)).has_warm(FnId(2)));
+
+        // Passive change: the warm slot expires with no platform mutation.
+        let late = t0 + keep + SimTime::from_ms(1.0);
+        state.refresh(&cluster, late);
+        assert!(!state.node(NodeId(1)).has_warm(FnId(2)));
+        assert_eq!(
+            state.nodes(),
+            ClusterState::from_cluster(&cluster, late).nodes()
+        );
+
+        // Passive change the other way: a pre-warm becoming ready.
+        cluster
+            .node_mut(NodeId(0))
+            .prewarm(FnId(4), late + SimTime::from_ms(50.0), keep);
+        state.touch(NodeId(0));
+        state.refresh(&cluster, late);
+        assert!(!state.node(NodeId(0)).has_warm(FnId(4)));
+        let ready = late + SimTime::from_ms(50.0);
+        state.refresh(&cluster, ready);
+        assert!(state.node(NodeId(0)).has_warm(FnId(4)));
+        assert_eq!(
+            state.nodes(),
+            ClusterState::from_cluster(&cluster, ready).nodes()
+        );
+
+        // Churn: drain node 2, join a T4.
+        cluster.node_mut(NodeId(2)).drain(ready);
+        state.touch(NodeId(2));
+        let joined = cluster.join(NodeClass::t4(), ready);
+        state.note_join(cluster.node(joined), ready);
+        state.refresh(&cluster, ready);
+        assert_eq!(
+            state.nodes(),
+            ClusterState::from_cluster(&cluster, ready).nodes()
+        );
+        assert!(!state.node(NodeId(2)).online);
+        assert_eq!(state.node(NodeId(2)).free, Resources::ZERO);
+        assert_eq!(state.len(), 4);
+    }
+
+    #[test]
+    fn steady_state_refresh_reuses_warm_buffers() {
+        let keep = SimTime::from_secs(600.0);
+        let mut cluster = Cluster::new(2, Resources::new(16, 7));
+        let t0 = SimTime::ZERO;
+        for f in 0..6u32 {
+            cluster
+                .node_mut(NodeId(0))
+                .return_slot(FnId(f), t0, keep, false);
+        }
+        let mut state = ClusterState::from_cluster(&cluster, t0);
+        let ptr_before = state.node(NodeId(0)).warm.as_ptr();
+        let cap_before = state.node(NodeId(0)).warm.capacity();
+        // Dispatch-shaped churn on the same node: touch + refresh many
+        // times; the warm buffer must be rebuilt in place.
+        for step in 1..200u64 {
+            state.touch(NodeId(0));
+            state.refresh(&cluster, SimTime::from_ms(step as f64));
+        }
+        assert_eq!(state.node(NodeId(0)).warm.as_ptr(), ptr_before);
+        assert_eq!(state.node(NodeId(0)).warm.capacity(), cap_before);
+        assert_eq!(state.node(NodeId(0)).warm.len(), 6);
+    }
+
+    #[test]
+    fn generation_stamps_observable_changes() {
+        let cluster = Cluster::new(2, Resources::new(16, 7));
+        let mut state = ClusterState::from_cluster(&cluster, SimTime::ZERO);
+        let g0 = state.generation();
+        // A clean refresh is a no-op: no generation movement.
+        state.refresh(&cluster, SimTime::from_ms(1.0));
+        assert_eq!(state.generation(), g0);
+        state.touch(NodeId(0));
+        assert!(state.generation() > g0);
+        let g1 = state.generation();
+        state.refresh(&cluster, SimTime::from_ms(2.0));
+        assert!(state.generation() > g1, "re-sync stamps the state");
+    }
+}

@@ -6,11 +6,12 @@
 //!
 //! Run with: `cargo run --release --example compare_schedulers [scenario]`
 //! where scenario is `strict-light` (default), `moderate-normal`, or
-//! `relaxed-heavy`.
+//! `relaxed-heavy`. (`ESG_SMOKE=1` shrinks the run for CI.)
 
 use esg::prelude::*;
 
 fn main() {
+    let smoke = std::env::var("ESG_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let arg = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "strict-light".into());
@@ -26,9 +27,11 @@ fn main() {
     let n_arrivals = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(600);
+        .unwrap_or(if smoke { 120 } else { 600 });
 
-    let env = SimEnv::standard(scenario.slo);
+    let sim = SimBuilder::new(scenario.slo)
+        .build()
+        .expect("the standard configuration is valid");
     let workload = WorkloadGen::new(scenario.workload, esg::model::standard_app_ids(), 42)
         .generate(n_arrivals);
     println!(
@@ -51,13 +54,7 @@ fn main() {
     );
     let mut esg_cost = None;
     for s in schedulers.iter_mut() {
-        let r = run_simulation(
-            &env,
-            SimConfig::default(),
-            s.as_mut(),
-            &workload,
-            &scenario.to_string(),
-        );
+        let r = sim.run(s.as_mut(), &workload, &scenario.to_string());
         let norm = *esg_cost.get_or_insert(r.total_cost_cents());
         println!(
             "{:<12} {:>7.1}% {:>10.1} {:>10.3} {:>8.1}% {:>8.1}% {:>7.1}% {:>8.2}  (cost vs ESG: {:.2}x)",

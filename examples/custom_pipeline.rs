@@ -3,12 +3,15 @@
 //! handling parallel branches.
 //!
 //! Run with: `cargo run --release --example custom_pipeline`
+//! (`ESG_SMOKE=1` shrinks the run for CI.)
 
 use esg::dag::{average_normalized_length, Dag, DominatorTree, Hierarchy, SloPlan};
 use esg::model::catalog::functions as f;
 use esg::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SimError> {
+    let smoke = std::env::var("ESG_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+
     // deblur -> {super-resolution, segmentation} -> classification
     let app = AppSpec::dag(
         "diamond_classification",
@@ -41,9 +44,16 @@ fn main() {
         h.nesting_depth()
     );
 
+    // The builder validates the custom-app environment (an empty or
+    // stage-less app list is a typed SimError, not a later panic); `?`
+    // surfaces any rejection.
+    let sim = SimBuilder::new(SloClass::Moderate)
+        .apps(vec![app.clone()])
+        .warmup_exclude_ms(if smoke { 1_000.0 } else { 15_000.0 })
+        .build()?;
+
     // ANL labelling from the profile substrate and the SLO plan.
-    let env = SimEnv::standard(SloClass::Moderate);
-    let times = env.profiles.stage_times(&app);
+    let times = sim.env().profiles.stage_times(&app);
     let anl = average_normalized_length(&times);
     println!("\nANL labels: {anl:?}");
     let plan = SloPlan::build(&dag, &anl, 3).expect("plan");
@@ -56,18 +66,13 @@ fn main() {
         );
     }
 
-    // Simulate the custom app end to end under ESG.
-    let mut env = env;
-    env.apps = vec![app];
-    // A single application receives the whole arrival stream, so use the
-    // light class to keep the one pipeline inside cluster capacity.
-    let workload = WorkloadGen::new(WorkloadClass::Light, vec![AppId(0)], 11).generate(1200);
+    // Simulate the custom app end to end under ESG. A single application
+    // receives the whole arrival stream, so use the light class to keep
+    // the one pipeline inside cluster capacity.
+    let n = if smoke { 150 } else { 1200 };
+    let workload = WorkloadGen::new(WorkloadClass::Light, vec![AppId(0)], 11).generate(n);
     let mut esg = EsgScheduler::new();
-    let cfg = SimConfig {
-        warmup_exclude_ms: 15_000.0,
-        ..SimConfig::default()
-    };
-    let r = run_simulation(&env, cfg, &mut esg, &workload, "diamond");
+    let r = sim.run(&mut esg, &workload, "diamond");
     println!(
         "\nsimulated {} invocations: SLO hit rate {:.1}%, mean latency {:.0} ms \
          (SLO {:.0} ms), {:.1}% local hand-offs",
@@ -77,4 +82,5 @@ fn main() {
         r.apps[0].slo_ms,
         r.locality_rate() * 100.0
     );
+    Ok(())
 }

@@ -3,11 +3,14 @@
 //! it.
 //!
 //! Run with: `cargo run --release --example prewarm_demo`
+//! (`ESG_SMOKE=1` shrinks the run for CI.)
 
 use esg::prelude::*;
 use esg::workload::ArrivalPredictor;
 
 fn main() {
+    let smoke = std::env::var("ESG_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+
     // The predictor on its own: periodic arrivals.
     let mut p = ArrivalPredictor::new(0.3);
     for i in 0..10 {
@@ -29,17 +32,21 @@ fn main() {
     // Platform effect: same workload, pre-warming on vs off. The cluster
     // starts with one warm container per (node, function); under load the
     // proxy's job is growing pools ahead of concurrency spikes.
-    let env = SimEnv::standard(SloClass::Relaxed);
+    let span_ms = if smoke { 20_000.0 } else { 120_000.0 };
     let workload = WorkloadGen::new(WorkloadClass::Normal, esg::model::standard_app_ids(), 3)
-        .generate_for(120_000.0);
-    println!("\n{} invocations over 120 s:", workload.len());
+        .generate_for(span_ms);
+    println!(
+        "\n{} invocations over {:.0} s:",
+        workload.len(),
+        span_ms / 1000.0
+    );
     for (label, prewarm) in [("with pre-warming", true), ("without", false)] {
-        let cfg = SimConfig {
-            prewarm,
-            ..SimConfig::default()
-        };
+        let sim = SimBuilder::new(SloClass::Relaxed)
+            .prewarm(prewarm)
+            .build()
+            .expect("the standard configuration is valid");
         let mut esg = EsgScheduler::new();
-        let r = run_simulation(&env, cfg, &mut esg, &workload, label);
+        let r = sim.run(&mut esg, &workload, label);
         println!(
             "  {label:<18} cold starts {:>4} ({:>4.1}%), hit rate {:>5.1}%, mean latency {:>6.0} ms",
             r.cold_starts,

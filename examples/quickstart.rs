@@ -3,13 +3,22 @@
 //! walk-through, on real profile data.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (`ESG_SMOKE=1` shrinks the end-to-end run for CI.)
 
 use esg::core::{astar_search, brute_force, StageTable};
 use esg::prelude::*;
 
 fn main() {
-    // The paper's standard environment: Table-3 catalog, default grid.
-    let env = SimEnv::standard(SloClass::Moderate);
+    let smoke = std::env::var("ESG_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    // The paper's standard platform behind the validating builder: a
+    // bad knob or churn script comes back as a typed SimError here,
+    // instead of a panic deep inside the event loop.
+    let sim = SimBuilder::new(SloClass::Moderate)
+        .warmup_exclude_ms(if smoke { 1_000.0 } else { 15_000.0 }) // steady-state measurement
+        .build()
+        .expect("the standard configuration is valid");
+    let env = sim.env();
     let app = &env.apps[0]; // super-resolution -> segmentation -> classification
     println!("application: {}", app.name);
 
@@ -46,14 +55,11 @@ fn main() {
     assert!((oracle.paths[0].cost_cents - result.paths[0].cost_cents).abs() < 1e-9);
 
     // And run a small end-to-end simulation with the full scheduler.
+    let n = if smoke { 150 } else { 1500 };
     let workload =
-        WorkloadGen::new(WorkloadClass::Normal, esg::model::standard_app_ids(), 7).generate(1500);
+        WorkloadGen::new(WorkloadClass::Normal, esg::model::standard_app_ids(), 7).generate(n);
     let mut esg = EsgScheduler::new();
-    let cfg = SimConfig {
-        warmup_exclude_ms: 15_000.0, // steady-state measurement
-        ..SimConfig::default()
-    };
-    let r = run_simulation(&env, cfg, &mut esg, &workload, "quickstart");
+    let r = sim.run(&mut esg, &workload, "quickstart");
     println!(
         "\nend-to-end: {} invocations, SLO hit rate {:.1}%, cost {:.2} cents",
         r.total_completed(),

@@ -3,14 +3,16 @@
 //! from) driven through the platform under ESG.
 //!
 //! Run with: `cargo run --release --example trace_replay [minutes]`
+//! (`ESG_SMOKE=1` defaults to a 1-minute replay for CI.)
 
 use esg::prelude::*;
 
 fn main() {
+    let smoke = std::env::var("ESG_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let minutes: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+        .unwrap_or(if smoke { 1 } else { 3 });
     let trace = AzureLikeTrace {
         mean_per_minute: 1500.0,
         diurnal_amplitude: 0.5,
@@ -28,13 +30,12 @@ fn main() {
     let workload = trace.generate(minutes, &esg::model::standard_app_ids());
     println!("{} invocations over {minutes} min", workload.len());
 
-    let env = SimEnv::standard(SloClass::Relaxed);
-    let cfg = SimConfig {
-        warmup_exclude_ms: 20_000.0,
-        ..SimConfig::default()
-    };
+    let sim = SimBuilder::new(SloClass::Relaxed)
+        .warmup_exclude_ms(if smoke { 5_000.0 } else { 20_000.0 })
+        .build()
+        .expect("the standard configuration is valid");
     let mut esg = EsgScheduler::new();
-    let r = run_simulation(&env, cfg, &mut esg, &workload, "trace");
+    let r = sim.run(&mut esg, &workload, "trace");
     println!(
         "ESG on the trace: hit rate {:.1}%, {:.4} cents/invocation, mean batch {:.2}, \
          {:.0}% local hand-offs, GPU util {:.0}%",
