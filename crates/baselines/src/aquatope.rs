@@ -18,7 +18,10 @@
 use crate::bo::BoOptimizer;
 use esg_model::{AppSpec, Config, NodeId};
 use esg_profile::latency_ms;
-use esg_sim::{place_locality_first, Capabilities, Outcome, SchedCtx, Scheduler};
+use esg_sim::{
+    place_locality_first, Capabilities, Outcome, PolicySpec, PolicyStack, SchedCtx, Scheduler,
+    SchedulerStats,
+};
 use rand::Rng;
 
 /// The Aquatope baseline scheduler.
@@ -29,6 +32,8 @@ pub struct AquatopeScheduler {
     penalty: f64,
     /// Learned per-app, per-stage configurations.
     plans: Vec<Option<Vec<Config>>>,
+    /// Round-policy stack driving `schedule_round` (classic by default).
+    policy: PolicyStack,
 }
 
 impl Default for AquatopeScheduler {
@@ -45,7 +50,14 @@ impl AquatopeScheduler {
             optimizer,
             penalty: 0.05,
             plans: Vec::new(),
+            policy: PolicyStack::classic(),
         }
+    }
+
+    /// Replaces the round-policy stack (see `esg_sim::PolicyStack`).
+    pub fn with_policy(mut self, policy: PolicyStack) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Offline training for one application.
@@ -125,6 +137,7 @@ impl Scheduler for AquatopeScheduler {
             // Offline training: negligible runtime overhead (§5.2).
             expansions: 1,
             planned_batch: Some(config.batch),
+            ..Outcome::default()
         }
     }
 
@@ -135,6 +148,25 @@ impl Scheduler for AquatopeScheduler {
             .take(config.batch as usize)
             .find_map(|j| j.pred_node);
         place_locality_first(ctx, config.resources(), preferred)
+    }
+
+    fn round_policy(&mut self) -> Option<&mut PolicyStack> {
+        Some(&mut self.policy)
+    }
+
+    fn adopt_policy(&mut self, spec: &PolicySpec) -> bool {
+        match spec.sim_stack() {
+            Some(stack) => {
+                self.policy = stack;
+                true
+            }
+            // ESG cross-queue packing needs esg-core's search machinery.
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats::default().with_policy(self.policy.policy_stats())
     }
 }
 

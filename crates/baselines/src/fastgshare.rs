@@ -14,7 +14,9 @@
 
 use crate::slo_split::average_service_split;
 use esg_model::{Config, NodeId};
-use esg_sim::{Capabilities, Outcome, SchedCtx, Scheduler};
+use esg_sim::{
+    Capabilities, Outcome, PolicySpec, PolicyStack, SchedCtx, Scheduler, SchedulerStats,
+};
 
 /// The FaST-GShare baseline scheduler.
 #[derive(Debug, Default)]
@@ -24,12 +26,20 @@ pub struct FastGShareScheduler {
     rates: std::collections::HashMap<(u32, usize), f64>,
     /// Last observed queue state for rate estimation.
     last_seen: std::collections::HashMap<(u32, usize), (f64, usize)>,
+    /// Round-policy stack driving `schedule_round` (classic by default).
+    policy: PolicyStack,
 }
 
 impl FastGShareScheduler {
     /// Creates the scheduler.
     pub fn new() -> Self {
         FastGShareScheduler::default()
+    }
+
+    /// Replaces the round-policy stack (see `esg_sim::PolicyStack`).
+    pub fn with_policy(mut self, policy: PolicyStack) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn share(&mut self, ctx: &SchedCtx<'_>) -> f64 {
@@ -103,6 +113,7 @@ impl Scheduler for FastGShareScheduler {
                 candidates: Vec::new(),
                 expansions: entries.len() as u64,
                 planned_batch: None,
+                ..Outcome::default()
             };
         }
 
@@ -164,6 +175,7 @@ impl Scheduler for FastGShareScheduler {
             candidates,
             expansions,
             planned_batch: planned,
+            ..Outcome::default()
         }
     }
 
@@ -177,6 +189,25 @@ impl Scheduler for FastGShareScheduler {
                 left_a.cmp(&left_b).then(a.id.0.cmp(&b.id.0))
             })
             .map(|n| n.id)
+    }
+
+    fn round_policy(&mut self) -> Option<&mut PolicyStack> {
+        Some(&mut self.policy)
+    }
+
+    fn adopt_policy(&mut self, spec: &PolicySpec) -> bool {
+        match spec.sim_stack() {
+            Some(stack) => {
+                self.policy = stack;
+                true
+            }
+            // ESG cross-queue packing needs esg-core's search machinery.
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats::default().with_policy(self.policy.policy_stats())
     }
 }
 

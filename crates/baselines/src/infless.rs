@@ -13,19 +13,30 @@
 use crate::slo_split::average_service_split;
 use esg_model::{Config, NodeId};
 use esg_profile::ProfileEntry;
-use esg_sim::{place_min_fragmentation, Capabilities, Outcome, SchedCtx, Scheduler};
+use esg_sim::{
+    place_min_fragmentation, Capabilities, Outcome, PolicySpec, PolicyStack, SchedCtx, Scheduler,
+    SchedulerStats,
+};
 
 /// The INFless baseline scheduler.
 #[derive(Debug, Default)]
 pub struct InflessScheduler {
     /// Cached per-app SLO shares (static, relation-blind).
     shares: Vec<Vec<f64>>,
+    /// Round-policy stack driving `schedule_round` (classic by default).
+    policy: PolicyStack,
 }
 
 impl InflessScheduler {
     /// Creates the scheduler.
     pub fn new() -> Self {
         InflessScheduler::default()
+    }
+
+    /// Replaces the round-policy stack (see `esg_sim::PolicyStack`).
+    pub fn with_policy(mut self, policy: PolicyStack) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn share(&mut self, ctx: &SchedCtx<'_>) -> f64 {
@@ -85,6 +96,7 @@ impl Scheduler for InflessScheduler {
                 candidates: Vec::new(),
                 expansions: entries.len() as u64,
                 planned_batch: None,
+                ..Outcome::default()
             };
         }
 
@@ -136,6 +148,7 @@ impl Scheduler for InflessScheduler {
             candidates,
             expansions,
             planned_batch: planned,
+            ..Outcome::default()
         }
     }
 
@@ -145,6 +158,25 @@ impl Scheduler for InflessScheduler {
         // follow the data locality policy but their resource fragmentation
         // minimization policy").
         place_min_fragmentation(ctx.cluster, config.resources(), 1.0, 16.0 / 7.0)
+    }
+
+    fn round_policy(&mut self) -> Option<&mut PolicyStack> {
+        Some(&mut self.policy)
+    }
+
+    fn adopt_policy(&mut self, spec: &PolicySpec) -> bool {
+        match spec.sim_stack() {
+            Some(stack) => {
+                self.policy = stack;
+                true
+            }
+            // ESG cross-queue packing needs esg-core's search machinery.
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats::default().with_policy(self.policy.policy_stats())
     }
 }
 

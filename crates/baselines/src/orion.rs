@@ -15,7 +15,8 @@
 use esg_model::{AppSpec, Config, InvocationId, NodeId};
 use esg_profile::latency_ms;
 use esg_sim::{
-    place_locality_first, Capabilities, Outcome, OverheadModel, SchedCtx, Scheduler, SchedulerEvent,
+    place_locality_first, Capabilities, Outcome, OverheadModel, PolicySpec, PolicyStack, SchedCtx,
+    Scheduler, SchedulerEvent, SchedulerStats,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -41,6 +42,8 @@ pub struct OrionScheduler {
     /// charge the full search to every decision, as the paper measures
     /// (Fig. 9 counts Orion's search time per scheduling decision).
     cache: HashMap<u32, (Vec<Config>, u64)>,
+    /// Round-policy stack driving `schedule_round` (classic by default).
+    policy: PolicyStack,
 }
 
 impl Default for OrionScheduler {
@@ -60,7 +63,14 @@ impl OrionScheduler {
             plans: HashMap::new(),
             pending: None,
             cache: HashMap::new(),
+            policy: PolicyStack::classic(),
         }
+    }
+
+    /// Replaces the round-policy stack (see `esg_sim::PolicyStack`).
+    pub fn with_policy(mut self, policy: PolicyStack) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn plan_cached(&mut self, ctx: &SchedCtx<'_>, app: &AppSpec) -> (Vec<Config>, u64) {
@@ -224,6 +234,7 @@ impl Scheduler for OrionScheduler {
                 candidates: vec![config],
                 expansions,
                 planned_batch: Some(config.batch),
+                ..Outcome::default()
             };
         }
         // Later stages replay the stage-0 plan of the oldest invocation —
@@ -238,6 +249,7 @@ impl Scheduler for OrionScheduler {
                 candidates: vec![config],
                 expansions: 1,
                 planned_batch: Some(config.batch),
+                ..Outcome::default()
             },
             None => {
                 // The invocation predates this scheduler (or the plan was
@@ -249,6 +261,7 @@ impl Scheduler for OrionScheduler {
                     candidates: vec![config],
                     expansions,
                     planned_batch: Some(config.batch),
+                    ..Outcome::default()
                 }
             }
         }
@@ -286,6 +299,25 @@ impl Scheduler for OrionScheduler {
                 }
             }
         }
+    }
+
+    fn round_policy(&mut self) -> Option<&mut PolicyStack> {
+        Some(&mut self.policy)
+    }
+
+    fn adopt_policy(&mut self, spec: &PolicySpec) -> bool {
+        match spec.sim_stack() {
+            Some(stack) => {
+                self.policy = stack;
+                true
+            }
+            // ESG cross-queue packing needs esg-core's search machinery.
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats::default().with_policy(self.policy.policy_stats())
     }
 }
 

@@ -94,6 +94,10 @@ pub fn render_bench_markdown(doc: &Value) -> String {
             group_order.push(k);
         }
     }
+    // Documents produced before the round-policy pipeline carry no
+    // shed_rate key; rendering them must stay byte-identical (the CI
+    // drift check regenerates EXPERIMENTS.md from committed artifacts).
+    let with_shed = runs.iter().any(|r| r.get("shed_rate").is_some());
     for key in &group_order {
         let (scenario, cluster, traffic) = *key;
         writeln!(
@@ -101,21 +105,35 @@ pub fn render_bench_markdown(doc: &Value) -> String {
             "\n**Scenario `{scenario}` · cluster `{cluster}` · traffic `{traffic}`**\n"
         )
         .expect("writing to String cannot fail");
-        out.push_str(
-            "| scheduler | seed | SLO hit % | cost/inv (¢) | cold-start % | \
+        if with_shed {
+            out.push_str(
+                "| scheduler | seed | SLO hit % | shed % | cost/inv (¢) | cold-start % | \
+locality % | mean overhead (ms) | vGPU util % |\n\
+|---|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+            );
+        } else {
+            out.push_str(
+                "| scheduler | seed | SLO hit % | cost/inv (¢) | cold-start % | \
 locality % | mean overhead (ms) | vGPU util % |\n\
 |---|---:|---:|---:|---:|---:|---:|---:|\n",
-        );
+            );
+        }
         for r in runs.iter().filter(|r| key_of(r) == *key) {
             let s = |k: &str| r.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
             let f = |k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(0.0);
             let seed = r.get("seed").and_then(Value::as_u64).unwrap_or(0);
+            let shed = if with_shed {
+                format!(" {:.1} |", 100.0 * f("shed_rate"))
+            } else {
+                String::new()
+            };
             writeln!(
                 out,
-                "| {} | {} | {:.1} | {:.3} | {:.1} | {:.1} | {:.2} | {:.1} |",
+                "| {} | {} | {:.1} |{} {:.3} | {:.1} | {:.1} | {:.2} | {:.1} |",
                 s("scheduler"),
                 seed,
                 100.0 * f("avg_hit_rate"),
+                shed,
                 f("cost_per_invocation_cents"),
                 100.0 * f("cold_start_rate"),
                 100.0 * f("locality_rate"),
@@ -241,6 +259,45 @@ cache. Medians, wall clock."
             let gain = if i_us > 0.0 { s_us / i_us } else { 0.0 };
             writeln!(out, "| {n} | {s_us:.2} | {i_us:.3} | {gain:.0} |")
                 .expect("writing to String cannot fail");
+        }
+    }
+
+    // Quaternary table: the round-driver ablation — the pre-policy
+    // driver (no stack) vs the empty classic stack's fast path vs a
+    // two-stage pass-through pipeline. Cases measure a batch of rounds
+    // per iteration; medians are already per-batch, so only the ratios
+    // matter (budget: empty stack ≤5% over the pre-policy driver).
+    let mut round_qs: Vec<u64> = cases
+        .iter()
+        .filter(|c| field(c, "kind") == "round-classic")
+        .filter_map(|c| c.get("width").and_then(Value::as_u64))
+        .collect();
+    round_qs.dedup();
+    if !round_qs.is_empty() {
+        out.push_str(
+            "\n| queues | pre-policy driver (µs) | empty stack (µs) | staged stack (µs) | \
+empty-stack overhead (%) |\n\
+|---:|---:|---:|---:|---:|\n",
+        );
+        for q in round_qs {
+            let (Some(classic), Some(empty), Some(staged)) = (
+                find("round-classic", q, "n/a"),
+                find("round-empty-stack", q, "n/a"),
+                find("round-stack", q, "n/a"),
+            ) else {
+                continue;
+            };
+            let (c_us, e_us, s_us) = (median_us(classic), median_us(empty), median_us(staged));
+            let overhead = if c_us > 0.0 {
+                (e_us / c_us - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            writeln!(
+                out,
+                "| {q} | {c_us:.2} | {e_us:.2} | {s_us:.2} | {overhead:+.1} |"
+            )
+            .expect("writing to String cannot fail");
         }
     }
     out
@@ -415,6 +472,68 @@ mod tests {
         assert!(md.contains("| 3 | 40.00 | 20.00 | 2.00 |"), "{md}");
         // 5 µs snapshot vs 0.25 µs incremental → 20× removed cost.
         assert!(md.contains("| 16 | 5.00 | 0.250 | 20 |"), "{md}");
+    }
+
+    #[test]
+    fn shed_column_renders_only_when_present() {
+        // Pre-policy documents (committed hetero artifacts) carry no
+        // shed_rate key: their rendering must stay byte-identical.
+        let legacy = render_bench_markdown(&sample_doc());
+        assert!(!legacy.contains("shed %"), "{legacy}");
+        // A policy-sweep document gains the column.
+        let doc = json!({
+            "suite": "packing", "run_seconds": 4.0, "cells": 2,
+            "runs": [
+                {
+                    "scheduler": "ESG+admit", "scenario": "moderate-normal",
+                    "cluster": "paper-16xa100", "traffic": "bursty", "seed": 42,
+                    "avg_hit_rate": 0.93, "shed_rate": 0.25,
+                    "cost_per_invocation_cents": 0.412,
+                    "cold_start_rate": 0.05, "locality_rate": 0.8,
+                    "mean_overhead_ms": 1.25, "vgpu_utilisation": 0.4
+                },
+                {
+                    "scheduler": "Orion", "scenario": "moderate-normal",
+                    "cluster": "paper-16xa100", "traffic": "bursty", "seed": 42,
+                    "avg_hit_rate": 0.71, "cost_per_invocation_cents": 0.63,
+                    "cold_start_rate": 0.2, "locality_rate": 0.4,
+                    "mean_overhead_ms": 45.0, "vgpu_utilisation": 0.3
+                }
+            ]
+        });
+        let md = render_bench_markdown(&doc);
+        assert!(
+            md.contains("| scheduler | seed | SLO hit % | shed % |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| ESG+admit | 42 | 93.0 | 25.0 | 0.412 |"),
+            "{md}"
+        );
+        // A row without the key in a shed-aware doc renders 0.0.
+        assert!(md.contains("| Orion | 42 | 71.0 | 0.0 |"), "{md}");
+    }
+
+    #[test]
+    fn overhead_markdown_renders_round_driver_table() {
+        let doc = json!({
+            "suite": "overhead", "samples": 10,
+            "cases": [
+                {"case": "overhead/round-classic/q4", "kind": "round-classic",
+                 "width": 4, "slo": "n/a", "median_ns": 2_000.0,
+                 "mean_ns": 2_000.0, "min_ns": 1_900.0, "samples": 10},
+                {"case": "overhead/round-empty-stack/q4", "kind": "round-empty-stack",
+                 "width": 4, "slo": "n/a", "median_ns": 2_100.0,
+                 "mean_ns": 2_100.0, "min_ns": 2_000.0, "samples": 10},
+                {"case": "overhead/round-stack/q4", "kind": "round-stack",
+                 "width": 4, "slo": "n/a", "median_ns": 16_000.0,
+                 "mean_ns": 16_000.0, "min_ns": 15_000.0, "samples": 10}
+            ]
+        });
+        let md = render_overhead_markdown(&doc);
+        // 2.0 µs classic, 2.1 µs empty (+5.0%), 16 µs staged.
+        assert!(md.contains("| queues | pre-policy driver"), "{md}");
+        assert!(md.contains("| 4 | 2.00 | 2.10 | 16.00 | +5.0 |"), "{md}");
     }
 
     #[test]

@@ -461,6 +461,9 @@ impl SweepResult {
         o.insert("config_miss_rate", r.config_miss_rate());
         o.insert("cold_start_rate", r.cold_start_rate());
         o.insert("locality_rate", r.locality_rate());
+        o.insert("shed_rate", r.shed_rate());
+        o.insert("shed_invocations", r.shed_invocations);
+        o.insert("queues_deferred", r.scheduler_stats.queues_deferred);
         o.insert("mean_overhead_ms", r.mean_overhead_ms());
         o.insert("searches", r.scheduler_stats.searches);
         o.insert("plan_cache_hits", r.scheduler_stats.plan_cache_hits);
@@ -497,7 +500,7 @@ impl SweepResult {
     pub fn csv_row(&self) -> String {
         let r = &self.result;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3}",
+            "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3}",
             self.suite,
             self.scheduler,
             self.scenario.slo,
@@ -515,6 +518,7 @@ impl SweepResult {
             r.config_miss_rate(),
             r.cold_start_rate(),
             r.locality_rate(),
+            r.shed_rate(),
             r.mean_overhead_ms(),
             r.vcpu_utilisation,
             r.vgpu_utilisation,
@@ -548,7 +552,7 @@ impl Sweep {
     pub const CSV_HEADER: &'static str = "suite,scheduler,slo,workload,scenario,cluster,traffic,\
 seed,arrivals,completed,avg_hit_rate,overall_hit_rate,total_cost_cents,\
 cost_per_invocation_cents,config_miss_rate,cold_start_rate,locality_rate,\
-mean_overhead_ms,vcpu_utilisation,vgpu_utilisation,makespan_ms";
+shed_rate,mean_overhead_ms,vcpu_utilisation,vgpu_utilisation,makespan_ms";
 
     /// The whole sweep as one JSON document.
     pub fn to_json(&self) -> Value {

@@ -23,7 +23,11 @@
 //! * [`scheduler`] — [`EsgScheduler`], the adapter that plugs ESG into the
 //!   `esg-sim` platform: optimality-guided *adaptive* scheduling (the
 //!   search re-runs before every stage dispatch) plus the locality-first
-//!   ESG_Dispatch placement (§3.4).
+//!   ESG_Dispatch placement (§3.4);
+//! * [`policy`] — ESG's stages for the composable round-policy pipeline:
+//!   [`EsgCrossQueuePacking`] ranks a whole round's queues by GSLO
+//!   tightness under one shared search budget, preferring warm
+//!   co-location (stacks with `esg_sim::SloAdmission`).
 
 #![warn(missing_docs)]
 
@@ -31,6 +35,7 @@ pub mod bounds;
 pub mod brute;
 pub mod cache;
 pub mod plan;
+pub mod policy;
 pub mod scheduler;
 pub mod search;
 
@@ -38,6 +43,7 @@ pub use bounds::StageTable;
 pub use brute::brute_force;
 pub use cache::{quantize_gslo, CacheStats, CachedPlan, PlanCache, PlanKey};
 pub use plan::AppPlans;
+pub use policy::EsgCrossQueuePacking;
 pub use scheduler::{EsgScheduler, SearchVariant};
 pub use search::{
     astar_search, astar_search_bounded, astar_search_with, stagewise_search, PathCandidate,

@@ -1,0 +1,311 @@
+//! [`EsgCrossQueuePacking`]: ESG's cross-queue ranking stage for the
+//! round-policy pipeline.
+//!
+//! The classic contract decides queues in controller scan order — an
+//! accident of queue numbering. This stage ranks every admitted queue of
+//! a round so the per-queue ESG search (the dispatch stage) is spent
+//! where it matters most:
+//!
+//! * **GSLO tightness first** — queues are ordered by their oldest job's
+//!   remaining slack normalised by the application SLO, tightest first:
+//!   the queue closest to blowing its group SLO gets the next search and
+//!   the freshest view of the cluster.
+//! * **Warm co-location bias** — a queue whose predecessor node still
+//!   holds a warm container for the queue's function is boosted by
+//!   [`PackingConfig::warm_bias`]: dispatching it *now* lets
+//!   ESG_Dispatch's locality-first placement land the batch next to its
+//!   input while the warm slot is free, co-locating sibling stages
+//!   instead of racing other queues onto the node.
+//! * **Shared search budget** — all decisions at one controller instant
+//!   share [`PackingConfig::round_budget`] expanded configurations,
+//!   metered through [`RoundPolicy::observe`]. Once a round's decisions
+//!   have spent it, the stage defers the remaining queues by
+//!   [`PackingConfig::defer_ms`] instead of admitting further searches —
+//!   bounding worst-case controller occupancy under a queue storm (the
+//!   pipeline analogue of Orion's cut-off time, but round-global rather
+//!   than per-decision).
+//!
+//! The stage is pure ranking/admission: dispatch still runs
+//! `EsgScheduler::schedule` per queue, so plan-cache equivalence and the
+//! §3.1 semantics are untouched.
+
+use esg_sim::{
+    AdmissionPlan, Outcome, PackingConfig, QueueKey, RankedQueues, RoundCtx, RoundPolicy,
+};
+
+/// Cross-queue packing for [`EsgScheduler`](crate::EsgScheduler); see
+/// the module docs. Install it with
+/// `EsgScheduler::new().with_policy(PolicyStack::new().with(EsgCrossQueuePacking::default()))`
+/// or declaratively via `SimBuilder::policy(PolicySpec::packing())`.
+#[derive(Debug)]
+pub struct EsgCrossQueuePacking {
+    cfg: PackingConfig,
+    /// The controller instant the current budget window belongs to.
+    round_now: f64,
+    /// Expansions spent by decisions at `round_now`.
+    spent: u64,
+}
+
+impl Default for EsgCrossQueuePacking {
+    fn default() -> Self {
+        EsgCrossQueuePacking::new(PackingConfig::default())
+    }
+}
+
+impl EsgCrossQueuePacking {
+    /// A packing stage with explicit knobs.
+    pub fn new(cfg: PackingConfig) -> EsgCrossQueuePacking {
+        EsgCrossQueuePacking {
+            cfg,
+            round_now: f64::NEG_INFINITY,
+            spent: 0,
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> PackingConfig {
+        self.cfg
+    }
+
+    /// Expansions spent in the current budget window.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    fn roll_window(&mut self, now_ms: f64) {
+        if now_ms != self.round_now {
+            self.round_now = now_ms;
+            self.spent = 0;
+        }
+    }
+
+    /// The ranking score of queue `i`: normalised slack, minus the warm
+    /// co-location bias. Lower is more urgent.
+    fn score(&self, ctx: &RoundCtx<'_>, i: usize) -> f64 {
+        let q = &ctx.queues[i];
+        let slack = q
+            .jobs
+            .iter()
+            .map(|j| j.slack_ms)
+            .fold(f64::INFINITY, f64::min);
+        let tightness = slack / q.slo_ms.max(f64::MIN_POSITIVE);
+        let warm = q.jobs.iter().filter_map(|j| j.pred_node).any(|n| {
+            n.index() < ctx.cluster.len() && {
+                let view = ctx.cluster.node(n);
+                view.online && view.has_warm(q.function)
+            }
+        });
+        if warm {
+            tightness - self.cfg.warm_bias
+        } else {
+            tightness
+        }
+    }
+}
+
+impl RoundPolicy for EsgCrossQueuePacking {
+    fn name(&self) -> &'static str {
+        "esg-packing"
+    }
+
+    fn admit(&mut self, ctx: &RoundCtx<'_>) -> AdmissionPlan {
+        self.roll_window(ctx.now_ms);
+        if self.spent >= self.cfg.round_budget {
+            // Budget exhausted at this instant: defer the whole round
+            // (deferred queues re-enter with a fresh budget window; the
+            // owning PolicyStack tallies the FINAL deferred decisions,
+            // since a verdict here may be out-severitied by a shed).
+            AdmissionPlan::defer_all(ctx.queues.len(), ctx.now_ms + self.cfg.defer_ms)
+        } else {
+            AdmissionPlan::admit_all(ctx.queues.len())
+        }
+    }
+
+    fn rank(&mut self, ctx: &RoundCtx<'_>, admitted: &[usize]) -> RankedQueues {
+        let mut scored: Vec<(f64, usize)> =
+            admitted.iter().map(|&i| (self.score(ctx, i), i)).collect();
+        // Deterministic: ties broken by queue index (controller scan
+        // order), scores are pure functions of the round context.
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        RankedQueues::from_order(scored.into_iter().map(|(_, i)| i).collect())
+    }
+
+    fn observe(&mut self, ctx: &RoundCtx<'_>, decisions: &[(QueueKey, Outcome)]) {
+        self.roll_window(ctx.now_ms);
+        self.spent += decisions.iter().map(|(_, o)| o.expansions).sum::<u64>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::{AppId, InvocationId, NodeId, Resources, SloClass};
+    use esg_sim::{AdmissionDecision, ClusterState, JobView, NodeView, QueueView, SimEnv};
+
+    fn job(slack: f64, pred: Option<NodeId>) -> JobView {
+        JobView {
+            invocation: InvocationId(0),
+            ready_at_ms: 0.0,
+            invocation_arrival_ms: 0.0,
+            slack_ms: slack,
+            pred_node: pred,
+        }
+    }
+
+    fn queue_view<'a>(
+        env: &'a SimEnv,
+        jobs: &'a [JobView],
+        app: u32,
+        stage: usize,
+    ) -> QueueView<'a> {
+        QueueView {
+            key: QueueKey {
+                app: AppId(app),
+                stage,
+            },
+            jobs,
+            function: env.apps[app as usize].nodes[stage],
+            slo_ms: env.slo_ms(AppId(app)),
+            base_latency_ms: env.base_latency_ms(AppId(app)),
+            queue_interval_ms: None,
+        }
+    }
+
+    fn round_ctx<'a>(
+        env: &'a SimEnv,
+        cluster: &'a ClusterState,
+        queues: &'a [QueueView<'a>],
+        now_ms: f64,
+    ) -> RoundCtx<'a> {
+        RoundCtx {
+            now_ms,
+            queues,
+            cluster,
+            profiles: &env.profiles,
+            apps: &env.apps,
+            catalog: &env.catalog,
+            price: &env.price,
+            transfer: &env.transfer,
+            noise: &env.noise,
+        }
+    }
+
+    fn idle_cluster(n: usize) -> ClusterState {
+        ClusterState::from_views(
+            (0..n as u32)
+                .map(|i| NodeView::idle(NodeId(i), Resources::new(16, 7)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn ranks_tightest_gslo_first() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let cluster = idle_cluster(4);
+        let loose = [job(5_000.0, None)];
+        let tight = [job(50.0, None)];
+        let medium = [job(800.0, None)];
+        let queues = [
+            queue_view(&env, &loose, 0, 0),
+            queue_view(&env, &tight, 1, 0),
+            queue_view(&env, &medium, 2, 0),
+        ];
+        let ctx = round_ctx(&env, &cluster, &queues, 100.0);
+        let mut pack = EsgCrossQueuePacking::default();
+        let order = pack.rank(&ctx, &[0, 1, 2]).into_order();
+        assert_eq!(order[0], 1, "tightest slack first, got {order:?}");
+        // Normalisation: relative tightness, not raw slack, decides. The
+        // queues share comparable SLOs here so medium before loose.
+        assert_eq!(order[2], 0);
+    }
+
+    #[test]
+    fn warm_predecessor_boosts_a_queue() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let mut cluster = idle_cluster(4);
+        let f1 = env.apps[0].nodes[1];
+        cluster.node_mut(NodeId(2)).warm = vec![f1];
+        // Same slack everywhere; queue 1's input sits on the warm node.
+        let cold_jobs = [job(500.0, None)];
+        let warm_jobs = [job(500.0, Some(NodeId(2)))];
+        let queues = [
+            queue_view(&env, &cold_jobs, 0, 0),
+            queue_view(&env, &warm_jobs, 0, 1),
+        ];
+        let ctx = round_ctx(&env, &cluster, &queues, 100.0);
+        let mut pack = EsgCrossQueuePacking::default();
+        let order = pack.rank(&ctx, &[0, 1]).into_order();
+        assert_eq!(order[0], 1, "warm co-location must win the tie");
+        // Without the bias the tie breaks on queue index.
+        let mut flat = EsgCrossQueuePacking::new(PackingConfig {
+            warm_bias: 0.0,
+            ..PackingConfig::default()
+        });
+        assert_eq!(flat.rank(&ctx, &[0, 1]).into_order()[0], 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_defers_and_resets_per_instant() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let cluster = idle_cluster(2);
+        let jobs = [job(500.0, None)];
+        let queues = [queue_view(&env, &jobs, 0, 0)];
+        let ctx = round_ctx(&env, &cluster, &queues, 100.0);
+        let mut pack = EsgCrossQueuePacking::new(PackingConfig {
+            round_budget: 10,
+            defer_ms: 3.0,
+            warm_bias: 0.25,
+        });
+        // Fresh window: admitted.
+        assert!(matches!(
+            pack.admit(&ctx).decisions()[0],
+            AdmissionDecision::Admit
+        ));
+        // A decision spends past the budget…
+        pack.observe(
+            &ctx,
+            &[(
+                QueueKey {
+                    app: AppId(0),
+                    stage: 0,
+                },
+                Outcome {
+                    expansions: 50,
+                    ..Outcome::default()
+                },
+            )],
+        );
+        assert_eq!(pack.spent(), 50);
+        // …so the same instant defers the rest of the round.
+        let plan = pack.admit(&ctx);
+        assert_eq!(
+            plan.decisions()[0],
+            AdmissionDecision::Defer { until_ms: 103.0 }
+        );
+        // A later instant opens a fresh window.
+        let later = round_ctx(&env, &cluster, &queues, 200.0);
+        assert!(matches!(
+            pack.admit(&later).decisions()[0],
+            AdmissionDecision::Admit
+        ));
+        assert_eq!(pack.spent(), 0);
+    }
+
+    #[test]
+    fn offline_or_foreign_pred_nodes_get_no_bonus() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let mut cluster = idle_cluster(2);
+        let f = env.apps[0].nodes[0];
+        cluster.node_mut(NodeId(1)).warm = vec![f];
+        cluster.node_mut(NodeId(1)).online = false;
+        let offline_pred = [job(500.0, Some(NodeId(1)))];
+        let foreign_pred = [job(500.0, Some(NodeId(9)))];
+        let queues = [
+            queue_view(&env, &offline_pred, 0, 0),
+            queue_view(&env, &foreign_pred, 0, 0),
+        ];
+        let ctx = round_ctx(&env, &cluster, &queues, 0.0);
+        let pack = EsgCrossQueuePacking::default();
+        assert_eq!(pack.score(&ctx, 0), pack.score(&ctx, 1));
+    }
+}

@@ -17,11 +17,12 @@
 use crate::bounds::StageTable;
 use crate::cache::{quantize_gslo, CachedPlan, PlanCache, PlanKey};
 use crate::plan::AppPlans;
+use crate::policy::EsgCrossQueuePacking;
 use crate::search::{astar_search_with, stagewise_search, SearchScratch};
 use esg_model::{Config, FnId, NodeId};
 use esg_sim::{
-    place_locality_first, Capabilities, Outcome, SchedCtx, Scheduler, SchedulerEvent,
-    SchedulerStats,
+    place_locality_first, Capabilities, Outcome, PolicySpec, PolicyStack, SchedCtx, Scheduler,
+    SchedulerEvent, SchedulerStats, SloAdmission,
 };
 
 /// Which published ESG_1Q formulation to run.
@@ -53,6 +54,9 @@ pub struct EsgScheduler {
     scratch: SearchScratch,
     /// Full searches actually executed.
     searches: u64,
+    /// The round-policy stack driving `schedule_round` (classic/empty by
+    /// default — bit-identical to the pre-policy contract).
+    policy: PolicyStack,
 }
 
 impl Default for EsgScheduler {
@@ -74,7 +78,15 @@ impl EsgScheduler {
             cache: Some(PlanCache::new()),
             scratch: SearchScratch::new(),
             searches: 0,
+            policy: PolicyStack::classic(),
         }
+    }
+
+    /// Replaces the round-policy stack (e.g. `PolicyStack::new()
+    /// .with(SloAdmission::default()).with(EsgCrossQueuePacking::default())`).
+    pub fn with_policy(mut self, policy: PolicyStack) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Overrides the maximum function-group size (§5.4 sensitivity).
@@ -274,6 +286,7 @@ impl Scheduler for EsgScheduler {
                     candidates: Vec::new(),
                     expansions: 16, // timer re-check, not a search
                     planned_batch: None,
+                    ..Outcome::default()
                 };
             }
             self.waiting.remove(&key);
@@ -354,6 +367,7 @@ impl Scheduler for EsgScheduler {
                 candidates,
                 expansions,
                 planned_batch: None,
+                ..Outcome::default()
             };
         }
 
@@ -396,6 +410,7 @@ impl Scheduler for EsgScheduler {
                             candidates: r.first_stage_candidates(),
                             expansions,
                             planned_batch: None,
+                            ..Outcome::default()
                         };
                     }
                     let wait = (actual - qlen) as f64 * interval;
@@ -405,6 +420,7 @@ impl Scheduler for EsgScheduler {
                             candidates: Vec::new(),
                             expansions,
                             planned_batch: None,
+                            ..Outcome::default()
                         };
                     }
                 }
@@ -417,6 +433,7 @@ impl Scheduler for EsgScheduler {
                 candidates: capped_result.first_stage_candidates(),
                 expansions,
                 planned_batch: None,
+                ..Outcome::default()
             };
         }
 
@@ -430,6 +447,7 @@ impl Scheduler for EsgScheduler {
             candidates,
             expansions,
             planned_batch: None,
+            ..Outcome::default()
         }
     }
 
@@ -445,15 +463,43 @@ impl Scheduler for EsgScheduler {
     }
 
     fn on_event(&mut self, event: &SchedulerEvent<'_>) {
-        // Membership changed: recent keys were shaped by a speed landscape
-        // that no longer exists. Entries are never *wrong* (keys capture
-        // every search input), but letting a dead regime squat in the LRU
-        // wastes the bound, so drop everything and repopulate.
-        if let SchedulerEvent::Churn { .. } = event {
-            if let Some(cache) = &mut self.cache {
-                cache.invalidate();
+        match event {
+            // Membership changed: recent keys were shaped by a speed
+            // landscape that no longer exists. Entries are never *wrong*
+            // (keys capture every search input), but letting a dead
+            // regime squat in the LRU wastes the bound, so drop
+            // everything and repopulate.
+            SchedulerEvent::Churn { .. } => {
+                if let Some(cache) = &mut self.cache {
+                    cache.invalidate();
+                }
             }
+            // A shed emptied the queue (directly or via sibling purge):
+            // any batch-formation hold was computed for the killed jobs,
+            // and fresh arrivals must not wait out a dead timer.
+            SchedulerEvent::QueueShed { key, .. } => {
+                self.waiting.remove(&(key.app.0, key.stage));
+            }
+            _ => {}
         }
+    }
+
+    fn round_policy(&mut self) -> Option<&mut PolicyStack> {
+        Some(&mut self.policy)
+    }
+
+    fn adopt_policy(&mut self, spec: &PolicySpec) -> bool {
+        self.policy = match *spec {
+            PolicySpec::Classic => PolicyStack::classic(),
+            PolicySpec::SloAdmission(cfg) => PolicyStack::new().with(SloAdmission::new(cfg)),
+            PolicySpec::CrossQueuePacking(cfg) => {
+                PolicyStack::new().with(EsgCrossQueuePacking::new(cfg))
+            }
+            PolicySpec::PackingWithAdmission(adm, pack) => PolicyStack::new()
+                .with(SloAdmission::new(adm))
+                .with(EsgCrossQueuePacking::new(pack)),
+        };
+        true
     }
 
     fn stats(&self) -> SchedulerStats {
@@ -464,7 +510,9 @@ impl Scheduler for EsgScheduler {
             plan_cache_misses: c.misses,
             plan_cache_evictions: c.evictions,
             plan_cache_invalidations: c.invalidations,
+            ..SchedulerStats::default()
         }
+        .with_policy(self.policy.policy_stats())
     }
 }
 

@@ -45,7 +45,9 @@ pub mod prelude {
     pub use esg_baselines::{
         AquatopeScheduler, FastGShareScheduler, InflessScheduler, OrionScheduler,
     };
-    pub use esg_core::{EsgScheduler, PlanCache, SearchScratch, SearchVariant};
+    pub use esg_core::{
+        EsgCrossQueuePacking, EsgScheduler, PlanCache, SearchScratch, SearchVariant,
+    };
     pub use esg_dag::{Dag, DominatorTree, SloPlan};
     pub use esg_model::{
         standard_apps, standard_catalog, AppId, AppSpec, ChurnPlan, ClusterSpec, Config,
@@ -54,9 +56,12 @@ pub mod prelude {
     };
     pub use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
     pub use esg_sim::{
-        run_simulation, Capabilities, ClusterState, ExperimentResult, MinScheduler, NodeSummary,
-        NodeView, OverheadModel, QueueView, RoundCtx, SchedCtx, Scheduler, SchedulerEvent,
-        SchedulerStats, Sim, SimBuilder, SimConfig, SimEnv, SimError,
+        run_simulation, AdmissionDecision, AdmissionPlan, Capabilities, ClusterState, EventKind,
+        EventLog, EventRecord, ExperimentResult, MinScheduler, NodeSummary, NodeView,
+        OverheadModel, PackingConfig, PolicySpec, PolicyStack, PolicyStats, QueueCounters,
+        QueueView, RankedQueues, RoundCtx, RoundPolicy, SchedCtx, Scheduler, SchedulerEvent,
+        SchedulerStats, ShedReason, Sim, SimBuilder, SimConfig, SimEnv, SimError, SloAdmission,
+        SloAdmissionConfig,
     };
     pub use esg_workload::{
         shaped_workload, ArrivalPredictor, AzureLikeTrace, Workload, WorkloadGen,

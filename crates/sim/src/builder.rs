@@ -32,6 +32,7 @@
 
 use crate::metrics::ExperimentResult;
 use crate::platform::{run_simulation, SimConfig, SimEnv};
+use crate::policy::{PackingConfig, PolicySpec, SloAdmissionConfig};
 use crate::sched::{OverheadModel, Scheduler};
 use esg_model::{AppSpec, ChurnEvent, ChurnPlan, ClusterSpec, ConfigGrid, Resources, SloClass};
 use esg_workload::Workload;
@@ -105,6 +106,7 @@ pub struct SimBuilder {
     grid: ConfigGrid,
     apps: Option<Vec<AppSpec>>,
     cfg: SimConfig,
+    policy: PolicySpec,
 }
 
 impl SimBuilder {
@@ -115,7 +117,18 @@ impl SimBuilder {
             grid: ConfigGrid::default(),
             apps: None,
             cfg: SimConfig::default(),
+            policy: PolicySpec::Classic,
         }
+    }
+
+    /// Selects the round-policy stack schedulers run under (default:
+    /// the classic one-queue-at-a-time contract). The spec's scalar
+    /// knobs are validated at [`build`](Self::build); a scheduler that
+    /// cannot honour the spec makes [`Sim::try_run`] return
+    /// [`SimError::InvalidKnob`].
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Replaces the configuration grid (ablations restrict it, overhead
@@ -245,7 +258,10 @@ impl SimBuilder {
             grid,
             apps,
             cfg,
+            policy,
         } = self;
+
+        validate_policy(&policy)?;
 
         // Cluster shape.
         match &cfg.cluster {
@@ -331,7 +347,55 @@ impl SimBuilder {
             }
             env.apps = apps;
         }
-        Ok(Sim { env, cfg })
+        Ok(Sim { env, cfg, policy })
+    }
+}
+
+/// Scalar validation of a policy spec's knobs (the scheduler-combo check
+/// happens at [`Sim::try_run`], where the scheduler exists).
+fn validate_policy(policy: &PolicySpec) -> Result<(), SimError> {
+    fn admission(cfg: &SloAdmissionConfig) -> Result<(), SimError> {
+        if !(cfg.defer_ms > 0.0 && cfg.defer_ms.is_finite()) {
+            return Err(SimError::InvalidKnob {
+                knob: "policy.defer_ms",
+                value: cfg.defer_ms,
+                requirement: "finite and > 0",
+            });
+        }
+        Ok(())
+    }
+    fn packing(cfg: &PackingConfig) -> Result<(), SimError> {
+        if cfg.round_budget == 0 {
+            return Err(SimError::InvalidKnob {
+                knob: "policy.round_budget",
+                value: 0.0,
+                requirement: "at least 1 expanded configuration per round",
+            });
+        }
+        if !(cfg.defer_ms > 0.0 && cfg.defer_ms.is_finite()) {
+            return Err(SimError::InvalidKnob {
+                knob: "policy.defer_ms",
+                value: cfg.defer_ms,
+                requirement: "finite and > 0",
+            });
+        }
+        if !(cfg.warm_bias >= 0.0 && cfg.warm_bias.is_finite()) {
+            return Err(SimError::InvalidKnob {
+                knob: "policy.warm_bias",
+                value: cfg.warm_bias,
+                requirement: "finite and >= 0",
+            });
+        }
+        Ok(())
+    }
+    match policy {
+        PolicySpec::Classic => Ok(()),
+        PolicySpec::SloAdmission(a) => admission(a),
+        PolicySpec::CrossQueuePacking(p) => packing(p),
+        PolicySpec::PackingWithAdmission(a, p) => {
+            admission(a)?;
+            packing(p)
+        }
     }
 }
 
@@ -381,6 +445,7 @@ fn validate_churn(cfg: &SimConfig) -> Result<(), SimError> {
 pub struct Sim {
     env: SimEnv,
     cfg: SimConfig,
+    policy: PolicySpec,
 }
 
 impl Sim {
@@ -394,14 +459,55 @@ impl Sim {
         &self.cfg
     }
 
+    /// The round policy every run installs via
+    /// [`Scheduler::adopt_policy`].
+    pub fn policy(&self) -> PolicySpec {
+        self.policy
+    }
+
     /// Runs `sched` over `workload`, labelling the result `scenario`.
+    ///
+    /// Panics when `sched` rejects the configured round policy (only
+    /// possible for non-classic [`SimBuilder::policy`] selections);
+    /// [`try_run`](Self::try_run) returns the typed error instead.
     pub fn run(
         &self,
         sched: &mut dyn Scheduler,
         workload: &Workload,
         scenario: &str,
     ) -> ExperimentResult {
-        run_simulation(&self.env, self.cfg.clone(), sched, workload, scenario)
+        self.try_run(sched, workload, scenario)
+            .expect("scheduler rejected the configured round policy (use Sim::try_run)")
+    }
+
+    /// Runs `sched` over `workload`, surfacing an incompatible
+    /// scheduler/policy combo as [`SimError::InvalidKnob`] instead of
+    /// panicking.
+    ///
+    /// The default `PolicySpec::Classic` imposes nothing — a scheduler
+    /// already carrying a hand-composed stack (`with_policy`) keeps it;
+    /// any other spec is installed via [`Scheduler::adopt_policy`].
+    pub fn try_run(
+        &self,
+        sched: &mut dyn Scheduler,
+        workload: &Workload,
+        scenario: &str,
+    ) -> Result<ExperimentResult, SimError> {
+        if !matches!(self.policy, PolicySpec::Classic) && !sched.adopt_policy(&self.policy) {
+            return Err(SimError::InvalidKnob {
+                knob: "policy",
+                value: 0.0,
+                requirement: "a round-policy stack this scheduler supports \
+(ESG packing needs EsgScheduler; MinScheduler is classic-only)",
+            });
+        }
+        Ok(run_simulation(
+            &self.env,
+            self.cfg.clone(),
+            sched,
+            workload,
+            scenario,
+        ))
     }
 }
 
@@ -549,6 +655,74 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn policy_knob_scalars_are_validated() {
+        use crate::policy::{PackingConfig, SloAdmissionConfig};
+        // Defaults pass.
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .policy(PolicySpec::packing_with_admission())
+            .build()
+            .is_ok());
+        // Bad admission back-off.
+        let err = SimBuilder::new(SloClass::Moderate)
+            .policy(PolicySpec::SloAdmission(SloAdmissionConfig {
+                defer_ms: 0.0,
+                ..SloAdmissionConfig::default()
+            }))
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "policy.defer_ms",
+                ..
+            }
+        ));
+        // Zero search budget.
+        let err = SimBuilder::new(SloClass::Moderate)
+            .policy(PolicySpec::CrossQueuePacking(PackingConfig {
+                round_budget: 0,
+                ..PackingConfig::default()
+            }))
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "policy.round_budget",
+                ..
+            }
+        ));
+        // Non-finite warm bias.
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .policy(PolicySpec::CrossQueuePacking(PackingConfig {
+                warm_bias: f64::NAN,
+                ..PackingConfig::default()
+            }))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn incompatible_scheduler_policy_combo_is_a_typed_error() {
+        // MinScheduler carries no policy stack: any non-classic spec must
+        // surface as InvalidKnob through try_run, and the classic default
+        // must keep working.
+        let w =
+            WorkloadGen::new(WorkloadClass::Light, esg_model::standard_app_ids(), 5).generate(6);
+        let sim = SimBuilder::new(SloClass::Relaxed)
+            .policy(PolicySpec::slo_admission())
+            .build()
+            .expect("valid spec");
+        let mut s = MinScheduler;
+        let err = sim.try_run(&mut s, &w, "combo").expect_err("rejected");
+        assert!(matches!(err, SimError::InvalidKnob { knob: "policy", .. }));
+        let classic = SimBuilder::new(SloClass::Relaxed).build().expect("valid");
+        assert_eq!(classic.policy(), PolicySpec::Classic);
+        let r = classic.try_run(&mut s, &w, "combo").expect("classic runs");
+        assert_eq!(r.total_completed(), 6);
     }
 
     #[test]

@@ -46,8 +46,10 @@
 pub mod builder;
 pub mod cluster;
 pub mod event;
+pub mod eventlog;
 pub mod metrics;
 pub mod platform;
+pub mod policy;
 pub mod sched;
 pub mod state;
 pub mod workflow;
@@ -55,8 +57,13 @@ pub mod workflow;
 pub use builder::{Sim, SimBuilder, SimError};
 pub use cluster::{Cluster, Node};
 pub use event::{Event, EventQueue};
+pub use eventlog::{EventKind, EventLog, EventRecord, QueueCounters};
 pub use metrics::{AppMetrics, ExperimentResult, NodeSummary};
 pub use platform::{run_simulation, MinScheduler, SimConfig, SimEnv, Simulation};
+pub use policy::{
+    gslo_attainable, AdmissionDecision, AdmissionPlan, PackingConfig, PolicySpec, PolicyStack,
+    PolicyStats, RankedQueues, RoundPolicy, ShedReason, SloAdmission, SloAdmissionConfig,
+};
 pub use sched::{
     fill_job_views, home_node, place_locality_first, place_min_fragmentation, Capabilities,
     JobView, Outcome, OverheadModel, QueueKey, QueueView, RoundCtx, SchedCtx, Scheduler,

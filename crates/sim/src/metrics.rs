@@ -67,7 +67,7 @@ impl AppMetrics {
 }
 
 /// The result of one simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct ExperimentResult {
     /// Scheduler name.
     pub scheduler: String,
@@ -122,6 +122,51 @@ pub struct ExperimentResult {
     /// eviction/invalidation totals). Deterministic — cache hits replay
     /// memoised expansion counts, so these are a pure function of the run.
     pub scheduler_stats: SchedulerStats,
+    /// Invocations killed by admission shedding (`QueueShed` events).
+    pub shed_invocations: u64,
+    /// Jobs dropped by admission shedding, including sibling-stage jobs
+    /// purged from other queues when their invocation was killed.
+    pub shed_jobs: u64,
+}
+
+/// Hand-rolled `Debug` matching the pre-policy derive output
+/// byte-for-byte whenever no shedding occurred: the golden control-plane
+/// digests hash this dump, and the classic policy stack (which never
+/// sheds) must stay bit-identical to the pinned baseline.
+impl std::fmt::Debug for ExperimentResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ExperimentResult");
+        d.field("scheduler", &self.scheduler)
+            .field("scenario", &self.scenario)
+            .field("apps", &self.apps)
+            .field("overhead_ms", &self.overhead_ms)
+            .field("wall_overhead_ms", &self.wall_overhead_ms)
+            .field("config_misses", &self.config_misses)
+            .field("dispatches", &self.dispatches)
+            .field("warm_starts", &self.warm_starts)
+            .field("cold_starts", &self.cold_starts)
+            .field("local_transfers", &self.local_transfers)
+            .field("remote_transfers", &self.remote_transfers)
+            .field("rechecks", &self.rechecks)
+            .field("forced_min_dispatches", &self.forced_min_dispatches)
+            .field("vcpu_utilisation", &self.vcpu_utilisation)
+            .field("vgpu_utilisation", &self.vgpu_utilisation)
+            .field("batch_wait_ms", &self.batch_wait_ms)
+            .field("batch_size", &self.batch_size)
+            .field("arrivals", &self.arrivals)
+            .field("makespan_ms", &self.makespan_ms)
+            .field("phase_queue_wait_ms", &self.phase_queue_wait_ms)
+            .field("phase_init_ms", &self.phase_init_ms)
+            .field("phase_exec_queue_ms", &self.phase_exec_queue_ms)
+            .field("phase_exec_ms", &self.phase_exec_ms)
+            .field("nodes", &self.nodes)
+            .field("scheduler_stats", &self.scheduler_stats);
+        if self.shed_invocations != 0 || self.shed_jobs != 0 {
+            d.field("shed_invocations", &self.shed_invocations)
+                .field("shed_jobs", &self.shed_jobs);
+        }
+        d.finish()
+    }
 }
 
 impl ExperimentResult {
@@ -187,6 +232,15 @@ impl ExperimentResult {
             0.0
         } else {
             self.overhead_ms.iter().sum::<f64>() / self.overhead_ms.len() as f64
+        }
+    }
+
+    /// Fraction of arrived invocations killed by admission shedding.
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.shed_invocations as f64 / self.arrivals as f64
         }
     }
 

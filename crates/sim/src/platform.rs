@@ -26,6 +26,7 @@
 use crate::cluster::Cluster;
 use crate::event::{Event, EventQueue};
 use crate::metrics::{AppMetrics, ExperimentResult, NodeSummary};
+use crate::policy::ShedReason;
 use crate::sched::{
     fill_job_views, home_node, JobView, Outcome, OverheadModel, QueueKey, QueueView, RoundCtx,
     SchedCtx, Scheduler, SchedulerEvent,
@@ -642,8 +643,9 @@ impl<'a> Simulation<'a> {
                 }
                 self.decided_stamp[qi] = self.round_seq;
                 applied += 1;
-                self.apply_decision(qi, key, outcome, wall_ms);
-                wall_ms = 0.0; // the round's wall time is charged once
+                if self.apply_decision(qi, key, outcome, wall_ms) {
+                    wall_ms = 0.0; // the round's wall time is charged once
+                }
             }
             if applied == 0 {
                 // The scheduler declined the round (or returned only
@@ -653,10 +655,25 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    /// Applies one round decision: charge simulated overhead, then
-    /// dispatch (placing candidates in rank order against the live
-    /// state), skip with back-off, or park on the recheck list.
-    fn apply_decision(&mut self, qi: usize, key: QueueKey, outcome: Outcome, wall_ms: f64) {
+    /// Applies one round decision: shed (admission verdict), charge
+    /// simulated overhead, then dispatch (placing candidates in rank
+    /// order against the live state), skip with back-off, or park on the
+    /// recheck list. Returns whether the decision consumed the round's
+    /// wall-clock sample (sheds and purged-empty no-ops do not).
+    fn apply_decision(&mut self, qi: usize, key: QueueKey, outcome: Outcome, wall_ms: f64) -> bool {
+        if let Some(reason) = outcome.shed {
+            // Admission verdict, not a search: no overhead is charged and
+            // no wall sample recorded (the overhead series keeps its
+            // one-entry-per-dispatch-or-recheck shape).
+            self.shed_queue(qi, key, reason);
+            return false;
+        }
+        // A shed applied earlier in this round may have purged this
+        // queue's jobs (parallel DAG branches share invocations); the
+        // decision is moot then.
+        if self.queues[qi].is_empty() {
+            return false;
+        }
         let overhead = self.cfg.overhead.decision_time(outcome.expansions);
         self.metrics.overhead_ms.push(overhead.as_ms());
         self.metrics.wall_overhead_ms.push(wall_ms);
@@ -668,12 +685,16 @@ impl<'a> Simulation<'a> {
 
         if outcome.candidates.is_empty() {
             // Skip (e.g. holding for batch formation): re-check after the
-            // decision time or the idle back-off, whichever is larger.
-            let back = charged.max(SimTime::from_ms(self.cfg.idle_backoff_ms));
+            // decision time, the idle back-off, or an admission defer
+            // horizon, whichever is furthest.
+            let mut back = charged.max(SimTime::from_ms(self.cfg.idle_backoff_ms));
+            if let Some(until) = outcome.defer_until_ms {
+                back = back.max(SimTime::from_ms((until - self.now.as_ms()).max(0.0)));
+            }
             self.queue_busy_until[qi] = self.now + back;
             self.events
                 .push(self.queue_busy_until[qi], Event::ControllerStep);
-            return;
+            return true;
         }
 
         // Placement sees the state left by any earlier decision applied
@@ -720,6 +741,71 @@ impl<'a> Simulation<'a> {
                 self.now + SimTime::from_ms(self.cfg.idle_backoff_ms),
                 Event::ControllerStep,
             );
+        }
+        true
+    }
+
+    /// Applies a shed verdict: drops every job of queue `qi`, kills the
+    /// owning invocations, and purges their sibling-stage jobs from
+    /// every other queue (a killed invocation can never complete, and a
+    /// stale sibling job would panic the job-view refill). Emits one
+    /// [`SchedulerEvent::QueueShed`] for the shed queue and one per
+    /// purged sibling queue.
+    fn shed_queue(&mut self, qi: usize, key: QueueKey, reason: ShedReason) {
+        let jobs = self.queues[qi].take_all();
+        if jobs.is_empty() {
+            return;
+        }
+        self.metrics.shed_jobs += jobs.len() as u64;
+        let mut shed: Vec<InvocationId> = Vec::with_capacity(jobs.len());
+        for j in &jobs {
+            if self.invocations.remove(&j.invocation).is_some() {
+                shed.push(j.invocation);
+            }
+        }
+        self.metrics.shed_invocations += shed.len() as u64;
+        // Purge siblings (parallel DAG branches) queue by queue.
+        let mut purged: Vec<(usize, Vec<InvocationId>)> = Vec::new();
+        for oq in 0..self.queues.len() {
+            if oq == qi {
+                continue;
+            }
+            let mut gone: Vec<InvocationId> = Vec::new();
+            let invocations = &self.invocations;
+            self.queues[oq].retain(|j| {
+                let live = invocations.contains_key(&j.invocation);
+                if !live {
+                    gone.push(j.invocation);
+                }
+                live
+            });
+            if !gone.is_empty() {
+                self.metrics.shed_jobs += gone.len() as u64;
+                purged.push((oq, gone));
+            }
+        }
+        // Re-sync any job views already built for this controller step.
+        for &(oq, _) in &purged {
+            if self.views_stamp[oq] == self.round_seq {
+                self.refill_queue_views(oq);
+            }
+        }
+        if self.views_stamp[qi] == self.round_seq {
+            self.refill_queue_views(qi);
+        }
+        self.sched.on_event(&SchedulerEvent::QueueShed {
+            key,
+            invocations: &shed,
+            reason,
+            now_ms: self.now.as_ms(),
+        });
+        for (oq, gone) in &purged {
+            self.sched.on_event(&SchedulerEvent::QueueShed {
+                key: self.queue_keys[*oq],
+                invocations: gone,
+                reason,
+                now_ms: self.now.as_ms(),
+            });
         }
     }
 

@@ -1,0 +1,949 @@
+//! The composable round-policy pipeline: admission → cross-queue ranking
+//! → per-queue dispatch, as typed, stackable stages.
+//!
+//! A controller round used to be decidable only by overriding the whole
+//! of [`Scheduler::schedule_round`](crate::Scheduler::schedule_round),
+//! which forced every cross-queue idea (SLO-aware admission, cross-queue
+//! packing) into a monolithic scheduler fork. This module splits the
+//! round into the three decisions HAS-GPU/INFless-style systems treat as
+//! separable:
+//!
+//! 1. **Admission** — [`RoundPolicy::admit`] classifies every eligible
+//!    queue as [`Admit`](AdmissionDecision::Admit),
+//!    [`Defer`](AdmissionDecision::Defer) (retry no earlier than a given
+//!    instant), or [`Shed`](AdmissionDecision::Shed) (drop the queue's
+//!    jobs, killing their invocations — surfaced through
+//!    [`SchedulerEvent::QueueShed`](crate::SchedulerEvent::QueueShed));
+//! 2. **Ranking** — [`RoundPolicy::rank`] orders the admitted queues
+//!    across the whole round (which queue deserves the next search);
+//! 3. **Dispatch** — the scheduler's existing per-queue
+//!    [`schedule`](crate::Scheduler::schedule)/
+//!    [`place`](crate::Scheduler::place) pair, unchanged.
+//!
+//! Stages compose through a [`PolicyStack`]: admission verdicts merge by
+//! severity (a later stage can only tighten an earlier one), rank stages
+//! successively reorder the admitted set, and
+//! [`RoundPolicy::observe`] feeds every stage the round's decisions so
+//! budget-sharing policies can meter themselves. The provided
+//! [`Scheduler::schedule_round`](crate::Scheduler::schedule_round)
+//! drives whatever stack the scheduler exposes through
+//! [`round_policy`](crate::Scheduler::round_policy); the empty
+//! ("classic") stack takes a fast path that is instruction-for-
+//! instruction the pre-policy driver, so every existing scheduler stays
+//! bit-identical (pinned by `tests/golden/control_plane.digest` and the
+//! stack-equivalence property test).
+//!
+//! The first sim-layer stage, [`SloAdmission`], sheds or defers queues
+//! whose deadline is provably lost; ESG's cross-queue packing stage
+//! lives in `esg-core` (it needs the search machinery) and is selected
+//! declaratively through [`PolicySpec`].
+
+use crate::sched::{Outcome, QueueKey, RoundCtx};
+use esg_model::Config;
+use std::fmt;
+
+/// Why an admission stage dropped a queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Even the fastest configuration on the fastest node class cannot
+    /// finish within the queue's remaining slack: the deadline is lost
+    /// and serving the jobs would only steal capacity from invocations
+    /// that can still win.
+    GsloUnattainable,
+    /// The policy judged the cluster too overloaded to serve the queue.
+    Overload,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::GsloUnattainable => write!(f, "gslo-unattainable"),
+            ShedReason::Overload => write!(f, "overload"),
+        }
+    }
+}
+
+/// One queue's admission verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdmissionDecision {
+    /// Hand the queue to the ranking stage.
+    Admit,
+    /// Skip the queue this round; do not re-decide before `until_ms`.
+    Defer {
+        /// Earliest re-decision instant, ms.
+        until_ms: f64,
+    },
+    /// Drop the queue's jobs (their invocations are killed; sibling
+    /// jobs in other queues are purged by the platform).
+    Shed {
+        /// Why the queue was dropped.
+        reason: ShedReason,
+    },
+}
+
+impl AdmissionDecision {
+    /// Merge severity: Shed > Defer > Admit.
+    fn severity(&self) -> u8 {
+        match self {
+            AdmissionDecision::Admit => 0,
+            AdmissionDecision::Defer { .. } => 1,
+            AdmissionDecision::Shed { .. } => 2,
+        }
+    }
+}
+
+/// An admission stage's verdict over every queue of a round, parallel to
+/// [`RoundCtx::queues`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdmissionPlan {
+    decisions: Vec<AdmissionDecision>,
+}
+
+impl AdmissionPlan {
+    /// Admits all `n` queues.
+    pub fn admit_all(n: usize) -> AdmissionPlan {
+        AdmissionPlan {
+            decisions: vec![AdmissionDecision::Admit; n],
+        }
+    }
+
+    /// Defers all `n` queues until `until_ms`.
+    pub fn defer_all(n: usize, until_ms: f64) -> AdmissionPlan {
+        AdmissionPlan {
+            decisions: vec![AdmissionDecision::Defer { until_ms }; n],
+        }
+    }
+
+    /// The per-queue decisions, indexed like `RoundCtx::queues`.
+    pub fn decisions(&self) -> &[AdmissionDecision] {
+        &self.decisions
+    }
+
+    /// Overrides queue `i`'s decision.
+    pub fn set(&mut self, i: usize, decision: AdmissionDecision) {
+        self.decisions[i] = decision;
+    }
+
+    /// Number of queues covered.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when the plan covers no queues.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Indices still admitted.
+    pub fn admitted(&self) -> Vec<usize> {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d, AdmissionDecision::Admit))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Merges `other` in, most severe verdict per queue winning
+    /// (stacked admission stages can only tighten each other; two defers
+    /// keep the later retry instant).
+    pub fn tighten(&mut self, other: &AdmissionPlan) {
+        debug_assert_eq!(self.len(), other.len(), "plans cover the same round");
+        for (mine, theirs) in self.decisions.iter_mut().zip(&other.decisions) {
+            match (&mut *mine, theirs) {
+                (
+                    AdmissionDecision::Defer { until_ms: a },
+                    AdmissionDecision::Defer { until_ms: b },
+                ) => *a = a.max(*b),
+                (m, t) if t.severity() > m.severity() => *mine = *t,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The cross-queue dispatch order over a round's admitted queues
+/// (indices into [`RoundCtx::queues`], most urgent first).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RankedQueues {
+    order: Vec<usize>,
+}
+
+impl RankedQueues {
+    /// The classic order: admitted queues exactly as the controller
+    /// scanned them.
+    pub fn scan_order(admitted: &[usize]) -> RankedQueues {
+        RankedQueues {
+            order: admitted.to_vec(),
+        }
+    }
+
+    /// An explicit order (most urgent first).
+    pub fn from_order(order: Vec<usize>) -> RankedQueues {
+        RankedQueues { order }
+    }
+
+    /// The dispatch order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Consumes the ranking.
+    pub fn into_order(self) -> Vec<usize> {
+        self.order
+    }
+}
+
+/// Counters a policy stage reports; the owning scheduler merges them
+/// into its [`SchedulerStats`](crate::SchedulerStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Queues dropped by admission shedding.
+    pub queues_shed: u64,
+    /// Jobs dropped by admission shedding.
+    pub jobs_shed: u64,
+    /// Queue-rounds deferred. In a [`PolicyStack`]'s merged stats this
+    /// is the *final-decision* count tallied by the stack's `observe`
+    /// (a stage voting Defer cannot know whether another stage's Shed
+    /// out-severities it, so stage-local defer guesses are not summed).
+    pub queues_deferred: u64,
+}
+
+impl PolicyStats {
+    /// Component-wise sum.
+    pub fn merge(self, other: PolicyStats) -> PolicyStats {
+        PolicyStats {
+            queues_shed: self.queues_shed + other.queues_shed,
+            jobs_shed: self.jobs_shed + other.jobs_shed,
+            queues_deferred: self.queues_deferred + other.queues_deferred,
+        }
+    }
+}
+
+/// One stage of a round-policy pipeline.
+///
+/// Every method has a neutral default, so a stage implements only the
+/// decision it owns: an admission stage overrides [`admit`](Self::admit),
+/// a packing stage overrides [`rank`](Self::rank) (and usually
+/// [`observe`](Self::observe) to meter a shared budget).
+pub trait RoundPolicy {
+    /// Stage name (diagnostics, `PolicyStack` Debug output).
+    fn name(&self) -> &'static str;
+
+    /// Classifies every eligible queue of the round. The default admits
+    /// everything.
+    fn admit(&mut self, ctx: &RoundCtx<'_>) -> AdmissionPlan {
+        AdmissionPlan::admit_all(ctx.queues.len())
+    }
+
+    /// Orders the admitted queues for dispatch. The default replays the
+    /// classic controller scan order.
+    fn rank(&mut self, ctx: &RoundCtx<'_>, admitted: &[usize]) -> RankedQueues {
+        let _ = ctx;
+        RankedQueues::scan_order(admitted)
+    }
+
+    /// Feedback hook: the decisions the driver produced for this round
+    /// invocation (budget-sharing stages meter `Outcome::expansions`
+    /// here). The default ignores them.
+    fn observe(&mut self, ctx: &RoundCtx<'_>, decisions: &[(QueueKey, Outcome)]) {
+        let _ = (ctx, decisions);
+    }
+
+    /// End-of-run counters. The default reports nothing.
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+}
+
+/// An ordered stack of [`RoundPolicy`] stages, itself a `RoundPolicy`.
+///
+/// * **admit** — stages run in order; verdicts merge by severity
+///   ([`AdmissionPlan::tighten`]), so a later stage can only tighten an
+///   earlier one.
+/// * **rank** — each stage reorders the order produced by the previous
+///   one. A stage's output is sanitised against its input (duplicates
+///   and foreign indices dropped, omitted queues re-appended in their
+///   previous order), so no stage can starve a queue by accident.
+/// * **observe**/**stats** — fan out to / merge over all stages.
+///
+/// The empty stack ([`PolicyStack::classic`]) is the classic
+/// one-queue-at-a-time contract; the provided
+/// [`Scheduler::schedule_round`](crate::Scheduler::schedule_round)
+/// recognises it and takes a zero-overhead fast path.
+#[derive(Default)]
+pub struct PolicyStack {
+    stages: Vec<Box<dyn RoundPolicy>>,
+    /// Final deferred-queue decisions observed across the run (the
+    /// authoritative `queues_deferred`; see [`PolicyStats`]).
+    deferred: u64,
+}
+
+impl PolicyStack {
+    /// An empty stack: admit everything, classic scan order. Drives the
+    /// fast path in the provided `schedule_round`.
+    pub fn classic() -> PolicyStack {
+        PolicyStack::default()
+    }
+
+    /// An empty stack to push stages onto (alias of
+    /// [`classic`](Self::classic), reads better when stages follow).
+    pub fn new() -> PolicyStack {
+        PolicyStack::default()
+    }
+
+    /// Appends a stage (builder form).
+    pub fn with(mut self, stage: impl RoundPolicy + 'static) -> PolicyStack {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Appends a boxed stage.
+    pub fn push(&mut self, stage: Box<dyn RoundPolicy>) {
+        self.stages.push(stage);
+    }
+
+    /// True when the stack has no stages (the classic contract).
+    pub fn is_classic(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the stack has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stage names, bottom (first-run) first.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Merged counters of every stage (inherent mirror of
+    /// [`RoundPolicy::stats`], usable without importing the trait),
+    /// with `queues_deferred` replaced by the stack's own
+    /// final-decision tally (see [`PolicyStats::queues_deferred`]).
+    pub fn policy_stats(&self) -> PolicyStats {
+        let mut stats = self
+            .stages
+            .iter()
+            .fold(PolicyStats::default(), |acc, s| acc.merge(s.stats()));
+        stats.queues_deferred = self.deferred;
+        stats
+    }
+}
+
+impl fmt::Debug for PolicyStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyStack")
+            .field("stages", &self.stage_names())
+            .finish()
+    }
+}
+
+/// Restricts a stage's proposed order to `prev`'s members (deduplicated,
+/// stage order preserved) and re-appends anything the stage omitted, in
+/// `prev` order.
+fn sanitise_order(proposed: Vec<usize>, prev: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(prev.len());
+    for i in proposed {
+        if prev.contains(&i) && !out.contains(&i) {
+            out.push(i);
+        }
+    }
+    for &i in prev {
+        if !out.contains(&i) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+impl RoundPolicy for PolicyStack {
+    fn name(&self) -> &'static str {
+        "stack"
+    }
+
+    fn admit(&mut self, ctx: &RoundCtx<'_>) -> AdmissionPlan {
+        let mut merged = AdmissionPlan::admit_all(ctx.queues.len());
+        for stage in &mut self.stages {
+            let plan = stage.admit(ctx);
+            merged.tighten(&plan);
+        }
+        merged
+    }
+
+    fn rank(&mut self, ctx: &RoundCtx<'_>, admitted: &[usize]) -> RankedQueues {
+        let mut order: Vec<usize> = admitted.to_vec();
+        for stage in &mut self.stages {
+            let proposed = stage.rank(ctx, &order).into_order();
+            order = sanitise_order(proposed, &order);
+        }
+        RankedQueues::from_order(order)
+    }
+
+    fn observe(&mut self, ctx: &RoundCtx<'_>, decisions: &[(QueueKey, Outcome)]) {
+        // Tally the round's FINAL deferrals here: only the merged plan
+        // knows whether a stage's Defer vote survived severity merging.
+        self.deferred += decisions
+            .iter()
+            .filter(|(_, o)| {
+                o.shed.is_none() && o.candidates.is_empty() && o.defer_until_ms.is_some()
+            })
+            .count() as u64;
+        for stage in &mut self.stages {
+            stage.observe(ctx, decisions);
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.policy_stats()
+    }
+}
+
+/// Knobs of the [`SloAdmission`] stage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloAdmissionConfig {
+    /// Shed hopeless queues. `false` admits them for best-effort
+    /// draining instead (a deployment that must never drop accepted
+    /// work keeps only the saturation-deferral behaviour).
+    pub shed: bool,
+    /// Back-off for saturation-deferred queues, ms.
+    pub defer_ms: f64,
+}
+
+impl Default for SloAdmissionConfig {
+    fn default() -> Self {
+        SloAdmissionConfig {
+            shed: true,
+            defer_ms: 5.0,
+        }
+    }
+}
+
+/// SLO-aware admission (INFless/HAS-GPU-style): sheds queues whose
+/// deadline is provably lost and defers queues the cluster cannot host
+/// right now.
+///
+/// The shed test is an *optimistic lower bound*: a queue is dropped only
+/// when even the fastest profiled configuration, run on the fastest
+/// online node class whose **total** capacity could host it, with zero
+/// transfer/cold-start/queueing cost, still misses the remaining slack
+/// of the queue's *most slack-rich* job ([`gslo_attainable`] is
+/// monotone in slack, so that proves every queued invocation hopeless).
+/// Anything the oracle could conceivably finish in time is admitted —
+/// pinned by the oracle property test in
+/// `tests/policy_stack_equivalence.rs`, which audits every job of every
+/// shed queue.
+///
+/// The defer test uses *free* capacity: when no online node currently
+/// fits even the minimum configuration, deciding the queue would only
+/// burn a search and park it on the recheck list, so it is deferred for
+/// [`SloAdmissionConfig::defer_ms`] instead.
+#[derive(Debug, Default)]
+pub struct SloAdmission {
+    cfg: SloAdmissionConfig,
+    stats: PolicyStats,
+}
+
+impl SloAdmission {
+    /// An admission stage with explicit knobs.
+    pub fn new(cfg: SloAdmissionConfig) -> SloAdmission {
+        SloAdmission {
+            cfg,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> SloAdmissionConfig {
+        self.cfg
+    }
+}
+
+/// Whether *any* (online node class, profiled configuration) pair could
+/// finish one task of `function` within `slack_ms`: the optimistic
+/// lower bound [`SloAdmission`] sheds against. Fit is judged against
+/// node **total** capacity (capacity in use frees up; a drained node
+/// does not come back), and the bound ignores transfers, cold starts,
+/// noise, and queueing — all of which only add time.
+pub fn gslo_attainable(ctx: &RoundCtx<'_>, function: esg_model::FnId, slack_ms: f64) -> bool {
+    if slack_ms <= 0.0 {
+        return false;
+    }
+    let entries = ctx.profiles.profile(function).entries();
+    ctx.cluster.nodes().iter().filter(|n| n.online).any(|n| {
+        entries
+            .iter()
+            .any(|e| n.total.contains(e.config.resources()) && e.latency_ms * n.speed <= slack_ms)
+    })
+}
+
+impl RoundPolicy for SloAdmission {
+    fn name(&self) -> &'static str {
+        "slo-admission"
+    }
+
+    fn admit(&mut self, ctx: &RoundCtx<'_>) -> AdmissionPlan {
+        let mut plan = AdmissionPlan::admit_all(ctx.queues.len());
+        let saturated = ctx
+            .cluster
+            .feasible(Config::MIN.resources())
+            .next()
+            .is_none();
+        for (i, q) in ctx.queues.iter().enumerate() {
+            if q.jobs.is_empty() {
+                continue;
+            }
+            // Shedding drops the WHOLE queue, so it must be judged on
+            // the most slack-rich job: attainability is monotone in
+            // slack, so if even that job is hopeless, every job is —
+            // a queue mixing one dead job with feasible younger ones is
+            // admitted (the dead job drains best-effort and the young
+            // ones keep their chance).
+            let slack = q
+                .jobs
+                .iter()
+                .map(|j| j.slack_ms)
+                .fold(f64::NEG_INFINITY, f64::max);
+            // When `shed` is off, hopeless queues are admitted for
+            // best-effort draining (the dispatch stage's hopeless path
+            // drains cost-efficiently); deferring them would only
+            // postpone the loss forever.
+            if self.cfg.shed && !gslo_attainable(ctx, q.function, slack) {
+                self.stats.queues_shed += 1;
+                self.stats.jobs_shed += q.jobs.len() as u64;
+                plan.set(
+                    i,
+                    AdmissionDecision::Shed {
+                        reason: ShedReason::GsloUnattainable,
+                    },
+                );
+                continue;
+            }
+            if saturated {
+                plan.set(
+                    i,
+                    AdmissionDecision::Defer {
+                        until_ms: ctx.now_ms + self.cfg.defer_ms,
+                    },
+                );
+            }
+        }
+        plan
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+/// Knobs of the ESG cross-queue packing stage (`esg-core`'s
+/// `EsgCrossQueuePacking`; defined here so [`PolicySpec`] can carry it
+/// through the sim layer).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PackingConfig {
+    /// Shared search budget per controller instant, in expanded
+    /// configurations: once a round's decisions have spent it, the
+    /// remaining queues are deferred instead of searched.
+    pub round_budget: u64,
+    /// Back-off for budget-deferred queues, ms.
+    pub defer_ms: f64,
+    /// Rank bonus (in normalised-tightness units) for queues whose
+    /// predecessor node holds a warm container for the queue's function
+    /// — dispatching them first co-locates sibling stages while the
+    /// warm slot is still free.
+    pub warm_bias: f64,
+}
+
+impl Default for PackingConfig {
+    fn default() -> Self {
+        PackingConfig {
+            round_budget: 200_000,
+            defer_ms: 5.0,
+            warm_bias: 0.25,
+        }
+    }
+}
+
+/// Declarative round-policy selection for the
+/// [`SimBuilder`](crate::SimBuilder) `policy(...)` knob.
+///
+/// The sim layer cannot construct upper-layer stages (ESG packing needs
+/// `esg-core`'s search machinery), so a spec is interpreted by the
+/// scheduler itself through
+/// [`Scheduler::adopt_policy`](crate::Scheduler::adopt_policy): the
+/// sim-layer stages are built by [`sim_stack`](Self::sim_stack), and a
+/// scheduler that cannot honour a spec rejects it (surfaced by
+/// [`Sim::try_run`](crate::Sim::try_run) as
+/// [`SimError::InvalidKnob`](crate::SimError::InvalidKnob)).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum PolicySpec {
+    /// The classic one-queue-at-a-time contract (every scheduler).
+    #[default]
+    Classic,
+    /// [`SloAdmission`] alone (any scheduler that carries a stack).
+    SloAdmission(SloAdmissionConfig),
+    /// ESG cross-queue packing alone (`EsgScheduler` only).
+    CrossQueuePacking(PackingConfig),
+    /// [`SloAdmission`] below ESG cross-queue packing (`EsgScheduler`
+    /// only).
+    PackingWithAdmission(SloAdmissionConfig, PackingConfig),
+}
+
+impl PolicySpec {
+    /// [`SloAdmission`] at its default knobs.
+    pub fn slo_admission() -> PolicySpec {
+        PolicySpec::SloAdmission(SloAdmissionConfig::default())
+    }
+
+    /// ESG cross-queue packing at its default knobs.
+    pub fn packing() -> PolicySpec {
+        PolicySpec::CrossQueuePacking(PackingConfig::default())
+    }
+
+    /// Admission + packing at default knobs.
+    pub fn packing_with_admission() -> PolicySpec {
+        PolicySpec::PackingWithAdmission(SloAdmissionConfig::default(), PackingConfig::default())
+    }
+
+    /// Builds the stack for specs expressible with sim-layer stages
+    /// alone; `None` for specs needing upper-layer machinery (baselines
+    /// use this as their whole `adopt_policy`).
+    pub fn sim_stack(&self) -> Option<PolicyStack> {
+        match *self {
+            PolicySpec::Classic => Some(PolicyStack::classic()),
+            PolicySpec::SloAdmission(cfg) => Some(PolicyStack::new().with(SloAdmission::new(cfg))),
+            PolicySpec::CrossQueuePacking(_) | PolicySpec::PackingWithAdmission(..) => None,
+        }
+    }
+
+    /// A short display label ("classic", "admit", "pack", "pack+admit").
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicySpec::Classic => "classic",
+            PolicySpec::SloAdmission(_) => "admit",
+            PolicySpec::CrossQueuePacking(_) => "pack",
+            PolicySpec::PackingWithAdmission(..) => "pack+admit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{JobView, QueueView};
+    use crate::state::{ClusterState, NodeView};
+    use crate::SimEnv;
+    use esg_model::{AppId, InvocationId, NodeId, Resources, SloClass};
+
+    fn job(slack: f64) -> JobView {
+        JobView {
+            invocation: InvocationId(0),
+            ready_at_ms: 0.0,
+            invocation_arrival_ms: 0.0,
+            slack_ms: slack,
+            pred_node: None,
+        }
+    }
+
+    fn round_ctx<'a>(
+        env: &'a SimEnv,
+        cluster: &'a ClusterState,
+        queues: &'a [QueueView<'a>],
+    ) -> RoundCtx<'a> {
+        RoundCtx {
+            now_ms: 100.0,
+            queues,
+            cluster,
+            profiles: &env.profiles,
+            apps: &env.apps,
+            catalog: &env.catalog,
+            price: &env.price,
+            transfer: &env.transfer,
+            noise: &env.noise,
+        }
+    }
+
+    fn queue_view<'a>(
+        env: &'a SimEnv,
+        jobs: &'a [JobView],
+        app: u32,
+        stage: usize,
+    ) -> QueueView<'a> {
+        QueueView {
+            key: QueueKey {
+                app: AppId(app),
+                stage,
+            },
+            jobs,
+            function: env.apps[app as usize].nodes[stage],
+            slo_ms: env.slo_ms(AppId(app)),
+            base_latency_ms: env.base_latency_ms(AppId(app)),
+            queue_interval_ms: None,
+        }
+    }
+
+    fn idle_cluster(n: usize) -> ClusterState {
+        ClusterState::from_views(
+            (0..n as u32)
+                .map(|i| NodeView::idle(NodeId(i), Resources::new(16, 7)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn admission_plans_tighten_by_severity() {
+        let mut a = AdmissionPlan::admit_all(3);
+        let mut b = AdmissionPlan::admit_all(3);
+        b.set(0, AdmissionDecision::Defer { until_ms: 10.0 });
+        b.set(
+            1,
+            AdmissionDecision::Shed {
+                reason: ShedReason::Overload,
+            },
+        );
+        a.tighten(&b);
+        assert_eq!(
+            a.decisions()[0],
+            AdmissionDecision::Defer { until_ms: 10.0 }
+        );
+        assert!(matches!(a.decisions()[1], AdmissionDecision::Shed { .. }));
+        assert_eq!(a.decisions()[2], AdmissionDecision::Admit);
+        assert_eq!(a.admitted(), vec![2]);
+        // Defer + Defer keeps the later instant; Shed survives anything.
+        let mut c = AdmissionPlan::defer_all(3, 20.0);
+        c.tighten(&AdmissionPlan::defer_all(3, 5.0));
+        assert_eq!(
+            c.decisions()[0],
+            AdmissionDecision::Defer { until_ms: 20.0 }
+        );
+        let mut d = AdmissionPlan::admit_all(1);
+        d.set(
+            0,
+            AdmissionDecision::Shed {
+                reason: ShedReason::GsloUnattainable,
+            },
+        );
+        d.tighten(&AdmissionPlan::defer_all(1, 99.0));
+        assert!(matches!(d.decisions()[0], AdmissionDecision::Shed { .. }));
+    }
+
+    #[test]
+    fn sanitise_order_preserves_membership() {
+        // Foreign indices and duplicates are dropped; omissions come back
+        // in previous order.
+        assert_eq!(sanitise_order(vec![2, 9, 2, 0], &[0, 1, 2]), vec![2, 0, 1]);
+        assert_eq!(sanitise_order(vec![], &[3, 4]), vec![3, 4]);
+    }
+
+    /// A rank stage reversing the current order, for stack tests.
+    struct Reverse;
+    impl RoundPolicy for Reverse {
+        fn name(&self) -> &'static str {
+            "reverse"
+        }
+        fn rank(&mut self, _ctx: &RoundCtx<'_>, admitted: &[usize]) -> RankedQueues {
+            let mut o = admitted.to_vec();
+            o.reverse();
+            RankedQueues::from_order(o)
+        }
+    }
+
+    #[test]
+    fn stack_composes_rank_stages_in_order() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let cluster = idle_cluster(2);
+        let j0 = [job(500.0)];
+        let j1 = [job(400.0)];
+        let j2 = [job(300.0)];
+        let queues = [
+            queue_view(&env, &j0, 0, 0),
+            queue_view(&env, &j1, 1, 0),
+            queue_view(&env, &j2, 2, 0),
+        ];
+        let ctx = round_ctx(&env, &cluster, &queues);
+        let mut stack = PolicyStack::new().with(Reverse).with(Reverse);
+        assert!(!stack.is_classic());
+        assert_eq!(stack.stage_names(), vec!["reverse", "reverse"]);
+        // Two reversals cancel out.
+        assert_eq!(stack.rank(&ctx, &[0, 1, 2]).order(), &[0, 1, 2]);
+        let mut single = PolicyStack::new().with(Reverse);
+        assert_eq!(single.rank(&ctx, &[0, 1, 2]).order(), &[2, 1, 0]);
+        // The empty stack is classic and ranks in scan order.
+        let mut classic = PolicyStack::classic();
+        assert!(classic.is_classic());
+        assert_eq!(classic.rank(&ctx, &[1, 2]).order(), &[1, 2]);
+        assert_eq!(
+            classic.admit(&ctx).decisions(),
+            AdmissionPlan::admit_all(3).decisions()
+        );
+    }
+
+    #[test]
+    fn slo_admission_sheds_hopeless_and_admits_feasible() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let cluster = idle_cluster(4);
+        let dead = [job(-5.0)];
+        let fine = [job(10_000.0)];
+        let mixed = [job(-5.0), job(10_000.0)];
+        let queues = [
+            queue_view(&env, &dead, 0, 0),
+            queue_view(&env, &fine, 1, 0),
+            // A queue mixing a dead job with a feasible one must NOT be
+            // shed: shedding drops every queued invocation.
+            queue_view(&env, &mixed, 2, 0),
+        ];
+        let ctx = round_ctx(&env, &cluster, &queues);
+        let mut adm = SloAdmission::new(SloAdmissionConfig::default());
+        let plan = adm.admit(&ctx);
+        assert!(matches!(
+            plan.decisions()[0],
+            AdmissionDecision::Shed {
+                reason: ShedReason::GsloUnattainable
+            }
+        ));
+        assert_eq!(plan.decisions()[1], AdmissionDecision::Admit);
+        assert_eq!(plan.decisions()[2], AdmissionDecision::Admit);
+        assert_eq!(adm.stats().queues_shed, 1);
+        assert_eq!(adm.stats().jobs_shed, 1);
+        // shed = false admits hopeless queues for best-effort draining.
+        let mut soft = SloAdmission::new(SloAdmissionConfig {
+            shed: false,
+            ..SloAdmissionConfig::default()
+        });
+        let plan = soft.admit(&ctx);
+        assert_eq!(plan.decisions()[0], AdmissionDecision::Admit);
+        assert_eq!(soft.stats().queues_shed, 0);
+    }
+
+    #[test]
+    fn slo_admission_defers_when_saturated() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let mut cluster = idle_cluster(2);
+        for i in 0..2u32 {
+            cluster.node_mut(NodeId(i)).free = Resources::ZERO;
+        }
+        let fine = [job(10_000.0)];
+        let queues = [queue_view(&env, &fine, 0, 0)];
+        let ctx = round_ctx(&env, &cluster, &queues);
+        let mut adm = SloAdmission::new(SloAdmissionConfig::default());
+        let plan = adm.admit(&ctx);
+        assert_eq!(
+            plan.decisions()[0],
+            AdmissionDecision::Defer { until_ms: 105.0 }
+        );
+    }
+
+    #[test]
+    fn gslo_attainability_tracks_speed_and_capacity() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let queues: [QueueView<'_>; 0] = [];
+        // Fast idle cluster: generous slack is attainable, negative is not.
+        let cluster = idle_cluster(2);
+        let ctx = round_ctx(&env, &cluster, &queues);
+        let f = env.apps[0].nodes[0];
+        assert!(gslo_attainable(&ctx, f, 1e9));
+        assert!(!gslo_attainable(&ctx, f, -1.0));
+        assert!(!gslo_attainable(&ctx, f, 0.0));
+        // A cluster of absurdly slow nodes cannot attain a tight slack
+        // that a baseline-speed cluster could.
+        let fastest = env
+            .profiles
+            .profile(f)
+            .entries()
+            .iter()
+            .map(|e| e.latency_ms)
+            .fold(f64::INFINITY, f64::min);
+        let mut slow = idle_cluster(2);
+        for i in 0..2u32 {
+            slow.node_mut(NodeId(i)).speed = 1000.0;
+        }
+        let slow_ctx = round_ctx(&env, &slow, &queues);
+        assert!(!gslo_attainable(&slow_ctx, f, fastest * 2.0));
+        // Offline nodes never count.
+        let mut off = idle_cluster(1);
+        off.node_mut(NodeId(0)).online = false;
+        let off_ctx = round_ctx(&env, &off, &queues);
+        assert!(!gslo_attainable(&off_ctx, f, 1e9));
+        // Capacity in use does NOT make a deadline unattainable (fit is
+        // judged on totals), it only defers.
+        let mut busy = idle_cluster(1);
+        busy.node_mut(NodeId(0)).free = Resources::ZERO;
+        let busy_ctx = round_ctx(&env, &busy, &queues);
+        assert!(gslo_attainable(&busy_ctx, f, 1e9));
+    }
+
+    #[test]
+    fn policy_spec_builds_sim_stacks() {
+        assert!(PolicySpec::Classic
+            .sim_stack()
+            .expect("classic")
+            .is_classic());
+        let adm = PolicySpec::slo_admission().sim_stack().expect("sim stage");
+        assert_eq!(adm.stage_names(), vec!["slo-admission"]);
+        assert!(PolicySpec::packing().sim_stack().is_none());
+        assert!(PolicySpec::packing_with_admission().sim_stack().is_none());
+        assert_eq!(PolicySpec::packing_with_admission().label(), "pack+admit");
+        assert_eq!(PolicySpec::default(), PolicySpec::Classic);
+    }
+
+    #[test]
+    fn stack_tallies_final_deferrals_from_decisions() {
+        // queues_deferred counts the round's FINAL defer decisions: a
+        // shed (which out-severities a defer vote) and a dispatch must
+        // not count, no matter what any stage voted.
+        let env = SimEnv::standard(SloClass::Moderate);
+        let cluster = idle_cluster(1);
+        let queues: [QueueView<'_>; 0] = [];
+        let ctx = round_ctx(&env, &cluster, &queues);
+        let key = QueueKey {
+            app: AppId(0),
+            stage: 0,
+        };
+        let mut stack = PolicyStack::new().with(SloAdmission::default());
+        stack.observe(
+            &ctx,
+            &[
+                (key, Outcome::defer(123.0)),
+                (key, Outcome::shed(ShedReason::Overload)),
+                (key, Outcome::single(Config::MIN, 1)),
+                (key, Outcome::skip()), // plain skip: no defer horizon
+            ],
+        );
+        assert_eq!(stack.policy_stats().queues_deferred, 1);
+        assert_eq!(stack.policy_stats().queues_shed, 0, "stage saw no shed");
+    }
+
+    #[test]
+    fn policy_stats_merge_and_stack_debug() {
+        let a = PolicyStats {
+            queues_shed: 1,
+            jobs_shed: 3,
+            queues_deferred: 2,
+        };
+        let b = PolicyStats {
+            queues_shed: 2,
+            jobs_shed: 1,
+            queues_deferred: 0,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.queues_shed, 3);
+        assert_eq!(m.jobs_shed, 4);
+        assert_eq!(m.queues_deferred, 2);
+        let stack = PolicyStack::new().with(SloAdmission::default());
+        assert_eq!(
+            format!("{stack:?}"),
+            "PolicyStack { stages: [\"slo-admission\"] }"
+        );
+        assert_eq!(
+            ShedReason::GsloUnattainable.to_string(),
+            "gslo-unattainable"
+        );
+        assert_eq!(ShedReason::Overload.to_string(), "overload");
+    }
+}

@@ -46,6 +46,17 @@ impl AfwQueue {
         self.jobs.drain(..n).collect()
     }
 
+    /// Removes and returns every queued job (admission shedding).
+    pub fn take_all(&mut self) -> Vec<Job> {
+        self.jobs.drain(..).collect()
+    }
+
+    /// Keeps only the jobs `f` accepts, preserving order (purging the
+    /// sibling jobs of a shed invocation).
+    pub fn retain(&mut self, f: impl FnMut(&Job) -> bool) {
+        self.jobs.retain(f);
+    }
+
     /// Jobs currently queued, oldest first.
     pub fn jobs(&self) -> impl Iterator<Item = &Job> {
         self.jobs.iter()

@@ -1,8 +1,12 @@
-//! Compare ESG with the four baselines on one scenario.
+//! Compare ESG with the four baselines on one scenario, then ESG's
+//! composable round-policy stacks against classic ESG.
 //!
 //! A scaled-down version of the paper's Fig. 6: every scheduler runs the
 //! same workload on the same platform; only the scheduling algorithm
-//! differs (§4.2).
+//! differs (§4.2). The second table selects round policies through the
+//! `SimBuilder::policy(...)` knob: SLO-aware admission (sheds provably
+//! hopeless queues), ESG cross-queue packing (GSLO-tightness ranking
+//! under one shared search budget), and their stack.
 //!
 //! Run with: `cargo run --release --example compare_schedulers [scenario]`
 //! where scenario is `strict-light` (default), `moderate-normal`, or
@@ -69,4 +73,46 @@ fn main() {
             r.total_cost_cents() / norm,
         );
     }
+
+    // Round-policy stacks, selected through the builder knob. Each run
+    // installs the spec via Scheduler::adopt_policy; the classic row is
+    // the same contract as the table above.
+    println!(
+        "\nESG round-policy stacks (builder knob):\n{:<12} {:>8} {:>7} {:>10} {:>9}",
+        "policy", "SLO-hit%", "shed%", "¢/invoc", "deferred"
+    );
+    for spec in [
+        PolicySpec::Classic,
+        PolicySpec::slo_admission(),
+        PolicySpec::packing(),
+        PolicySpec::packing_with_admission(),
+    ] {
+        let sim = SimBuilder::new(scenario.slo)
+            .policy(spec)
+            .build()
+            .expect("valid policy spec");
+        let mut esg = EsgScheduler::new();
+        let r = sim
+            .try_run(&mut esg, &workload, &scenario.to_string())
+            .expect("EsgScheduler supports every built-in policy");
+        println!(
+            "{:<12} {:>7.1}% {:>6.1}% {:>10.3} {:>9}",
+            spec.label(),
+            r.avg_hit_rate() * 100.0,
+            r.shed_rate() * 100.0,
+            r.cost_per_invocation_cents(),
+            r.scheduler_stats.queues_deferred,
+        );
+    }
+
+    // Incompatible combos are typed errors, not panics: MinScheduler has
+    // no policy stack, so a packing spec is rejected up front.
+    let packing_sim = SimBuilder::new(scenario.slo)
+        .policy(PolicySpec::packing())
+        .build()
+        .expect("valid policy spec");
+    let err = packing_sim
+        .try_run(&mut MinScheduler, &workload, "combo-check")
+        .expect_err("MinScheduler cannot run a packing stack");
+    println!("\nincompatible combo check: {err}");
 }

@@ -22,99 +22,15 @@
 //! whose platform behaviour is the agreed baseline, noting the new
 //! baseline's provenance here.
 
+mod support;
+
 use esg::baselines::bo::BoOptimizer;
 use esg::prelude::*;
-use esg::sim::Outcome;
-use std::cell::RefCell;
-use std::fmt::Write as _;
-use std::rc::Rc;
+use support::{fnv64, Traced};
 
 /// Simulated arrival window per cell, ms (test-sized stand-in for the
 /// hetero bench's 120 s window; the grid shape is what matters).
 const RUN_MS: f64 = 2_500.0;
-
-fn fnv64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-/// Wraps a scheduler and logs every dispatch/churn notification it
-/// receives — the externally observable control-plane trace.
-struct Traced {
-    inner: Box<dyn Scheduler>,
-    log: Rc<RefCell<String>>,
-}
-
-impl Scheduler for Traced {
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-
-    fn capabilities(&self) -> Capabilities {
-        self.inner.capabilities()
-    }
-
-    fn schedule(&mut self, ctx: &SchedCtx<'_>) -> Outcome {
-        self.inner.schedule(ctx)
-    }
-
-    fn place(&mut self, ctx: &SchedCtx<'_>, config: Config) -> Option<NodeId> {
-        self.inner.place(ctx, config)
-    }
-
-    fn schedule_round(
-        &mut self,
-        ctx: &esg::sim::RoundCtx<'_>,
-    ) -> Vec<(esg::sim::QueueKey, Outcome)> {
-        // Forwarded so a wrapped scheduler's cross-queue round policy (if
-        // any) is exercised rather than silently replaced by the default
-        // one-queue replay.
-        self.inner.schedule_round(ctx)
-    }
-
-    fn on_event(&mut self, event: &SchedulerEvent<'_>) {
-        match *event {
-            SchedulerEvent::Dispatched {
-                key,
-                invocations,
-                config,
-                node,
-                ..
-            } => {
-                let _ = write!(
-                    self.log.borrow_mut(),
-                    "D {}.{} {} n{} x{};",
-                    key.app.0,
-                    key.stage,
-                    config,
-                    node.0,
-                    invocations.len()
-                );
-            }
-            SchedulerEvent::Churn { node, joined, .. } => {
-                let _ = write!(
-                    self.log.borrow_mut(),
-                    "C n{} {};",
-                    node.0,
-                    if joined { "join" } else { "drain" }
-                );
-            }
-            // New event kinds (arrivals, completions, recheck ticks) are
-            // additions over the pre-redesign notification pair; the
-            // golden trace records only the subsumed pair.
-            _ => {}
-        }
-        self.inner.on_event(event);
-    }
-
-    fn stats(&self) -> SchedulerStats {
-        self.inner.stats()
-    }
-}
 
 /// The five compared schedulers. Orion runs a reduced cut-off and
 /// Aquatope a reduced BO budget so the debug-mode grid stays test-sized;
@@ -181,13 +97,9 @@ fn run_cell(
         seed: 42,
         ..SimConfig::default()
     };
-    let log = Rc::new(RefCell::new(String::new()));
-    let mut sched = Traced {
-        inner: build_sched(sched_name),
-        log: log.clone(),
-    };
+    let mut sched = Traced::new(build_sched(sched_name));
     let r = run_simulation(&env, cfg, &mut sched, &workload, "control-plane");
-    let trace = log.borrow();
+    let trace = sched.trace();
     format!(
         "{sched_name}|{cluster_name}|{shape}|trace={:016x}|result={:016x}|\
 completed={}|dispatches={}|rechecks={}",
@@ -258,11 +170,7 @@ proptest::proptest! {
         );
         let env = SimEnv::standard(SloClass::Moderate);
         let run = |validate: bool| {
-            let log = Rc::new(RefCell::new(String::new()));
-            let mut sched = Traced {
-                inner: Box::new(EsgScheduler::new()),
-                log: log.clone(),
-            };
+            let mut sched = Traced::new(Box::new(EsgScheduler::new()));
             let cfg = SimConfig {
                 cluster: Some(spec.clone()),
                 churn: churn.clone(),
@@ -271,8 +179,7 @@ proptest::proptest! {
                 ..SimConfig::default()
             };
             let r = run_simulation(&env, cfg, &mut sched, &workload, "oracle");
-            let trace = log.borrow().clone();
-            (canonical(r), trace)
+            (canonical(r), sched.trace())
         };
         // The validated run's per-refresh assertions are the equivalence
         // proof; comparing against the unvalidated run proves the oracle
