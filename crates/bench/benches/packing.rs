@@ -118,7 +118,7 @@ fn main() {
                 r.avg_hit_rate() * 100.0,
                 r.shed_rate() * 100.0,
                 r.cost_per_invocation_cents(),
-                r.scheduler_stats.queues_deferred,
+                r.scheduler_stats.policy.queues_deferred,
             );
         }
     }

@@ -14,7 +14,8 @@
 //! over a clean tree.
 
 use esg_bench::{
-    experiments_md_path, render_bench_markdown, render_overhead_markdown, results_dir,
+    experiments_md_path, render_bench_markdown, render_overhead_markdown, render_scale_markdown,
+    results_dir,
 };
 use serde_json::Value;
 use std::process::ExitCode;
@@ -65,9 +66,11 @@ fn main() -> ExitCode {
             }
         };
         // Suites carrying sweep records render as scheduler tables; the
-        // overhead microbench has its own shape.
+        // overhead and scale microbenches have their own shapes.
         let markdown = if suite == "overhead" {
             render_overhead_markdown(&doc)
+        } else if suite == "scale" {
+            render_scale_markdown(&doc)
         } else {
             render_bench_markdown(&doc)
         };

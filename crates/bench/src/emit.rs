@@ -303,6 +303,69 @@ empty-stack overhead (%) |\n\
     out
 }
 
+/// Renders a `BENCH_scale.json` document (written by `cargo bench
+/// --bench scale`) into the "Control-plane scale" Markdown tables: one
+/// table per queue population, dispatch throughput / p99 decision
+/// latency / conflict rate per shard count, with the speedup column
+/// anchored to the single-shard driver.
+pub fn render_scale_markdown(doc: &Value) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let samples = doc.get("samples").and_then(Value::as_u64).unwrap_or(0);
+    let cases = doc
+        .get("cases")
+        .and_then(Value::as_array)
+        .unwrap_or_default();
+    writeln!(
+        out,
+        "Suite `scale` — sharded round-driver throughput vs queue count, \
+{samples} samples per case (regenerate: `cargo bench --bench scale`). \
+Each decision pays the eligible scan over its shard's queues \
+(`O(Q/N)`), stages against a generation-stamped snapshot, and commits \
+with optimistic re-validation; conflicts retry and are counted. \
+Medians, wall clock; p99 is per-decision (stage + commit)."
+    )
+    .expect("writing to String cannot fail");
+
+    let num = |c: &Value, k: &str| c.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    let mut queue_counts: Vec<u64> = cases
+        .iter()
+        .filter_map(|c| c.get("queues").and_then(Value::as_u64))
+        .collect();
+    queue_counts.dedup();
+    for q in queue_counts {
+        let row: Vec<&Value> = cases
+            .iter()
+            .filter(|c| c.get("queues").and_then(Value::as_u64) == Some(q))
+            .collect();
+        let base = row
+            .iter()
+            .find(|c| c.get("shards").and_then(Value::as_u64) == Some(1))
+            .map(|c| num(c, "dispatches_per_sec"))
+            .unwrap_or(0.0);
+        writeln!(
+            out,
+            "\n**{q} queues**\n\n\
+| shards | dispatches/sec | speedup (×) | p99 decision (µs) | conflict rate (%) |\n\
+|---:|---:|---:|---:|---:|"
+        )
+        .expect("writing to String cannot fail");
+        for c in row {
+            let shards = c.get("shards").and_then(Value::as_u64).unwrap_or(0);
+            let tput = num(c, "dispatches_per_sec");
+            let speedup = if base > 0.0 { tput / base } else { 0.0 };
+            writeln!(
+                out,
+                "| {shards} | {tput:.0} | {speedup:.2} | {:.1} | {:.2} |",
+                num(c, "p99_decision_ns") / 1_000.0,
+                num(c, "conflict_rate") * 100.0
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
 /// The generated experiment report: `$ESG_EXPERIMENTS_MD` when set, else
 /// the workspace-level `EXPERIMENTS.md`.
 pub fn experiments_md_path() -> PathBuf {

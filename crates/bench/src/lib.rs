@@ -21,8 +21,8 @@ mod emit;
 mod suite;
 
 pub use emit::{
-    experiments_md_path, render_bench_markdown, render_overhead_markdown, results_dir,
-    update_experiments_md, write_csv, write_json,
+    experiments_md_path, render_bench_markdown, render_overhead_markdown, render_scale_markdown,
+    results_dir, update_experiments_md, write_csv, write_json,
 };
 pub use suite::{
     ClusterCase, ExperimentSuite, RunSpec, ScenarioMatrix, SchedSpec, Sweep, SweepResult,

@@ -463,7 +463,7 @@ impl SweepResult {
         o.insert("locality_rate", r.locality_rate());
         o.insert("shed_rate", r.shed_rate());
         o.insert("shed_invocations", r.shed_invocations);
-        o.insert("queues_deferred", r.scheduler_stats.queues_deferred);
+        o.insert("queues_deferred", r.scheduler_stats.policy.queues_deferred);
         o.insert("mean_overhead_ms", r.mean_overhead_ms());
         o.insert("searches", r.scheduler_stats.searches);
         o.insert("plan_cache_hits", r.scheduler_stats.plan_cache_hits);

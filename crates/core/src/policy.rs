@@ -37,7 +37,7 @@ use esg_sim::{
 /// the module docs. Install it with
 /// `EsgScheduler::new().with_policy(PolicyStack::new().with(EsgCrossQueuePacking::default()))`
 /// or declaratively via `SimBuilder::policy(PolicySpec::packing())`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EsgCrossQueuePacking {
     cfg: PackingConfig,
     /// The controller instant the current budget window belongs to.
@@ -133,6 +133,10 @@ impl RoundPolicy for EsgCrossQueuePacking {
     fn observe(&mut self, ctx: &RoundCtx<'_>, decisions: &[(QueueKey, Outcome)]) {
         self.roll_window(ctx.now_ms);
         self.spent += decisions.iter().map(|(_, o)| o.expansions).sum::<u64>();
+    }
+
+    fn clone_box(&self) -> Box<dyn RoundPolicy> {
+        Box::new(self.clone())
     }
 }
 

@@ -59,9 +59,9 @@ pub mod prelude {
         run_simulation, AdmissionDecision, AdmissionPlan, Capabilities, ClusterState, EventKind,
         EventLog, EventRecord, ExperimentResult, MinScheduler, NodeSummary, NodeView,
         OverheadModel, PackingConfig, PolicySpec, PolicyStack, PolicyStats, QueueCounters,
-        QueueView, RankedQueues, RoundCtx, RoundPolicy, SchedCtx, Scheduler, SchedulerEvent,
-        SchedulerStats, ShedReason, Sim, SimBuilder, SimConfig, SimEnv, SimError, SloAdmission,
-        SloAdmissionConfig,
+        QueuePartitioner, QueueView, RankedQueues, RoundCtx, RoundPolicy, SchedCtx, Scheduler,
+        SchedulerEvent, SchedulerStats, ShardStats, ShardedController, ShedReason, Sim, SimBuilder,
+        SimConfig, SimEnv, SimError, SloAdmission, SloAdmissionConfig,
     };
     pub use esg_workload::{
         shaped_workload, ArrivalPredictor, AzureLikeTrace, Workload, WorkloadGen,

@@ -238,6 +238,23 @@ impl SimBuilder {
         self
     }
 
+    /// Controller shards: partitions the queues across `n` round
+    /// drivers staging against the shared generation-stamped state,
+    /// with ordered optimistic commits (conflicts retry). `1` keeps the
+    /// classic single driver; must be at least 1.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shards = n;
+        self
+    }
+
+    /// Routes even a one-shard run through the sharded staging/commit
+    /// driver (equivalence tests and benches; the classic driver is the
+    /// default at `shards == 1`).
+    pub fn force_sharded(mut self, on: bool) -> Self {
+        self.cfg.force_sharded = on;
+        self
+    }
+
     /// Safety cap on simulated time, ms (0 = none).
     pub fn max_sim_ms(mut self, ms: f64) -> Self {
         self.cfg.max_sim_ms = ms;
@@ -320,6 +337,13 @@ impl SimBuilder {
                 knob: "recheck_limit",
                 value: 0.0,
                 requirement: "at least 1 round before the forced minimum",
+            });
+        }
+        if cfg.shards == 0 {
+            return Err(SimError::InvalidKnob {
+                knob: "shards",
+                value: 0.0,
+                requirement: "at least 1 controller shard",
             });
         }
 

@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod platform;
 pub mod policy;
 pub mod sched;
+pub mod shard;
 pub mod state;
 pub mod workflow;
 
@@ -69,5 +70,6 @@ pub use sched::{
     JobView, Outcome, OverheadModel, QueueKey, QueueView, RoundCtx, SchedCtx, Scheduler,
     SchedulerEvent, SchedulerStats,
 };
+pub use shard::{QueuePartitioner, ShardStats, ShardedController};
 pub use state::{ClusterState, NodeView};
 pub use workflow::{AfwQueue, Job, WorkflowInstance};

@@ -254,6 +254,14 @@ pub trait RoundPolicy {
     fn stats(&self) -> PolicyStats {
         PolicyStats::default()
     }
+
+    /// A boxed deep copy of this stage, including its current mutable
+    /// state. Required (no neutral default exists for an arbitrary
+    /// stage) so every stack is clonable: the sharded controller
+    /// ([`SimConfig::shards`](crate::SimConfig::shards)) gives each
+    /// shard its own clone of the scheduler's stack, making per-shard
+    /// policy state shard-local by construction.
+    fn clone_box(&self) -> Box<dyn RoundPolicy>;
 }
 
 /// An ordered stack of [`RoundPolicy`] stages, itself a `RoundPolicy`.
@@ -337,6 +345,15 @@ impl PolicyStack {
     }
 }
 
+impl Clone for PolicyStack {
+    fn clone(&self) -> PolicyStack {
+        PolicyStack {
+            stages: self.stages.iter().map(|s| s.clone_box()).collect(),
+            deferred: self.deferred,
+        }
+    }
+}
+
 impl fmt::Debug for PolicyStack {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PolicyStack")
@@ -403,6 +420,10 @@ impl RoundPolicy for PolicyStack {
     fn stats(&self) -> PolicyStats {
         self.policy_stats()
     }
+
+    fn clone_box(&self) -> Box<dyn RoundPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Knobs of the [`SloAdmission`] stage.
@@ -444,7 +465,7 @@ impl Default for SloAdmissionConfig {
 /// fits even the minimum configuration, deciding the queue would only
 /// burn a search and park it on the recheck list, so it is deferred for
 /// [`SloAdmissionConfig::defer_ms`] instead.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SloAdmission {
     cfg: SloAdmissionConfig,
     stats: PolicyStats,
@@ -539,6 +560,10 @@ impl RoundPolicy for SloAdmission {
 
     fn stats(&self) -> PolicyStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn RoundPolicy> {
+        Box::new(self.clone())
     }
 }
 
@@ -751,6 +776,9 @@ mod tests {
             let mut o = admitted.to_vec();
             o.reverse();
             RankedQueues::from_order(o)
+        }
+        fn clone_box(&self) -> Box<dyn RoundPolicy> {
+            Box::new(Reverse)
         }
     }
 

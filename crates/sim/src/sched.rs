@@ -31,6 +31,7 @@
 
 use crate::policy::{AdmissionDecision, AdmissionPlan, PolicySpec, PolicyStack, RankedQueues};
 use crate::policy::{PolicyStats, RoundPolicy, ShedReason};
+use crate::shard::ShardStats;
 use crate::state::ClusterState;
 use crate::workflow::Job;
 use esg_model::{
@@ -339,12 +340,15 @@ pub struct SchedulerStats {
     pub plan_cache_evictions: u64,
     /// Wholesale plan-cache invalidations (churn notifications).
     pub plan_cache_invalidations: u64,
-    /// Queues dropped by the scheduler's admission policy.
-    pub queues_shed: u64,
-    /// Jobs dropped by the scheduler's admission policy.
-    pub jobs_shed: u64,
-    /// Queue-rounds deferred by the scheduler's round policy.
-    pub queues_deferred: u64,
+    /// Round-policy counters (sheds, defers), embedded as the whole
+    /// [`PolicyStats`] struct rather than copied field by field — a
+    /// counter added to `PolicyStats` can no longer be silently dropped
+    /// on the way into `ExperimentResult` (the PR-5 fields were copied
+    /// one by one, which is exactly how a new field gets forgotten).
+    pub policy: PolicyStats,
+    /// Sharded control-plane counters (staging rounds, commits,
+    /// conflicts, retries); all zero under the classic single driver.
+    pub shards: ShardStats,
 }
 
 impl SchedulerStats {
@@ -359,21 +363,28 @@ impl SchedulerStats {
         }
     }
 
-    /// Copies a round policy's counters into the policy-owned fields
-    /// (schedulers call this from `Scheduler::stats`).
+    /// Installs a round policy's counters wholesale (schedulers call
+    /// this from `Scheduler::stats`).
     pub fn with_policy(mut self, p: PolicyStats) -> SchedulerStats {
-        self.queues_shed = p.queues_shed;
-        self.jobs_shed = p.jobs_shed;
-        self.queues_deferred = p.queues_deferred;
+        self.policy = p;
+        self
+    }
+
+    /// Installs the sharded control plane's counters wholesale (the
+    /// platform calls this when collecting end-of-run stats).
+    pub fn with_shards(mut self, s: ShardStats) -> SchedulerStats {
+        self.shards = s;
         self
     }
 }
 
 /// Hand-rolled `Debug` that matches the pre-policy derive output
-/// byte-for-byte whenever the policy counters are zero: the golden
-/// control-plane digests hash `ExperimentResult`'s Debug dump (which
-/// embeds this struct), and the classic stack must stay bit-identical
-/// to the pinned pre-redesign baseline.
+/// byte-for-byte whenever the policy and shard counters are zero: the
+/// golden control-plane digests hash `ExperimentResult`'s Debug dump
+/// (which embeds this struct), and the classic stack under the classic
+/// single-shard driver must stay bit-identical to the pinned
+/// pre-redesign baseline. `shards.commit_wall_us` is host wall time and
+/// never printed, so multi-shard runs stay digest-deterministic too.
 impl std::fmt::Debug for SchedulerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut d = f.debug_struct("SchedulerStats");
@@ -382,10 +393,16 @@ impl std::fmt::Debug for SchedulerStats {
             .field("plan_cache_misses", &self.plan_cache_misses)
             .field("plan_cache_evictions", &self.plan_cache_evictions)
             .field("plan_cache_invalidations", &self.plan_cache_invalidations);
-        if self.queues_shed != 0 || self.jobs_shed != 0 || self.queues_deferred != 0 {
-            d.field("queues_shed", &self.queues_shed)
-                .field("jobs_shed", &self.jobs_shed)
-                .field("queues_deferred", &self.queues_deferred);
+        if self.policy != PolicyStats::default() {
+            d.field("queues_shed", &self.policy.queues_shed)
+                .field("jobs_shed", &self.policy.jobs_shed)
+                .field("queues_deferred", &self.policy.queues_deferred);
+        }
+        if self.shards.rounds != 0 {
+            d.field("shard_rounds", &self.shards.rounds)
+                .field("shard_commits", &self.shards.commits)
+                .field("shard_conflicts", &self.shards.conflicts)
+                .field("shard_retries", &self.shards.retries);
         }
         d.finish()
     }

@@ -1,0 +1,346 @@
+//! The sharded round-driver control plane: queue partitioning, per-shard
+//! policy stacks, and the optimistic-concurrency counters.
+//!
+//! One controller loop deciding every queue caps platform throughput
+//! long before decision *quality* does (Carver-style DAG engines and
+//! high-throughput GPU-serverless schedulers both hit this wall): each
+//! classic round scans the whole queue table to build its eligible set.
+//! Sharding splits that scan. A [`QueuePartitioner`] statically hashes
+//! every `QueueKey` onto one of N shards, and the platform runs one
+//! round driver per shard, each scanning only its own partition —
+//! O(queues / shards) per decision instead of O(queues).
+//!
+//! Shards share the generation-stamped
+//! [`ClusterState`](crate::ClusterState) optimistically instead of
+//! locking it:
+//!
+//! 1. **Stage** — a shard snapshots the state's
+//!    [generation](crate::ClusterState::generation) after refresh,
+//!    scans its partition, and drives `schedule_round` with its own *clone* of the
+//!    scheduler's [`PolicyStack`] (see
+//!    [`RoundPolicy::clone_box`](crate::RoundPolicy::clone_box)) — so
+//!    per-shard policy state is shard-local by construction and no
+//!    stage ever observes another shard's half-round.
+//! 2. **Commit** — staged `(QueueKey, Outcome)` decisions are applied
+//!    in shard-index order. Before a shard's batch commits, the commit
+//!    step re-validates its snapshot with
+//!    [`moved_since`](crate::ClusterState::moved_since): when the state
+//!    moved under the shard *and* a staged placement no longer fits,
+//!    that decision is a **conflict** — the loser's queue is left
+//!    undecided and its round is retried (re-staged and re-searched
+//!    against fresh state) up to a bounded number of times before
+//!    falling back to the classic recheck park.
+//!
+//! Everything here is deterministic for a fixed seed and shard count:
+//! the partition is a pure hash of the key, shards stage and commit in
+//! index order, and retries re-enter the same ordered loop. With one
+//! shard the protocol degenerates to exactly the classic driver (a
+//! single batch can only conflict with itself, which the snapshot rules
+//! out), pinned bit-for-bit by `tests/shard_equivalence.rs` and the
+//! golden control-plane digest.
+
+use crate::policy::{PolicyStack, PolicyStats};
+use crate::sched::{Outcome, QueueKey, RoundCtx, Scheduler};
+
+/// Static queue-to-shard partitioning: a pure FNV-1a hash of the
+/// `QueueKey`, so the assignment is stable across rounds, runs, and
+/// hosts (the determinism pin) and needs no shared table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuePartitioner {
+    shards: usize,
+}
+
+impl QueuePartitioner {
+    /// A partitioner over `shards` shards (at least 1).
+    pub fn new(shards: usize) -> QueuePartitioner {
+        assert!(shards >= 1, "a control plane has at least one shard");
+        QueuePartitioner { shards }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key` — the same FNV-1a byte scheme as the
+    /// home-invoker hash, reduced modulo the shard count.
+    pub fn shard_of(&self, key: QueueKey) -> usize {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key
+            .app
+            .0
+            .to_le_bytes()
+            .into_iter()
+            .chain((key.stage as u64).to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.shards as u64) as usize
+    }
+
+    /// Partitions `keys` into per-shard member lists of *indices into
+    /// `keys`*, each ascending — so a shard's scan order is the classic
+    /// controller scan order restricted to its partition (with one
+    /// shard, exactly the classic order).
+    pub fn partition(&self, keys: &[QueueKey]) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.shards];
+        for (i, &key) in keys.iter().enumerate() {
+            members[self.shard_of(key)].push(i);
+        }
+        members
+    }
+}
+
+/// Counters of the sharded commit protocol, embedded in
+/// [`SchedulerStats`](crate::SchedulerStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Per-shard staging rounds driven (a retry stages a fresh round).
+    pub rounds: u64,
+    /// Decisions committed (dispatches, parks, defers, sheds).
+    pub commits: u64,
+    /// Staged placements invalidated by another shard's commit.
+    pub conflicts: u64,
+    /// Conflicted rounds sent back for a retry (excludes the bounded
+    /// few that exhausted their retry budget and fell back to the
+    /// classic recheck park).
+    pub retries: u64,
+    /// Wall-clock µs spent in commit phases. Host-dependent, so it is
+    /// excluded from the canonical Debug dump the determinism suite
+    /// hashes (like `ExperimentResult::wall_overhead_ms`).
+    pub commit_wall_us: u64,
+}
+
+impl ShardStats {
+    /// Component-wise sum.
+    pub fn merge(self, other: ShardStats) -> ShardStats {
+        ShardStats {
+            rounds: self.rounds + other.rounds,
+            commits: self.commits + other.commits,
+            conflicts: self.conflicts + other.conflicts,
+            retries: self.retries + other.retries,
+            commit_wall_us: self.commit_wall_us + other.commit_wall_us,
+        }
+    }
+
+    /// Fraction of staged placements that conflicted (0 when nothing
+    /// was staged).
+    pub fn conflict_rate(&self) -> f64 {
+        let staged = self.commits + self.conflicts;
+        if staged == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / staged as f64
+        }
+    }
+}
+
+/// The platform-side shard controller: owns the partition, one cloned
+/// [`PolicyStack`] per shard, and the protocol counters. The platform
+/// (or the scale bench's synthetic driver) builds the per-shard
+/// [`RoundCtx`] — this type only decides *with whose policy state* a
+/// round runs.
+pub struct ShardedController {
+    partitioner: QueuePartitioner,
+    members: Vec<Vec<usize>>,
+    /// One stack clone per shard; empty when the scheduler exposes no
+    /// [`Scheduler::round_policy`] (its `schedule_round` then runs
+    /// against its own internal state, shared across shards only if the
+    /// scheduler itself shares it).
+    stacks: Vec<PolicyStack>,
+    stats: ShardStats,
+}
+
+impl ShardedController {
+    /// A controller over `shards` shards for the queue table `keys`.
+    /// `proto` is the scheduler's stack to clone per shard (`None` for
+    /// schedulers without one).
+    pub fn new(shards: usize, keys: &[QueueKey], proto: Option<&PolicyStack>) -> ShardedController {
+        let partitioner = QueuePartitioner::new(shards);
+        let members = partitioner.partition(keys);
+        let stacks = match proto {
+            Some(p) => (0..shards).map(|_| p.clone()).collect(),
+            None => Vec::new(),
+        };
+        ShardedController {
+            partitioner,
+            members,
+            stacks,
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.partitioner.shards()
+    }
+
+    /// The partitioner (stable queue→shard assignment).
+    pub fn partitioner(&self) -> &QueuePartitioner {
+        &self.partitioner
+    }
+
+    /// Shard `shard`'s member queues, as ascending indices into the
+    /// key table the controller was built over.
+    pub fn members(&self, shard: usize) -> &[usize] {
+        &self.members[shard]
+    }
+
+    /// Registers a queue appended to the key table (the platform's
+    /// queue table is append-only within a run).
+    pub fn note_new_queue(&mut self, index: usize, key: QueueKey) {
+        self.members[self.partitioner.shard_of(key)].push(index);
+    }
+
+    /// Protocol counters so far.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Mutable protocol counters (the platform's commit step tallies
+    /// into these).
+    pub fn stats_mut(&mut self) -> &mut ShardStats {
+        &mut self.stats
+    }
+
+    /// Merged policy counters over the per-shard stacks, or `None` when
+    /// the scheduler carries no stack (its own `stats()` already tells
+    /// the whole story then).
+    pub fn merged_policy_stats(&self) -> Option<PolicyStats> {
+        if self.stacks.is_empty() {
+            return None;
+        }
+        Some(
+            self.stacks
+                .iter()
+                .fold(PolicyStats::default(), |acc, s| acc.merge(s.policy_stats())),
+        )
+    }
+
+    /// Stages one round for `shard`: runs `sched.schedule_round(ctx)`
+    /// with the shard's own stack swapped in, so the provided pipeline
+    /// (and any budget/ranking state) is shard-local. Schedulers
+    /// without a stack run as-is — their `schedule_round` override (or
+    /// the classic fast path) needs no per-shard state.
+    pub fn stage(
+        &mut self,
+        shard: usize,
+        sched: &mut dyn Scheduler,
+        ctx: &RoundCtx<'_>,
+    ) -> Vec<(QueueKey, Outcome)> {
+        self.stats.rounds += 1;
+        if self.stacks.is_empty() {
+            return sched.schedule_round(ctx);
+        }
+        let slot = &mut self.stacks[shard];
+        if let Some(p) = sched.round_policy() {
+            std::mem::swap(p, slot);
+        }
+        let decisions = sched.schedule_round(ctx);
+        if let Some(p) = sched.round_policy() {
+            std::mem::swap(p, slot);
+        }
+        decisions
+    }
+}
+
+impl std::fmt::Debug for ShardedController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedController")
+            .field("shards", &self.shards())
+            .field("stacks", &self.stacks.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::AppId;
+
+    fn key(app: u32, stage: usize) -> QueueKey {
+        QueueKey {
+            app: AppId(app),
+            stage,
+        }
+    }
+
+    #[test]
+    fn partition_is_stable_total_and_ascending() {
+        let keys: Vec<QueueKey> = (0..100u32)
+            .flat_map(|a| (0..3usize).map(move |s| key(a, s)))
+            .collect();
+        for shards in [1usize, 2, 3, 7, 8] {
+            let p = QueuePartitioner::new(shards);
+            let members = p.partition(&keys);
+            assert_eq!(members.len(), shards);
+            // Total: every key lands on exactly one shard.
+            let mut seen: Vec<usize> = members.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..keys.len()).collect::<Vec<_>>());
+            for (s, m) in members.iter().enumerate() {
+                assert!(m.is_sorted(), "scan order is classic order");
+                for &i in m {
+                    assert_eq!(p.shard_of(keys[i]), s, "assignment is the pure hash");
+                }
+            }
+        }
+        // One shard owns everything in classic scan order.
+        let solo = QueuePartitioner::new(1).partition(&keys);
+        assert_eq!(solo[0], (0..keys.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_spreads_queues() {
+        let keys: Vec<QueueKey> = (0..10_000u32).map(|a| key(a, 0)).collect();
+        let members = QueuePartitioner::new(8).partition(&keys);
+        for m in &members {
+            // FNV over sequential ids spreads within a loose bound.
+            assert!(
+                (m.len() as f64) > 10_000.0 / 8.0 * 0.7,
+                "shard starved: {} queues",
+                m.len()
+            );
+            assert!((m.len() as f64) < 10_000.0 / 8.0 * 1.3);
+        }
+    }
+
+    #[test]
+    fn new_queues_join_their_hash_shard() {
+        let keys: Vec<QueueKey> = (0..10u32).map(|a| key(a, 0)).collect();
+        let mut ctl = ShardedController::new(4, &keys, None);
+        let extra = key(10, 1);
+        ctl.note_new_queue(keys.len(), extra);
+        let shard = ctl.partitioner().shard_of(extra);
+        assert_eq!(ctl.members(shard).last(), Some(&keys.len()));
+    }
+
+    #[test]
+    fn shard_stats_merge_and_conflict_rate() {
+        let a = ShardStats {
+            rounds: 4,
+            commits: 3,
+            conflicts: 1,
+            retries: 1,
+            commit_wall_us: 10,
+        };
+        let m = a.merge(ShardStats {
+            rounds: 2,
+            commits: 5,
+            conflicts: 1,
+            retries: 0,
+            commit_wall_us: 5,
+        });
+        assert_eq!(m.rounds, 6);
+        assert_eq!(m.commits, 8);
+        assert_eq!(m.conflicts, 2);
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.commit_wall_us, 15);
+        assert_eq!(m.conflict_rate(), 0.2);
+        assert_eq!(ShardStats::default().conflict_rate(), 0.0);
+    }
+}

@@ -99,6 +99,17 @@ pub struct ClusterState {
     /// Next instant each node's warm set changes without a mutation
     /// (pending slot expiry / pre-warm readiness).
     warm_next_change: Vec<SimTime>,
+    /// True when any node is dirty. Invariant: `!any_dirty` implies no
+    /// entry of `dirty` is set (it may be conservatively true with none
+    /// set; only a full [`refresh`](Self::refresh) clears it).
+    any_dirty: bool,
+    /// Lower bound on `min(warm_next_change)`: the earliest instant any
+    /// node's warm set can change passively. With nothing dirty, a
+    /// refresh strictly before this instant is a provable no-op and
+    /// returns without scanning the node array at all — the scan used to
+    /// be O(nodes) per controller round even in steady state, which the
+    /// scale bench's hot loop surfaces.
+    earliest_passive: SimTime,
     generation: u64,
 }
 
@@ -114,6 +125,8 @@ impl ClusterState {
             nodes,
             dirty: vec![false; len],
             warm_next_change: vec![SimTime(u64::MAX); len],
+            any_dirty: false,
+            earliest_passive: SimTime(u64::MAX),
             generation: 0,
         }
     }
@@ -180,6 +193,7 @@ impl ClusterState {
     /// [`refresh`](Self::refresh) re-syncs it.
     pub fn touch(&mut self, node: NodeId) {
         self.dirty[node.index()] = true;
+        self.any_dirty = true;
         self.generation += 1;
     }
 
@@ -203,12 +217,22 @@ impl ClusterState {
     /// nothing.
     pub fn refresh(&mut self, cluster: &Cluster, now: SimTime) {
         debug_assert_eq!(self.nodes.len(), cluster.len(), "state tracks every node");
-        for i in 0..self.nodes.len() {
-            if !self.dirty[i] && now < self.warm_next_change[i] {
-                continue;
-            }
-            self.sync_node(i, &cluster.nodes()[i], now);
+        if !self.any_dirty && now < self.earliest_passive {
+            // Nothing mutated and no lease can have expired yet: the
+            // whole scan would skip every node.
+            return;
         }
+        let mut earliest = SimTime(u64::MAX);
+        for i in 0..self.nodes.len() {
+            if self.dirty[i] || now >= self.warm_next_change[i] {
+                self.sync_node(i, &cluster.nodes()[i], now);
+            }
+            if self.warm_next_change[i] < earliest {
+                earliest = self.warm_next_change[i];
+            }
+        }
+        self.any_dirty = false;
+        self.earliest_passive = earliest;
     }
 
     fn sync_node(&mut self, i: usize, n: &Node, now: SimTime) {
@@ -225,8 +249,40 @@ impl ClusterState {
         v.link_scale = n.class.link_scale;
         v.online = n.online;
         self.warm_next_change[i] = n.warm_functions_into(now, &mut v.warm);
+        if self.warm_next_change[i] < self.earliest_passive {
+            self.earliest_passive = self.warm_next_change[i];
+        }
         self.dirty[i] = false;
         self.generation += 1;
+    }
+
+    /// True when the observable state has moved past the `generation`
+    /// snapshot `gen`. The sharded controller's commit step validates
+    /// each shard's staged round with this: a decision staged at `gen`
+    /// may have been invalidated by another shard's commit when the
+    /// state moved underneath it.
+    #[inline]
+    pub fn moved_since(&self, gen: u64) -> bool {
+        self.generation != gen
+    }
+
+    /// Optimistic commit of a placement staged against an earlier
+    /// snapshot: re-validates that `node` is still online with `demand`
+    /// free, debits the view in place, and bumps the generation.
+    /// Returns `false` — leaving the state untouched — when the
+    /// placement no longer fits (the caller's round conflicted and must
+    /// retry). Drives the scale bench's synthetic commit loop; the full
+    /// platform commits through the cluster and [`touch`](Self::touch).
+    pub fn try_commit(&mut self, node: NodeId, demand: Resources) -> bool {
+        let Some(v) = self.nodes.get_mut(node.index()) else {
+            return false;
+        };
+        if !(v.online && v.free.contains(demand)) {
+            return false;
+        }
+        v.free -= demand;
+        self.generation += 1;
+        true
     }
 
     /// Nodes able to host `demand`.
@@ -419,6 +475,56 @@ mod tests {
         assert_eq!(state.node(NodeId(0)).warm.as_ptr(), ptr_before);
         assert_eq!(state.node(NodeId(0)).warm.capacity(), cap_before);
         assert_eq!(state.node(NodeId(0)).warm.len(), 6);
+    }
+
+    #[test]
+    fn steady_state_refresh_early_outs_without_scanning() {
+        let keep = SimTime::from_secs(600.0);
+        let mut cluster = Cluster::new(4, Resources::new(16, 7));
+        cluster
+            .node_mut(NodeId(1))
+            .return_slot(FnId(3), SimTime::ZERO, keep, false);
+        let mut state = ClusterState::from_cluster(&cluster, SimTime::ZERO);
+        // Nothing dirty, well before the lease expiry: provable no-op.
+        assert!(!state.any_dirty);
+        assert!(SimTime::from_ms(1.0) < state.earliest_passive);
+        state.refresh(&cluster, SimTime::from_ms(1.0));
+        // The early-out must never skip a due passive expiry: at the
+        // expiry horizon the scan runs and drops the warm slot.
+        assert!(state.node(NodeId(1)).has_warm(FnId(3)));
+        let late = SimTime::ZERO + keep + SimTime::from_ms(1.0);
+        assert!(late >= state.earliest_passive);
+        state.refresh(&cluster, late);
+        assert!(!state.node(NodeId(1)).has_warm(FnId(3)));
+        assert_eq!(
+            state.nodes(),
+            ClusterState::from_cluster(&cluster, late).nodes()
+        );
+        // ...and a touch always defeats the early-out.
+        assert!(cluster.node_mut(NodeId(2)).commit(Resources::new(4, 2)));
+        state.touch(NodeId(2));
+        state.refresh(&cluster, late);
+        assert_eq!(state.node(NodeId(2)).free, Resources::new(12, 5));
+    }
+
+    #[test]
+    fn try_commit_validates_and_stamps() {
+        let n0 = NodeView::idle(NodeId(0), Resources::new(16, 7));
+        let mut state = ClusterState::from_views(vec![n0]);
+        let g0 = state.generation();
+        assert!(!state.moved_since(g0));
+        assert!(state.try_commit(NodeId(0), Resources::new(10, 4)));
+        assert_eq!(state.node(NodeId(0)).free, Resources::new(6, 3));
+        assert!(state.moved_since(g0), "a commit moves the generation");
+        // No longer fits: the commit fails and leaves everything alone.
+        let g1 = state.generation();
+        assert!(!state.try_commit(NodeId(0), Resources::new(10, 4)));
+        assert_eq!(state.node(NodeId(0)).free, Resources::new(6, 3));
+        assert!(!state.moved_since(g1));
+        // Offline and out-of-range nodes never accept.
+        state.node_mut(NodeId(0)).online = false;
+        assert!(!state.try_commit(NodeId(0), Resources::new(1, 1)));
+        assert!(!state.try_commit(NodeId(9), Resources::new(1, 1)));
     }
 
     #[test]

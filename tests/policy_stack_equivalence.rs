@@ -32,6 +32,9 @@ impl RoundPolicy for AdmitEverything {
     fn admit(&mut self, ctx: &RoundCtx<'_>) -> AdmissionPlan {
         AdmissionPlan::admit_all(ctx.queues.len())
     }
+    fn clone_box(&self) -> Box<dyn RoundPolicy> {
+        Box::new(AdmitEverything)
+    }
 }
 
 /// A rank stage that replays classic scan order explicitly.
@@ -43,6 +46,9 @@ impl RoundPolicy for ClassicOrder {
     }
     fn rank(&mut self, _ctx: &RoundCtx<'_>, admitted: &[usize]) -> RankedQueues {
         RankedQueues::scan_order(admitted)
+    }
+    fn clone_box(&self) -> Box<dyn RoundPolicy> {
+        Box::new(ClassicOrder)
     }
 }
 
@@ -179,6 +185,11 @@ invocation {:?} (slack {slack} ms)",
             fn stats(&self) -> esg::sim::PolicyStats {
                 self.inner.stats()
             }
+            fn clone_box(&self) -> Box<dyn RoundPolicy> {
+                Box::new(OracleChecked {
+                    inner: self.inner.clone(),
+                })
+            }
         }
 
         let spec = specs()[spec_idx].clone();
@@ -211,7 +222,7 @@ invocation {:?} (slack {slack} ms)",
             r.total_completed() + r.shed_invocations,
             "every arrival either completed or was shed"
         );
-        proptest::prop_assert!(r.shed_jobs >= r.scheduler_stats.jobs_shed);
+        proptest::prop_assert!(r.shed_jobs >= r.scheduler_stats.policy.jobs_shed);
     }
 }
 
@@ -235,7 +246,10 @@ fn shedding_is_observable_end_to_end() {
     assert_eq!(r.shed_invocations, 40, "every deadline is unattainable");
     assert_eq!(r.total_completed(), 0);
     assert_eq!(r.shed_rate(), 1.0);
-    assert!(r.scheduler_stats.queues_shed > 0, "policy counters surface");
+    assert!(
+        r.scheduler_stats.policy.queues_shed > 0,
+        "policy counters surface"
+    );
     // The EventLog tap saw the QueueShed events and drained backlogs.
     let shed_events: u64 = traced
         .log
