@@ -28,14 +28,30 @@
 //! baseline (like `overhead`); `ESG_SMOKE=1` cuts the sample count
 //! only, keeping case labels and per-iteration work identical so smoke
 //! runs stay comparable to the committed full run.
+//!
+//! # End-to-end streaming replay
+//!
+//! The `scale/replay/*` cases drive the *whole* platform — streamed
+//! Azure-shaped arrivals pulled lazily from an `ArrivalStream`, the ESG
+//! scheduler, the round/shard drivers, arena-backed invocation/task
+//! state, and the selected event-queue backend — through ≥1M
+//! invocations per full-mode sample (`ESG_SMOKE=1` replays a shorter
+//! trace window; medians are reported *per invocation*, so smoke and
+//! full runs stay label- and scale-comparable for the perf gate). Each
+//! replay also asserts the engine's constant-memory promise: the arena
+//! and event-queue high-water marks must stay under a fixed ceiling
+//! regardless of replay length.
 
 use criterion::{BenchmarkId, Criterion};
 use esg_bench::{render_scale_markdown, section, update_experiments_md, write_json};
+use esg_core::EsgScheduler;
 use esg_model::{AppId, Config, FnId, InvocationId, NodeId, Resources, SloClass};
 use esg_sim::{
-    Capabilities, ClusterState, JobView, NodeView, Outcome, QueueKey, QueueView, RoundCtx,
-    SchedCtx, Scheduler, ShardStats, ShardedController, SimEnv,
+    Capabilities, ClusterState, EventQueueKind, JobView, MemoryFootprint, NodeView, Outcome,
+    QueueKey, QueueView, RoundCtx, SchedCtx, Scheduler, ShardStats, ShardedController, SimConfig,
+    SimEnv, Simulation,
 };
+use esg_workload::AzureLikeTrace;
 use serde_json::json;
 use std::collections::VecDeque;
 use std::hint::black_box;
@@ -63,6 +79,92 @@ const IN_FLIGHT_CAP: usize = 384;
 /// Steady-state pending queues (conserved: each commit drains one queue
 /// and activates another through a striding cursor).
 const PENDING: usize = 1_024;
+
+/// Azure-trace window replayed per full-mode sample, minutes. At the
+/// trace's ~2.5k arrivals/min this crosses one million invocations
+/// (asserted below); the rate sits just under the paper cluster's
+/// capacity so the backlog plateaus instead of growing.
+const REPLAY_MINUTES_FULL: usize = 400;
+/// Smoke-mode trace window: same labels and per-invocation metric,
+/// CI-sized work.
+const REPLAY_MINUTES_SMOKE: usize = 20;
+/// Constant-memory ceiling for a replay, in arena entries / pending
+/// events. Live state tracks the steady-state backlog (~1k invocations
+/// plus burst spikes), never the replay length — a millionfold replay
+/// must stay under the same fixed bound as a smoke run.
+const REPLAY_MEMORY_CEILING: usize = 32_768;
+
+/// One replay case: event-queue backend plus round-driver sharding.
+struct ReplayCase {
+    label: &'static str,
+    kind: EventQueueKind,
+    shards: usize,
+}
+
+const REPLAY_CASES: [ReplayCase; 3] = [
+    ReplayCase {
+        label: "scale/replay/heap",
+        kind: EventQueueKind::Heap,
+        shards: 1,
+    },
+    ReplayCase {
+        label: "scale/replay/wheel",
+        kind: EventQueueKind::Wheel,
+        shards: 1,
+    },
+    ReplayCase {
+        label: "scale/replay/wheel-s4",
+        kind: EventQueueKind::Wheel,
+        shards: 4,
+    },
+];
+
+/// The Azure-shaped replay workload: diurnal cycle, rare 3× bursts,
+/// lognormal-ish dispersion, mean pinned below cluster capacity.
+fn replay_trace() -> AzureLikeTrace {
+    AzureLikeTrace {
+        mean_per_minute: 2_500.0,
+        period_minutes: 120.0,
+        burst_probability: 0.02,
+        seed: 42,
+        ..AzureLikeTrace::default()
+    }
+}
+
+/// Result of one timed replay sample.
+struct ReplaySample {
+    wall_ns: u64,
+    arrivals: u64,
+    completed: u64,
+    shed: u64,
+    footprint: MemoryFootprint,
+}
+
+/// Streams `minutes` of the Azure trace through the full platform with
+/// the ESG scheduler on the given backend/shard configuration.
+fn run_replay(case: &ReplayCase, minutes: usize) -> ReplaySample {
+    let env = SimEnv::standard(SloClass::Moderate);
+    let cfg = SimConfig {
+        seed: 42,
+        event_queue: case.kind,
+        shards: case.shards,
+        force_sharded: case.shards > 1,
+        ..SimConfig::default()
+    };
+    let stream = replay_trace().stream(esg_model::standard_app_ids(), Some(minutes));
+    let mut sched = EsgScheduler::new();
+    let t0 = Instant::now();
+    let (r, footprint) =
+        Simulation::from_stream(&env, cfg, &mut sched, stream).run_with_footprint();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    ReplaySample {
+        wall_ns,
+        arrivals: r.arrivals,
+        completed: r.total_completed(),
+        shed: r.shed_invocations,
+        footprint,
+    }
+}
 
 /// O(1) probe scheduler: the measured cost is the driver itself — scan,
 /// view build, staging, commit — not a placement search.
@@ -360,6 +462,98 @@ fn main() {
         group.finish();
     }
 
+    // End-to-end streaming replay: ≥1M Azure-shaped invocations per
+    // full-mode sample through the real platform. Timed outside
+    // criterion (a sample is tens of seconds, not microseconds); the
+    // reported median is normalized *per invocation* so smoke and full
+    // runs compare under the same case labels.
+    let replay_samples = if smoke { 1 } else { 3 };
+    let replay_minutes = if smoke {
+        REPLAY_MINUTES_SMOKE
+    } else {
+        REPLAY_MINUTES_FULL
+    };
+    println!("\nbench group: scale/replay ({replay_minutes} trace minutes per sample)");
+    let mut replay_cases: Vec<serde_json::Value> = Vec::new();
+    let mut replay_arrivals: Vec<u64> = Vec::new();
+    for case in &REPLAY_CASES {
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let mut last: Option<ReplaySample> = None;
+        for _ in 0..replay_samples {
+            let s = run_replay(case, replay_minutes);
+            assert_eq!(
+                s.arrivals,
+                s.completed + s.shed,
+                "{}: replay stranded work",
+                case.label
+            );
+            if !smoke {
+                assert!(
+                    s.arrivals >= 1_000_000,
+                    "{}: full replay must cross one million invocations (got {})",
+                    case.label,
+                    s.arrivals
+                );
+            }
+            // The constant-memory promise: live state tracks the
+            // backlog, never the replay length.
+            let fp = s.footprint;
+            for (what, n) in [
+                ("invocation arena", fp.invocation_slots),
+                ("task arena", fp.task_slots),
+                ("event queue", fp.peak_pending_events),
+            ] {
+                assert!(
+                    n < REPLAY_MEMORY_CEILING,
+                    "{}: {what} grew past the replay memory ceiling ({n} >= {REPLAY_MEMORY_CEILING})",
+                    case.label
+                );
+            }
+            samples_ns.push(s.wall_ns as f64 / s.arrivals as f64);
+            last = Some(s);
+        }
+        let last = last.expect("at least one replay sample");
+        samples_ns.sort_by(f64::total_cmp);
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min_ns = samples_ns[0];
+        println!(
+            "  {:<28} {:>8.0} ns/invocation  {:>9.0} inv/s  ({} invocations, peak {} live)",
+            case.label,
+            median_ns,
+            1e9 / median_ns,
+            last.arrivals,
+            last.footprint.peak_live_invocations,
+        );
+        replay_arrivals.push(last.arrivals);
+        replay_cases.push(json!({
+            "case": (case.label),
+            "kind": "replay",
+            "event_queue": (format!("{:?}", case.kind).to_lowercase()),
+            "shards": (case.shards),
+            "invocations": (last.arrivals),
+            "trace_minutes": replay_minutes,
+            "median_ns": median_ns,
+            "mean_ns": mean_ns,
+            "min_ns": min_ns,
+            "samples": replay_samples,
+            "invocations_per_sec": (1e9 / median_ns),
+            "peak_live_invocations": (last.footprint.peak_live_invocations),
+            "invocation_slots": (last.footprint.invocation_slots),
+            "task_slots": (last.footprint.task_slots),
+            "peak_pending_events": (last.footprint.peak_pending_events),
+            "completed": (last.completed),
+            "shed": (last.shed),
+        }));
+    }
+    // Every backend/shard combination replays the same stream: identical
+    // arrival counts are the cheap cross-check (full trace equivalence
+    // is pinned by tests/replay_equivalence.rs).
+    assert!(
+        replay_arrivals.windows(2).all(|w| w[0] == w[1]),
+        "replay cases diverged on arrival count: {replay_arrivals:?}"
+    );
+
     // Assemble the artifact from the collected reports.
     let median = |label: &str| {
         c.reports()
@@ -375,7 +569,7 @@ fn main() {
         }
         DECISIONS_PER_ITER as f64 * (1.0 - m.conflict_rate) / (med * 1e-9)
     };
-    let cases: Vec<serde_json::Value> = metas
+    let mut cases: Vec<serde_json::Value> = metas
         .iter()
         .map(|m| {
             let r = c
@@ -401,6 +595,7 @@ fn main() {
             })
         })
         .collect();
+    cases.extend(replay_cases);
     let doc = json!({
         "suite": "scale",
         "samples": samples,

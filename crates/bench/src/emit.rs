@@ -363,6 +363,41 @@ Medians, wall clock; p99 is per-decision (stage + commit)."
             .expect("writing to String cannot fail");
         }
     }
+
+    // End-to-end streaming replay cases (kind == "replay"): the whole
+    // platform fed by a lazy Azure-shaped arrival stream, per-invocation
+    // medians plus the constant-memory high-water marks.
+    let replays: Vec<&Value> = cases
+        .iter()
+        .filter(|c| c.get("kind").and_then(Value::as_str) == Some("replay"))
+        .collect();
+    if !replays.is_empty() {
+        out.push_str(
+            "\n**End-to-end streaming replay** — Azure-shaped arrivals pulled \
+lazily through the full platform (ESG scheduler, round/shard drivers, \
+arena state) on the selected event-queue backend; medians are per \
+invocation, and the arena/event-queue high-water marks pin the \
+constant-memory property.\n\n\
+| case | invocations | ns/invocation | invocations/sec | \
+peak live invocations | peak pending events |\n\
+|---|---:|---:|---:|---:|---:|\n",
+        );
+        for c in replays {
+            let s = |k: &str| c.get(k).and_then(Value::as_str).unwrap_or("?");
+            let u = |k: &str| c.get(k).and_then(Value::as_u64).unwrap_or(0);
+            writeln!(
+                out,
+                "| {} | {} | {:.0} | {:.0} | {} | {} |",
+                s("case"),
+                u("invocations"),
+                num(c, "median_ns"),
+                num(c, "invocations_per_sec"),
+                u("peak_live_invocations"),
+                u("peak_pending_events"),
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
     out
 }
 
@@ -631,6 +666,42 @@ mod tests {
         let md = render_bench_markdown(&doc);
         assert!(md.contains("cluster `a100|t4-mix` · traffic `steady`"));
         assert_eq!(md.matches("| scheduler | seed |").count(), 1);
+    }
+
+    #[test]
+    fn scale_markdown_renders_replay_cases_alongside_driver_tables() {
+        let doc = json!({
+            "suite": "scale", "samples": 40,
+            "cases": [
+                {"case": "scale/driver/q10000/s1", "kind": "driver", "queues": 10_000,
+                 "shards": 1, "median_ns": 100_000.0, "dispatches_per_sec": 640_000.0,
+                 "p99_decision_ns": 2_000.0, "conflict_rate": 0.0},
+                {"case": "scale/driver/q10000/s2", "kind": "driver", "queues": 10_000,
+                 "shards": 2, "median_ns": 50_000.0, "dispatches_per_sec": 1_280_000.0,
+                 "p99_decision_ns": 1_500.0, "conflict_rate": 0.01},
+                {"case": "scale/replay/wheel", "kind": "replay", "event_queue": "wheel",
+                 "shards": 1, "invocations": 1_048_576, "median_ns": 34_000.0,
+                 "invocations_per_sec": 29_412.0, "peak_live_invocations": 642,
+                 "invocation_slots": 642, "task_slots": 631, "peak_pending_events": 636}
+            ]
+        });
+        let md = render_scale_markdown(&doc);
+        // Driver tables keyed on queue count are untouched…
+        assert!(md.contains("**10000 queues**"), "{md}");
+        assert!(md.contains("| 2 | 1280000 | 2.00 | 1.5 | 1.00 |"), "{md}");
+        // …and replay cases get their own per-invocation table.
+        assert!(md.contains("**End-to-end streaming replay**"), "{md}");
+        assert!(
+            md.contains("| scale/replay/wheel | 1048576 | 34000 | 29412 | 642 | 636 |"),
+            "{md}"
+        );
+        // A replay-free document renders no replay section.
+        let driver_only = json!({"suite": "scale", "samples": 40, "cases": [
+            {"case": "scale/driver/q10000/s1", "kind": "driver", "queues": 10_000,
+             "shards": 1, "median_ns": 100_000.0, "dispatches_per_sec": 640_000.0,
+             "p99_decision_ns": 2_000.0, "conflict_rate": 0.0}
+        ]});
+        assert!(!render_scale_markdown(&driver_only).contains("streaming replay"));
     }
 
     #[test]

@@ -56,14 +56,16 @@ pub mod prelude {
     };
     pub use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
     pub use esg_sim::{
-        run_simulation, AdmissionDecision, AdmissionPlan, Capabilities, ClusterState, EventKind,
-        EventLog, EventRecord, ExperimentResult, MinScheduler, NodeSummary, NodeView,
-        OverheadModel, PackingConfig, PolicySpec, PolicyStack, PolicyStats, QueueCounters,
-        QueuePartitioner, QueueView, RankedQueues, RoundCtx, RoundPolicy, SchedCtx, Scheduler,
-        SchedulerEvent, SchedulerStats, ShardStats, ShardedController, ShedReason, Sim, SimBuilder,
-        SimConfig, SimEnv, SimError, SloAdmission, SloAdmissionConfig,
+        run_simulation, run_streamed, AdmissionDecision, AdmissionPlan, Capabilities, ClusterState,
+        EventKind, EventLog, EventQueueKind, EventRecord, ExperimentResult, MemoryFootprint,
+        MinScheduler, NodeSummary, NodeView, OverheadModel, PackingConfig, PolicySpec, PolicyStack,
+        PolicyStats, QueueCounters, QueuePartitioner, QueueView, RankedQueues, RoundCtx,
+        RoundPolicy, SchedCtx, Scheduler, SchedulerEvent, SchedulerStats, ShardStats,
+        ShardedController, ShedReason, Sim, SimBuilder, SimConfig, SimEnv, SimError, Simulation,
+        SloAdmission, SloAdmissionConfig,
     };
     pub use esg_workload::{
-        shaped_workload, ArrivalPredictor, AzureLikeTrace, Workload, WorkloadGen,
+        shaped_stream, shaped_workload, ArrivalPredictor, ArrivalStream, AzureLikeTrace, RateFn,
+        Workload, WorkloadGen,
     };
 }

@@ -1,0 +1,151 @@
+//! Flat, index-addressed object storage.
+//!
+//! [`Arena`] backs the platform's per-invocation and per-task state:
+//! entries live in one contiguous `Vec` and are addressed by `u32`
+//! slot, with freed slots recycled LIFO. Compared to the `HashMap`s it
+//! replaced, lookups are a bounds-checked array index (no hashing, no
+//! per-entry boxes) and the memory high-water mark is observable — the
+//! streaming replay bench asserts its RSS proxy from
+//! [`Arena::peak_live`] / [`Arena::slots`].
+//!
+//! Slot reuse means a stale slot index can address a *different* live
+//! entry; callers that hold slots across frees (the platform's `Job`s,
+//! which can outlive a shed invocation) must validate identity on
+//! access, e.g. by comparing a stored id.
+
+/// A slab of `T` with LIFO slot reuse and live/high-water accounting.
+#[derive(Clone, Debug)]
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    live: usize,
+    peak_live: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            peak_live: 0,
+        }
+    }
+
+    /// Stores `value`, returning its slot (recycling freed slots LIFO).
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(value);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("arena overflow");
+                self.slots.push(Some(value));
+                slot
+            }
+        }
+    }
+
+    /// The entry at `slot`, if live.
+    #[inline]
+    pub fn get(&self, slot: u32) -> Option<&T> {
+        self.slots.get(slot as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the entry at `slot`, if live.
+    #[inline]
+    pub fn get_mut(&mut self, slot: u32) -> Option<&mut T> {
+        self.slots.get_mut(slot as usize).and_then(Option::as_mut)
+    }
+
+    /// Frees `slot`, returning its entry (None when already free).
+    pub fn remove(&mut self, slot: u32) -> Option<T> {
+        let taken = self.slots.get_mut(slot as usize).and_then(Option::take);
+        if taken.is_some() {
+            self.live -= 1;
+            self.free.push(slot);
+        }
+        taken
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entries are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// High-water mark of live entries over the arena's lifetime.
+    #[inline]
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Total slots ever allocated (live + free): the arena's memory
+    /// footprint in entries.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = Arena::new();
+        let x = a.insert("x");
+        let y = a.insert("y");
+        assert_eq!(a.get(x), Some(&"x"));
+        assert_eq!(a.get(y), Some(&"y"));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.remove(x), Some("x"));
+        assert_eq!(a.get(x), None);
+        assert_eq!(a.remove(x), None, "double free is inert");
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn slots_recycle_lifo_and_track_high_water() {
+        let mut a = Arena::new();
+        let s0 = a.insert(0);
+        let s1 = a.insert(1);
+        let s2 = a.insert(2);
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        a.remove(s1);
+        a.remove(s0);
+        // LIFO: the most recently freed slot is reused first.
+        assert_eq!(a.insert(10), s0);
+        assert_eq!(a.insert(11), s1);
+        assert_eq!(a.insert(12), 3, "no free slots left, arena grows");
+        assert_eq!(a.peak_live(), 4);
+        assert_eq!(a.slots(), 4);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut a = Arena::new();
+        let s = a.insert(5u64);
+        *a.get_mut(s).unwrap() += 1;
+        assert_eq!(a.get(s), Some(&6));
+        assert!(a.get_mut(99).is_none());
+    }
+}

@@ -30,12 +30,13 @@
 //! assert_eq!(result.arrivals, 10);
 //! ```
 
+use crate::event::EventQueueKind;
 use crate::metrics::ExperimentResult;
-use crate::platform::{run_simulation, SimConfig, SimEnv};
+use crate::platform::{run_simulation, run_streamed, SimConfig, SimEnv};
 use crate::policy::{PackingConfig, PolicySpec, SloAdmissionConfig};
 use crate::sched::{OverheadModel, Scheduler};
 use esg_model::{AppSpec, ChurnEvent, ChurnPlan, ClusterSpec, ConfigGrid, Resources, SloClass};
-use esg_workload::Workload;
+use esg_workload::{ArrivalStream, Workload};
 
 /// A configuration rejected by [`SimBuilder::build`].
 #[derive(Clone, Debug, PartialEq)]
@@ -252,6 +253,16 @@ impl SimBuilder {
     /// default at `shards == 1`).
     pub fn force_sharded(mut self, on: bool) -> Self {
         self.cfg.force_sharded = on;
+        self
+    }
+
+    /// Event-queue backend: the default binary [`EventQueueKind::Heap`]
+    /// or the O(1) hierarchical timer [`EventQueueKind::Wheel`]. Both
+    /// produce bit-identical dispatch traces (pinned by the replay
+    /// equivalence battery); the wheel wins on deep pending-event
+    /// populations.
+    pub fn event_queue(mut self, kind: EventQueueKind) -> Self {
+        self.cfg.event_queue = kind;
         self
     }
 
@@ -533,6 +544,50 @@ impl Sim {
             scenario,
         ))
     }
+
+    /// Runs `sched` over a lazily generated [`ArrivalStream`], labelling
+    /// the result `scenario`. Arrivals are pulled one at a time as
+    /// simulated time advances, so memory stays constant in the stream
+    /// length; the dispatch trace is bit-identical to materialising the
+    /// same stream and calling [`run`](Self::run).
+    ///
+    /// Panics when `sched` rejects the configured round policy;
+    /// [`try_run_streamed`](Self::try_run_streamed) returns the typed
+    /// error instead.
+    pub fn run_streamed(
+        &self,
+        sched: &mut dyn Scheduler,
+        stream: ArrivalStream,
+        scenario: &str,
+    ) -> ExperimentResult {
+        self.try_run_streamed(sched, stream, scenario)
+            .expect("scheduler rejected the configured round policy (use Sim::try_run_streamed)")
+    }
+
+    /// Streamed counterpart of [`try_run`](Self::try_run): surfaces an
+    /// incompatible scheduler/policy combo as [`SimError::InvalidKnob`].
+    pub fn try_run_streamed(
+        &self,
+        sched: &mut dyn Scheduler,
+        stream: ArrivalStream,
+        scenario: &str,
+    ) -> Result<ExperimentResult, SimError> {
+        if !matches!(self.policy, PolicySpec::Classic) && !sched.adopt_policy(&self.policy) {
+            return Err(SimError::InvalidKnob {
+                knob: "policy",
+                value: 0.0,
+                requirement: "a round-policy stack this scheduler supports \
+(ESG packing needs EsgScheduler; MinScheduler is classic-only)",
+            });
+        }
+        Ok(run_streamed(
+            &self.env,
+            self.cfg.clone(),
+            sched,
+            stream,
+            scenario,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -582,6 +637,43 @@ mod tests {
             format!("{r:?}")
         };
         assert_eq!(canon(ra), canon(rb));
+    }
+
+    #[test]
+    fn event_queue_knob_and_streamed_run_match_the_materialised_path() {
+        let canon = |mut r: ExperimentResult| {
+            r.wall_overhead_ms.clear();
+            format!("{r:?}")
+        };
+        let apps = esg_model::standard_app_ids();
+        let gen = WorkloadGen::new(WorkloadClass::Normal, apps, 21);
+        let w = gen.generate(200);
+        let heap = SimBuilder::new(SloClass::Moderate)
+            .seed(21)
+            .build()
+            .expect("valid");
+        let wheel = SimBuilder::new(SloClass::Moderate)
+            .seed(21)
+            .event_queue(EventQueueKind::Wheel)
+            .build()
+            .expect("valid");
+        let r_heap = heap.run(&mut MinScheduler, &w, "eq");
+        let r_wheel = wheel.run(&mut MinScheduler, &w, "eq");
+        assert_eq!(canon(r_heap), canon(r_wheel));
+        // Streamed vs materialised over a shared horizon: cap both runs at
+        // `H` and materialise past `H` so both paths always hold a pending
+        // arrival and stop at the first event beyond the cap — the traces
+        // must then be bit-identical.
+        let horizon = 30_000.0;
+        let beyond = gen.stream().until_ms(horizon + 60_000.0);
+        let capped = SimBuilder::new(SloClass::Moderate)
+            .seed(21)
+            .max_sim_ms(horizon)
+            .build()
+            .expect("valid");
+        let r_mat = capped.run(&mut MinScheduler, &beyond, "eq");
+        let r_str = capped.run_streamed(&mut MinScheduler, gen.stream(), "eq");
+        assert_eq!(canon(r_mat), canon(r_str));
     }
 
     #[test]

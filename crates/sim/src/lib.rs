@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod builder;
 pub mod cluster;
 pub mod event;
@@ -53,14 +54,18 @@ pub mod policy;
 pub mod sched;
 pub mod shard;
 pub mod state;
+pub mod wheel;
 pub mod workflow;
 
+pub use arena::Arena;
 pub use builder::{Sim, SimBuilder, SimError};
 pub use cluster::{Cluster, Node};
-pub use event::{Event, EventQueue};
+pub use event::{Event, EventQueue, EventQueueKind};
 pub use eventlog::{EventKind, EventLog, EventRecord, QueueCounters};
 pub use metrics::{AppMetrics, ExperimentResult, NodeSummary};
-pub use platform::{run_simulation, MinScheduler, SimConfig, SimEnv, Simulation};
+pub use platform::{
+    run_simulation, run_streamed, MemoryFootprint, MinScheduler, SimConfig, SimEnv, Simulation,
+};
 pub use policy::{
     gslo_attainable, AdmissionDecision, AdmissionPlan, PackingConfig, PolicySpec, PolicyStack,
     PolicyStats, RankedQueues, RoundPolicy, ShedReason, SloAdmission, SloAdmissionConfig,
@@ -72,4 +77,5 @@ pub use sched::{
 };
 pub use shard::{QueuePartitioner, ShardStats, ShardedController};
 pub use state::{ClusterState, NodeView};
+pub use wheel::TimerWheel;
 pub use workflow::{AfwQueue, Job, WorkflowInstance};

@@ -23,8 +23,9 @@
 //! equivalence oracle: every refresh point also rebuilds a from-scratch
 //! snapshot and asserts it equals the incremental state.
 
+use crate::arena::Arena;
 use crate::cluster::Cluster;
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, EventQueueKind};
 use crate::metrics::{AppMetrics, ExperimentResult, NodeSummary};
 use crate::policy::ShedReason;
 use crate::sched::{
@@ -39,7 +40,7 @@ use esg_model::{
     Config, ConfigGrid, FnId, InvocationId, NodeId, PriceModel, Resources, SimTime, SloClass,
 };
 use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
-use esg_workload::{ArrivalPredictor, Workload};
+use esg_workload::{Arrival, ArrivalPredictor, ArrivalStream, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -170,6 +171,11 @@ pub struct SimConfig {
     /// one-shard sharded run must be dispatch-trace-identical to the
     /// classic driver) without forking the workload setup.
     pub force_sharded: bool,
+    /// Event-queue backend. The heap is the classic default; the timer
+    /// wheel is O(1) amortised and built for million-event replays. Both
+    /// produce bit-identical runs (pinned by
+    /// `tests/replay_equivalence.rs`).
+    pub event_queue: EventQueueKind,
 }
 
 impl Default for SimConfig {
@@ -194,6 +200,7 @@ impl Default for SimConfig {
             validate_cluster_state: false,
             shards: 1,
             force_sharded: false,
+            event_queue: EventQueueKind::Heap,
         }
     }
 }
@@ -257,13 +264,60 @@ enum DecisionCommit {
     Conflicted { outcome: Outcome },
 }
 
+/// Where a run's arrivals come from: a materialised workload slice or a
+/// lazy [`ArrivalStream`]. Both feed the same one-at-a-time pull loop
+/// (the platform holds at most one undelivered arrival), so streamed
+/// and materialised runs are bit-identical by construction.
+enum ArrivalSource<'a> {
+    /// Iterating a pre-generated `Workload`.
+    Materialised(std::slice::Iter<'a, Arrival>),
+    /// Pulling a lazy stream as simulated time advances (boxed: the
+    /// stream's RNG + look-ahead state dwarfs the slice iterator).
+    Streamed(Box<ArrivalStream>),
+}
+
+impl ArrivalSource<'_> {
+    fn next(&mut self) -> Option<Arrival> {
+        match self {
+            ArrivalSource::Materialised(it) => it.next().copied(),
+            ArrivalSource::Streamed(s) => s.next(),
+        }
+    }
+}
+
+/// Peak live-population counters from one run — the RSS proxy the
+/// streaming replay bench asserts its memory ceiling against. All three
+/// are bounded by the in-flight population (arrival rate × residence
+/// time), not by the total invocation count, which is what makes
+/// streamed replays constant-memory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryFootprint {
+    /// High-water mark of live invocations in the arena.
+    pub peak_live_invocations: usize,
+    /// Invocation arena slots ever allocated (live + free list).
+    pub invocation_slots: usize,
+    /// High-water mark of live running tasks in the arena.
+    pub peak_live_tasks: usize,
+    /// Task arena slots ever allocated.
+    pub task_slots: usize,
+    /// High-water mark of pending events in the queue.
+    pub peak_pending_events: usize,
+}
+
 /// One simulation run binding an environment, a configuration, a scheduler
 /// and a workload.
 pub struct Simulation<'a> {
     env: &'a SimEnv,
     cfg: SimConfig,
     sched: &'a mut dyn Scheduler,
-    workload: &'a Workload,
+    source: ArrivalSource<'a>,
+    /// The next arrival, already scheduled in the event queue; the pull
+    /// loop replaces it when its event pops. `None` once the source is
+    /// exhausted.
+    pending_arrival: Option<Arrival>,
+    /// Index the next arrival event will carry (the streamed twin of the
+    /// materialised workload's vector index).
+    next_arrival_idx: usize,
 
     now: SimTime,
     events: EventQueue,
@@ -275,10 +329,14 @@ pub struct Simulation<'a> {
     queue_fn: Vec<FnId>,
     queues: Vec<AfwQueue>,
     queue_index: HashMap<QueueKey, usize>,
-    invocations: HashMap<InvocationId, WorkflowInstance>,
+    /// Live invocations, slot-addressed ([`Job::slot`]). Ids stay
+    /// monotone via `next_invocation`; slots recycle.
+    invocations: Arena<WorkflowInstance>,
     next_invocation: u64,
-    tasks: HashMap<u64, RunningTask>,
-    next_task: u64,
+    /// Running tasks; the arena slot *is* the task id carried by
+    /// `ExecReady`/`TaskComplete` events (each id has exactly one of
+    /// each in flight, so recycling a completed task's slot is safe).
+    tasks: Arena<RunningTask>,
     /// Per-queue scheduling-busy horizon: a queue whose previous decision
     /// charged overhead is not re-decided before this time (the paper's
     /// controller schedules queues concurrently; search time delays only
@@ -327,12 +385,39 @@ pub struct Simulation<'a> {
 }
 
 impl<'a> Simulation<'a> {
-    /// Prepares a run.
+    /// Prepares a run over a materialised workload.
     pub fn new(
         env: &'a SimEnv,
         cfg: SimConfig,
         sched: &'a mut dyn Scheduler,
         workload: &'a Workload,
+    ) -> Simulation<'a> {
+        Simulation::new_with_source(
+            env,
+            cfg,
+            sched,
+            ArrivalSource::Materialised(workload.arrivals.iter()),
+        )
+    }
+
+    /// Prepares a run pulling arrivals lazily from `stream` as simulated
+    /// time advances — constant memory in the arrival count. The stream
+    /// must yield time-ordered arrivals (every [`ArrivalStream`] does).
+    /// Unbounded streams need `cfg.max_sim_ms > 0` to terminate.
+    pub fn from_stream(
+        env: &'a SimEnv,
+        cfg: SimConfig,
+        sched: &'a mut dyn Scheduler,
+        stream: ArrivalStream,
+    ) -> Simulation<'a> {
+        Simulation::new_with_source(env, cfg, sched, ArrivalSource::Streamed(Box::new(stream)))
+    }
+
+    fn new_with_source(
+        env: &'a SimEnv,
+        cfg: SimConfig,
+        sched: &'a mut dyn Scheduler,
+        source: ArrivalSource<'a>,
     ) -> Simulation<'a> {
         let mut queue_keys = Vec::new();
         let mut queue_fn = Vec::new();
@@ -387,13 +472,16 @@ impl<'a> Simulation<'a> {
             let proto = sched.round_policy().map(|p| p.clone());
             ShardedController::new(cfg.shards.max(1), &queue_keys, proto.as_ref())
         });
+        let event_queue = cfg.event_queue;
         Simulation {
             env,
             cfg,
             sched,
-            workload,
+            source,
+            pending_arrival: None,
+            next_arrival_idx: 0,
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            events: EventQueue::with_kind(event_queue),
             cluster,
             state,
             queues: vec![AfwQueue::new(); nq],
@@ -404,10 +492,9 @@ impl<'a> Simulation<'a> {
             queue_keys,
             queue_fn,
             queue_index,
-            invocations: HashMap::new(),
+            invocations: Arena::new(),
             next_invocation: 0,
-            tasks: HashMap::new(),
-            next_task: 0,
+            tasks: Arena::new(),
             queue_busy_until: vec![SimTime::ZERO; nq],
             recheck: Vec::new(),
             waiting_exec: vec![std::collections::VecDeque::new(); initial_nodes],
@@ -427,8 +514,28 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// Pulls the next arrival from the source and schedules its event.
+    /// The source is time-ordered, so the event is never in the past and
+    /// at most one arrival is outstanding at a time.
+    fn pump_arrival(&mut self) {
+        debug_assert!(self.pending_arrival.is_none());
+        if let Some(a) = self.source.next() {
+            let idx = self.next_arrival_idx;
+            self.next_arrival_idx += 1;
+            self.pending_arrival = Some(a);
+            self.events
+                .push(SimTime::from_ms(a.at_ms), Event::Arrival(idx));
+        }
+    }
+
     /// Runs to completion and returns the metrics.
-    pub fn run(mut self) -> ExperimentResult {
+    pub fn run(self) -> ExperimentResult {
+        self.run_with_footprint().0
+    }
+
+    /// Runs to completion, also reporting the run's peak-memory proxy
+    /// (arena and event-queue high-water marks).
+    pub fn run_with_footprint(mut self) -> (ExperimentResult, MemoryFootprint) {
         // Steady-state start: the pre-warm proxy has been serving traffic.
         if self.cfg.initial_warm_per_node > 0 {
             let keep = SimTime::from_ms(self.cfg.keep_alive_ms);
@@ -444,15 +551,17 @@ impl<'a> Simulation<'a> {
                 self.state.touch(NodeId(i as u32));
             }
         }
-        for (i, a) in self.workload.arrivals.iter().enumerate() {
-            self.events
-                .push(SimTime::from_ms(a.at_ms), Event::Arrival(i));
-        }
+        // Arrival pull loop: exactly one undelivered arrival is scheduled
+        // at a time; delivering it pulls the next from the source. With a
+        // materialised workload this replays the historical preloaded
+        // heap bit for bit (the queue ranks arrivals by index, not
+        // insertion order); with a streamed source it is what makes the
+        // run constant-memory.
+        self.pump_arrival();
         for (i, ev) in self.cfg.churn.events.iter().enumerate() {
             self.events
                 .push(SimTime::from_ms(ev.at_ms()), Event::Churn(i));
         }
-        let mut arrivals_remaining = self.workload.arrivals.len();
         while let Some((t, ev)) = self.events.pop() {
             if self.cfg.max_sim_ms > 0.0 && t.as_ms() > self.cfg.max_sim_ms {
                 break;
@@ -462,17 +571,22 @@ impl<'a> Simulation<'a> {
             // timers, scripted churn past the workload) cannot create
             // work, and letting them advance the clock would inflate the
             // makespan and dilute the utilisation denominators.
-            if arrivals_remaining == 0 && self.invocations.is_empty() && self.tasks.is_empty() {
+            if self.pending_arrival.is_none()
+                && self.invocations.is_empty()
+                && self.tasks.is_empty()
+            {
                 break;
             }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            if matches!(ev, Event::Arrival(_)) {
-                arrivals_remaining -= 1;
-            }
             match ev {
-                Event::Arrival(i) => {
-                    self.handle_arrival(i);
+                Event::Arrival(_) => {
+                    let arrival = self
+                        .pending_arrival
+                        .take()
+                        .expect("arrival event without a pending payload");
+                    self.handle_arrival(arrival);
+                    self.pump_arrival();
                     self.wake_controller();
                 }
                 Event::ControllerStep => {
@@ -494,7 +608,14 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
-        self.finish()
+        let footprint = MemoryFootprint {
+            peak_live_invocations: self.invocations.peak_live(),
+            invocation_slots: self.invocations.slots(),
+            peak_live_tasks: self.tasks.peak_live(),
+            task_slots: self.tasks.slots(),
+            peak_pending_events: self.events.peak_len(),
+        };
+        (self.finish(), footprint)
     }
 
     /// Applies the `i`-th scripted membership change: a drain takes the
@@ -532,8 +653,7 @@ impl<'a> Simulation<'a> {
         self.events.push(self.now, Event::ControllerStep);
     }
 
-    fn handle_arrival(&mut self, idx: usize) {
-        let arrival = self.workload.arrivals[idx];
+    fn handle_arrival(&mut self, arrival: Arrival) {
         let app_idx = arrival.app.index();
         let app = &self.env.apps[app_idx];
         let id = InvocationId(self.next_invocation);
@@ -546,7 +666,7 @@ impl<'a> Simulation<'a> {
             SimTime::from_ms(self.slo_ms[app_idx]),
         );
         let entries = inst.entry_stages();
-        self.invocations.insert(id, inst);
+        let slot = self.invocations.insert(inst);
         self.metrics.arrivals += 1;
         for stage in entries {
             self.enqueue_job(
@@ -556,6 +676,7 @@ impl<'a> Simulation<'a> {
                 },
                 Job {
                     invocation: id,
+                    slot,
                     stage,
                     ready_at: self.now,
                     pred_node: None,
@@ -623,15 +744,11 @@ impl<'a> Simulation<'a> {
     fn refill_queue_views(&mut self, qi: usize) {
         let now = self.now;
         let invocations = &self.invocations;
-        fill_job_views(
-            &mut self.job_views[qi],
-            self.queues[qi].jobs(),
-            now,
-            |inv| {
-                let inst = &invocations[&inv];
-                (inst.arrived_at, inst.deadline)
-            },
-        );
+        fill_job_views(&mut self.job_views[qi], self.queues[qi].jobs(), now, |j| {
+            let inst = invocations.get(j.slot).expect("queued job's invocation");
+            debug_assert_eq!(inst.id, j.invocation, "stale job slot in a live queue");
+            (inst.arrived_at, inst.deadline)
+        });
     }
 
     /// One controller step: retry the recheck list, then run scheduling
@@ -1041,7 +1158,16 @@ impl<'a> Simulation<'a> {
         self.metrics.shed_jobs += jobs.len() as u64;
         let mut shed: Vec<InvocationId> = Vec::with_capacity(jobs.len());
         for j in &jobs {
-            if self.invocations.remove(&j.invocation).is_some() {
+            // Guard against slot reuse: only remove when the slot still
+            // holds this job's invocation (parallel branches can queue
+            // two jobs of one invocation; the first removal frees the
+            // slot).
+            if self
+                .invocations
+                .get(j.slot)
+                .is_some_and(|inst| inst.id == j.invocation)
+            {
+                self.invocations.remove(j.slot);
                 shed.push(j.invocation);
             }
         }
@@ -1055,7 +1181,9 @@ impl<'a> Simulation<'a> {
             let mut gone: Vec<InvocationId> = Vec::new();
             let invocations = &self.invocations;
             self.queues[oq].retain(|j| {
-                let live = invocations.contains_key(&j.invocation);
+                let live = invocations
+                    .get(j.slot)
+                    .is_some_and(|inst| inst.id == j.invocation);
                 if !live {
                     gone.push(j.invocation);
                 }
@@ -1249,21 +1377,20 @@ impl<'a> Simulation<'a> {
             now_ms: self.now.as_ms(),
         });
 
-        let id = self.next_task;
-        self.next_task += 1;
-        self.tasks.insert(
-            id,
-            RunningTask {
-                key,
-                config,
-                node,
-                jobs,
-                was_warm,
-                exec_ms,
-                init_ready_at: SimTime::ZERO,
-                committed,
-            },
-        );
+        // The task's arena slot is its event id: a completed task's slot
+        // (and id) is recycled, which is safe because each id has exactly
+        // one `ExecReady` and one `TaskComplete` in flight and both are
+        // consumed before the slot is freed.
+        let id = self.tasks.insert(RunningTask {
+            key,
+            config,
+            node,
+            jobs,
+            was_warm,
+            exec_ms,
+            init_ready_at: SimTime::ZERO,
+            committed,
+        }) as u64;
         self.metrics.phase_init_ms.add(cold_ms + transfer_ms);
         // Init phase (cold start + transfer) holds no compute resources: a
         // container being provisioned has not attached its vCPUs/MIG slice
@@ -1276,7 +1403,7 @@ impl<'a> Simulation<'a> {
     /// the node until capacity frees.
     fn exec_ready(&mut self, id: u64) {
         let (node, demand, committed) = {
-            let t = self.tasks.get_mut(&id).expect("live task");
+            let t = self.tasks.get_mut(id as u32).expect("live task");
             t.init_ready_at = self.now;
             (t.node, t.config.resources(), t.committed)
         };
@@ -1296,7 +1423,7 @@ impl<'a> Simulation<'a> {
             if !n.commit(demand) {
                 return false;
             }
-            self.tasks.get_mut(&id).expect("live task").committed = true;
+            self.tasks.get_mut(id as u32).expect("live task").committed = true;
             self.state.touch(node);
         }
         let ok = self.cluster.node_mut(node).allocate(demand, self.now);
@@ -1309,7 +1436,7 @@ impl<'a> Simulation<'a> {
 
     fn begin_exec(&mut self, id: u64) {
         let (key, config, exec_ms, price_scale) = {
-            let t = &self.tasks[&id];
+            let t = self.tasks.get(id as u32).expect("live task");
             self.metrics
                 .phase_exec_queue_ms
                 .add(self.now.saturating_since(t.init_ready_at).as_ms());
@@ -1332,7 +1459,7 @@ impl<'a> Simulation<'a> {
     }
 
     fn complete_task(&mut self, id: u64) {
-        let task = self.tasks.remove(&id).expect("unknown task");
+        let task = self.tasks.remove(id as u32).expect("unknown task");
         let keep = SimTime::from_ms(self.cfg.keep_alive_ms);
         let f = self.env.apps[task.key.app.index()].nodes[task.key.stage];
         {
@@ -1352,7 +1479,13 @@ impl<'a> Simulation<'a> {
         });
         let app_spec = &self.env.apps[task.key.app.index()];
         for job in &task.jobs {
-            let Some(inst) = self.invocations.get_mut(&job.invocation) else {
+            // The invocation may have been shed while this task ran; its
+            // slot may even hold a newer invocation by now — match on id.
+            let Some(inst) = self
+                .invocations
+                .get_mut(job.slot)
+                .filter(|inst| inst.id == job.invocation)
+            else {
                 continue;
             };
             let ready = inst.complete_stage(job.stage, task.node, app_spec);
@@ -1362,7 +1495,7 @@ impl<'a> Simulation<'a> {
                 .map(|&s| (s, inst.pred_node(s, app_spec)))
                 .collect();
             if complete {
-                let inst = self.invocations.remove(&job.invocation).expect("present");
+                let inst = self.invocations.remove(job.slot).expect("present");
                 // Invocations inside the warm-up window are excluded from
                 // the reported metrics (§4-style steady-state measurement).
                 if inst.arrived_at.as_ms() >= self.cfg.warmup_exclude_ms {
@@ -1383,6 +1516,7 @@ impl<'a> Simulation<'a> {
                     },
                     Job {
                         invocation: job.invocation,
+                        slot: job.slot,
                         stage,
                         ready_at: self.now,
                         pred_node,
@@ -1397,7 +1531,7 @@ impl<'a> Simulation<'a> {
     fn drain_waiting(&mut self, node: NodeId) {
         while let Some(&id) = self.waiting_exec[node.index()].front() {
             let (demand, committed) = {
-                let t = &self.tasks[&id];
+                let t = self.tasks.get(id as u32).expect("live task");
                 (t.config.resources(), t.committed)
             };
             if self.try_attach(id, node, demand, committed) {
@@ -1530,6 +1664,22 @@ pub fn run_simulation(
     scenario: &str,
 ) -> ExperimentResult {
     let mut result = Simulation::new(env, cfg, sched, workload).run();
+    result.scenario = scenario.to_string();
+    result
+}
+
+/// Convenience: run a simulation pulling arrivals lazily from `stream`.
+/// Bit-identical to [`run_simulation`] over the materialised form of the
+/// same stream; memory stays constant in the arrival count. Unbounded
+/// streams need `cfg.max_sim_ms > 0` to terminate.
+pub fn run_streamed(
+    env: &SimEnv,
+    cfg: SimConfig,
+    sched: &mut dyn Scheduler,
+    stream: ArrivalStream,
+    scenario: &str,
+) -> ExperimentResult {
+    let mut result = Simulation::from_stream(env, cfg, sched, stream).run();
     result.scenario = scenario.to_string();
     result
 }

@@ -652,11 +652,11 @@ pub fn fill_job_views<'j>(
     out: &mut Vec<JobView>,
     jobs: impl Iterator<Item = &'j Job>,
     now: SimTime,
-    arrivals: impl Fn(InvocationId) -> (SimTime, SimTime),
+    arrivals: impl Fn(&Job) -> (SimTime, SimTime),
 ) {
     out.clear();
     out.extend(jobs.map(|j| {
-        let (arrived, deadline) = arrivals(j.invocation);
+        let (arrived, deadline) = arrivals(j);
         JobView {
             invocation: j.invocation,
             ready_at_ms: j.ready_at.as_ms(),
@@ -770,13 +770,14 @@ mod tests {
         let jobs: Vec<Job> = (0..4u64)
             .map(|i| Job {
                 invocation: InvocationId(i),
+                slot: i as u32,
                 stage: 0,
                 ready_at: SimTime::from_ms(i as f64),
                 pred_node: None,
             })
             .collect();
         let mut out = Vec::new();
-        let arrivals = |_| (SimTime::ZERO, SimTime::from_ms(100.0));
+        let arrivals = |_: &Job| (SimTime::ZERO, SimTime::from_ms(100.0));
         fill_job_views(&mut out, jobs.iter(), SimTime::from_ms(10.0), arrivals);
         assert_eq!(out.len(), 4);
         assert_eq!(out[0].slack_ms, 90.0);

@@ -1,0 +1,327 @@
+//! Hierarchical timer wheel.
+//!
+//! The [`TimerWheel`] is the O(1) backing store behind
+//! [`EventQueueKind::Wheel`](crate::event::EventQueueKind): six levels of
+//! 64 slots each (6 bits per level, 36 bits ≈ 19 hours of microseconds
+//! per *epoch*), per-level `u64` occupancy bitmaps, and a binary-heap
+//! overflow for timers beyond the current epoch. Insertion hashes an
+//! absolute microsecond timestamp to the highest level where it differs
+//! from the cursor; advancing either drains the next occupied level-0
+//! slot or cascades the next occupied higher-level slot down one level,
+//! so every event is touched at most `LEVELS` times on its way to
+//! delivery.
+//!
+//! Ordering contract: pops come out in `(time, rank)` order where `rank`
+//! is the `(class, seq)` pair assigned by the
+//! [`EventQueue`](crate::event::EventQueue) facade — *identical* to the
+//! binary-heap backend, which is what makes heap-vs-wheel runs
+//! dispatch-trace identical. All events sharing the cursor's timestamp
+//! meet in a tiny per-tick heap, so same-tick ordering (including
+//! zero-delay re-schedules landing on the current tick) follows the same
+//! rank rule as the big heap.
+
+use crate::event::Event;
+use esg_model::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bits per wheel level (64 slots).
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of levels.
+const LEVELS: usize = 6;
+/// Bits covered by the in-wheel horizon; timestamps agreeing with the
+/// cursor above this boundary are "in epoch".
+const EPOCH_BITS: u32 = LEVEL_BITS * LEVELS as u32;
+
+/// The deterministic tie-break rank assigned by the facade:
+/// `(class, sequence)` — see `EventQueue::push`.
+pub(crate) type Rank = (u8, u64);
+
+/// A hierarchical timer wheel over absolute microsecond timestamps.
+///
+/// Events must never be scheduled before the time of the last delivered
+/// event (the simulation loop guarantees monotone scheduling; an
+/// exactly-now schedule joins the current tick).
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    /// Slot storage, `level * SLOTS + slot`. Entries keep their absolute
+    /// due time for re-insertion during cascades.
+    slots: Vec<Vec<(u64, Rank, Event)>>,
+    /// Per-level occupancy bitmaps (bit `s` ⇔ `slots[level*64+s]` non-empty).
+    occupied: [u64; LEVELS],
+    /// Absolute microsecond of the tick currently being delivered; never
+    /// decreases.
+    cursor: u64,
+    /// `cursor >> EPOCH_BITS`; events in later epochs wait in `overflow`.
+    epoch: u64,
+    /// Events due exactly at `cursor`, ordered by rank.
+    tick: BinaryHeap<Reverse<(Rank, Event)>>,
+    /// Events beyond the current epoch, promoted wholesale when the wheel
+    /// drains.
+    overflow: BinaryHeap<Reverse<(u64, Rank, Event)>>,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates an empty wheel with the cursor at time zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            ..TimerWheel::default()
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `event` at absolute microsecond `at_us` with tie-break
+    /// `rank`. `at_us` must be `>= `the last delivered tick.
+    pub(crate) fn insert(&mut self, at_us: u64, rank: Rank, event: Event) {
+        self.len += 1;
+        self.place(at_us, rank, event);
+    }
+
+    /// Places an entry without touching `len` (shared by insert and the
+    /// cascade/promotion paths).
+    fn place(&mut self, at_us: u64, rank: Rank, event: Event) {
+        debug_assert!(
+            at_us >= self.cursor,
+            "scheduled in the past: {at_us} < cursor {}",
+            self.cursor
+        );
+        if at_us <= self.cursor {
+            // Due exactly now: joins the tick being delivered.
+            self.tick.push(Reverse((rank, event)));
+            return;
+        }
+        if at_us >> EPOCH_BITS != self.epoch {
+            self.overflow.push(Reverse((at_us, rank, event)));
+            return;
+        }
+        // Highest 6-bit group where the timestamp differs from the cursor;
+        // all groups above agree, so the slot lies ahead of the cursor's
+        // position on that level.
+        let diff = at_us ^ self.cursor;
+        let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+        debug_assert!(level < LEVELS);
+        let slot = ((at_us >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push((at_us, rank, event));
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Ensures the tick buffer holds the earliest pending events, moving
+    /// the cursor forward as needed. Returns false when the wheel is
+    /// empty.
+    fn advance(&mut self) -> bool {
+        'outer: while self.tick.is_empty() {
+            // Level 0: the next occupied slot at or after the cursor *is*
+            // the earliest event (higher levels only hold later times).
+            let cur0 = (self.cursor & (SLOTS as u64 - 1)) as u32;
+            let mask0 = self.occupied[0] & (u64::MAX << cur0);
+            if mask0 != 0 {
+                let s = mask0.trailing_zeros() as u64;
+                self.cursor = (self.cursor & !(SLOTS as u64 - 1)) | s;
+                self.occupied[0] &= !(1 << s);
+                for (at, rank, ev) in self.slots[s as usize].split_off(0) {
+                    debug_assert_eq!(at, self.cursor, "level-0 slot holds a foreign tick");
+                    self.tick.push(Reverse((rank, ev)));
+                }
+                return true;
+            }
+            // Cascade: the lowest level with an occupied slot at or after
+            // its cursor group holds the earliest remaining event; move
+            // the cursor to that block's start and re-place its entries
+            // one level down (or into the tick).
+            for level in 1..LEVELS {
+                let shift = LEVEL_BITS * level as u32;
+                let g = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as u32;
+                let mask = self.occupied[level] & (u64::MAX << g);
+                if mask == 0 {
+                    continue;
+                }
+                let s = mask.trailing_zeros() as u64;
+                let block = 1u64 << (shift + LEVEL_BITS);
+                self.cursor = (self.cursor & !(block - 1)) | (s << shift);
+                self.occupied[level] &= !(1 << s);
+                for (at, rank, ev) in self.slots[level * SLOTS + s as usize].split_off(0) {
+                    self.place(at, rank, ev);
+                }
+                continue 'outer;
+            }
+            // Wheel empty: promote the next overflow epoch wholesale.
+            let Some(&Reverse((at, _, _))) = self.overflow.peek() else {
+                return false;
+            };
+            let e = at >> EPOCH_BITS;
+            debug_assert!(e > self.epoch);
+            self.epoch = e;
+            self.cursor = e << EPOCH_BITS;
+            while let Some(&Reverse((a, _, _))) = self.overflow.peek() {
+                if a >> EPOCH_BITS != e {
+                    break;
+                }
+                let Reverse((a, rank, ev)) = self.overflow.pop().expect("peeked");
+                self.place(a, rank, ev);
+            }
+        }
+        true
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.advance().then(|| SimTime::from_us(self.cursor))
+    }
+
+    /// Pops the earliest event; rank breaks ties.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        if !self.advance() {
+            return None;
+        }
+        let Reverse((_, ev)) = self.tick.pop().expect("advance filled the tick");
+        self.len -= 1;
+        Some((SimTime::from_us(self.cursor), ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel) -> Vec<(u64, Event)> {
+        std::iter::from_fn(|| w.pop().map(|(t, e)| (t.0, e))).collect()
+    }
+
+    #[test]
+    fn delivers_in_time_order_across_levels() {
+        let mut w = TimerWheel::new();
+        // One timer per level boundary: 1, 64, 64², … plus a far edge.
+        let times = [
+            1u64,
+            63,
+            64,
+            65,
+            4_095,
+            4_096,
+            262_144,
+            1 << 30,
+            (1 << 36) - 1,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.insert(t, (2, i as u64), Event::ExecReady(i as u64));
+        }
+        let got = drain(&mut w);
+        let want: Vec<(u64, Event)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, Event::ExecReady(i as u64)))
+            .collect();
+        assert_eq!(got, want);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_tick_orders_by_rank_not_insertion() {
+        let mut w = TimerWheel::new();
+        w.insert(500, (2, 10), Event::ControllerStep);
+        w.insert(500, (0, 4), Event::Arrival(4));
+        w.insert(500, (1, 0), Event::Churn(0));
+        w.insert(500, (0, 3), Event::Arrival(3));
+        let got = drain(&mut w);
+        assert_eq!(
+            got,
+            vec![
+                (500, Event::Arrival(3)),
+                (500, Event::Arrival(4)),
+                (500, Event::Churn(0)),
+                (500, Event::ControllerStep),
+            ]
+        );
+    }
+
+    #[test]
+    fn far_future_overflow_promotes_in_order() {
+        let mut w = TimerWheel::new();
+        let epoch = 1u64 << EPOCH_BITS;
+        // Two epochs ahead, one epoch ahead, and a near event.
+        w.insert(2 * epoch + 7, (2, 0), Event::ExecReady(0));
+        w.insert(epoch + 3, (2, 1), Event::ExecReady(1));
+        w.insert(epoch, (2, 2), Event::ExecReady(2));
+        w.insert(42, (2, 3), Event::ExecReady(3));
+        let got = drain(&mut w);
+        assert_eq!(
+            got,
+            vec![
+                (42, Event::ExecReady(3)),
+                (epoch, Event::ExecReady(2)),
+                (epoch + 3, Event::ExecReady(1)),
+                (2 * epoch + 7, Event::ExecReady(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn cascade_at_level_boundary_preserves_interleaved_pushes() {
+        let mut w = TimerWheel::new();
+        // 4096 = level-2 boundary; park a timer there, then pops pull the
+        // cursor close so a later push at 4096 lands on level 0/tick.
+        w.insert(4_096, (2, 0), Event::TaskComplete(0));
+        w.insert(4_095, (2, 1), Event::TaskComplete(1));
+        assert_eq!(
+            w.pop(),
+            Some((SimTime::from_us(4_095), Event::TaskComplete(1)))
+        );
+        // Pushed after the cursor moved: same time as the parked timer but
+        // a *lower* rank — must still pop first.
+        w.insert(4_096, (0, 0), Event::Arrival(0));
+        assert_eq!(w.pop(), Some((SimTime::from_us(4_096), Event::Arrival(0))));
+        assert_eq!(
+            w.pop(),
+            Some((SimTime::from_us(4_096), Event::TaskComplete(0)))
+        );
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn zero_delay_reschedule_joins_current_tick() {
+        let mut w = TimerWheel::new();
+        w.insert(100, (2, 0), Event::ControllerStep);
+        let (t, ev) = w.pop().expect("scheduled");
+        assert_eq!((t.0, ev), (100, Event::ControllerStep));
+        // A handler re-arming itself with zero delay lands on the tick
+        // being delivered, not a future one.
+        w.insert(100, (2, 1), Event::ControllerStep);
+        w.insert(100, (2, 2), Event::Prewarm(1, 1));
+        assert_eq!(
+            w.pop(),
+            Some((SimTime::from_us(100), Event::ControllerStep))
+        );
+        assert_eq!(w.pop(), Some((SimTime::from_us(100), Event::Prewarm(1, 1))));
+        assert!(w.pop().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn peek_is_idempotent_and_matches_pop() {
+        let mut w = TimerWheel::new();
+        w.insert(9_999, (2, 0), Event::ExecReady(1));
+        assert_eq!(w.peek_time(), Some(SimTime::from_us(9_999)));
+        assert_eq!(w.peek_time(), Some(SimTime::from_us(9_999)));
+        assert_eq!(w.len(), 1);
+        assert_eq!(
+            w.pop(),
+            Some((SimTime::from_us(9_999), Event::ExecReady(1)))
+        );
+        assert_eq!(w.peek_time(), None);
+    }
+}

@@ -13,6 +13,10 @@ use std::collections::VecDeque;
 pub struct Job {
     /// Owning invocation.
     pub invocation: InvocationId,
+    /// The invocation's slot in the platform's arena. Slots are recycled,
+    /// so any dereference must check the slot still holds `invocation`
+    /// (a shed invocation's sibling jobs can outlive it).
+    pub slot: u32,
     /// Stage index within the app DAG.
     pub stage: usize,
     /// When the job entered its AFW queue.
@@ -213,6 +217,7 @@ mod tests {
         for i in 0..5u64 {
             q.push(Job {
                 invocation: InvocationId(i),
+                slot: i as u32,
                 stage: 0,
                 ready_at: SimTime::from_ms(i as f64),
                 pred_node: None,

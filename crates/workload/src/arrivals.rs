@@ -5,9 +5,8 @@
 //! the four DNN applications is randomly picked to get invoked in each
 //! time interval."
 
+use crate::stream::ArrivalStream;
 use esg_model::{AppId, WorkloadClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One application invocation request.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -80,38 +79,21 @@ impl WorkloadGen {
         WorkloadGen { class, apps, seed }
     }
 
+    /// The infinite lazy arrival stream behind this generator. Both
+    /// [`generate`](Self::generate) and [`generate_for`](Self::generate_for)
+    /// drain this stream, so there is exactly one determinism story.
+    pub fn stream(&self) -> ArrivalStream {
+        ArrivalStream::of_class(self.class, self.apps.clone(), self.seed)
+    }
+
     /// Generates `count` arrivals.
     pub fn generate(&self, count: usize) -> Workload {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let (lo, hi) = self.class.interval_range_ms();
-        let mut t = 0.0f64;
-        let arrivals = (0..count)
-            .map(|_| {
-                let interval: f64 = rng.random_range(lo..=hi);
-                t += interval;
-                let app = self.apps[rng.random_range(0..self.apps.len())];
-                Arrival { at_ms: t, app }
-            })
-            .collect();
-        Workload { arrivals }
+        self.stream().take_workload(count)
     }
 
     /// Generates arrivals until `duration_ms` of simulated time is covered.
     pub fn generate_for(&self, duration_ms: f64) -> Workload {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let (lo, hi) = self.class.interval_range_ms();
-        let mut t = 0.0f64;
-        let mut arrivals = Vec::new();
-        loop {
-            let interval: f64 = rng.random_range(lo..=hi);
-            t += interval;
-            if t > duration_ms {
-                break;
-            }
-            let app = self.apps[rng.random_range(0..self.apps.len())];
-            arrivals.push(Arrival { at_ms: t, app });
-        }
-        Workload { arrivals }
+        self.stream().until_ms(duration_ms)
     }
 
     /// The workload class.

@@ -9,7 +9,8 @@
 //! use the distilled interval classes in [`crate::arrivals`] directly, as
 //! the paper does.
 
-use crate::arrivals::{Arrival, Workload};
+use crate::arrivals::Workload;
+use crate::stream::ArrivalStream;
 use esg_model::{AppId, Gaussian};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,52 +47,45 @@ impl Default for AzureLikeTrace {
 }
 
 impl AzureLikeTrace {
+    /// The rate for minute `m`, advancing the burst RNG and dispersion
+    /// noise by exactly one minute's worth of draws. Shared by the eager
+    /// [`rates`](Self::rates) table and the minute-lazy
+    /// [`ArrivalStream::azure`] stream so both see identical series.
+    pub(crate) fn rate_for_minute(&self, m: usize, rng: &mut StdRng, noise: &mut Gaussian) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * m as f64 / self.period_minutes;
+        let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
+        let burst = if rng.random::<f64>() < self.burst_probability {
+            self.burst_multiplier
+        } else {
+            1.0
+        };
+        (self.mean_per_minute * diurnal * burst * noise.sample_clamped(rng, 3.0)).max(0.0)
+    }
+
     /// Per-minute arrival rates for `minutes` consecutive minutes.
     pub fn rates(&self, minutes: usize) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut noise = Gaussian::new(1.0, 0.15);
         (0..minutes)
-            .map(|m| {
-                let phase = 2.0 * std::f64::consts::PI * m as f64 / self.period_minutes;
-                let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
-                let burst = if rng.random::<f64>() < self.burst_probability {
-                    self.burst_multiplier
-                } else {
-                    1.0
-                };
-                (self.mean_per_minute * diurnal * burst * noise.sample_clamped(&mut rng, 3.0))
-                    .max(0.0)
-            })
+            .map(|m| self.rate_for_minute(m, &mut rng, &mut noise))
             .collect()
+    }
+
+    /// The lazy arrival stream over this trace: `minutes: Some(n)` bounds
+    /// it to `n` minutes of trace time, `None` streams forever (requires
+    /// a positive mean rate).
+    pub fn stream(&self, apps: Vec<AppId>, minutes: Option<usize>) -> ArrivalStream {
+        ArrivalStream::azure(self.clone(), apps, minutes)
     }
 
     /// Generates arrivals over `minutes` of trace time, applications drawn
     /// uniformly from `apps`. Within each minute arrivals are spread with
-    /// exponential gaps (Poisson process at that minute's rate).
+    /// exponential gaps (Poisson process at that minute's rate). Drains
+    /// the [`stream`](Self::stream), which already yields in time order.
     pub fn generate(&self, minutes: usize, apps: &[AppId]) -> Workload {
-        assert!(!apps.is_empty(), "need at least one application");
-        let rates = self.rates(minutes);
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
-        let mut arrivals = Vec::new();
-        for (m, &rate) in rates.iter().enumerate() {
-            if rate <= 0.0 {
-                continue;
-            }
-            let minute_start = m as f64 * 60_000.0;
-            let mean_gap_ms = 60_000.0 / rate;
-            let mut t = minute_start;
-            loop {
-                // Exponential inter-arrival: -ln(U) * mean.
-                let u: f64 = 1.0 - rng.random::<f64>();
-                t += -u.ln() * mean_gap_ms;
-                if t >= minute_start + 60_000.0 {
-                    break;
-                }
-                let app = apps[rng.random_range(0..apps.len())];
-                arrivals.push(Arrival { at_ms: t, app });
-            }
+        Workload {
+            arrivals: self.stream(apps.to_vec(), Some(minutes)).collect(),
         }
-        Workload::from_arrivals(arrivals)
     }
 }
 

@@ -14,7 +14,11 @@
 //!   `diurnal`, `azure` replay) keyed by `esg_model::TrafficShape`, all
 //!   holding the class mean rate so shapes compare apples-to-apples;
 //! * [`predictor`] — the EWMA inter-arrival predictor the pre-warming
-//!   proxy threads use (§4).
+//!   proxy threads use (§4);
+//! * [`stream`] — the lazy [`ArrivalStream`] iterator every generator
+//!   above drains: constant-memory, time-ordered, bit-identical to the
+//!   materialised workloads, and the source the simulator's streaming
+//!   replay mode pulls from.
 
 #![warn(missing_docs)]
 
@@ -22,8 +26,10 @@ pub mod arrivals;
 pub mod azure;
 pub mod predictor;
 pub mod shapes;
+pub mod stream;
 
 pub use arrivals::{Arrival, Workload, WorkloadGen};
 pub use azure::AzureLikeTrace;
 pub use predictor::ArrivalPredictor;
-pub use shapes::shaped_workload;
+pub use shapes::{shaped_stream, shaped_workload, RateFn};
+pub use stream::ArrivalStream;

@@ -14,11 +14,10 @@
 //!
 //! All four are pure functions of `(class, shape, apps, seed)`.
 
-use crate::arrivals::{Arrival, Workload, WorkloadGen};
+use crate::arrivals::Workload;
 use crate::azure::AzureLikeTrace;
+use crate::stream::ArrivalStream;
 use esg_model::{AppId, TrafficShape, WorkloadClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Burst windows run at this multiple of the class rate.
 const BURST_RATE_MULTIPLIER: f64 = 4.0;
@@ -38,8 +37,98 @@ fn class_mean_interval_ms(class: WorkloadClass) -> f64 {
     (lo + hi) / 2.0
 }
 
+/// An instantaneous-rate multiplier over the class mean, used by
+/// [`ArrivalStream::modulated`]. An enum (not a closure) so streams stay
+/// nameable, sendable and cheap to construct.
+#[derive(Clone, Copy, Debug)]
+pub enum RateFn {
+    /// Episodic bursts: within the first `BURST_DUTY` of each
+    /// `BURST_CYCLE_MS` cycle the rate is `BURST_RATE_MULTIPLIER`×;
+    /// `quiet` slows the remainder so the cycle mean matches the class
+    /// mean.
+    Bursty {
+        /// Rate multiplier outside the burst window.
+        quiet: f64,
+    },
+    /// A sinusoidal rate cycle around the class mean
+    /// (`DIURNAL_AMPLITUDE` over `DIURNAL_PERIOD_MS`).
+    Diurnal,
+}
+
+impl RateFn {
+    /// The bursty modulation with its quiet rate solved for a unit mean:
+    /// mean = duty·burst + (1−duty)·quiet.
+    pub fn bursty() -> RateFn {
+        let quiet = (1.0 - BURST_DUTY * BURST_RATE_MULTIPLIER) / (1.0 - BURST_DUTY);
+        RateFn::Bursty {
+            quiet: quiet.max(0.05),
+        }
+    }
+
+    /// The diurnal modulation.
+    pub fn diurnal() -> RateFn {
+        RateFn::Diurnal
+    }
+
+    /// The rate multiplier at time `t` (ms).
+    pub fn multiplier(&self, t: f64) -> f64 {
+        match *self {
+            RateFn::Bursty { quiet } => {
+                let phase = (t / BURST_CYCLE_MS).fract();
+                if phase < BURST_DUTY {
+                    BURST_RATE_MULTIPLIER
+                } else {
+                    quiet
+                }
+            }
+            RateFn::Diurnal => {
+                1.0 + DIURNAL_AMPLITUDE * (2.0 * std::f64::consts::PI * t / DIURNAL_PERIOD_MS).sin()
+            }
+        }
+    }
+}
+
+/// The Azure-like trace pinned to `class`'s mean rate (the
+/// `TrafficShape::AzureReplay` parameterisation).
+fn azure_trace_for(class: WorkloadClass, seed: u64) -> AzureLikeTrace {
+    AzureLikeTrace {
+        mean_per_minute: 60_000.0 / class_mean_interval_ms(class),
+        period_minutes: DIURNAL_PERIOD_MS / 60_000.0 * 2.0,
+        seed,
+        ..AzureLikeTrace::default()
+    }
+}
+
+/// The infinite lazy stream for `class` shaped by `shape` — the
+/// streaming twin of [`shaped_workload`], for replay runs that pull
+/// arrivals as simulated time advances instead of materialising a
+/// `Vec`. Deterministic in `seed` and bit-identical to
+/// [`shaped_workload`] over any duration window.
+pub fn shaped_stream(
+    class: WorkloadClass,
+    shape: TrafficShape,
+    apps: &[AppId],
+    seed: u64,
+) -> ArrivalStream {
+    assert!(!apps.is_empty(), "need at least one application");
+    match shape {
+        TrafficShape::Steady => ArrivalStream::of_class(class, apps.to_vec(), seed),
+        TrafficShape::Bursty => {
+            ArrivalStream::modulated(class, apps.to_vec(), seed, RateFn::bursty())
+        }
+        TrafficShape::Diurnal => {
+            ArrivalStream::modulated(class, apps.to_vec(), seed, RateFn::diurnal())
+        }
+        TrafficShape::AzureReplay => {
+            ArrivalStream::azure(azure_trace_for(class, seed), apps.to_vec(), None)
+        }
+    }
+}
+
 /// Generates `duration_ms` of arrivals for `class` shaped by `shape`,
 /// applications drawn uniformly from `apps`. Deterministic in `seed`.
+/// Drains [`shaped_stream`] (Azure with the historical minute bound, so
+/// the rate RNG stops exactly at the window's last minute).
 pub fn shaped_workload(
     class: WorkloadClass,
     shape: TrafficShape,
@@ -49,82 +138,19 @@ pub fn shaped_workload(
 ) -> Workload {
     assert!(!apps.is_empty(), "need at least one application");
     match shape {
-        TrafficShape::Steady => {
-            WorkloadGen::new(class, apps.to_vec(), seed).generate_for(duration_ms)
+        TrafficShape::AzureReplay => {
+            let minutes = ((duration_ms / 60_000.0).ceil() as usize).max(1);
+            ArrivalStream::azure(azure_trace_for(class, seed), apps.to_vec(), Some(minutes))
+                .until_ms(duration_ms)
         }
-        TrafficShape::Bursty => bursty(class, apps, seed, duration_ms),
-        TrafficShape::Diurnal => diurnal(class, apps, seed, duration_ms),
-        TrafficShape::AzureReplay => azure_replay(class, apps, seed, duration_ms),
+        _ => shaped_stream(class, shape, apps, seed).until_ms(duration_ms),
     }
-}
-
-/// Rate-modulated interval sampling: draws a uniform class interval and
-/// divides it by `rate(t)`, a multiplier on the class's mean rate.
-fn modulated(
-    class: WorkloadClass,
-    apps: &[AppId],
-    seed: u64,
-    duration_ms: f64,
-    rate: impl Fn(f64) -> f64,
-) -> Workload {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let (lo, hi) = class.interval_range_ms();
-    let mut t = 0.0f64;
-    let mut arrivals = Vec::new();
-    loop {
-        let base: f64 = rng.random_range(lo..=hi);
-        let m = rate(t).max(1e-3);
-        t += base / m;
-        if t > duration_ms {
-            break;
-        }
-        let app = apps[rng.random_range(0..apps.len())];
-        arrivals.push(Arrival { at_ms: t, app });
-    }
-    Workload { arrivals }
-}
-
-/// Episodic bursts: within the first [`BURST_DUTY`] of each
-/// [`BURST_CYCLE_MS`] cycle the rate is [`BURST_RATE_MULTIPLIER`]×; the
-/// quiet remainder is slowed so the cycle's mean matches the class mean.
-fn bursty(class: WorkloadClass, apps: &[AppId], seed: u64, duration_ms: f64) -> Workload {
-    // mean rate = duty*burst + (1-duty)*quiet  ⇒  solve quiet for mean 1.
-    let quiet = (1.0 - BURST_DUTY * BURST_RATE_MULTIPLIER) / (1.0 - BURST_DUTY);
-    let quiet = quiet.max(0.05);
-    modulated(class, apps, seed, duration_ms, |t| {
-        let phase = (t / BURST_CYCLE_MS).fract();
-        if phase < BURST_DUTY {
-            BURST_RATE_MULTIPLIER
-        } else {
-            quiet
-        }
-    })
-}
-
-/// A sinusoidal rate cycle around the class mean.
-fn diurnal(class: WorkloadClass, apps: &[AppId], seed: u64, duration_ms: f64) -> Workload {
-    modulated(class, apps, seed, duration_ms, |t| {
-        1.0 + DIURNAL_AMPLITUDE * (2.0 * std::f64::consts::PI * t / DIURNAL_PERIOD_MS).sin()
-    })
-}
-
-/// Synthetic Azure replay at the class's mean rate.
-fn azure_replay(class: WorkloadClass, apps: &[AppId], seed: u64, duration_ms: f64) -> Workload {
-    let trace = AzureLikeTrace {
-        mean_per_minute: 60_000.0 / class_mean_interval_ms(class),
-        period_minutes: DIURNAL_PERIOD_MS / 60_000.0 * 2.0,
-        seed,
-        ..AzureLikeTrace::default()
-    };
-    let minutes = (duration_ms / 60_000.0).ceil() as usize;
-    let mut w = trace.generate(minutes.max(1), apps);
-    w.arrivals.retain(|a| a.at_ms <= duration_ms);
-    w
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arrivals::WorkloadGen;
 
     fn apps() -> Vec<AppId> {
         (0..4u32).map(AppId).collect()

@@ -54,6 +54,27 @@ fn run_one(
     shards: usize,
     force_sharded: bool,
 ) -> (String, u64, ExperimentResult) {
+    run_one_kind(
+        spec,
+        churn,
+        shape,
+        seed,
+        shards,
+        force_sharded,
+        EventQueueKind::Heap,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one_kind(
+    spec: &ClusterSpec,
+    churn: ChurnPlan,
+    shape: TrafficShape,
+    seed: u64,
+    shards: usize,
+    force_sharded: bool,
+    event_queue: EventQueueKind,
+) -> (String, u64, ExperimentResult) {
     let env = SimEnv::standard(SloClass::Moderate);
     let workload = shaped_workload(
         WorkloadClass::Light,
@@ -68,6 +89,7 @@ fn run_one(
         seed,
         shards,
         force_sharded,
+        event_queue,
         ..SimConfig::default()
     };
     let mut traced = Traced::new(Box::new(EsgScheduler::new()));
@@ -123,25 +145,61 @@ proptest::proptest! {
             format!("{:?}", r_b.scheduler_stats)
         );
     }
+
+    /// The timer-wheel event queue feeds the sharded driver the exact
+    /// same event order as the heap: traces and canonical results match
+    /// for any shard count, with or without mid-run churn.
+    #[test]
+    fn sharded_runs_are_backend_agnostic(
+        seed in 0u64..1_000,
+        spec_idx in 0usize..3,
+        shape_idx in 0usize..3,
+        shards in 1usize..=6,
+        churny in proptest::prelude::any::<bool>(),
+    ) {
+        let spec = specs()[spec_idx].clone();
+        let shape = SHAPES[shape_idx];
+        let churn = if churny {
+            ChurnPlan::rolling_replace(700.0, 400.0, NodeId(0), NodeClass::t4())
+        } else {
+            ChurnPlan::none()
+        };
+        let (res_h, trace_h, _) = run_one_kind(
+            &spec, churn.clone(), shape, seed, shards, true, EventQueueKind::Heap);
+        let (res_w, trace_w, _) = run_one_kind(
+            &spec, churn, shape, seed, shards, true, EventQueueKind::Wheel);
+        proptest::prop_assert_eq!(trace_h, trace_w, "backend changed the dispatch trace");
+        proptest::prop_assert_eq!(res_h, res_w);
+    }
 }
 
 #[test]
 fn sharded_runs_are_work_conserving_under_churn() {
     let spec = ClusterSpec::skewed();
     let churn = ChurnPlan::rolling_replace(700.0, 400.0, NodeId(0), NodeClass::t4());
-    for shards in [2usize, 4, 8] {
-        let (_, _, r) = run_one(&spec, churn.clone(), TrafficShape::Bursty, 7, shards, false);
-        assert_eq!(
-            r.arrivals,
-            r.total_completed() + r.shed_invocations,
-            "work stranded at shards={shards}"
-        );
-        let s = r.scheduler_stats.shards;
-        assert!(s.rounds > 0, "sharded driver must have run");
-        assert!(
-            s.commits >= r.dispatches,
-            "every dispatch commits through a shard round"
-        );
+    for kind in [EventQueueKind::Heap, EventQueueKind::Wheel] {
+        for shards in [2usize, 4, 8] {
+            let (_, _, r) = run_one_kind(
+                &spec,
+                churn.clone(),
+                TrafficShape::Bursty,
+                7,
+                shards,
+                false,
+                kind,
+            );
+            assert_eq!(
+                r.arrivals,
+                r.total_completed() + r.shed_invocations,
+                "work stranded at shards={shards} ({kind:?})"
+            );
+            let s = r.scheduler_stats.shards;
+            assert!(s.rounds > 0, "sharded driver must have run");
+            assert!(
+                s.commits >= r.dispatches,
+                "every dispatch commits through a shard round"
+            );
+        }
     }
 }
 
