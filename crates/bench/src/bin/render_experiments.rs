@@ -14,8 +14,8 @@
 //! over a clean tree.
 
 use esg_bench::{
-    experiments_md_path, render_bench_markdown, render_overhead_markdown, render_scale_markdown,
-    results_dir,
+    experiments_md_path, render_bench_markdown, render_overhead_markdown, render_replay_markdown,
+    render_scale_markdown, results_dir,
 };
 use serde_json::Value;
 use std::process::ExitCode;
@@ -71,6 +71,8 @@ fn main() -> ExitCode {
             render_overhead_markdown(&doc)
         } else if suite == "scale" {
             render_scale_markdown(&doc)
+        } else if suite == "replay" {
+            render_replay_markdown(&doc)
         } else {
             render_bench_markdown(&doc)
         };

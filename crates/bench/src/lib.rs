@@ -17,13 +17,19 @@
 
 #![warn(missing_docs)]
 
+mod dashboard;
 mod emit;
+mod replay;
 mod suite;
 
+pub use dashboard::{
+    dashboard_csv_header, dashboard_csv_rows, render_dashboard_text, render_snapshot_text,
+};
 pub use emit::{
     experiments_md_path, render_bench_markdown, render_overhead_markdown, render_scale_markdown,
     results_dir, update_experiments_md, write_csv, write_json,
 };
+pub use replay::{record_reference, render_replay_markdown, replay_doc, replay_matrix, ReplayRun};
 pub use suite::{
     ClusterCase, ExperimentSuite, RunSpec, ScenarioMatrix, SchedSpec, Sweep, SweepResult,
 };

@@ -1,0 +1,269 @@
+//! The replay scenario axis: record one reference run's event-sourced
+//! trace, then re-drive the recorded arrival stream across schedulers ×
+//! shard counts and compare dispatch-trace digests.
+//!
+//! Built on `esg-sim`'s trace subsystem: [`record_reference`] runs a
+//! `(scheduler, scenario)` cell with
+//! [`SimConfig::record_trace`](esg_sim::SimConfig) set and loads the
+//! written document back as a [`TraceReplay`]; [`replay_matrix`] fans
+//! the recorded load out over a scheduler × shard grid, tapping each
+//! replay through [`Traced`](esg_sim::Traced) so every row carries the
+//! canonical dispatch-trace digest. A replay under the recorded
+//! scheduler at the recorded shard count must reproduce the recorded
+//! digest bit for bit (`matches_recording`) — the `replay` bench target
+//! asserts it, and `tests/trace_roundtrip.rs` pins it per commit.
+
+use crate::{standard_config, workload_for, SchedKind};
+use esg_model::Scenario;
+use esg_sim::{ExperimentResult, ShardStats, SimEnv, TraceError, TraceReplay, Traced};
+use serde_json::{json, Value};
+use std::path::Path;
+
+/// One replayed cell of the scheduler × shard grid.
+pub struct ReplayRun {
+    /// Display name of the replayed scheduler.
+    pub scheduler: &'static str,
+    /// Controller shard count the replay ran under.
+    pub shards: usize,
+    /// FNV digest of the replay's dispatch/churn/shed trace.
+    pub digest: u64,
+    /// Whether `digest` equals the recorded run's digest.
+    pub matches_recording: bool,
+    /// Shard-commit counters tapped from the replay's event stream
+    /// (all zero on single-shard replays).
+    pub shard_stats: ShardStats,
+    /// The replay's full metrics.
+    pub result: ExperimentResult,
+}
+
+/// Records the reference run: `kind` on `scenario`'s workload
+/// (`run_seconds` of arrivals at the shared [`SEED`](crate::SEED)) with
+/// trace recording to `path`, then loads the written trace back as a
+/// [`TraceReplay`]. Returns the recorded run's metrics alongside it.
+pub fn record_reference(
+    kind: SchedKind,
+    scenario: Scenario,
+    run_seconds: f64,
+    path: &Path,
+) -> Result<(ExperimentResult, TraceReplay), TraceError> {
+    let mut cfg = standard_config();
+    cfg.record_trace = Some(path.to_path_buf());
+    let env = SimEnv::standard(scenario.slo);
+    let workload = workload_for(scenario, crate::SEED, run_seconds);
+    let mut sched = kind.build();
+    let result = esg_sim::run_simulation(
+        &env,
+        cfg,
+        sched.as_mut(),
+        &workload,
+        &format!("record/{scenario}"),
+    );
+    let replay = TraceReplay::load(path)?;
+    Ok((result, replay))
+}
+
+/// Re-drives the recorded load across `kinds` × `shard_counts`, one
+/// [`ReplayRun`] per cell in `(kind-major, shard-minor)` order. Every
+/// replay is tapped through [`Traced`], so rows carry the dispatch
+/// digest and the shard-commit counters of their own run.
+pub fn replay_matrix(
+    replay: &TraceReplay,
+    kinds: &[SchedKind],
+    shard_counts: &[usize],
+) -> Vec<ReplayRun> {
+    let recorded = replay.trace().dispatch_digest();
+    let mut rows = Vec::with_capacity(kinds.len() * shard_counts.len());
+    for &kind in kinds {
+        for &n in shard_counts {
+            let mut traced = Traced::new(kind.build());
+            let result = replay
+                .clone()
+                .shards(n)
+                .run(&mut traced, &format!("replay/{}/s{n}", kind.name()));
+            let digest = traced.trace_digest();
+            rows.push(ReplayRun {
+                scheduler: kind.name(),
+                shards: n,
+                digest,
+                matches_recording: digest == recorded,
+                shard_stats: traced.log.shard_stats(),
+                result,
+            });
+        }
+    }
+    rows
+}
+
+/// Assembles the `BENCH_replay.json` document from a recorded reference
+/// and its replay grid.
+pub fn replay_doc(
+    scenario: Scenario,
+    replay: &TraceReplay,
+    recorded: &ExperimentResult,
+    rows: &[ReplayRun],
+    smoke: bool,
+) -> Value {
+    let trace = replay.trace();
+    let runs: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "scheduler": (r.scheduler),
+                "shards": (r.shards),
+                "digest": (format!("{:016x}", r.digest)),
+                "matches_recording": (r.matches_recording),
+                "avg_hit_rate": (r.result.avg_hit_rate()),
+                "shed_rate": (r.result.shed_rate()),
+                "cost_per_invocation_cents": (r.result.cost_per_invocation_cents()),
+                "dispatches": (r.result.dispatches),
+                "shed_jobs": (r.result.shed_jobs),
+                "commits": (r.shard_stats.commits),
+                "conflicts": (r.shard_stats.conflicts),
+                "retries": (r.shard_stats.retries),
+            })
+        })
+        .collect();
+    json!({
+        "suite": "replay",
+        "smoke": smoke,
+        "scenario": (scenario.to_string()),
+        "recorded": {
+            "scheduler": (trace.scheduler.clone()),
+            "seed": (trace.config.seed),
+            "arrivals": (trace.arrivals.len()),
+            "events": (trace.events.len()),
+            "digest": (format!("{:016x}", trace.dispatch_digest())),
+            "avg_hit_rate": (recorded.avg_hit_rate()),
+        },
+        "runs": (Value::Array(runs)),
+    })
+}
+
+/// Renders a `BENCH_replay.json` document into the "Trace replay"
+/// Markdown table: the recorded reference in the preamble, one row per
+/// replayed `(scheduler, shards)` cell with its digest and headline
+/// metrics.
+pub fn render_replay_markdown(doc: &Value) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let scenario = doc.get("scenario").and_then(Value::as_str).unwrap_or("?");
+    let rec = doc.get("recorded");
+    let rec_str = |k: &str| {
+        rec.and_then(|r| r.get(k))
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+    };
+    let rec_u64 = |k: &str| {
+        rec.and_then(|r| r.get(k))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    writeln!(
+        out,
+        "Suite `replay` — a recorded `{scenario}` run under `{}` (seed {}, \
+{} arrivals, {} control-plane events, dispatch digest `{}`) re-driven from \
+its event-sourced trace across schedulers × shard counts (regenerate: \
+`cargo bench --bench replay`). *= recorded* marks a replay whose \
+dispatch-trace digest reproduces the recording bit for bit.",
+        rec_str("scheduler"),
+        rec_u64("seed"),
+        rec_u64("arrivals"),
+        rec_u64("events"),
+        rec_str("digest"),
+    )
+    .expect("writing to String cannot fail");
+    out.push_str(
+        "\n| scheduler | shards | digest | = recorded | SLO hit % | shed % | \
+cost/inv (¢) | dispatches | conflicts |\n\
+|---|---:|---|:---:|---:|---:|---:|---:|---:|\n",
+    );
+    for r in doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .unwrap_or_default()
+    {
+        let s = |k: &str| r.get(k).and_then(Value::as_str).unwrap_or("?");
+        let f = |k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let u = |k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
+        let matches = r
+            .get("matches_recording")
+            .and_then(|v| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            })
+            .unwrap_or(false);
+        writeln!(
+            out,
+            "| {} | {} | `{}` | {} | {:.1} | {:.1} | {:.3} | {} | {} |",
+            s("scheduler"),
+            u("shards"),
+            s("digest"),
+            if matches { "yes" } else { "no" },
+            100.0 * f("avg_hit_rate"),
+            100.0 * f("shed_rate"),
+            f("cost_per_invocation_cents"),
+            u("dispatches"),
+            u("conflicts"),
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::Scenario;
+
+    #[test]
+    fn record_then_replay_same_scheduler_matches_digest() {
+        let path =
+            std::env::temp_dir().join(format!("esg-bench-replay-unit-{}.json", std::process::id()));
+        let (recorded, replay) =
+            record_reference(SchedKind::Infless, Scenario::MODERATE_NORMAL, 8.0, &path)
+                .expect("reference records");
+        let rows = replay_matrix(&replay, &[SchedKind::Infless, SchedKind::Orion], &[1]);
+        assert_eq!(rows.len(), 2);
+        let same = &rows[0];
+        assert!(same.matches_recording, "same scheduler must reproduce");
+        assert_eq!(same.result.arrivals, recorded.arrivals);
+        let other = &rows[1];
+        assert_eq!(
+            other.result.arrivals, recorded.arrivals,
+            "a different scheduler sees the same offered load"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn markdown_renders_recorded_preamble_and_rows() {
+        let doc = json!({
+            "suite": "replay", "smoke": false, "scenario": "strict-light",
+            "recorded": {"scheduler": "ESG", "seed": 42, "arrivals": 240,
+                         "events": 900, "digest": "00deadbeef00cafe",
+                         "avg_hit_rate": 0.9},
+            "runs": [
+                {"scheduler": "ESG", "shards": 1, "digest": "00deadbeef00cafe",
+                 "matches_recording": true, "avg_hit_rate": 0.9,
+                 "shed_rate": 0.0, "cost_per_invocation_cents": 0.4,
+                 "dispatches": 200, "shed_jobs": 0, "commits": 0,
+                 "conflicts": 0, "retries": 0},
+                {"scheduler": "Orion", "shards": 2, "digest": "0123456789abcdef",
+                 "matches_recording": false, "avg_hit_rate": 0.7,
+                 "shed_rate": 0.1, "cost_per_invocation_cents": 0.6,
+                 "dispatches": 180, "shed_jobs": 5, "commits": 40,
+                 "conflicts": 3, "retries": 3}
+            ]
+        });
+        let md = render_replay_markdown(&doc);
+        assert!(md.contains("dispatch digest `00deadbeef00cafe`"), "{md}");
+        assert!(
+            md.contains("| ESG | 1 | `00deadbeef00cafe` | yes | 90.0 | 0.0 | 0.400 | 200 | 0 |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| Orion | 2 | `0123456789abcdef` | no | 70.0 | 10.0 | 0.600 | 180 | 3 |"),
+            "{md}"
+        );
+    }
+}

@@ -56,13 +56,15 @@ pub mod prelude {
     };
     pub use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
     pub use esg_sim::{
-        run_simulation, run_streamed, AdmissionDecision, AdmissionPlan, Capabilities, ClusterState,
-        EventKind, EventLog, EventQueueKind, EventRecord, ExperimentResult, MemoryFootprint,
-        MinScheduler, NodeSummary, NodeView, OverheadModel, PackingConfig, PolicySpec, PolicyStack,
-        PolicyStats, QueueCounters, QueuePartitioner, QueueView, RankedQueues, RoundCtx,
-        RoundPolicy, SchedCtx, Scheduler, SchedulerEvent, SchedulerStats, ShardStats,
+        dispatch_trace, fnv64, run_simulation, run_streamed, AdmissionDecision, AdmissionPlan,
+        Capabilities, ClusterState, EventKind, EventLog, EventQueueKind, EventRecord,
+        ExperimentResult, HealthSnapshot, MemoryFootprint, MinScheduler, Monitored, NodeSummary,
+        NodeView, OverheadModel, PackingConfig, PolicySpec, PolicyStack, PolicyStats,
+        QueueCounters, QueueHealth, QueueHealthMonitor, QueuePartitioner, QueueView, RankedQueues,
+        RoundCtx, RoundPolicy, SchedCtx, Scheduler, SchedulerEvent, SchedulerStats, ShardStats,
         ShardedController, ShedReason, Sim, SimBuilder, SimConfig, SimEnv, SimError, Simulation,
-        SloAdmission, SloAdmissionConfig,
+        SloAdmission, SloAdmissionConfig, TraceError, TraceFile, TraceRecorder, TraceReplay,
+        Traced,
     };
     pub use esg_workload::{
         shaped_stream, shaped_workload, ArrivalPredictor, ArrivalStream, AzureLikeTrace, RateFn,

@@ -266,6 +266,17 @@ impl SimBuilder {
         self
     }
 
+    /// Records every run's full control-plane event stream (arrivals,
+    /// dispatches, completions, churn, sheds, shard commits) to `path`,
+    /// replayable via [`TraceReplay`](crate::TraceReplay). The write
+    /// happens at the end of each run and is best-effort (a failure is
+    /// reported on stderr); loading is fully typed through
+    /// [`TraceError`](crate::TraceError).
+    pub fn record_trace(mut self, path: impl AsRef<std::path::Path>) -> Self {
+        self.cfg.record_trace = Some(path.as_ref().to_path_buf());
+        self
+    }
+
     /// Safety cap on simulated time, ms (0 = none).
     pub fn max_sim_ms(mut self, ms: f64) -> Self {
         self.cfg.max_sim_ms = ms;

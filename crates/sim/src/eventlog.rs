@@ -30,6 +30,7 @@
 
 use crate::policy::ShedReason;
 use crate::sched::{QueueKey, SchedulerEvent};
+use crate::shard::ShardStats;
 use esg_model::{Config, InvocationId, NodeId};
 use std::collections::{HashMap, VecDeque};
 
@@ -41,6 +42,85 @@ pub struct EventRecord {
     pub now_ms: f64,
     /// What happened.
     pub kind: EventKind,
+}
+
+impl EventRecord {
+    /// Captures a live [`SchedulerEvent`] as an owned record (borrowed
+    /// invocation lists flatten to counts). This is the one conversion
+    /// every tap — [`EventLog`], the trace recorder — shares, so a new
+    /// event variant cannot be captured two different ways.
+    ///
+    /// ```
+    /// use esg_sim::{EventKind, EventRecord, SchedulerEvent};
+    ///
+    /// let r = EventRecord::capture(&SchedulerEvent::RecheckTick { now_ms: 4.0 });
+    /// assert_eq!(r, EventRecord { now_ms: 4.0, kind: EventKind::RecheckTick });
+    /// ```
+    pub fn capture(event: &SchedulerEvent<'_>) -> EventRecord {
+        let (now_ms, kind) = match *event {
+            SchedulerEvent::JobArrived {
+                key,
+                invocation,
+                now_ms,
+            } => (now_ms, EventKind::JobArrived { key, invocation }),
+            SchedulerEvent::Dispatched {
+                key,
+                invocations,
+                config,
+                node,
+                now_ms,
+            } => (
+                now_ms,
+                EventKind::Dispatched {
+                    key,
+                    config,
+                    node,
+                    jobs: invocations.len(),
+                },
+            ),
+            SchedulerEvent::TaskCompleted {
+                key,
+                node,
+                config,
+                now_ms,
+            } => (now_ms, EventKind::TaskCompleted { key, node, config }),
+            SchedulerEvent::Churn {
+                node,
+                joined,
+                now_ms,
+            } => (now_ms, EventKind::Churn { node, joined }),
+            SchedulerEvent::QueueShed {
+                key,
+                invocations,
+                reason,
+                now_ms,
+            } => (
+                now_ms,
+                EventKind::QueueShed {
+                    key,
+                    jobs: invocations.len(),
+                    reason,
+                },
+            ),
+            SchedulerEvent::RecheckTick { now_ms } => (now_ms, EventKind::RecheckTick),
+            SchedulerEvent::ShardCommit {
+                shard,
+                commits,
+                conflicts,
+                retries,
+                now_ms,
+            } => (
+                now_ms,
+                EventKind::ShardCommit {
+                    shard,
+                    commits,
+                    conflicts,
+                    retries,
+                },
+            ),
+        };
+        EventRecord { now_ms, kind }
+    }
 }
 
 /// The owned mirror of [`SchedulerEvent`].
@@ -91,6 +171,17 @@ pub enum EventKind {
     },
     /// The platform retried the parked queues.
     RecheckTick,
+    /// One shard committed a staged round (sharded control plane only).
+    ShardCommit {
+        /// The committing shard's index.
+        shard: usize,
+        /// Decisions that landed.
+        commits: u64,
+        /// Staged placements invalidated by cross-shard movement.
+        conflicts: u64,
+        /// Conflicted decisions handed back for a retry.
+        retries: u64,
+    },
 }
 
 /// Per-queue counters accumulated from the event stream.
@@ -135,6 +226,11 @@ pub struct EventLog {
     /// Queue-entry instant of each live job, keyed `(queue, invocation)`
     /// — bounded by the number of queued jobs, drained at dispatch/shed.
     pending: HashMap<(QueueKey, InvocationId), f64>,
+    /// Totals accumulated from [`SchedulerEvent::ShardCommit`] events
+    /// (`rounds` counts the commit events themselves; `commit_wall_us`
+    /// is host wall time the event stream deliberately omits, so it
+    /// stays 0 here).
+    shard: ShardStats,
 }
 
 /// Default ring capacity (records beyond it evict the oldest).
@@ -155,12 +251,13 @@ impl EventLog {
             dropped: 0,
             counters: HashMap::new(),
             pending: HashMap::new(),
+            shard: ShardStats::default(),
         }
     }
 
     /// Ingests one control-plane event.
     pub fn observe(&mut self, event: &SchedulerEvent<'_>) {
-        let (now_ms, kind) = match *event {
+        match *event {
             SchedulerEvent::JobArrived {
                 key,
                 invocation,
@@ -170,14 +267,12 @@ impl EventLog {
                 c.arrivals += 1;
                 c.backlog += 1;
                 self.pending.insert((key, invocation), now_ms);
-                (now_ms, EventKind::JobArrived { key, invocation })
             }
             SchedulerEvent::Dispatched {
                 key,
                 invocations,
-                config,
-                node,
                 now_ms,
+                ..
             } => {
                 let mut wait_sum = 0.0f64;
                 let mut wait_max = 0.0f64;
@@ -194,35 +289,13 @@ impl EventLog {
                 c.backlog = c.backlog.saturating_sub(invocations.len() as u64);
                 c.wait_sum_ms += wait_sum;
                 c.wait_max_ms = c.wait_max_ms.max(wait_max);
-                (
-                    now_ms,
-                    EventKind::Dispatched {
-                        key,
-                        config,
-                        node,
-                        jobs: invocations.len(),
-                    },
-                )
             }
-            SchedulerEvent::TaskCompleted {
-                key,
-                node,
-                config,
-                now_ms,
-            } => {
+            SchedulerEvent::TaskCompleted { key, .. } => {
                 self.counters.entry(key).or_default().completions += 1;
-                (now_ms, EventKind::TaskCompleted { key, node, config })
             }
-            SchedulerEvent::Churn {
-                node,
-                joined,
-                now_ms,
-            } => (now_ms, EventKind::Churn { node, joined }),
+            SchedulerEvent::Churn { .. } | SchedulerEvent::RecheckTick { .. } => {}
             SchedulerEvent::QueueShed {
-                key,
-                invocations,
-                reason,
-                now_ms,
+                key, invocations, ..
             } => {
                 for &inv in invocations {
                     self.pending.remove(&(key, inv));
@@ -230,22 +303,24 @@ impl EventLog {
                 let c = self.counters.entry(key).or_default();
                 c.shed_jobs += invocations.len() as u64;
                 c.backlog = c.backlog.saturating_sub(invocations.len() as u64);
-                (
-                    now_ms,
-                    EventKind::QueueShed {
-                        key,
-                        jobs: invocations.len(),
-                        reason,
-                    },
-                )
             }
-            SchedulerEvent::RecheckTick { now_ms } => (now_ms, EventKind::RecheckTick),
-        };
+            SchedulerEvent::ShardCommit {
+                commits,
+                conflicts,
+                retries,
+                ..
+            } => {
+                self.shard.rounds += 1;
+                self.shard.commits += commits;
+                self.shard.conflicts += conflicts;
+                self.shard.retries += retries;
+            }
+        }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(EventRecord { now_ms, kind });
+        self.ring.push_back(EventRecord::capture(event));
     }
 
     /// The retained records, oldest first.
@@ -283,12 +358,21 @@ impl EventLog {
         self.counters.values().map(|c| c.backlog).sum()
     }
 
+    /// Shard-commit totals seen so far (all zero on the single-threaded
+    /// control plane, which never emits [`SchedulerEvent::ShardCommit`]).
+    /// `commit_wall_us` is always 0 — the event stream carries no host
+    /// wall time.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.shard
+    }
+
     /// Forgets history and counters (capacity is kept).
     pub fn clear(&mut self) {
         self.ring.clear();
         self.dropped = 0;
         self.counters.clear();
         self.pending.clear();
+        self.shard = ShardStats::default();
     }
 }
 
@@ -390,6 +474,37 @@ mod tests {
         assert!(log.is_empty());
         assert_eq!(log.dropped(), 0);
         assert_eq!(log.queue(k), QueueCounters::default());
+    }
+
+    #[test]
+    fn shard_commits_accumulate_into_shard_stats() {
+        let mut log = EventLog::new();
+        for (shard, commits, conflicts, retries) in [(0usize, 5u64, 1u64, 1u64), (1, 3, 0, 0)] {
+            log.observe(&SchedulerEvent::ShardCommit {
+                shard,
+                commits,
+                conflicts,
+                retries,
+                now_ms: 100.0,
+            });
+        }
+        let s = log.shard_stats();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.commits, 8);
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.commit_wall_us, 0, "event stream carries no wall time");
+        assert_eq!(log.queues().count(), 0, "no queue counters touched");
+        assert!(matches!(
+            log.records().next().expect("recorded").kind,
+            EventKind::ShardCommit {
+                shard: 0,
+                commits: 5,
+                ..
+            }
+        ));
+        log.clear();
+        assert_eq!(log.shard_stats(), ShardStats::default());
     }
 
     #[test]

@@ -48,12 +48,14 @@ pub mod builder;
 pub mod cluster;
 pub mod event;
 pub mod eventlog;
+pub mod health;
 pub mod metrics;
 pub mod platform;
 pub mod policy;
 pub mod sched;
 pub mod shard;
 pub mod state;
+pub mod trace;
 pub mod wheel;
 pub mod workflow;
 
@@ -62,6 +64,7 @@ pub use builder::{Sim, SimBuilder, SimError};
 pub use cluster::{Cluster, Node};
 pub use event::{Event, EventQueue, EventQueueKind};
 pub use eventlog::{EventKind, EventLog, EventRecord, QueueCounters};
+pub use health::{HealthSnapshot, Monitored, QueueHealth, QueueHealthMonitor};
 pub use metrics::{AppMetrics, ExperimentResult, NodeSummary};
 pub use platform::{
     run_simulation, run_streamed, MemoryFootprint, MinScheduler, SimConfig, SimEnv, Simulation,
@@ -77,5 +80,9 @@ pub use sched::{
 };
 pub use shard::{QueuePartitioner, ShardStats, ShardedController};
 pub use state::{ClusterState, NodeView};
+pub use trace::{
+    dispatch_trace, fnv64, TraceError, TraceFile, TraceRecorder, TraceReplay, Traced, TRACE_FORMAT,
+    TRACE_VERSION,
+};
 pub use wheel::TimerWheel;
 pub use workflow::{AfwQueue, Job, WorkflowInstance};

@@ -34,6 +34,7 @@ use crate::sched::{
 };
 use crate::shard::ShardedController;
 use crate::state::ClusterState;
+use crate::trace::TraceRecorder;
 use crate::workflow::{AfwQueue, Job, WorkflowInstance};
 use esg_model::{
     standard_apps, standard_catalog, AppId, AppSpec, Catalog, ChurnEvent, ChurnPlan, ClusterSpec,
@@ -176,6 +177,14 @@ pub struct SimConfig {
     /// produce bit-identical runs (pinned by
     /// `tests/replay_equivalence.rs`).
     pub event_queue: EventQueueKind,
+    /// When set, the run records its full control-plane event stream
+    /// (plus environment header and arrivals) to this path at the end of
+    /// the run, replayable via [`TraceReplay`](crate::TraceReplay).
+    /// Prefer selecting it through
+    /// [`SimBuilder::record_trace`](crate::SimBuilder::record_trace).
+    /// The write is best-effort: a failure is reported on stderr, never
+    /// a panic mid-experiment.
+    pub record_trace: Option<std::path::PathBuf>,
 }
 
 impl Default for SimConfig {
@@ -201,6 +210,7 @@ impl Default for SimConfig {
             shards: 1,
             force_sharded: false,
             event_queue: EventQueueKind::Heap,
+            record_trace: None,
         }
     }
 }
@@ -241,6 +251,9 @@ const SHARD_RETRY_LIMIT: u32 = 3;
 /// One shard's staged round: decisions made against a generation-stamped
 /// snapshot of the shared state, awaiting ordered commit.
 struct StagedRound {
+    /// Index of the shard that staged the round (telemetry: carried into
+    /// the per-round [`SchedulerEvent::ShardCommit`] emission).
+    shard: usize,
     /// [`ClusterState::generation`] at staging time.
     staged_gen: u64,
     /// The shard-local eligible set the decisions were drawn from.
@@ -382,6 +395,9 @@ pub struct Simulation<'a> {
     metrics: ExperimentResult,
     slo_ms: Vec<f64>,
     base_ms: Vec<f64>,
+    /// The trace-recording sink (`cfg.record_trace`); fed alongside the
+    /// scheduler by [`notify`](Self::notify) and written in `finish`.
+    recorder: Option<TraceRecorder>,
 }
 
 impl<'a> Simulation<'a> {
@@ -473,6 +489,10 @@ impl<'a> Simulation<'a> {
             ShardedController::new(cfg.shards.max(1), &queue_keys, proto.as_ref())
         });
         let event_queue = cfg.event_queue;
+        let recorder = cfg
+            .record_trace
+            .clone()
+            .map(|path| TraceRecorder::begin(path, env, &cfg, sched.name()));
         Simulation {
             env,
             cfg,
@@ -511,7 +531,19 @@ impl<'a> Simulation<'a> {
             metrics,
             slo_ms,
             base_ms,
+            recorder,
         }
+    }
+
+    /// Publishes one control-plane event to every tap: the trace
+    /// recorder (when recording) and the scheduler's `on_event`. All
+    /// event emission goes through here so a recorded stream can never
+    /// diverge from what the scheduler observed.
+    fn notify(&mut self, event: &SchedulerEvent<'_>) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.observe(event);
+        }
+        self.sched.on_event(event);
     }
 
     /// Pulls the next arrival from the source and schedules its event.
@@ -627,7 +659,7 @@ impl<'a> Simulation<'a> {
                 if node.index() < self.cluster.len() {
                     self.cluster.node_mut(node).drain(self.now);
                     self.state.touch(node);
-                    self.sched.on_event(&SchedulerEvent::Churn {
+                    self.notify(&SchedulerEvent::Churn {
                         node,
                         joined: false,
                         now_ms: self.now.as_ms(),
@@ -638,7 +670,7 @@ impl<'a> Simulation<'a> {
                 let joined = self.cluster.join(class, self.now);
                 self.waiting_exec.push(std::collections::VecDeque::new());
                 self.state.note_join(self.cluster.node(joined), self.now);
-                self.sched.on_event(&SchedulerEvent::Churn {
+                self.notify(&SchedulerEvent::Churn {
                     node: joined,
                     joined: true,
                     now_ms: self.now.as_ms(),
@@ -654,6 +686,9 @@ impl<'a> Simulation<'a> {
     }
 
     fn handle_arrival(&mut self, arrival: Arrival) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record_arrival(arrival);
+        }
         let app_idx = arrival.app.index();
         let app = &self.env.apps[app_idx];
         let id = InvocationId(self.next_invocation);
@@ -688,7 +723,7 @@ impl<'a> Simulation<'a> {
     fn enqueue_job(&mut self, key: QueueKey, job: Job) {
         let qi = self.queue_index[&key];
         self.queues[qi].push(job);
-        self.sched.on_event(&SchedulerEvent::JobArrived {
+        self.notify(&SchedulerEvent::JobArrived {
             key,
             invocation: job.invocation,
             now_ms: self.now.as_ms(),
@@ -926,6 +961,7 @@ impl<'a> Simulation<'a> {
                     (decisions, t0.elapsed().as_secs_f64() * 1000.0)
                 };
                 staged.push(StagedRound {
+                    shard: s,
                     staged_gen,
                     eligible,
                     decisions,
@@ -944,6 +980,7 @@ impl<'a> Simulation<'a> {
             let mut commit_wall_us = 0u64;
             for round in staged {
                 let StagedRound {
+                    shard,
                     staged_gen,
                     eligible,
                     decisions,
@@ -951,6 +988,10 @@ impl<'a> Simulation<'a> {
                 } = round;
                 self.refresh_state();
                 let cross_moved = self.state.moved_since(staged_gen);
+                // Per-round deltas, emitted as one ShardCommit telemetry
+                // event after the round's decisions settle.
+                let (commits_before, conflicts_before, retries_before) =
+                    (commits, conflicts, retries);
                 let t0 = Instant::now();
                 for (key, outcome) in decisions {
                     let Some(&qi) = self.queue_index.get(&key) else {
@@ -1003,6 +1044,13 @@ impl<'a> Simulation<'a> {
                     }
                 }
                 commit_wall_us += t0.elapsed().as_micros() as u64;
+                self.notify(&SchedulerEvent::ShardCommit {
+                    shard,
+                    commits: commits - commits_before,
+                    conflicts: conflicts - conflicts_before,
+                    retries: retries - retries_before,
+                    now_ms: self.now.as_ms(),
+                });
             }
             let stats = self.shard_ctl.as_mut().expect("sharded driver").stats_mut();
             stats.commits += commits;
@@ -1203,14 +1251,14 @@ impl<'a> Simulation<'a> {
         if self.views_stamp[qi] == self.round_seq {
             self.refill_queue_views(qi);
         }
-        self.sched.on_event(&SchedulerEvent::QueueShed {
+        self.notify(&SchedulerEvent::QueueShed {
             key,
             invocations: &shed,
             reason,
             now_ms: self.now.as_ms(),
         });
         for (oq, gone) in &purged {
-            self.sched.on_event(&SchedulerEvent::QueueShed {
+            self.notify(&SchedulerEvent::QueueShed {
                 key: self.queue_keys[*oq],
                 invocations: gone,
                 reason,
@@ -1226,7 +1274,7 @@ impl<'a> Simulation<'a> {
         if self.recheck.is_empty() {
             return;
         }
-        self.sched.on_event(&SchedulerEvent::RecheckTick {
+        self.notify(&SchedulerEvent::RecheckTick {
             now_ms: self.now.as_ms(),
         });
         let min_gap = SimTime::from_ms(self.cfg.idle_backoff_ms);
@@ -1369,7 +1417,7 @@ impl<'a> Simulation<'a> {
         self.last_node[qi] = Some(node);
 
         let dispatched: Vec<InvocationId> = jobs.iter().map(|j| j.invocation).collect();
-        self.sched.on_event(&SchedulerEvent::Dispatched {
+        self.notify(&SchedulerEvent::Dispatched {
             key,
             invocations: &dispatched,
             config,
@@ -1471,7 +1519,7 @@ impl<'a> Simulation<'a> {
         self.state.touch(task.node);
         // Freed capacity may admit init-complete tasks waiting on this node.
         self.drain_waiting(task.node);
-        self.sched.on_event(&SchedulerEvent::TaskCompleted {
+        self.notify(&SchedulerEvent::TaskCompleted {
             key: task.key,
             node: task.node,
             config: task.config,
@@ -1590,6 +1638,14 @@ impl<'a> Simulation<'a> {
             }
             None => self.sched.stats(),
         };
+        // Best-effort trace write: a full ExperimentResult is still the
+        // run's product; a broken disk degrades to a stderr report, not
+        // a panic after minutes of simulation.
+        if let Some(rec) = self.recorder.take() {
+            if let Err(e) = rec.finish() {
+                eprintln!("warning: trace not recorded: {e}");
+            }
+        }
         self.metrics
     }
 }

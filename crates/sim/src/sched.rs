@@ -261,6 +261,46 @@ pub enum SchedulerEvent<'a> {
         /// Simulated time, ms.
         now_ms: f64,
     },
+    /// One shard of the sharded control plane finished committing a
+    /// staged round: `commits` decisions landed, `conflicts` staged
+    /// placements were invalidated by another shard's commit, and
+    /// `retries` of those were sent back for re-staging (the rest fell
+    /// back to the classic recheck park). Only emitted by the sharded
+    /// driver (`SimConfig::shards > 1` or `force_sharded`); dashboards
+    /// use it to spot cross-shard conflict storms without polling
+    /// [`SchedulerStats`].
+    ShardCommit {
+        /// The committing shard's index.
+        shard: usize,
+        /// Decisions that landed in this commit phase.
+        commits: u64,
+        /// Staged placements invalidated by cross-shard movement.
+        conflicts: u64,
+        /// Conflicted decisions handed back for a bounded retry.
+        retries: u64,
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
+}
+
+impl SchedulerEvent<'_> {
+    /// The event's simulated time, ms (every variant carries one).
+    ///
+    /// ```
+    /// use esg_sim::SchedulerEvent;
+    /// assert_eq!(SchedulerEvent::RecheckTick { now_ms: 7.5 }.now_ms(), 7.5);
+    /// ```
+    pub fn now_ms(&self) -> f64 {
+        match *self {
+            SchedulerEvent::JobArrived { now_ms, .. }
+            | SchedulerEvent::Dispatched { now_ms, .. }
+            | SchedulerEvent::TaskCompleted { now_ms, .. }
+            | SchedulerEvent::Churn { now_ms, .. }
+            | SchedulerEvent::QueueShed { now_ms, .. }
+            | SchedulerEvent::RecheckTick { now_ms }
+            | SchedulerEvent::ShardCommit { now_ms, .. } => now_ms,
+        }
+    }
 }
 
 /// The outcome of a scheduling decision.

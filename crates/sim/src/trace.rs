@@ -1,0 +1,1204 @@
+//! Event-sourced trace record/replay: serialise a run's full
+//! [`EventRecord`] stream to a versioned on-disk format, load it back,
+//! and re-drive any scheduler against the recorded arrival/churn stream.
+//!
+//! Three layers:
+//!
+//! * [`TraceRecorder`] — the recording sink. Selected through
+//!   [`SimBuilder::record_trace`](crate::SimBuilder::record_trace), it
+//!   captures every control-plane event (arrivals, dispatches,
+//!   completions, churn, sheds, shard commits) plus the run's
+//!   environment header (SLO class, configuration grid, full
+//!   [`SimConfig`]) and writes one compact JSON document at the end of
+//!   the run via the vendored `serde_json`.
+//! * [`TraceFile`] — the loaded, validated form of that document, with
+//!   typed [`TraceError`]s for anything short of a well-formed
+//!   supported-version trace (truncated file, corrupt JSON, unknown
+//!   version, schema drift).
+//! * [`TraceReplay`] — re-drives a scheduler against the recorded
+//!   arrivals and churn under the recorded configuration (optionally
+//!   overriding the shard count or event-queue backend), producing an
+//!   [`ExperimentResult`] and a dispatch-trace digest comparable with
+//!   the recorded stream's own [`TraceFile::dispatch_digest`].
+//!
+//! The module is also the single owner of the canonical dispatch-trace
+//! rendering ([`dispatch_trace`]) and its [`fnv64`] digest that the
+//! golden equivalence suites pin: a run replayed under the same
+//! scheduler and seed must reproduce the recorded digest bit for bit.
+//!
+//! ```
+//! use esg_model::{SloClass, WorkloadClass};
+//! use esg_sim::{MinScheduler, SimBuilder, TraceReplay};
+//! use esg_workload::WorkloadGen;
+//!
+//! let path = std::env::temp_dir().join(format!("esg-trace-doc-{}.json", std::process::id()));
+//! let sim = SimBuilder::new(SloClass::Moderate)
+//!     .record_trace(&path)
+//!     .build()
+//!     .expect("valid configuration");
+//! let w = WorkloadGen::new(WorkloadClass::Light, esg_model::standard_app_ids(), 7).generate(8);
+//! let recorded = sim.run(&mut MinScheduler, &w, "record");
+//!
+//! let replay = TraceReplay::load(&path).expect("well-formed trace");
+//! let replayed = replay.run(&mut MinScheduler, "replay");
+//! assert_eq!(replayed.arrivals, recorded.arrivals);
+//! std::fs::remove_file(&path).ok();
+//! ```
+
+use crate::event::EventQueueKind;
+use crate::eventlog::{EventKind, EventLog, EventRecord};
+use crate::metrics::ExperimentResult;
+use crate::platform::{run_simulation, SimConfig, SimEnv};
+use crate::policy::ShedReason;
+use crate::sched::{
+    Capabilities, Outcome, OverheadModel, QueueKey, RoundCtx, SchedCtx, Scheduler, SchedulerEvent,
+    SchedulerStats,
+};
+use esg_model::{
+    standard_apps, AppId, ChurnEvent, ChurnPlan, ClusterSpec, Config, ConfigGrid, GpuFlavor,
+    InvocationId, NodeClass, NodeId, Resources, SloClass,
+};
+use esg_workload::{Arrival, Workload};
+use serde_json::{Map, Value};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Format marker written into every trace header.
+pub const TRACE_FORMAT: &str = "esg-trace";
+
+/// Current trace schema version; [`TraceFile::load`] rejects others with
+/// [`TraceError::Version`].
+pub const TRACE_VERSION: u32 = 1;
+
+/// A typed failure while writing or loading a trace. Corrupt or
+/// truncated files surface here — never as a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// The file could not be read or written.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The OS error, rendered.
+        message: String,
+    },
+    /// The document is not well-formed JSON (truncation lands here).
+    Parse {
+        /// Byte offset where parsing failed.
+        offset: usize,
+        /// What was expected or found.
+        message: String,
+    },
+    /// The document is JSON but not a supported trace version.
+    Version {
+        /// The version the file claims.
+        found: i64,
+        /// The version this build reads.
+        supported: u32,
+    },
+    /// The document is missing a field or holds one of the wrong shape.
+    Schema {
+        /// Which field, and what was wrong with it.
+        context: String,
+    },
+    /// The run cannot be recorded/replayed faithfully (e.g. custom
+    /// application specs, which the standard-environment loader cannot
+    /// reconstruct).
+    Unsupported {
+        /// What was unsupported.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io { path, message } => {
+                write!(f, "trace i/o on {}: {message}", path.display())
+            }
+            TraceError::Parse { offset, message } => {
+                write!(f, "trace parse error at byte {offset}: {message}")
+            }
+            TraceError::Version { found, supported } => {
+                write!(f, "trace version {found} (this build reads {supported})")
+            }
+            TraceError::Schema { context } => write!(f, "trace schema: {context}"),
+            TraceError::Unsupported { what } => write!(f, "unsupported trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// FNV-1a over `s` — the digest primitive of the golden equivalence
+/// harness and of [`TraceFile::dispatch_digest`].
+///
+/// ```
+/// assert_eq!(esg_sim::trace::fnv64(""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Renders the canonical dispatch/churn/shed trace the golden digests
+/// hash: `D {app}.{stage} {config} n{node} x{jobs};` per dispatch,
+/// `C n{node} join|drain;` per churn event, `S {app}.{stage} x{jobs}
+/// {reason};` per shed. Arrivals, completions, recheck ticks, and shard
+/// commits are deliberately not rendered, so new telemetry event kinds
+/// cannot move existing digests.
+pub fn dispatch_trace<'a, I>(records: I) -> String
+where
+    I: IntoIterator<Item = &'a EventRecord>,
+{
+    let mut out = String::new();
+    for r in records {
+        match r.kind {
+            EventKind::Dispatched {
+                key,
+                config,
+                node,
+                jobs,
+            } => {
+                let _ = write!(
+                    out,
+                    "D {}.{} {} n{} x{};",
+                    key.app.0, key.stage, config, node.0, jobs
+                );
+            }
+            EventKind::Churn { node, joined } => {
+                let _ = write!(
+                    out,
+                    "C n{} {};",
+                    node.0,
+                    if joined { "join" } else { "drain" }
+                );
+            }
+            EventKind::QueueShed { key, jobs, reason } => {
+                let _ = write!(out, "S {}.{} x{} {};", key.app.0, key.stage, jobs, reason);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Wraps a scheduler and taps every control-plane event into an
+/// unbounded-enough [`EventLog`] ring — the externally observable trace
+/// of a run. [`trace`](Traced::trace) renders the canonical digest
+/// string; the golden equivalence suites and [`TraceReplay::run_digest`]
+/// both go through this wrapper, so there is exactly one fingerprint of
+/// "what did this run dispatch".
+pub struct Traced {
+    /// The wrapped scheduler.
+    pub inner: Box<dyn Scheduler>,
+    /// The tap every event lands in.
+    pub log: EventLog,
+}
+
+impl Traced {
+    /// Wraps `inner` with a ring large enough to retain every event of
+    /// the runs the harnesses drive ([`trace`](Self::trace) asserts
+    /// nothing was evicted).
+    pub fn new(inner: Box<dyn Scheduler>) -> Traced {
+        Traced {
+            inner,
+            // The whole run must stay replayable: counters are exact at
+            // any capacity, but the trace digest needs every record.
+            log: EventLog::with_capacity(1 << 22),
+        }
+    }
+
+    /// The canonical dispatch/churn/shed rendering of the tapped run
+    /// (see [`dispatch_trace`]).
+    pub fn trace(&self) -> String {
+        assert_eq!(self.log.dropped(), 0, "trace ring must hold every event");
+        dispatch_trace(self.log.records())
+    }
+
+    /// FNV digest of [`trace`](Self::trace).
+    pub fn trace_digest(&self) -> u64 {
+        fnv64(&self.trace())
+    }
+}
+
+impl Scheduler for Traced {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.inner.capabilities()
+    }
+
+    fn schedule(&mut self, ctx: &SchedCtx<'_>) -> Outcome {
+        self.inner.schedule(ctx)
+    }
+
+    fn place(&mut self, ctx: &SchedCtx<'_>, config: Config) -> Option<NodeId> {
+        self.inner.place(ctx, config)
+    }
+
+    fn schedule_round(&mut self, ctx: &RoundCtx<'_>) -> Vec<(QueueKey, Outcome)> {
+        // Forwarded so a wrapped scheduler's round-policy stack (if any)
+        // is exercised rather than silently replaced by the default
+        // one-queue replay.
+        self.inner.schedule_round(ctx)
+    }
+
+    fn on_event(&mut self, event: &SchedulerEvent<'_>) {
+        self.log.observe(event);
+        self.inner.on_event(event);
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        self.inner.stats()
+    }
+}
+
+/// The recording sink behind
+/// [`SimBuilder::record_trace`](crate::SimBuilder::record_trace): the
+/// platform feeds it every arrival and control-plane event, and
+/// [`finish`](Self::finish) writes the versioned document.
+pub struct TraceRecorder {
+    path: PathBuf,
+    scheduler: String,
+    slo: SloClass,
+    grid: ConfigGrid,
+    apps_standard: bool,
+    cfg: SimConfig,
+    arrivals: Vec<Arrival>,
+    events: Vec<EventRecord>,
+}
+
+impl TraceRecorder {
+    /// Starts recording a run of `scheduler` under `env`/`cfg`; events
+    /// accumulate in memory until [`finish`](Self::finish).
+    pub fn begin(path: PathBuf, env: &SimEnv, cfg: &SimConfig, scheduler: &str) -> TraceRecorder {
+        TraceRecorder {
+            path,
+            scheduler: scheduler.to_string(),
+            slo: env.slo,
+            grid: env.profiles.grid().clone(),
+            apps_standard: env.apps == standard_apps(),
+            cfg: cfg.clone(),
+            arrivals: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Records one workload arrival (the replay's input stream).
+    pub fn record_arrival(&mut self, arrival: Arrival) {
+        self.arrivals.push(arrival);
+    }
+
+    /// Records one control-plane event (via the shared
+    /// [`EventRecord::capture`] conversion).
+    pub fn observe(&mut self, event: &SchedulerEvent<'_>) {
+        self.events.push(EventRecord::capture(event));
+    }
+
+    /// Events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialises and writes the trace, returning the path written.
+    ///
+    /// Runs over custom application specs are refused with
+    /// [`TraceError::Unsupported`]: `AppSpec`s carry static names and
+    /// DAG shapes the standard-environment loader cannot reconstruct,
+    /// so such a trace could never replay faithfully.
+    pub fn finish(self) -> Result<PathBuf, TraceError> {
+        if !self.apps_standard {
+            return Err(TraceError::Unsupported {
+                what: "runs over custom application specs cannot be replayed \
+from the standard environment"
+                    .to_string(),
+            });
+        }
+        let mut doc = Map::new();
+        doc.insert("format", TRACE_FORMAT);
+        doc.insert("version", TRACE_VERSION);
+        doc.insert("scheduler", self.scheduler.clone());
+        doc.insert("slo", self.slo.to_string());
+        doc.insert("apps", "standard");
+        doc.insert("grid", grid_to_json(&self.grid));
+        doc.insert("config", config_to_json(&self.cfg));
+        doc.insert(
+            "arrivals",
+            Value::Array(
+                self.arrivals
+                    .iter()
+                    .map(|a| Value::Array(vec![a.at_ms.into(), a.app.0.into()]))
+                    .collect(),
+            ),
+        );
+        doc.insert(
+            "events",
+            Value::Array(self.events.iter().map(encode_event).collect()),
+        );
+        let text = serde_json::to_string(&Value::Object(doc));
+        std::fs::write(&self.path, text).map_err(|e| TraceError::Io {
+            path: self.path.clone(),
+            message: e.to_string(),
+        })?;
+        Ok(self.path)
+    }
+}
+
+/// A loaded, validated trace document.
+#[derive(Clone, Debug)]
+pub struct TraceFile {
+    /// Schema version the file was written at.
+    pub version: u32,
+    /// Name of the scheduler that drove the recorded run.
+    pub scheduler: String,
+    /// SLO class of the recorded environment.
+    pub slo: SloClass,
+    /// Configuration grid of the recorded environment.
+    pub grid: ConfigGrid,
+    /// The recorded platform configuration (with `record_trace`
+    /// cleared, so replaying never re-records by accident).
+    pub config: SimConfig,
+    /// The recorded arrival stream, in arrival order.
+    pub arrivals: Vec<Arrival>,
+    /// The recorded control-plane event stream, in emission order.
+    pub events: Vec<EventRecord>,
+}
+
+impl TraceFile {
+    /// Reads and validates the trace at `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<TraceFile, TraceError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| TraceError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        TraceFile::from_json(&text)
+    }
+
+    /// Parses and validates a trace document from its JSON text.
+    pub fn from_json(text: &str) -> Result<TraceFile, TraceError> {
+        let doc = serde_json::from_str(text).map_err(|e| TraceError::Parse {
+            offset: e.offset,
+            message: e.message,
+        })?;
+        let format = str_field(&doc, "format")?;
+        if format != TRACE_FORMAT {
+            return Err(TraceError::Schema {
+                context: format!("format marker {format:?} is not {TRACE_FORMAT:?}"),
+            });
+        }
+        let found = int_field(&doc, "version")?;
+        if found != TRACE_VERSION as i64 {
+            return Err(TraceError::Version {
+                found,
+                supported: TRACE_VERSION,
+            });
+        }
+        let apps = str_field(&doc, "apps")?;
+        if apps != "standard" {
+            return Err(TraceError::Unsupported {
+                what: format!("application set {apps:?} (only \"standard\" replays)"),
+            });
+        }
+        let slo = slo_from_str(str_field(&doc, "slo")?)?;
+        let grid = grid_from_json(field(&doc, "grid")?)?;
+        let config = config_from_json(field(&doc, "config")?)?;
+        let arrivals = field(&doc, "arrivals")?
+            .as_array()
+            .ok_or_else(|| schema("arrivals is not an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let a = v
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| schema(&format!("arrival #{i} is not a [t, app] pair")))?;
+                Ok(Arrival {
+                    at_ms: f64_at(a, 0, "arrival time")?,
+                    app: AppId(u32_at(a, 1, "arrival app")?),
+                })
+            })
+            .collect::<Result<Vec<_>, TraceError>>()?;
+        let events = field(&doc, "events")?
+            .as_array()
+            .ok_or_else(|| schema("events is not an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| decode_event(v, i))
+            .collect::<Result<Vec<_>, TraceError>>()?;
+        Ok(TraceFile {
+            version: found as u32,
+            scheduler: str_field(&doc, "scheduler")?.to_string(),
+            slo,
+            grid,
+            config,
+            arrivals,
+            events,
+        })
+    }
+
+    /// The recorded arrivals as a runnable [`Workload`].
+    pub fn workload(&self) -> Workload {
+        Workload::from_arrivals(self.arrivals.clone())
+    }
+
+    /// The canonical dispatch/churn/shed rendering of the *recorded*
+    /// event stream (see [`dispatch_trace`]).
+    pub fn dispatch_trace(&self) -> String {
+        dispatch_trace(&self.events)
+    }
+
+    /// FNV digest of [`dispatch_trace`](Self::dispatch_trace) — compare
+    /// against [`TraceReplay::run_digest`] to check replay fidelity.
+    pub fn dispatch_digest(&self) -> u64 {
+        fnv64(&self.dispatch_trace())
+    }
+}
+
+/// Re-drives schedulers against a recorded run: same arrivals, same
+/// churn, same platform configuration (unless overridden), any policy.
+#[derive(Clone, Debug)]
+pub struct TraceReplay {
+    trace: TraceFile,
+    shards: Option<usize>,
+    event_queue: Option<EventQueueKind>,
+}
+
+impl TraceReplay {
+    /// Loads the trace at `path` (see [`TraceFile::load`]).
+    pub fn load(path: impl AsRef<Path>) -> Result<TraceReplay, TraceError> {
+        Ok(TraceReplay::new(TraceFile::load(path)?))
+    }
+
+    /// Wraps an already-loaded trace.
+    pub fn new(trace: TraceFile) -> TraceReplay {
+        TraceReplay {
+            trace,
+            shards: None,
+            event_queue: None,
+        }
+    }
+
+    /// The underlying trace document.
+    pub fn trace(&self) -> &TraceFile {
+        &self.trace
+    }
+
+    /// Overrides the controller shard count for replays (the recorded
+    /// value is the default) — the axis the replay bench sweeps.
+    pub fn shards(mut self, n: usize) -> TraceReplay {
+        self.shards = Some(n);
+        self
+    }
+
+    /// Overrides the event-queue backend for replays.
+    pub fn event_queue(mut self, kind: EventQueueKind) -> TraceReplay {
+        self.event_queue = Some(kind);
+        self
+    }
+
+    /// The effective replay configuration: the recorded one with
+    /// `record_trace` cleared and any overrides applied.
+    pub fn config(&self) -> SimConfig {
+        let mut cfg = self.trace.config.clone();
+        cfg.record_trace = None;
+        if let Some(n) = self.shards {
+            cfg.shards = n;
+        }
+        if let Some(k) = self.event_queue {
+            cfg.event_queue = k;
+        }
+        cfg
+    }
+
+    /// Re-drives `sched` against the recorded arrivals, labelling the
+    /// result `scenario`. A replay under the same scheduler and seed is
+    /// bit-identical to the recorded run (pinned by the round-trip
+    /// suite); a different scheduler sees the exact same offered load.
+    pub fn run(&self, sched: &mut dyn Scheduler, scenario: &str) -> ExperimentResult {
+        let env = SimEnv::with_grid(self.trace.slo, self.trace.grid.clone());
+        let workload = self.trace.workload();
+        run_simulation(&env, self.config(), sched, &workload, scenario)
+    }
+
+    /// Like [`run`](Self::run), but taps the replay through [`Traced`]
+    /// and returns the dispatch-trace digest alongside the result, for
+    /// comparison with [`TraceFile::dispatch_digest`].
+    pub fn run_digest(&self, sched: Box<dyn Scheduler>, scenario: &str) -> (ExperimentResult, u64) {
+        let mut traced = Traced::new(sched);
+        let result = self.run(&mut traced, scenario);
+        let digest = traced.trace_digest();
+        (result, digest)
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON encoding/decoding (compact tagged arrays for the event stream,
+// a plain object for the header).
+
+fn schema(context: &str) -> TraceError {
+    TraceError::Schema {
+        context: context.to_string(),
+    }
+}
+
+fn field<'a>(doc: &'a Value, key: &str) -> Result<&'a Value, TraceError> {
+    doc.get(key)
+        .ok_or_else(|| schema(&format!("missing field {key:?}")))
+}
+
+fn str_field<'a>(doc: &'a Value, key: &str) -> Result<&'a str, TraceError> {
+    field(doc, key)?
+        .as_str()
+        .ok_or_else(|| schema(&format!("field {key:?} is not a string")))
+}
+
+fn int_field(doc: &Value, key: &str) -> Result<i64, TraceError> {
+    match field(doc, key)? {
+        Value::Int(n) => {
+            i64::try_from(*n).map_err(|_| schema(&format!("field {key:?} is out of the i64 range")))
+        }
+        _ => Err(schema(&format!("field {key:?} is not an integer"))),
+    }
+}
+
+fn f64_field(doc: &Value, key: &str) -> Result<f64, TraceError> {
+    field(doc, key)?
+        .as_f64()
+        .ok_or_else(|| schema(&format!("field {key:?} is not a number")))
+}
+
+fn bool_field(doc: &Value, key: &str) -> Result<bool, TraceError> {
+    match field(doc, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(schema(&format!("field {key:?} is not a boolean"))),
+    }
+}
+
+fn u64_field(doc: &Value, key: &str) -> Result<u64, TraceError> {
+    field(doc, key)?
+        .as_u64()
+        .ok_or_else(|| schema(&format!("field {key:?} is not an unsigned integer")))
+}
+
+fn u32_field(doc: &Value, key: &str) -> Result<u32, TraceError> {
+    u32::try_from(u64_field(doc, key)?)
+        .map_err(|_| schema(&format!("field {key:?} is out of the u32 range")))
+}
+
+fn usize_field(doc: &Value, key: &str) -> Result<usize, TraceError> {
+    usize::try_from(u64_field(doc, key)?)
+        .map_err(|_| schema(&format!("field {key:?} is out of the usize range")))
+}
+
+fn f64_at(a: &[Value], i: usize, what: &str) -> Result<f64, TraceError> {
+    a.get(i)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| schema(&format!("{what} (slot {i}) is not a number")))
+}
+
+fn u64_at(a: &[Value], i: usize, what: &str) -> Result<u64, TraceError> {
+    a.get(i)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| schema(&format!("{what} (slot {i}) is not an unsigned integer")))
+}
+
+fn u32_at(a: &[Value], i: usize, what: &str) -> Result<u32, TraceError> {
+    u32::try_from(u64_at(a, i, what)?)
+        .map_err(|_| schema(&format!("{what} (slot {i}) is out of the u32 range")))
+}
+
+fn usize_at(a: &[Value], i: usize, what: &str) -> Result<usize, TraceError> {
+    usize::try_from(u64_at(a, i, what)?)
+        .map_err(|_| schema(&format!("{what} (slot {i}) is out of the usize range")))
+}
+
+fn str_at<'a>(a: &'a [Value], i: usize, what: &str) -> Result<&'a str, TraceError> {
+    a.get(i)
+        .and_then(Value::as_str)
+        .ok_or_else(|| schema(&format!("{what} (slot {i}) is not a string")))
+}
+
+fn bool_at(a: &[Value], i: usize, what: &str) -> Result<bool, TraceError> {
+    match a.get(i) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(schema(&format!("{what} (slot {i}) is not a boolean"))),
+    }
+}
+
+fn slo_from_str(s: &str) -> Result<SloClass, TraceError> {
+    match s {
+        "strict" => Ok(SloClass::Strict),
+        "moderate" => Ok(SloClass::Moderate),
+        "relaxed" => Ok(SloClass::Relaxed),
+        other => Err(schema(&format!("unknown SLO class {other:?}"))),
+    }
+}
+
+fn reason_from_str(s: &str) -> Result<ShedReason, TraceError> {
+    match s {
+        "gslo-unattainable" => Ok(ShedReason::GsloUnattainable),
+        "overload" => Ok(ShedReason::Overload),
+        other => Err(schema(&format!("unknown shed reason {other:?}"))),
+    }
+}
+
+fn flavor_from_str(s: &str) -> Result<GpuFlavor, TraceError> {
+    match s {
+        "a100" => Ok(GpuFlavor::A100),
+        "v100" => Ok(GpuFlavor::V100),
+        "t4" => Ok(GpuFlavor::T4),
+        other => Err(schema(&format!("unknown GPU flavor {other:?}"))),
+    }
+}
+
+fn queue_kind_from_str(s: &str) -> Result<EventQueueKind, TraceError> {
+    match s {
+        "heap" => Ok(EventQueueKind::Heap),
+        "wheel" => Ok(EventQueueKind::Wheel),
+        other => Err(schema(&format!("unknown event-queue backend {other:?}"))),
+    }
+}
+
+fn grid_to_json(grid: &ConfigGrid) -> Value {
+    let mut m = Map::new();
+    m.insert("batches", grid.batches.clone());
+    m.insert("vcpus", grid.vcpus.clone());
+    m.insert("vgpus", grid.vgpus.clone());
+    Value::Object(m)
+}
+
+fn u32_list(doc: &Value, key: &str) -> Result<Vec<u32>, TraceError> {
+    field(doc, key)?
+        .as_array()
+        .ok_or_else(|| schema(&format!("field {key:?} is not an array")))?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| schema(&format!("{key}[{i}] is not a u32")))
+        })
+        .collect()
+}
+
+fn grid_from_json(doc: &Value) -> Result<ConfigGrid, TraceError> {
+    let (batches, vcpus, vgpus) = (
+        u32_list(doc, "batches")?,
+        u32_list(doc, "vcpus")?,
+        u32_list(doc, "vgpus")?,
+    );
+    if [&batches, &vcpus, &vgpus]
+        .iter()
+        .any(|l| l.is_empty() || l.contains(&0))
+    {
+        return Err(schema("grid dimensions must be non-empty lists of >= 1"));
+    }
+    Ok(ConfigGrid::new(batches, vcpus, vgpus))
+}
+
+fn class_to_json(c: &NodeClass) -> Value {
+    let mut m = Map::new();
+    m.insert("name", c.name.clone());
+    m.insert("gpu", c.gpu.to_string());
+    m.insert("vgpu_slices", c.vgpu_slices);
+    m.insert("vcpus", c.vcpus);
+    m.insert("speed", c.speed);
+    m.insert("link_scale", c.link_scale);
+    m.insert("price_scale", c.price_scale);
+    Value::Object(m)
+}
+
+fn class_from_json(doc: &Value) -> Result<NodeClass, TraceError> {
+    Ok(NodeClass {
+        name: str_field(doc, "name")?.to_string(),
+        gpu: flavor_from_str(str_field(doc, "gpu")?)?,
+        vgpu_slices: u32_field(doc, "vgpu_slices")?,
+        vcpus: u32_field(doc, "vcpus")?,
+        speed: f64_field(doc, "speed")?,
+        link_scale: f64_field(doc, "link_scale")?,
+        price_scale: f64_field(doc, "price_scale")?,
+    })
+}
+
+fn churn_to_json(plan: &ChurnPlan) -> Value {
+    Value::Array(
+        plan.events
+            .iter()
+            .map(|ev| match ev {
+                ChurnEvent::Drain { at_ms, node } => {
+                    Value::Array(vec!["drain".into(), (*at_ms).into(), node.0.into()])
+                }
+                ChurnEvent::Join { at_ms, class } => {
+                    Value::Array(vec!["join".into(), (*at_ms).into(), class_to_json(class)])
+                }
+            })
+            .collect(),
+    )
+}
+
+fn churn_from_json(doc: &Value) -> Result<ChurnPlan, TraceError> {
+    let events = doc
+        .as_array()
+        .ok_or_else(|| schema("churn is not an array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let a = v
+                .as_array()
+                .filter(|a| a.len() == 3)
+                .ok_or_else(|| schema(&format!("churn event #{i} is not a 3-slot array")))?;
+            match str_at(a, 0, "churn tag")? {
+                "drain" => Ok(ChurnEvent::Drain {
+                    at_ms: f64_at(a, 1, "churn time")?,
+                    node: NodeId(u32_at(a, 2, "churn node")?),
+                }),
+                "join" => Ok(ChurnEvent::Join {
+                    at_ms: f64_at(a, 1, "churn time")?,
+                    class: class_from_json(&a[2])?,
+                }),
+                other => Err(schema(&format!("unknown churn tag {other:?}"))),
+            }
+        })
+        .collect::<Result<Vec<_>, TraceError>>()?;
+    Ok(ChurnPlan { events })
+}
+
+fn config_to_json(cfg: &SimConfig) -> Value {
+    let mut m = Map::new();
+    m.insert("nodes", cfg.nodes);
+    m.insert(
+        "node_resources",
+        Value::Array(vec![
+            cfg.node_resources.vcpus.into(),
+            cfg.node_resources.vgpus.into(),
+        ]),
+    );
+    m.insert(
+        "cluster",
+        match &cfg.cluster {
+            None => Value::Null,
+            Some(spec) => {
+                let mut c = Map::new();
+                c.insert("name", spec.name.clone());
+                c.insert(
+                    "nodes",
+                    Value::Array(spec.nodes.iter().map(class_to_json).collect()),
+                );
+                Value::Object(c)
+            }
+        },
+    );
+    m.insert("churn", churn_to_json(&cfg.churn));
+    m.insert("keep_alive_ms", cfg.keep_alive_ms);
+    m.insert(
+        "overhead",
+        Value::Array(vec![
+            cfg.overhead.base_us.into(),
+            cfg.overhead.us_per_expansion.into(),
+        ]),
+    );
+    m.insert("charge_overhead", cfg.charge_overhead);
+    m.insert("prewarm", cfg.prewarm);
+    m.insert("prewarm_alpha", cfg.prewarm_alpha);
+    m.insert("initial_warm_per_node", cfg.initial_warm_per_node);
+    m.insert("prewarm_pool_cap", cfg.prewarm_pool_cap);
+    m.insert("warmup_exclude_ms", cfg.warmup_exclude_ms);
+    m.insert("seed", cfg.seed);
+    m.insert("recheck_limit", cfg.recheck_limit);
+    m.insert("idle_backoff_ms", cfg.idle_backoff_ms);
+    m.insert("max_sim_ms", cfg.max_sim_ms);
+    m.insert("validate_cluster_state", cfg.validate_cluster_state);
+    m.insert("shards", cfg.shards);
+    m.insert("force_sharded", cfg.force_sharded);
+    m.insert(
+        "event_queue",
+        match cfg.event_queue {
+            EventQueueKind::Heap => "heap",
+            EventQueueKind::Wheel => "wheel",
+        },
+    );
+    Value::Object(m)
+}
+
+fn config_from_json(doc: &Value) -> Result<SimConfig, TraceError> {
+    let res = field(doc, "node_resources")?
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| schema("node_resources is not a [vcpus, vgpus] pair"))?;
+    let overhead = field(doc, "overhead")?
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| schema("overhead is not a [base_us, us_per_expansion] pair"))?;
+    let cluster = match field(doc, "cluster")? {
+        Value::Null => None,
+        spec => Some(ClusterSpec {
+            name: str_field(spec, "name")?.to_string(),
+            nodes: field(spec, "nodes")?
+                .as_array()
+                .ok_or_else(|| schema("cluster.nodes is not an array"))?
+                .iter()
+                .map(class_from_json)
+                .collect::<Result<Vec<_>, TraceError>>()?,
+        }),
+    };
+    Ok(SimConfig {
+        nodes: usize_field(doc, "nodes")?,
+        node_resources: Resources::new(
+            u32_at(res, 0, "node_resources.vcpus")?,
+            u32_at(res, 1, "node_resources.vgpus")?,
+        ),
+        cluster,
+        churn: churn_from_json(field(doc, "churn")?)?,
+        keep_alive_ms: f64_field(doc, "keep_alive_ms")?,
+        overhead: OverheadModel {
+            base_us: f64_at(overhead, 0, "overhead.base_us")?,
+            us_per_expansion: f64_at(overhead, 1, "overhead.us_per_expansion")?,
+        },
+        charge_overhead: bool_field(doc, "charge_overhead")?,
+        prewarm: bool_field(doc, "prewarm")?,
+        prewarm_alpha: f64_field(doc, "prewarm_alpha")?,
+        initial_warm_per_node: u32_field(doc, "initial_warm_per_node")?,
+        prewarm_pool_cap: usize_field(doc, "prewarm_pool_cap")?,
+        warmup_exclude_ms: f64_field(doc, "warmup_exclude_ms")?,
+        seed: u64_field(doc, "seed")?,
+        recheck_limit: u32_field(doc, "recheck_limit")?,
+        idle_backoff_ms: f64_field(doc, "idle_backoff_ms")?,
+        max_sim_ms: f64_field(doc, "max_sim_ms")?,
+        validate_cluster_state: bool_field(doc, "validate_cluster_state")?,
+        shards: usize_field(doc, "shards")?,
+        force_sharded: bool_field(doc, "force_sharded")?,
+        event_queue: queue_kind_from_str(str_field(doc, "event_queue")?)?,
+        record_trace: None,
+    })
+}
+
+fn encode_event(r: &EventRecord) -> Value {
+    let t: Value = r.now_ms.into();
+    Value::Array(match r.kind {
+        EventKind::JobArrived { key, invocation } => vec![
+            "J".into(),
+            t,
+            key.app.0.into(),
+            key.stage.into(),
+            invocation.0.into(),
+        ],
+        EventKind::Dispatched {
+            key,
+            config,
+            node,
+            jobs,
+        } => vec![
+            "D".into(),
+            t,
+            key.app.0.into(),
+            key.stage.into(),
+            config.batch.into(),
+            config.vcpus.into(),
+            config.vgpus.into(),
+            node.0.into(),
+            jobs.into(),
+        ],
+        EventKind::TaskCompleted { key, node, config } => vec![
+            "T".into(),
+            t,
+            key.app.0.into(),
+            key.stage.into(),
+            config.batch.into(),
+            config.vcpus.into(),
+            config.vgpus.into(),
+            node.0.into(),
+        ],
+        EventKind::Churn { node, joined } => vec!["C".into(), t, node.0.into(), joined.into()],
+        EventKind::QueueShed { key, jobs, reason } => vec![
+            "S".into(),
+            t,
+            key.app.0.into(),
+            key.stage.into(),
+            jobs.into(),
+            reason.to_string().into(),
+        ],
+        EventKind::RecheckTick => vec!["R".into(), t],
+        EventKind::ShardCommit {
+            shard,
+            commits,
+            conflicts,
+            retries,
+        } => vec![
+            "X".into(),
+            t,
+            shard.into(),
+            commits.into(),
+            conflicts.into(),
+            retries.into(),
+        ],
+    })
+}
+
+fn decode_event(v: &Value, idx: usize) -> Result<EventRecord, TraceError> {
+    let a = v
+        .as_array()
+        .ok_or_else(|| schema(&format!("event #{idx} is not an array")))?;
+    let ctx = format!("event #{idx}");
+    let tag = str_at(a, 0, &ctx)?;
+    let now_ms = f64_at(a, 1, &ctx)?;
+    let expect_len = |n: usize| {
+        if a.len() == n {
+            Ok(())
+        } else {
+            Err(schema(&format!(
+                "{ctx} ({tag:?}) has {} slots, expected {n}",
+                a.len()
+            )))
+        }
+    };
+    let key = |app_slot: usize| -> Result<QueueKey, TraceError> {
+        Ok(QueueKey {
+            app: AppId(u32_at(a, app_slot, &ctx)?),
+            stage: usize_at(a, app_slot + 1, &ctx)?,
+        })
+    };
+    let config = |slot: usize| -> Result<Config, TraceError> {
+        let (b, c, g) = (
+            u32_at(a, slot, &ctx)?,
+            u32_at(a, slot + 1, &ctx)?,
+            u32_at(a, slot + 2, &ctx)?,
+        );
+        if b == 0 || c == 0 || g == 0 {
+            return Err(schema(&format!(
+                "{ctx}: configuration dimensions must be >= 1"
+            )));
+        }
+        Ok(Config::new(b, c, g))
+    };
+    let kind = match tag {
+        "J" => {
+            expect_len(5)?;
+            EventKind::JobArrived {
+                key: key(2)?,
+                invocation: InvocationId(u64_at(a, 4, &ctx)?),
+            }
+        }
+        "D" => {
+            expect_len(9)?;
+            EventKind::Dispatched {
+                key: key(2)?,
+                config: config(4)?,
+                node: NodeId(u32_at(a, 7, &ctx)?),
+                jobs: usize_at(a, 8, &ctx)?,
+            }
+        }
+        "T" => {
+            expect_len(8)?;
+            EventKind::TaskCompleted {
+                key: key(2)?,
+                node: NodeId(u32_at(a, 7, &ctx)?),
+                config: config(4)?,
+            }
+        }
+        "C" => {
+            expect_len(4)?;
+            EventKind::Churn {
+                node: NodeId(u32_at(a, 2, &ctx)?),
+                joined: bool_at(a, 3, &ctx)?,
+            }
+        }
+        "S" => {
+            expect_len(6)?;
+            EventKind::QueueShed {
+                key: key(2)?,
+                jobs: usize_at(a, 4, &ctx)?,
+                reason: reason_from_str(str_at(a, 5, &ctx)?)?,
+            }
+        }
+        "R" => {
+            expect_len(2)?;
+            EventKind::RecheckTick
+        }
+        "X" => {
+            expect_len(6)?;
+            EventKind::ShardCommit {
+                shard: usize_at(a, 2, &ctx)?,
+                commits: u64_at(a, 3, &ctx)?,
+                conflicts: u64_at(a, 4, &ctx)?,
+                retries: u64_at(a, 5, &ctx)?,
+            }
+        }
+        other => return Err(schema(&format!("{ctx}: unknown event tag {other:?}"))),
+    };
+    Ok(EventRecord { now_ms, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::NodeClass;
+
+    fn sample_records() -> Vec<EventRecord> {
+        let k = QueueKey {
+            app: AppId(2),
+            stage: 1,
+        };
+        vec![
+            EventRecord {
+                now_ms: 0.5,
+                kind: EventKind::JobArrived {
+                    key: k,
+                    invocation: InvocationId(7),
+                },
+            },
+            EventRecord {
+                now_ms: 3.25,
+                kind: EventKind::Dispatched {
+                    key: k,
+                    config: Config::new(2, 3, 1),
+                    node: NodeId(4),
+                    jobs: 2,
+                },
+            },
+            EventRecord {
+                now_ms: 9.0,
+                kind: EventKind::TaskCompleted {
+                    key: k,
+                    node: NodeId(4),
+                    config: Config::new(2, 3, 1),
+                },
+            },
+            EventRecord {
+                now_ms: 10.0,
+                kind: EventKind::Churn {
+                    node: NodeId(1),
+                    joined: false,
+                },
+            },
+            EventRecord {
+                now_ms: 11.0,
+                kind: EventKind::QueueShed {
+                    key: k,
+                    jobs: 3,
+                    reason: ShedReason::Overload,
+                },
+            },
+            EventRecord {
+                now_ms: 12.0,
+                kind: EventKind::RecheckTick,
+            },
+            EventRecord {
+                now_ms: 13.0,
+                kind: EventKind::ShardCommit {
+                    shard: 1,
+                    commits: 4,
+                    conflicts: 1,
+                    retries: 1,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        for r in sample_records() {
+            let text = serde_json::to_string(&encode_event(&r));
+            let parsed = serde_json::from_str(&text).expect("own encoding parses");
+            assert_eq!(decode_event(&parsed, 0).expect("decodes"), r, "{text}");
+        }
+    }
+
+    #[test]
+    fn config_round_trips_including_cluster_and_churn() {
+        let cfg = SimConfig {
+            cluster: Some(ClusterSpec::mixed_mig()),
+            churn: ChurnPlan::none()
+                .drain(1_000.0, NodeId(3))
+                .join(2_000.0, NodeClass::t4()),
+            seed: u64::MAX,
+            shards: 4,
+            force_sharded: true,
+            event_queue: EventQueueKind::Wheel,
+            warmup_exclude_ms: 123.5,
+            ..SimConfig::default()
+        };
+        let text = serde_json::to_string(&config_to_json(&cfg));
+        let parsed = serde_json::from_str(&text).expect("own encoding parses");
+        let back = config_from_json(&parsed).expect("decodes");
+        // `record_trace` is deliberately cleared; everything else must
+        // survive exactly (f64 via the writer's shortest-roundtrip form,
+        // u64 via the parser's exact integer lane).
+        assert_eq!(format!("{back:?}"), format!("{:?}", cfg.clone()));
+    }
+
+    #[test]
+    fn dispatch_trace_matches_the_golden_format() {
+        let s = dispatch_trace(&sample_records());
+        assert_eq!(s, "D 2.1 (b=2,c=3,g=1) n4 x2;C n1 drain;S 2.1 x3 overload;");
+        assert_eq!(fnv64(""), 0xcbf29ce484222325);
+        assert_ne!(fnv64(&s), fnv64(""));
+    }
+
+    #[test]
+    fn loader_surfaces_typed_errors() {
+        // Corrupt JSON (truncation) → Parse.
+        assert!(matches!(
+            TraceFile::from_json("{\"format\": \"esg-tr"),
+            Err(TraceError::Parse { .. })
+        ));
+        // Wrong format marker → Schema.
+        assert!(matches!(
+            TraceFile::from_json("{\"format\": \"not-a-trace\"}"),
+            Err(TraceError::Schema { .. })
+        ));
+        // Future version → Version.
+        assert!(matches!(
+            TraceFile::from_json("{\"format\": \"esg-trace\", \"version\": 99}"),
+            Err(TraceError::Version {
+                found: 99,
+                supported: TRACE_VERSION
+            })
+        ));
+        // Missing file → Io.
+        assert!(matches!(
+            TraceFile::load("/nonexistent/esg-trace.json"),
+            Err(TraceError::Io { .. })
+        ));
+        // Errors render.
+        for e in [
+            TraceError::Parse {
+                offset: 3,
+                message: "x".into(),
+            },
+            TraceError::Unsupported { what: "y".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn recorder_refuses_custom_apps() {
+        let env = {
+            let mut env = SimEnv::standard(SloClass::Moderate);
+            env.apps = vec![esg_model::AppSpec::pipeline(
+                "one",
+                vec![esg_model::FnId(0)],
+            )];
+            env
+        };
+        let rec = TraceRecorder::begin(
+            std::env::temp_dir().join("esg-never-written.json"),
+            &env,
+            &SimConfig::default(),
+            "min",
+        );
+        assert!(matches!(rec.finish(), Err(TraceError::Unsupported { .. })));
+    }
+}

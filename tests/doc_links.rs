@@ -1,0 +1,135 @@
+//! Link check for the hand-written documentation set: every relative
+//! link in the top-level guides must point at a file that exists, and
+//! every `#anchor` must match a heading in its target document — broken
+//! cross-references fail the build instead of rotting.
+//!
+//! External (`http…`) links are out of scope: CI must not depend on
+//! network reachability.
+
+use std::path::{Path, PathBuf};
+
+/// The hand-maintained documents under check (generated reports like
+/// `EXPERIMENTS.md` regenerate from artifacts and carry no links).
+const DOCS: [&str; 4] = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "OBSERVABILITY.md",
+    "ROADMAP.md",
+];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// Extracts every inline Markdown link target: the `(…)` part of
+/// `[text](…)`, fences and images included (an image's target is a file
+/// path too).
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(open) = text[i..].find("](") {
+        let start = i + open + 2;
+        let Some(len) = text[start..].find(')') else {
+            break;
+        };
+        out.push(text[start..start + len].to_string());
+        i = start + len;
+    }
+    out
+}
+
+/// GitHub-style anchor slug of a heading line (`## Foo, bar!` →
+/// `foo-bar`): lowercase, spaces to dashes, everything but
+/// alphanumerics and dashes dropped.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .trim_start_matches('#')
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' || c == '-' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All heading anchors of a document.
+fn anchors(text: &str) -> Vec<String> {
+    let mut in_fence = false;
+    text.lines()
+        .filter(|l| {
+            if l.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+            }
+            !in_fence && l.starts_with('#')
+        })
+        .map(slug)
+        .collect()
+}
+
+#[test]
+fn relative_links_and_anchors_resolve() {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{doc} must exist for the docs sweep: {e}"));
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((f, a)) => (f, Some(a.to_string())),
+                None => (target.as_str(), None),
+            };
+            let (target_path, target_doc) = if file_part.is_empty() {
+                (path.clone(), doc.to_string())
+            } else {
+                (root.join(file_part), file_part.to_string())
+            };
+            if !target_path.exists() {
+                failures.push(format!("{doc}: link target {target:?} does not exist"));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                let Ok(target_text) = std::fs::read_to_string(&target_path) else {
+                    // A directory or binary target with an anchor makes
+                    // no sense; flag it.
+                    failures.push(format!("{doc}: anchored link {target:?} is not a document"));
+                    continue;
+                };
+                if !anchors(&target_text).contains(&anchor) {
+                    failures.push(format!("{doc}: anchor #{anchor} not found in {target_doc}"));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "broken documentation links:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn slugs_match_github_conventions() {
+    assert_eq!(slug("## Foo, bar!"), "foo-bar");
+    assert_eq!(
+        slug("# `SchedulerStats` field by field"),
+        "schedulerstats-field-by-field"
+    );
+    assert_eq!(slug("### A-B c"), "a-b-c");
+}

@@ -1,125 +1,13 @@
-//! Shared harness for the equivalence suites: the FNV digest helper and
-//! the [`Traced`] scheduler wrapper that taps every control-plane event
-//! into the shared [`EventLog`] ring.
+//! Shared harness for the equivalence suites — since the trace
+//! subsystem moved into `esg-sim` (`esg_sim::trace`), this is a thin
+//! re-export of the public API.
 //!
-//! The golden control-plane digests hash the exact string [`Traced::trace`]
-//! renders, so this module is the single owner of that format — a tweak
-//! here moves every suite in lockstep instead of letting two copies
-//! drift apart.
-#![allow(dead_code)] // each test crate uses a subset of this module
+//! The golden control-plane digests hash the exact string
+//! [`Traced::trace`] renders; `esg_sim::trace::dispatch_trace` is now
+//! the single owner of that format (and of the [`fnv64`] primitive), so
+//! the suites, the trace recorder, and `TraceReplay::run_digest` all
+//! fingerprint a run identically — a format tweak moves every consumer
+//! in lockstep instead of letting copies drift apart.
+#![allow(unused_imports)] // each test crate uses a subset of this module
 
-use esg::prelude::*;
-use esg::sim::Outcome;
-use std::fmt::Write as _;
-
-/// FNV-1a over `s` (the digest primitive of the golden harness).
-pub fn fnv64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-/// Wraps a scheduler and taps every control-plane event into the shared
-/// `EventLog` ring (`esg_sim::eventlog`) — the externally observable
-/// trace. The golden digest hashes a string *rendered from the log's
-/// records* in the exact format the pre-redesign harness logged inline,
-/// so moving onto the shared tap cannot move the digests.
-pub struct Traced {
-    pub inner: Box<dyn Scheduler>,
-    pub log: EventLog,
-}
-
-impl Traced {
-    pub fn new(inner: Box<dyn Scheduler>) -> Traced {
-        Traced {
-            inner,
-            // The whole run must stay replayable: counters are exact at
-            // any capacity, but the trace digest needs every record.
-            log: EventLog::with_capacity(1 << 22),
-        }
-    }
-
-    /// Renders the dispatch/churn/shed trace the digests hash. Shed
-    /// records are an addition over the pre-redesign notification pair;
-    /// classic (non-shedding) runs render byte-identically to the
-    /// golden baseline. Arrivals, completions, and recheck ticks are
-    /// deliberately not rendered.
-    pub fn trace(&self) -> String {
-        let mut out = String::new();
-        assert_eq!(self.log.dropped(), 0, "trace ring must hold every event");
-        for r in self.log.records() {
-            match r.kind {
-                EventKind::Dispatched {
-                    key,
-                    config,
-                    node,
-                    jobs,
-                } => {
-                    let _ = write!(
-                        out,
-                        "D {}.{} {} n{} x{};",
-                        key.app.0, key.stage, config, node.0, jobs
-                    );
-                }
-                EventKind::Churn { node, joined } => {
-                    let _ = write!(
-                        out,
-                        "C n{} {};",
-                        node.0,
-                        if joined { "join" } else { "drain" }
-                    );
-                }
-                EventKind::QueueShed { key, jobs, reason } => {
-                    let _ = write!(out, "S {}.{} x{} {};", key.app.0, key.stage, jobs, reason);
-                }
-                _ => {}
-            }
-        }
-        out
-    }
-
-    /// FNV digest of [`trace`](Self::trace).
-    pub fn trace_digest(&self) -> u64 {
-        fnv64(&self.trace())
-    }
-}
-
-impl Scheduler for Traced {
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-
-    fn capabilities(&self) -> Capabilities {
-        self.inner.capabilities()
-    }
-
-    fn schedule(&mut self, ctx: &SchedCtx<'_>) -> Outcome {
-        self.inner.schedule(ctx)
-    }
-
-    fn place(&mut self, ctx: &SchedCtx<'_>, config: Config) -> Option<NodeId> {
-        self.inner.place(ctx, config)
-    }
-
-    fn schedule_round(
-        &mut self,
-        ctx: &esg::sim::RoundCtx<'_>,
-    ) -> Vec<(esg::sim::QueueKey, Outcome)> {
-        // Forwarded so a wrapped scheduler's round-policy stack (if any)
-        // is exercised rather than silently replaced by the default
-        // one-queue replay.
-        self.inner.schedule_round(ctx)
-    }
-
-    fn on_event(&mut self, event: &SchedulerEvent<'_>) {
-        self.log.observe(event);
-        self.inner.on_event(event);
-    }
-
-    fn stats(&self) -> SchedulerStats {
-        self.inner.stats()
-    }
-}
+pub use esg::sim::{fnv64, Traced};
