@@ -348,6 +348,7 @@ capacity-stable across 10k dispatch-shaped refreshes"
                 price: &env.price,
                 transfer: &env.transfer,
                 noise: &env.noise,
+                dataplane: None,
             };
             let variants: [(&'static str, Option<PolicyStack>); 3] = [
                 ("round-classic", None),

@@ -302,6 +302,7 @@ impl ScaleDriver {
             price: &self.env.price,
             transfer: &self.env.transfer,
             noise: &self.env.noise,
+            dataplane: None,
         };
         let decisions = self.ctl.stage(shard, &mut self.probe, &ctx);
         let key = decisions.first()?.0;

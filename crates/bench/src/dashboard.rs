@@ -21,7 +21,7 @@ pub fn render_snapshot_text(snap: &HealthSnapshot) -> String {
     writeln!(
         out,
         "t={:>9.0} ms  queues {:>3}  backlog {:>5}  |  shard rounds {} commits {} \
-conflicts {} retries {}",
+conflicts {} retries {}  |  transfers {} done {} q {} inflight {} ({:.0} MB)",
         snap.at_ms,
         snap.queues.len(),
         snap.total_backlog,
@@ -29,6 +29,11 @@ conflicts {} retries {}",
         snap.shard.commits,
         snap.shard.conflicts,
         snap.shard.retries,
+        snap.transfers.started,
+        snap.transfers.completed,
+        snap.transfers.queued,
+        snap.transfers.inflight,
+        snap.transfers.total_mb,
     )
     .expect("writing to String cannot fail");
     out.push_str(
@@ -70,7 +75,8 @@ pub fn render_dashboard_text(snapshots: &[HealthSnapshot]) -> String {
 /// `header` parameter.
 pub fn dashboard_csv_header() -> &'static str {
     "at_ms,app,stage,shard,backlog,arrivals,dispatches,dispatched_jobs,completions,\
-shed_jobs,mean_wait_ms,max_wait_ms,shard_commits,shard_conflicts,shard_retries"
+shed_jobs,mean_wait_ms,max_wait_ms,shard_commits,shard_conflicts,shard_retries,\
+transfers_started,transfers_queued,transfers_completed,transfers_inflight,transfer_mb"
 }
 
 /// Flattens a snapshot series into one CSV row per `(snapshot, queue)`.
@@ -81,7 +87,7 @@ pub fn dashboard_csv_rows(snapshots: &[HealthSnapshot]) -> Vec<String> {
     for snap in snapshots {
         for q in &snap.queues {
             rows.push(format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 snap.at_ms,
                 q.key.app.0,
                 q.key.stage,
@@ -97,6 +103,11 @@ pub fn dashboard_csv_rows(snapshots: &[HealthSnapshot]) -> Vec<String> {
                 snap.shard.commits,
                 snap.shard.conflicts,
                 snap.shard.retries,
+                snap.transfers.started,
+                snap.transfers.queued,
+                snap.transfers.completed,
+                snap.transfers.inflight,
+                snap.transfers.total_mb,
             ));
         }
     }
@@ -166,8 +177,46 @@ mod tests {
         // at_ms, app, stage, shard, backlog, arrivals, dispatches …
         assert!(rows[0].starts_with("100,3,1,"), "{}", rows[0]);
         assert!(rows[1].starts_with("150,3,1,"), "{}", rows[1]);
-        // Shard counters land on every row of their snapshot.
-        assert!(rows[1].ends_with("1,1,1"), "{}", rows[1]);
+        // Shard counters land on every row of their snapshot, followed
+        // by the (here idle) transfer rollup.
+        assert!(rows[1].ends_with("1,1,1,0,0,0,0,0"), "{}", rows[1]);
+    }
+
+    #[test]
+    fn transfer_counters_surface_in_text_and_csv() {
+        let mut mon = QueueHealthMonitor::new(100.0, 2);
+        let k = QueueKey {
+            app: AppId(1),
+            stage: 0,
+        };
+        mon.observe(&SchedulerEvent::JobArrived {
+            key: k,
+            invocation: InvocationId(0),
+            now_ms: 5.0,
+        });
+        mon.observe(&SchedulerEvent::TransferStarted {
+            node: NodeId(2),
+            mb: 48.0,
+            now_ms: 20.0,
+        });
+        mon.observe(&SchedulerEvent::TransferQueued {
+            node: NodeId(2),
+            mb: 16.0,
+            now_ms: 25.0,
+        });
+        mon.observe(&SchedulerEvent::TransferCompleted {
+            node: NodeId(2),
+            mb: 48.0,
+            now_ms: 60.0,
+        });
+        let snaps = mon.finish(150.0);
+        let text = render_dashboard_text(&snaps);
+        assert!(
+            text.contains("transfers 1 done 1 q 1 inflight 0 (48 MB)"),
+            "{text}"
+        );
+        let rows = dashboard_csv_rows(&snaps);
+        assert!(rows[0].ends_with("1,1,1,0,48"), "{}", rows[0]);
     }
 
     #[test]

@@ -98,6 +98,9 @@ pub fn render_bench_markdown(doc: &Value) -> String {
     // shed_rate key; rendering them must stay byte-identical (the CI
     // drift check regenerates EXPERIMENTS.md from committed artifacts).
     let with_shed = runs.iter().any(|r| r.get("shed_rate").is_some());
+    // Likewise, transfer telemetry appears only in documents whose cells
+    // ran with the contended GPU data plane.
+    let with_transfers = runs.iter().any(|r| r.get("transfers_started").is_some());
     for key in &group_order {
         let (scenario, cluster, traffic) = *key;
         writeln!(
@@ -108,28 +111,51 @@ pub fn render_bench_markdown(doc: &Value) -> String {
         if with_shed {
             out.push_str(
                 "| scheduler | seed | SLO hit % | shed % | cost/inv (¢) | cold-start % | \
-locality % | mean overhead (ms) | vGPU util % |\n\
-|---|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+locality % | mean overhead (ms) | vGPU util % |",
             );
         } else {
             out.push_str(
                 "| scheduler | seed | SLO hit % | cost/inv (¢) | cold-start % | \
-locality % | mean overhead (ms) | vGPU util % |\n\
-|---|---:|---:|---:|---:|---:|---:|---:|\n",
+locality % | mean overhead (ms) | vGPU util % |",
             );
         }
+        if with_transfers {
+            out.push_str(" transfers | queued | replans | moved (MB) |");
+        }
+        out.push('\n');
+        out.push_str(if with_shed {
+            "|---|---:|---:|---:|---:|---:|---:|---:|---:|"
+        } else {
+            "|---|---:|---:|---:|---:|---:|---:|---:|"
+        });
+        if with_transfers {
+            out.push_str("---:|---:|---:|---:|");
+        }
+        out.push('\n');
         for r in runs.iter().filter(|r| key_of(r) == *key) {
             let s = |k: &str| r.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
             let f = |k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            let u = |k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
             let seed = r.get("seed").and_then(Value::as_u64).unwrap_or(0);
             let shed = if with_shed {
                 format!(" {:.1} |", 100.0 * f("shed_rate"))
             } else {
                 String::new()
             };
+            let transfers = if with_transfers {
+                format!(
+                    " {} | {} | {} | {:.0} |",
+                    u("transfers_started"),
+                    u("transfers_queued"),
+                    u("transfer_replans"),
+                    f("transfer_total_mb"),
+                )
+            } else {
+                String::new()
+            };
             writeln!(
                 out,
-                "| {} | {} | {:.1} |{} {:.3} | {:.1} | {:.1} | {:.2} | {:.1} |",
+                "| {} | {} | {:.1} |{} {:.3} | {:.1} | {:.1} | {:.2} | {:.1} |{}",
                 s("scheduler"),
                 seed,
                 100.0 * f("avg_hit_rate"),
@@ -139,6 +165,7 @@ locality % | mean overhead (ms) | vGPU util % |\n\
                 100.0 * f("locality_rate"),
                 f("mean_overhead_ms"),
                 100.0 * f("vgpu_utilisation"),
+                transfers,
             )
             .expect("writing to String cannot fail");
         }
@@ -610,6 +637,48 @@ mod tests {
         );
         // A row without the key in a shed-aware doc renders 0.0.
         assert!(md.contains("| Orion | 42 | 71.0 | 0.0 |"), "{md}");
+    }
+
+    #[test]
+    fn transfer_columns_render_only_when_present() {
+        // Scalar-model documents carry no transfer keys: their rendering
+        // must stay byte-identical to the pre-data-plane renderer.
+        let legacy = render_bench_markdown(&sample_doc());
+        assert!(!legacy.contains("transfers |"), "{legacy}");
+        // A data-plane sweep document gains the trailing columns.
+        let doc = json!({
+            "suite": "transfer", "run_seconds": 4.0, "cells": 2,
+            "runs": [
+                {
+                    "scheduler": "ESG+bw-pack", "scenario": "moderate-normal",
+                    "cluster": "slow-fabric", "traffic": "bursty", "seed": 42,
+                    "avg_hit_rate": 0.93, "shed_rate": 0.0,
+                    "cost_per_invocation_cents": 0.412,
+                    "cold_start_rate": 0.05, "locality_rate": 0.8,
+                    "mean_overhead_ms": 1.25, "vgpu_utilisation": 0.4,
+                    "transfers_started": 120, "transfers_queued": 7,
+                    "transfer_replans": 31, "transfer_total_mb": 512.5
+                },
+                {
+                    "scheduler": "ESG+pack", "scenario": "moderate-normal",
+                    "cluster": "slow-fabric", "traffic": "bursty", "seed": 42,
+                    "avg_hit_rate": 0.71, "cost_per_invocation_cents": 0.63,
+                    "cold_start_rate": 0.2, "locality_rate": 0.4,
+                    "mean_overhead_ms": 45.0, "vgpu_utilisation": 0.3
+                }
+            ]
+        });
+        let md = render_bench_markdown(&doc);
+        assert!(
+            md.contains("vGPU util % | transfers | queued | replans | moved (MB) |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| ESG+bw-pack | 42 | 93.0 | 0.0 | 0.412 | 5.0 | 80.0 | 1.25 | 40.0 | 120 | 7 | 31 | 512 |"),
+            "{md}"
+        );
+        // A row without the keys in a transfer-aware doc renders zeros.
+        assert!(md.contains("| ESG+pack | 42 | 71.0 | 0.0 | 0.630 | 20.0 | 40.0 | 45.00 | 30.0 | 0 | 0 | 0 | 0 |"), "{md}");
     }
 
     #[test]

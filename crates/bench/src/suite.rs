@@ -12,7 +12,8 @@ use crate::{standard_config, workload_for_shape, SchedKind, RUN_SECONDS, SEED};
 use esg_model::{
     ChurnPlan, ClusterSpec, ConfigGrid, Scenario, SloClass, TrafficShape, WorkloadClass,
 };
-use esg_sim::{run_simulation, ExperimentResult, Scheduler, SimConfig, SimEnv};
+use esg_profile::TransferModel;
+use esg_sim::{run_simulation, ExperimentResult, Scheduler, SimConfig, SimEnv, TransferSummary};
 use esg_workload::Workload;
 use rayon::prelude::*;
 use serde_json::{Map, Value};
@@ -298,6 +299,7 @@ pub struct ExperimentSuite {
     matrix: ScenarioMatrix,
     config: SimConfig,
     grid: ConfigGrid,
+    transfer: Option<TransferModel>,
     run_seconds: f64,
     parallel: bool,
 }
@@ -311,6 +313,7 @@ impl ExperimentSuite {
             matrix,
             config: standard_config(),
             grid: ConfigGrid::default(),
+            transfer: None,
             run_seconds: RUN_SECONDS,
             parallel: true,
         }
@@ -327,6 +330,14 @@ impl ExperimentSuite {
     /// (ablations restrict it, overhead sweeps enlarge it).
     pub fn with_grid(mut self, grid: ConfigGrid) -> Self {
         self.grid = grid;
+        self
+    }
+
+    /// Replaces every cell environment's data-transfer tariffs
+    /// (transfer-bound sweeps crank the remote path to make data
+    /// movement, not compute, the bottleneck).
+    pub fn with_transfer(mut self, transfer: TransferModel) -> Self {
+        self.transfer = Some(transfer);
         self
     }
 
@@ -360,8 +371,13 @@ impl ExperimentSuite {
         let mut envs: HashMap<SloClass, SimEnv> = HashMap::new();
         let mut workloads: HashMap<(Scenario, TrafficShape, u64), Workload> = HashMap::new();
         for cell in &cells {
-            envs.entry(cell.scenario.slo)
-                .or_insert_with(|| SimEnv::with_grid(cell.scenario.slo, self.grid.clone()));
+            envs.entry(cell.scenario.slo).or_insert_with(|| {
+                let mut env = SimEnv::with_grid(cell.scenario.slo, self.grid.clone());
+                if let Some(t) = self.transfer {
+                    env.transfer = t;
+                }
+                env
+            });
             workloads
                 .entry((cell.scenario, cell.traffic, cell.seed))
                 .or_insert_with(|| {
@@ -475,6 +491,20 @@ impl SweepResult {
         o.insert("vcpu_utilisation", r.vcpu_utilisation);
         o.insert("vgpu_utilisation", r.vgpu_utilisation);
         o.insert("makespan_ms", r.makespan_ms);
+        // Data-plane telemetry appears only when the cell ran with a
+        // contended GPU data plane: scalar-model documents (and every
+        // artifact committed before the plane existed) stay byte-stable.
+        if r.transfers != TransferSummary::default() {
+            let t = &r.transfers;
+            o.insert("transfers_started", t.started);
+            o.insert("transfers_completed", t.completed);
+            o.insert("transfers_queued", t.queued);
+            o.insert("transfers_batched_small", t.batched_small);
+            o.insert("transfer_replans", t.replans);
+            o.insert("transfer_total_mb", t.total_mb);
+            o.insert("transfer_peak_active", u64::from(t.peak_active));
+            o.insert("transfer_peak_staging_mb", t.peak_staging_mb);
+        }
         let apps: Vec<Value> = r
             .apps
             .iter()

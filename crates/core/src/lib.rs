@@ -43,7 +43,7 @@ pub use bounds::StageTable;
 pub use brute::brute_force;
 pub use cache::{quantize_gslo, CacheStats, CachedPlan, PlanCache, PlanKey};
 pub use plan::AppPlans;
-pub use policy::EsgCrossQueuePacking;
+pub use policy::{BandwidthAwarePacking, EsgCrossQueuePacking};
 pub use scheduler::{EsgScheduler, SearchVariant};
 pub use search::{
     astar_search, astar_search_bounded, astar_search_with, stagewise_search, PathCandidate,

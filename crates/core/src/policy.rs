@@ -30,7 +30,8 @@
 //! §3.1 semantics are untouched.
 
 use esg_sim::{
-    AdmissionPlan, Outcome, PackingConfig, QueueKey, RankedQueues, RoundCtx, RoundPolicy,
+    AdmissionDecision, AdmissionPlan, BandwidthPackingConfig, Outcome, PackingConfig, QueueKey,
+    RankedQueues, RoundCtx, RoundPolicy,
 };
 
 /// Cross-queue packing for [`EsgScheduler`](crate::EsgScheduler); see
@@ -140,6 +141,140 @@ impl RoundPolicy for EsgCrossQueuePacking {
     }
 }
 
+/// Bandwidth-aware cross-queue packing: [`EsgCrossQueuePacking`]'s
+/// ranking, corrected by the live data-plane occupancy in
+/// `RoundCtx::dataplane`.
+///
+/// Warm-affinity bias alone is provably wrong in transfer-bound
+/// regimes: co-locating a stage next to its input is a *loss* when the
+/// predecessor node's PCIe ingress pool is already saturated — the
+/// batch's own input tensors then crawl in at a fraction of the link
+/// while an idle node would have taken them at full rate. Two
+/// corrections:
+///
+/// * **Estimated contention** — every job whose predecessor node has
+///   flows active or queued on its ingress path drags the owning
+///   queue's rank down by
+///   [`BandwidthPackingConfig::contention_bias`] per contending flow
+///   (the worst predecessor decides), opposing the warm bias once a
+///   link is busy.
+/// * **Staging backpressure defer** — a queue whose predecessor node
+///   has at least [`BandwidthPackingConfig::defer_queue_depth`]
+///   transfers queued for staging is deferred outright: its input
+///   cannot even start moving, so spending search budget on it now buys
+///   nothing.
+///
+/// Without a data plane (`ctx.dataplane == None`) both corrections
+/// vanish and the stage behaves exactly like plain cross-queue packing.
+#[derive(Clone, Debug)]
+pub struct BandwidthAwarePacking {
+    cfg: BandwidthPackingConfig,
+    inner: EsgCrossQueuePacking,
+}
+
+impl Default for BandwidthAwarePacking {
+    fn default() -> Self {
+        BandwidthAwarePacking::new(BandwidthPackingConfig::default())
+    }
+}
+
+impl BandwidthAwarePacking {
+    /// A bandwidth-aware packing stage with explicit knobs.
+    pub fn new(cfg: BandwidthPackingConfig) -> BandwidthAwarePacking {
+        BandwidthAwarePacking {
+            cfg,
+            inner: EsgCrossQueuePacking::new(cfg.packing),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> BandwidthPackingConfig {
+        self.cfg
+    }
+
+    /// Expansions spent in the current budget window.
+    pub fn spent(&self) -> u64 {
+        self.inner.spent()
+    }
+
+    /// The worst (largest) ingress contention among the queue's
+    /// predecessor nodes, in flows; 0 without a data plane.
+    fn pred_contention(&self, ctx: &RoundCtx<'_>, i: usize) -> u32 {
+        let Some(dp) = ctx.dataplane else { return 0 };
+        ctx.queues[i]
+            .jobs
+            .iter()
+            .filter_map(|j| j.pred_node)
+            .filter(|n| n.index() < dp.len())
+            .map(|n| dp.contending_flows(n.index()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The worst staging queue depth among the queue's predecessor
+    /// nodes; 0 without a data plane.
+    fn pred_staging_queue(&self, ctx: &RoundCtx<'_>, i: usize) -> u32 {
+        let Some(dp) = ctx.dataplane else { return 0 };
+        ctx.queues[i]
+            .jobs
+            .iter()
+            .filter_map(|j| j.pred_node)
+            .filter(|n| n.index() < dp.len())
+            .map(|n| dp.node(n.index()).queued)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl RoundPolicy for BandwidthAwarePacking {
+    fn name(&self) -> &'static str {
+        "esg-bw-packing"
+    }
+
+    fn admit(&mut self, ctx: &RoundCtx<'_>) -> AdmissionPlan {
+        let mut plan = self.inner.admit(ctx);
+        // On top of the budget gate: defer queues whose input is stuck
+        // behind a full staging buffer.
+        if self.cfg.defer_queue_depth > 0 {
+            for i in 0..ctx.queues.len() {
+                if matches!(plan.decisions()[i], AdmissionDecision::Admit)
+                    && self.pred_staging_queue(ctx, i) >= self.cfg.defer_queue_depth
+                {
+                    plan.set(
+                        i,
+                        AdmissionDecision::Defer {
+                            until_ms: ctx.now_ms + self.cfg.packing.defer_ms,
+                        },
+                    );
+                }
+            }
+        }
+        plan
+    }
+
+    fn rank(&mut self, ctx: &RoundCtx<'_>, admitted: &[usize]) -> RankedQueues {
+        let mut scored: Vec<(f64, usize)> = admitted
+            .iter()
+            .map(|&i| {
+                let base = self.inner.score(ctx, i);
+                let contention = self.pred_contention(ctx, i) as f64;
+                (base + self.cfg.contention_bias * contention, i)
+            })
+            .collect();
+        // Deterministic: same total order contract as the inner stage.
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        RankedQueues::from_order(scored.into_iter().map(|(_, i)| i).collect())
+    }
+
+    fn observe(&mut self, ctx: &RoundCtx<'_>, decisions: &[(QueueKey, Outcome)]) {
+        self.inner.observe(ctx, decisions);
+    }
+
+    fn clone_box(&self) -> Box<dyn RoundPolicy> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +326,7 @@ mod tests {
             price: &env.price,
             transfer: &env.transfer,
             noise: &env.noise,
+            dataplane: None,
         }
     }
 
@@ -293,6 +429,98 @@ mod tests {
             AdmissionDecision::Admit
         ));
         assert_eq!(pack.spent(), 0);
+    }
+
+    #[test]
+    fn contention_on_the_pred_node_cancels_the_warm_bias() {
+        use esg_sim::{DataPlaneView, NodeLoad};
+        let env = SimEnv::standard(SloClass::Moderate);
+        let mut cluster = idle_cluster(4);
+        let f1 = env.apps[0].nodes[1];
+        cluster.node_mut(NodeId(2)).warm = vec![f1];
+        let cold_jobs = [job(500.0, None)];
+        let warm_jobs = [job(500.0, Some(NodeId(2)))];
+        let queues = [
+            queue_view(&env, &cold_jobs, 0, 0),
+            queue_view(&env, &warm_jobs, 0, 1),
+        ];
+        // Node 2's ingress pool carries 4 contending flows: at the
+        // default contention_bias (0.1/flow) the 0.25 warm bonus flips
+        // into a net penalty, so the cold queue must now rank first —
+        // while plain packing (blind to the link) still boosts queue 1.
+        let mut loads = vec![NodeLoad::default(); 4];
+        loads[2].active_in = 3;
+        loads[2].queued = 1;
+        let view = DataPlaneView::from_loads(loads);
+        let ctx = RoundCtx {
+            dataplane: Some(&view),
+            ..round_ctx(&env, &cluster, &queues, 100.0)
+        };
+        let mut bw = BandwidthAwarePacking::default();
+        assert_eq!(bw.rank(&ctx, &[0, 1]).into_order()[0], 0);
+        let mut blind = EsgCrossQueuePacking::default();
+        assert_eq!(blind.rank(&ctx, &[0, 1]).into_order()[0], 1);
+        // Idle link: the warm bonus stands and both stages agree.
+        let idle = DataPlaneView::from_loads(vec![NodeLoad::default(); 4]);
+        let idle_ctx = RoundCtx {
+            dataplane: Some(&idle),
+            ..round_ctx(&env, &cluster, &queues, 100.0)
+        };
+        assert_eq!(bw.rank(&idle_ctx, &[0, 1]).into_order()[0], 1);
+    }
+
+    #[test]
+    fn without_a_data_plane_bandwidth_packing_degrades_to_plain_packing() {
+        let env = SimEnv::standard(SloClass::Moderate);
+        let mut cluster = idle_cluster(4);
+        let f1 = env.apps[0].nodes[1];
+        cluster.node_mut(NodeId(2)).warm = vec![f1];
+        let cold_jobs = [job(500.0, None)];
+        let warm_jobs = [job(500.0, Some(NodeId(2)))];
+        let queues = [
+            queue_view(&env, &cold_jobs, 0, 0),
+            queue_view(&env, &warm_jobs, 0, 1),
+        ];
+        let ctx = round_ctx(&env, &cluster, &queues, 100.0);
+        let mut bw = BandwidthAwarePacking::default();
+        let mut plain = EsgCrossQueuePacking::default();
+        assert_eq!(
+            bw.rank(&ctx, &[0, 1]).into_order(),
+            plain.rank(&ctx, &[0, 1]).into_order()
+        );
+        assert!(matches!(
+            bw.admit(&ctx).decisions()[0],
+            AdmissionDecision::Admit
+        ));
+    }
+
+    #[test]
+    fn staging_backpressure_defers_the_starved_queue() {
+        use esg_sim::{BandwidthPackingConfig, DataPlaneView, NodeLoad};
+        let env = SimEnv::standard(SloClass::Moderate);
+        let cluster = idle_cluster(4);
+        let free_jobs = [job(500.0, None)];
+        let stuck_jobs = [job(500.0, Some(NodeId(1)))];
+        let queues = [
+            queue_view(&env, &free_jobs, 0, 0),
+            queue_view(&env, &stuck_jobs, 0, 1),
+        ];
+        let mut loads = vec![NodeLoad::default(); 4];
+        loads[1].queued = 4;
+        let view = DataPlaneView::from_loads(loads);
+        let ctx = RoundCtx {
+            dataplane: Some(&view),
+            ..round_ctx(&env, &cluster, &queues, 100.0)
+        };
+        let mut bw = BandwidthAwarePacking::new(BandwidthPackingConfig::default());
+        let plan = bw.admit(&ctx);
+        assert!(matches!(plan.decisions()[0], AdmissionDecision::Admit));
+        assert_eq!(
+            plan.decisions()[1],
+            AdmissionDecision::Defer {
+                until_ms: 100.0 + BandwidthPackingConfig::default().packing.defer_ms
+            }
+        );
     }
 
     #[test]

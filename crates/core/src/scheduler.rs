@@ -17,7 +17,7 @@
 use crate::bounds::StageTable;
 use crate::cache::{quantize_gslo, CachedPlan, PlanCache, PlanKey};
 use crate::plan::AppPlans;
-use crate::policy::EsgCrossQueuePacking;
+use crate::policy::{BandwidthAwarePacking, EsgCrossQueuePacking};
 use crate::search::{astar_search_with, stagewise_search, SearchScratch};
 use esg_model::{Config, FnId, NodeId};
 use esg_sim::{
@@ -498,6 +498,9 @@ impl Scheduler for EsgScheduler {
             PolicySpec::PackingWithAdmission(adm, pack) => PolicyStack::new()
                 .with(SloAdmission::new(adm))
                 .with(EsgCrossQueuePacking::new(pack)),
+            PolicySpec::BandwidthPacking(cfg) => {
+                PolicyStack::new().with(BandwidthAwarePacking::new(cfg))
+            }
         };
         true
     }

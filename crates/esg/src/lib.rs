@@ -46,7 +46,8 @@ pub mod prelude {
         AquatopeScheduler, FastGShareScheduler, InflessScheduler, OrionScheduler,
     };
     pub use esg_core::{
-        EsgCrossQueuePacking, EsgScheduler, PlanCache, SearchScratch, SearchVariant,
+        BandwidthAwarePacking, EsgCrossQueuePacking, EsgScheduler, PlanCache, SearchScratch,
+        SearchVariant,
     };
     pub use esg_dag::{Dag, DominatorTree, SloPlan};
     pub use esg_model::{
@@ -57,14 +58,15 @@ pub mod prelude {
     pub use esg_profile::{latency_ms, NoiseModel, ProfileTable, TransferModel};
     pub use esg_sim::{
         dispatch_trace, fnv64, run_simulation, run_streamed, AdmissionDecision, AdmissionPlan,
-        Capabilities, ClusterState, EventKind, EventLog, EventQueueKind, EventRecord,
-        ExperimentResult, HealthSnapshot, MemoryFootprint, MinScheduler, Monitored, NodeSummary,
-        NodeView, OverheadModel, PackingConfig, PolicySpec, PolicyStack, PolicyStats,
-        QueueCounters, QueueHealth, QueueHealthMonitor, QueuePartitioner, QueueView, RankedQueues,
-        RoundCtx, RoundPolicy, SchedCtx, Scheduler, SchedulerEvent, SchedulerStats, ShardStats,
-        ShardedController, ShedReason, Sim, SimBuilder, SimConfig, SimEnv, SimError, Simulation,
-        SloAdmission, SloAdmissionConfig, TraceError, TraceFile, TraceRecorder, TraceReplay,
-        Traced,
+        BandwidthPackingConfig, Capabilities, ClusterState, DataPlane, DataPlaneConfig,
+        DataPlaneView, EventKind, EventLog, EventQueueKind, EventRecord, ExperimentResult,
+        HealthSnapshot, MemoryFootprint, MinScheduler, Monitored, NodeLoad, NodeSummary,
+        NodeTransferStats, NodeView, OverheadModel, PackingConfig, PolicySpec, PolicyStack,
+        PolicyStats, QueueCounters, QueueHealth, QueueHealthMonitor, QueuePartitioner, QueueView,
+        RankedQueues, RoundCtx, RoundPolicy, SchedCtx, Scheduler, SchedulerEvent, SchedulerStats,
+        ShardStats, ShardedController, ShedReason, Sim, SimBuilder, SimConfig, SimEnv, SimError,
+        Simulation, SloAdmission, SloAdmissionConfig, TraceError, TraceFile, TraceRecorder,
+        TraceReplay, Traced, TransferCounters, TransferSummary,
     };
     pub use esg_workload::{
         shaped_stream, shaped_workload, ArrivalPredictor, ArrivalStream, AzureLikeTrace, RateFn,

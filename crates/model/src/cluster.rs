@@ -64,6 +64,20 @@ pub struct NodeClass {
     pub link_scale: f64,
     /// Per-flavor price multiplier on the §4.1 resource prices.
     pub price_scale: f64,
+    /// PCIe ingress bandwidth, GB/s (tensors arriving from remote nodes
+    /// or the gateway; 1 GB/s ≡ 1 MB/ms). Only the contended data plane
+    /// (`esg-sim`'s `dataplane`) reads it; the scalar transfer model
+    /// ignores it.
+    pub pcie_in_gbps: f64,
+    /// PCIe egress bandwidth, GB/s (tensors leaving for remote consumers).
+    pub pcie_out_gbps: f64,
+    /// Intra-server NVLink-class bandwidth, GB/s (same-node stage
+    /// hand-offs between co-located containers).
+    pub nvlink_gbps: f64,
+    /// Host-memory staging buffer for in-flight inter-stage tensors, MB.
+    /// Transfers that cannot reserve staging queue (FIFO) until space
+    /// frees; they are never dropped.
+    pub staging_mb: f64,
 }
 
 impl NodeClass {
@@ -78,6 +92,10 @@ impl NodeClass {
             speed: 1.0,
             link_scale: 1.0,
             price_scale: 1.0,
+            pcie_in_gbps: 25.0,
+            pcie_out_gbps: 25.0,
+            nvlink_gbps: 300.0,
+            staging_mb: 32_768.0,
         }
     }
 
@@ -92,6 +110,10 @@ impl NodeClass {
             speed: 1.4,
             link_scale: 1.0,
             price_scale: 0.7,
+            pcie_in_gbps: 12.0,
+            pcie_out_gbps: 12.0,
+            nvlink_gbps: 150.0,
+            staging_mb: 16_384.0,
         }
     }
 
@@ -106,6 +128,10 @@ impl NodeClass {
             speed: 2.2,
             link_scale: 1.25,
             price_scale: 0.35,
+            pcie_in_gbps: 8.0,
+            pcie_out_gbps: 8.0,
+            nvlink_gbps: 32.0,
+            staging_mb: 8_192.0,
         }
     }
 
@@ -120,6 +146,10 @@ impl NodeClass {
             speed: 1.0,
             link_scale: 1.0,
             price_scale: 1.0,
+            pcie_in_gbps: 25.0,
+            pcie_out_gbps: 25.0,
+            nvlink_gbps: 300.0,
+            staging_mb: 32_768.0,
         }
     }
 
@@ -140,6 +170,26 @@ impl NodeClass {
     pub fn with_link_scale(mut self, link_scale: f64) -> NodeClass {
         assert!(link_scale > 0.0, "link scale must be positive");
         self.link_scale = link_scale;
+        self
+    }
+
+    /// Overrides the data-plane bandwidths (PCIe in/out and NVLink-class
+    /// intra-server), GB/s.
+    pub fn with_bandwidth(mut self, pcie_in: f64, pcie_out: f64, nvlink: f64) -> NodeClass {
+        assert!(
+            pcie_in > 0.0 && pcie_out > 0.0 && nvlink > 0.0,
+            "bandwidths must be positive"
+        );
+        self.pcie_in_gbps = pcie_in;
+        self.pcie_out_gbps = pcie_out;
+        self.nvlink_gbps = nvlink;
+        self
+    }
+
+    /// Overrides the host-memory staging buffer, MB.
+    pub fn with_staging_mb(mut self, staging_mb: f64) -> NodeClass {
+        assert!(staging_mb > 0.0, "staging buffer must be positive");
+        self.staging_mb = staging_mb;
         self
     }
 
@@ -346,6 +396,22 @@ mod tests {
             Resources::new(8, 4)
         );
         assert_eq!(NodeClass::a100().to_string(), "a100(16c/7g)");
+    }
+
+    #[test]
+    fn bandwidth_builders_and_flavor_defaults() {
+        // Flavors order the same way on every bandwidth axis as on speed.
+        let (a, v, t) = (NodeClass::a100(), NodeClass::v100(), NodeClass::t4());
+        assert!(a.pcie_in_gbps > v.pcie_in_gbps && v.pcie_in_gbps > t.pcie_in_gbps);
+        assert!(a.nvlink_gbps > v.nvlink_gbps && v.nvlink_gbps > t.nvlink_gbps);
+        assert!(a.staging_mb > v.staging_mb && v.staging_mb > t.staging_mb);
+        let slow = NodeClass::a100()
+            .with_bandwidth(2.0, 3.0, 40.0)
+            .with_staging_mb(256.0);
+        assert_eq!(slow.pcie_in_gbps, 2.0);
+        assert_eq!(slow.pcie_out_gbps, 3.0);
+        assert_eq!(slow.nvlink_gbps, 40.0);
+        assert_eq!(slow.staging_mb, 256.0);
     }
 
     #[test]

@@ -30,12 +30,16 @@
 //! assert_eq!(result.arrivals, 10);
 //! ```
 
+use crate::dataplane::DataPlaneConfig;
 use crate::event::EventQueueKind;
 use crate::metrics::ExperimentResult;
 use crate::platform::{run_simulation, run_streamed, SimConfig, SimEnv};
 use crate::policy::{PackingConfig, PolicySpec, SloAdmissionConfig};
 use crate::sched::{OverheadModel, Scheduler};
-use esg_model::{AppSpec, ChurnEvent, ChurnPlan, ClusterSpec, ConfigGrid, Resources, SloClass};
+use esg_model::{
+    AppSpec, ChurnEvent, ChurnPlan, ClusterSpec, ConfigGrid, NodeClass, Resources, SloClass,
+};
+use esg_profile::TransferModel;
 use esg_workload::{ArrivalStream, Workload};
 
 /// A configuration rejected by [`SimBuilder::build`].
@@ -106,6 +110,7 @@ pub struct SimBuilder {
     slo: SloClass,
     grid: ConfigGrid,
     apps: Option<Vec<AppSpec>>,
+    transfer: Option<TransferModel>,
     cfg: SimConfig,
     policy: PolicySpec,
 }
@@ -117,6 +122,7 @@ impl SimBuilder {
             slo,
             grid: ConfigGrid::default(),
             apps: None,
+            transfer: None,
             cfg: SimConfig::default(),
             policy: PolicySpec::Classic,
         }
@@ -169,6 +175,27 @@ impl SimBuilder {
     /// Scripted node drains/joins applied mid-run.
     pub fn churn(mut self, plan: ChurnPlan) -> Self {
         self.cfg.churn = plan;
+        self
+    }
+
+    /// Replaces the environment's per-job transfer tariffs (§3.4
+    /// defaults otherwise). Every `*_ms_per_mb`/`*_base_ms` must be
+    /// finite and >= 0; [`build`](Self::build) rejects the rest as
+    /// [`SimError::InvalidKnob`].
+    pub fn transfer(mut self, model: TransferModel) -> Self {
+        self.transfer = Some(model);
+        self
+    }
+
+    /// Enables the contended-bandwidth data plane: per-node PCIe/NVLink
+    /// pools, bounded staging buffers, and transfer batching replace
+    /// the scalar per-dispatch transfer charge. Off by default — the
+    /// classic scalar model stays bit-identical to the pinned golden
+    /// digests; at `bandwidth_scale` high enough that no pool ever
+    /// saturates, the data plane reproduces the scalar timings exactly
+    /// (pinned by `tests/dataplane_equivalence.rs`).
+    pub fn data_plane(mut self, dp: DataPlaneConfig) -> Self {
+        self.cfg.data_plane = Some(dp);
         self
     }
 
@@ -296,6 +323,7 @@ impl SimBuilder {
             slo,
             grid,
             apps,
+            transfer,
             cfg,
             policy,
         } = self;
@@ -311,11 +339,63 @@ impl SimBuilder {
                 if spec.nodes.iter().any(|c| c.resources() == Resources::ZERO) {
                     return Err(SimError::EmptyCluster);
                 }
+                for class in &spec.nodes {
+                    validate_class_bandwidth(class)?;
+                }
             }
             None => {
                 if cfg.nodes == 0 || cfg.node_resources == Resources::ZERO {
                     return Err(SimError::EmptyCluster);
                 }
+            }
+        }
+        // Joined classes feed the same bandwidth pools.
+        for ev in &cfg.churn.events {
+            if let ChurnEvent::Join { class, .. } = ev {
+                validate_class_bandwidth(class)?;
+            }
+        }
+
+        // Transfer tariffs (scalar and data-plane modes both read them).
+        if let Some(t) = &transfer {
+            let tariffs: [(&'static str, f64); 4] = [
+                ("transfer.local_base_ms", t.local_base_ms),
+                ("transfer.local_ms_per_mb", t.local_ms_per_mb),
+                ("transfer.remote_base_ms", t.remote_base_ms),
+                ("transfer.remote_ms_per_mb", t.remote_ms_per_mb),
+            ];
+            for (knob, value) in tariffs {
+                if !(value >= 0.0 && value.is_finite()) {
+                    return Err(SimError::InvalidKnob {
+                        knob,
+                        value,
+                        requirement: "finite and >= 0",
+                    });
+                }
+            }
+        }
+
+        // Data-plane knobs.
+        if let Some(dp) = &cfg.data_plane {
+            let scales: [(&'static str, f64); 2] = [
+                ("data_plane.bandwidth_scale", dp.bandwidth_scale),
+                ("data_plane.staging_scale", dp.staging_scale),
+            ];
+            for (knob, value) in scales {
+                if !(value > 0.0 && value.is_finite()) {
+                    return Err(SimError::InvalidKnob {
+                        knob,
+                        value,
+                        requirement: "finite and > 0",
+                    });
+                }
+            }
+            if !(dp.batch_max_mb >= 0.0 && dp.batch_max_mb.is_finite()) {
+                return Err(SimError::InvalidKnob {
+                    knob: "data_plane.batch_max_mb",
+                    value: dp.batch_max_mb,
+                    requirement: "finite and >= 0",
+                });
             }
         }
 
@@ -375,6 +455,9 @@ impl SimBuilder {
         validate_churn(&cfg)?;
 
         let mut env = SimEnv::with_grid(slo, grid);
+        if let Some(t) = transfer {
+            env.transfer = t;
+        }
         if let Some(apps) = apps {
             if apps.is_empty() || apps.iter().any(|a| a.num_stages() == 0) {
                 return Err(SimError::NoApplications);
@@ -442,7 +525,40 @@ fn validate_policy(policy: &PolicySpec) -> Result<(), SimError> {
             admission(a)?;
             packing(p)
         }
+        PolicySpec::BandwidthPacking(b) => {
+            packing(&b.packing)?;
+            if !(b.contention_bias >= 0.0 && b.contention_bias.is_finite()) {
+                return Err(SimError::InvalidKnob {
+                    knob: "policy.contention_bias",
+                    value: b.contention_bias,
+                    requirement: "finite and >= 0",
+                });
+            }
+            Ok(())
+        }
     }
+}
+
+/// Per-class bandwidth/staging invariants: a zero or non-finite value
+/// would make a pool's fair share degenerate (division by the member
+/// count of a zero-capacity pool, or a NaN finish time).
+fn validate_class_bandwidth(class: &NodeClass) -> Result<(), SimError> {
+    let fields: [(&'static str, f64); 4] = [
+        ("class.pcie_in_gbps", class.pcie_in_gbps),
+        ("class.pcie_out_gbps", class.pcie_out_gbps),
+        ("class.nvlink_gbps", class.nvlink_gbps),
+        ("class.staging_mb", class.staging_mb),
+    ];
+    for (knob, value) in fields {
+        if !(value > 0.0 && value.is_finite()) {
+            return Err(SimError::InvalidKnob {
+                knob,
+                value,
+                requirement: "finite and > 0",
+            });
+        }
+    }
+    Ok(())
 }
 
 fn validate_churn(cfg: &SimConfig) -> Result<(), SimError> {
@@ -830,6 +946,109 @@ mod tests {
             }))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn transfer_tariffs_are_validated() {
+        use esg_profile::TransferModel;
+        // Valid tariffs land in the environment.
+        let sim = SimBuilder::new(SloClass::Moderate)
+            .transfer(TransferModel {
+                remote_ms_per_mb: 40.0,
+                ..TransferModel::default()
+            })
+            .build()
+            .expect("valid");
+        assert_eq!(sim.env().transfer.remote_ms_per_mb, 40.0);
+        // Negative and non-finite tariffs are typed errors.
+        for bad in [
+            TransferModel {
+                remote_ms_per_mb: -1.0,
+                ..TransferModel::default()
+            },
+            TransferModel {
+                local_base_ms: f64::NAN,
+                ..TransferModel::default()
+            },
+            TransferModel {
+                remote_base_ms: f64::INFINITY,
+                ..TransferModel::default()
+            },
+        ] {
+            let err = SimBuilder::new(SloClass::Moderate)
+                .transfer(bad)
+                .build()
+                .expect_err("rejected");
+            assert!(matches!(err, SimError::InvalidKnob { knob, .. }
+                if knob.starts_with("transfer.")));
+        }
+    }
+
+    #[test]
+    fn data_plane_knobs_are_validated() {
+        use crate::dataplane::DataPlaneConfig;
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .data_plane(DataPlaneConfig::default())
+            .build()
+            .is_ok());
+        let err = SimBuilder::new(SloClass::Moderate)
+            .data_plane(DataPlaneConfig {
+                bandwidth_scale: 0.0,
+                ..DataPlaneConfig::default()
+            })
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "data_plane.bandwidth_scale",
+                ..
+            }
+        ));
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .data_plane(DataPlaneConfig {
+                staging_scale: f64::NAN,
+                ..DataPlaneConfig::default()
+            })
+            .build()
+            .is_err());
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .data_plane(DataPlaneConfig {
+                batch_max_mb: -4.0,
+                ..DataPlaneConfig::default()
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn cluster_class_bandwidths_are_validated() {
+        let mut broken = NodeClass::a100();
+        broken.pcie_in_gbps = 0.0;
+        let err = SimBuilder::new(SloClass::Moderate)
+            .cluster(ClusterSpec::new("bw").with(broken.clone(), 1))
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "class.pcie_in_gbps",
+                ..
+            }
+        ));
+        // Churn joins feed the same pools, so their classes are checked
+        // too.
+        let err = SimBuilder::new(SloClass::Moderate)
+            .churn(ChurnPlan::none().join(10.0, broken))
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "class.pcie_in_gbps",
+                ..
+            }
+        ));
     }
 
     #[test]

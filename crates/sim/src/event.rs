@@ -30,6 +30,11 @@ pub enum Event {
     /// A task finished its pre-execution phase (cold start + input
     /// transfer) and wants to attach resources and run (task id).
     ExecReady(u64),
+    /// A data-plane transfer's planned finish fires (task id, plan
+    /// generation). Stale generations — the flow was re-planned after
+    /// this event was scheduled — are skipped on pop; a current one
+    /// completes the transfer and runs the task's exec-ready path.
+    TransferDue(u64, u64),
     /// A running task completes (task id).
     TaskComplete(u64),
     /// A pre-warm timer fires for `(node, function)`.

@@ -103,6 +103,15 @@ impl EventRecord {
                 },
             ),
             SchedulerEvent::RecheckTick { now_ms } => (now_ms, EventKind::RecheckTick),
+            SchedulerEvent::TransferStarted { node, mb, now_ms } => {
+                (now_ms, EventKind::TransferStarted { node, mb })
+            }
+            SchedulerEvent::TransferQueued { node, mb, now_ms } => {
+                (now_ms, EventKind::TransferQueued { node, mb })
+            }
+            SchedulerEvent::TransferCompleted { node, mb, now_ms } => {
+                (now_ms, EventKind::TransferCompleted { node, mb })
+            }
             SchedulerEvent::ShardCommit {
                 shard,
                 commits,
@@ -171,6 +180,28 @@ pub enum EventKind {
     },
     /// The platform retried the parked queues.
     RecheckTick,
+    /// A data-plane transfer started moving onto `node` (data plane
+    /// enabled only).
+    TransferStarted {
+        /// The destination node.
+        node: NodeId,
+        /// Aggregate payload, MB.
+        mb: f64,
+    },
+    /// A transfer was held back by `node`'s full staging buffer.
+    TransferQueued {
+        /// The destination node.
+        node: NodeId,
+        /// Aggregate payload, MB.
+        mb: f64,
+    },
+    /// A transfer onto `node` finished and released its staging reserve.
+    TransferCompleted {
+        /// The destination node.
+        node: NodeId,
+        /// Aggregate payload, MB.
+        mb: f64,
+    },
     /// One shard committed a staged round (sharded control plane only).
     ShardCommit {
         /// The committing shard's index.
@@ -216,6 +247,26 @@ impl QueueCounters {
     }
 }
 
+/// Data-plane transfer totals accumulated from the event stream (all
+/// zero when the run used the classic scalar transfer model, which
+/// emits no transfer events).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TransferCounters {
+    /// Transfers that started moving.
+    pub started: u64,
+    /// Transfers held back by a full staging buffer (each later starts,
+    /// so `queued` counts delays, not drops).
+    pub queued: u64,
+    /// Transfers that finished.
+    pub completed: u64,
+    /// Transfers currently in flight (started − completed).
+    pub inflight: u64,
+    /// High-water mark of in-flight transfers.
+    pub peak_inflight: u64,
+    /// Cumulative payload started, MB.
+    pub total_mb: f64,
+}
+
 /// The ring-buffer tap: bounded record history + per-queue counters.
 #[derive(Clone, Debug, Default)]
 pub struct EventLog {
@@ -231,6 +282,9 @@ pub struct EventLog {
     /// is host wall time the event stream deliberately omits, so it
     /// stays 0 here).
     shard: ShardStats,
+    /// Totals accumulated from the transfer event family (data plane
+    /// enabled only; all zero otherwise).
+    transfers: TransferCounters,
 }
 
 /// Default ring capacity (records beyond it evict the oldest).
@@ -252,6 +306,7 @@ impl EventLog {
             counters: HashMap::new(),
             pending: HashMap::new(),
             shard: ShardStats::default(),
+            transfers: TransferCounters::default(),
         }
     }
 
@@ -294,6 +349,20 @@ impl EventLog {
                 self.counters.entry(key).or_default().completions += 1;
             }
             SchedulerEvent::Churn { .. } | SchedulerEvent::RecheckTick { .. } => {}
+            SchedulerEvent::TransferStarted { mb, .. } => {
+                self.transfers.started += 1;
+                self.transfers.inflight += 1;
+                self.transfers.total_mb += mb;
+                self.transfers.peak_inflight =
+                    self.transfers.peak_inflight.max(self.transfers.inflight);
+            }
+            SchedulerEvent::TransferQueued { .. } => {
+                self.transfers.queued += 1;
+            }
+            SchedulerEvent::TransferCompleted { .. } => {
+                self.transfers.completed += 1;
+                self.transfers.inflight = self.transfers.inflight.saturating_sub(1);
+            }
             SchedulerEvent::QueueShed {
                 key, invocations, ..
             } => {
@@ -366,6 +435,12 @@ impl EventLog {
         self.shard
     }
 
+    /// Data-plane transfer totals seen so far (all zero on scalar runs,
+    /// which emit no transfer events).
+    pub fn transfer_stats(&self) -> TransferCounters {
+        self.transfers
+    }
+
     /// Forgets history and counters (capacity is kept).
     pub fn clear(&mut self) {
         self.ring.clear();
@@ -373,6 +448,7 @@ impl EventLog {
         self.counters.clear();
         self.pending.clear();
         self.shard = ShardStats::default();
+        self.transfers = TransferCounters::default();
     }
 }
 
@@ -505,6 +581,39 @@ mod tests {
         ));
         log.clear();
         assert_eq!(log.shard_stats(), ShardStats::default());
+    }
+
+    #[test]
+    fn transfer_events_roll_up_without_queue_counters() {
+        let mut log = EventLog::new();
+        for node in [2u32, 5] {
+            log.observe(&SchedulerEvent::TransferStarted {
+                node: NodeId(node),
+                mb: 64.0,
+                now_ms: 1.0,
+            });
+        }
+        log.observe(&SchedulerEvent::TransferQueued {
+            node: NodeId(2),
+            mb: 256.0,
+            now_ms: 2.0,
+        });
+        log.observe(&SchedulerEvent::TransferCompleted {
+            node: NodeId(2),
+            mb: 64.0,
+            now_ms: 3.0,
+        });
+        let t = log.transfer_stats();
+        assert_eq!(t.started, 2);
+        assert_eq!(t.queued, 1);
+        assert_eq!(t.completed, 1);
+        assert_eq!(t.inflight, 1);
+        assert_eq!(t.peak_inflight, 2);
+        assert!((t.total_mb - 128.0).abs() < 1e-12);
+        assert_eq!(log.queues().count(), 0, "no queue counters touched");
+        assert_eq!(log.len(), 4);
+        log.clear();
+        assert_eq!(log.transfer_stats(), TransferCounters::default());
     }
 
     #[test]

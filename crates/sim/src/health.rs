@@ -29,7 +29,7 @@
 //! assert_eq!(snaps[0].total_backlog, 1);
 //! ```
 
-use crate::eventlog::{EventLog, QueueCounters};
+use crate::eventlog::{EventLog, QueueCounters, TransferCounters};
 use crate::sched::{
     Capabilities, Outcome, QueueKey, RoundCtx, SchedCtx, Scheduler, SchedulerEvent, SchedulerStats,
 };
@@ -81,6 +81,10 @@ pub struct HealthSnapshot {
     /// driver; a climbing `conflicts`-to-`commits` ratio between
     /// consecutive snapshots is a cross-shard conflict storm).
     pub shard: ShardStats,
+    /// Cumulative data-plane transfer counters (all zero on scalar runs,
+    /// which emit no transfer events; `inflight` is the live count at
+    /// the boundary).
+    pub transfers: TransferCounters,
 }
 
 impl HealthSnapshot {
@@ -184,6 +188,7 @@ impl QueueHealthMonitor {
             total_backlog: queues.iter().map(|q| q.backlog).sum(),
             queues,
             shard: self.log.shard_stats(),
+            transfers: self.log.transfer_stats(),
         }
     }
 }
@@ -314,6 +319,34 @@ mod tests {
         assert_eq!(last.shard.commits, 1);
         assert_eq!(last.shard.conflicts, 2);
         assert_eq!(last.shard.retries, 1);
+    }
+
+    #[test]
+    fn snapshots_carry_transfer_counters() {
+        let mut mon = QueueHealthMonitor::new(100.0, 1);
+        mon.observe(&SchedulerEvent::TransferStarted {
+            node: NodeId(1),
+            mb: 32.0,
+            now_ms: 10.0,
+        });
+        mon.observe(&SchedulerEvent::TransferQueued {
+            node: NodeId(1),
+            mb: 512.0,
+            now_ms: 20.0,
+        });
+        mon.observe(&SchedulerEvent::TransferCompleted {
+            node: NodeId(1),
+            mb: 32.0,
+            now_ms: 90.0,
+        });
+        let snaps = mon.finish(150.0);
+        let last = snaps.last().expect("closing snapshot");
+        assert_eq!(last.transfers.started, 1);
+        assert_eq!(last.transfers.queued, 1);
+        assert_eq!(last.transfers.completed, 1);
+        assert_eq!(last.transfers.inflight, 0);
+        assert!((last.transfers.total_mb - 32.0).abs() < 1e-12);
+        assert_eq!(snaps[0].transfers, last.transfers, "cumulative counters");
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod arena;
 pub mod builder;
 pub mod cluster;
+pub mod dataplane;
 pub mod event;
 pub mod eventlog;
 pub mod health;
@@ -62,16 +63,21 @@ pub mod workflow;
 pub use arena::Arena;
 pub use builder::{Sim, SimBuilder, SimError};
 pub use cluster::{Cluster, Node};
+pub use dataplane::{
+    BandwidthPool, DataPlane, DataPlaneConfig, DataPlaneView, NodeLoad, NodeTransferStats,
+    TransferSummary,
+};
 pub use event::{Event, EventQueue, EventQueueKind};
-pub use eventlog::{EventKind, EventLog, EventRecord, QueueCounters};
+pub use eventlog::{EventKind, EventLog, EventRecord, QueueCounters, TransferCounters};
 pub use health::{HealthSnapshot, Monitored, QueueHealth, QueueHealthMonitor};
 pub use metrics::{AppMetrics, ExperimentResult, NodeSummary};
 pub use platform::{
     run_simulation, run_streamed, MemoryFootprint, MinScheduler, SimConfig, SimEnv, Simulation,
 };
 pub use policy::{
-    gslo_attainable, AdmissionDecision, AdmissionPlan, PackingConfig, PolicySpec, PolicyStack,
-    PolicyStats, RankedQueues, RoundPolicy, ShedReason, SloAdmission, SloAdmissionConfig,
+    gslo_attainable, AdmissionDecision, AdmissionPlan, BandwidthPackingConfig, PackingConfig,
+    PolicySpec, PolicyStack, PolicyStats, RankedQueues, RoundPolicy, ShedReason, SloAdmission,
+    SloAdmissionConfig,
 };
 pub use sched::{
     fill_job_views, home_node, place_locality_first, place_min_fragmentation, Capabilities,
@@ -82,7 +88,7 @@ pub use shard::{QueuePartitioner, ShardStats, ShardedController};
 pub use state::{ClusterState, NodeView};
 pub use trace::{
     dispatch_trace, fnv64, TraceError, TraceFile, TraceRecorder, TraceReplay, Traced, TRACE_FORMAT,
-    TRACE_VERSION,
+    TRACE_VERSION, TRACE_VERSION_MINOR,
 };
 pub use wheel::TimerWheel;
 pub use workflow::{AfwQueue, Job, WorkflowInstance};

@@ -5,6 +5,7 @@
 //! costs, scheduling-overhead samples (Fig. 10), configuration-miss counts
 //! (Table 4), start/transfer counters, and utilisation (Fig. 12).
 
+use crate::dataplane::TransferSummary;
 use crate::sched::SchedulerStats;
 use esg_model::{AppId, BoxStats, Resources, Summary};
 
@@ -127,6 +128,9 @@ pub struct ExperimentResult {
     /// Jobs dropped by admission shedding, including sibling-stage jobs
     /// purged from other queues when their invocation was killed.
     pub shed_jobs: u64,
+    /// Data-plane transfer counters (all-default when the run used the
+    /// classic scalar transfer model).
+    pub transfers: TransferSummary,
 }
 
 /// Hand-rolled `Debug` matching the pre-policy derive output
@@ -164,6 +168,9 @@ impl std::fmt::Debug for ExperimentResult {
         if self.shed_invocations != 0 || self.shed_jobs != 0 {
             d.field("shed_invocations", &self.shed_invocations)
                 .field("shed_jobs", &self.shed_jobs);
+        }
+        if self.transfers != TransferSummary::default() {
+            d.field("transfers", &self.transfers);
         }
         d.finish()
     }

@@ -25,6 +25,7 @@
 
 use crate::arena::Arena;
 use crate::cluster::Cluster;
+use crate::dataplane::{Admission, DataPlane, DataPlaneConfig, TransferReq};
 use crate::event::{Event, EventQueue, EventQueueKind};
 use crate::metrics::{AppMetrics, ExperimentResult, NodeSummary};
 use crate::policy::ShedReason;
@@ -185,6 +186,13 @@ pub struct SimConfig {
     /// The write is best-effort: a failure is reported on stderr, never
     /// a panic mid-experiment.
     pub record_trace: Option<std::path::PathBuf>,
+    /// Contended GPU data plane (`crate::dataplane`): per-node PCIe/
+    /// NVLink bandwidth pools with fair-share transfer progress and
+    /// bounded host-memory staging. `None` (the default) keeps the
+    /// classic scalar transfer model; at effectively infinite bandwidth
+    /// the plane is dispatch-trace bit-identical to the scalar model
+    /// (`tests/dataplane_equivalence.rs`).
+    pub data_plane: Option<DataPlaneConfig>,
 }
 
 impl Default for SimConfig {
@@ -211,6 +219,7 @@ impl Default for SimConfig {
             force_sharded: false,
             event_queue: EventQueueKind::Heap,
             record_trace: None,
+            data_plane: None,
         }
     }
 }
@@ -398,6 +407,9 @@ pub struct Simulation<'a> {
     /// The trace-recording sink (`cfg.record_trace`); fed alongside the
     /// scheduler by [`notify`](Self::notify) and written in `finish`.
     recorder: Option<TraceRecorder>,
+    /// The contended data plane (`cfg.data_plane`); `None` keeps the
+    /// classic scalar transfer model.
+    dataplane: Option<DataPlane>,
 }
 
 impl<'a> Simulation<'a> {
@@ -493,6 +505,7 @@ impl<'a> Simulation<'a> {
             .record_trace
             .clone()
             .map(|path| TraceRecorder::begin(path, env, &cfg, sched.name()));
+        let dataplane = cfg.data_plane.map(|dp| DataPlane::new(dp, &cluster));
         Simulation {
             env,
             cfg,
@@ -532,6 +545,7 @@ impl<'a> Simulation<'a> {
             slo_ms,
             base_ms,
             recorder,
+            dataplane,
         }
     }
 
@@ -629,6 +643,7 @@ impl<'a> Simulation<'a> {
                     }
                 }
                 Event::ExecReady(id) => self.exec_ready(id),
+                Event::TransferDue(id, gen) => self.transfer_due(id, gen),
                 Event::TaskComplete(id) => {
                     self.complete_task(id);
                     self.wake_controller();
@@ -667,6 +682,9 @@ impl<'a> Simulation<'a> {
                 }
             }
             ChurnEvent::Join { class, .. } => {
+                if let Some(dp) = self.dataplane.as_mut() {
+                    dp.note_join(&class);
+                }
                 let joined = self.cluster.join(class, self.now);
                 self.waiting_exec.push(std::collections::VecDeque::new());
                 self.state.note_join(self.cluster.node(joined), self.now);
@@ -853,6 +871,7 @@ impl<'a> Simulation<'a> {
                     price: &self.env.price,
                     transfer: &self.env.transfer,
                     noise: &self.env.noise,
+                    dataplane: self.dataplane.as_ref().map(|dp| dp.view()),
                 };
                 let t0 = Instant::now();
                 let decisions = self.sched.schedule_round(&ctx);
@@ -951,6 +970,7 @@ impl<'a> Simulation<'a> {
                         price: &self.env.price,
                         transfer: &self.env.transfer,
                         noise: &self.env.noise,
+                        dataplane: self.dataplane.as_ref().map(|dp| dp.view()),
                     };
                     let t0 = Instant::now();
                     let decisions = self.shard_ctl.as_mut().expect("sharded driver").stage(
@@ -1376,12 +1396,20 @@ impl<'a> Simulation<'a> {
         let dst_link = self.cluster.node(node).class.link_scale;
         let mut rate_ms = 0.0;
         let mut base_ms = 0.0f64;
+        // Data-plane aggregates (one aggregated flow per dispatched
+        // batch): same-node MB, remote/gateway MB, and the distinct
+        // remote producers with their same-edge job counts.
+        let with_dataplane = self.dataplane.is_some();
+        let mut local_jobs = 0u32;
+        let mut remote_jobs = 0u32;
+        let mut src_counts: Vec<(usize, u32)> = Vec::new();
         for j in &jobs {
             let local = j.pred_node == Some(node);
             if local {
                 self.metrics.local_transfers += 1;
                 rate_ms += self.env.transfer.local_ms_per_mb * spec.input_mb;
                 base_ms = base_ms.max(self.env.transfer.local_base_ms);
+                local_jobs += 1;
             } else {
                 let link = match j.pred_node {
                     Some(src) if src.index() < self.cluster.len() => {
@@ -1392,6 +1420,15 @@ impl<'a> Simulation<'a> {
                 self.metrics.remote_transfers += 1;
                 rate_ms += self.env.transfer.remote_ms_per_mb * spec.input_mb * link;
                 base_ms = base_ms.max(self.env.transfer.remote_base_ms * link);
+                remote_jobs += 1;
+                if with_dataplane {
+                    if let Some(src) = j.pred_node.filter(|s| s.index() < self.cluster.len()) {
+                        match src_counts.iter_mut().find(|(s, _)| *s == src.index()) {
+                            Some((_, c)) => *c += 1,
+                            None => src_counts.push((src.index(), 1)),
+                        }
+                    }
+                }
             }
         }
         let transfer_ms = base_ms + rate_ms;
@@ -1439,12 +1476,101 @@ impl<'a> Simulation<'a> {
             init_ready_at: SimTime::ZERO,
             committed,
         }) as u64;
-        self.metrics.phase_init_ms.add(cold_ms + transfer_ms);
         // Init phase (cold start + transfer) holds no compute resources: a
         // container being provisioned has not attached its vCPUs/MIG slice
         // yet. Resources attach at ExecReady.
-        let ready = start + SimTime::from_ms(cold_ms + transfer_ms);
-        self.events.push(ready, Event::ExecReady(id));
+        if let Some(dp) = self.dataplane.as_mut() {
+            // Contended data plane: the batch's movement becomes one
+            // aggregated flow through the endpoint bandwidth pools. The
+            // uncontended plan lands at the *same instant* the scalar
+            // `ExecReady` would (`scalar_total_ms` is the identical f64
+            // expression), under the same class-2 event rank.
+            let batchable = spec.input_mb <= dp.config().batch_max_mb;
+            let batched_small = if batchable {
+                let edges = src_counts.len() as u32
+                    + u32::from(local_jobs > 0)
+                    + u32::from(remote_jobs > src_counts.iter().map(|&(_, c)| c).sum::<u32>());
+                (local_jobs + remote_jobs).saturating_sub(edges.max(1))
+            } else {
+                0
+            };
+            let mb = spec.input_mb;
+            let req = TransferReq {
+                task: id,
+                dst: node.index(),
+                remote_srcs: src_counts.iter().map(|&(s, _)| s).collect(),
+                remote_mb: remote_jobs as f64 * mb,
+                local_mb: local_jobs as f64 * mb,
+                base_ms: cold_ms + base_ms,
+                work_ms: rate_ms,
+                scalar_total_ms: cold_ms + transfer_ms,
+                batched_small,
+            };
+            let total_mb = req.remote_mb + req.local_mb;
+            match dp.begin(req, start) {
+                Admission::Active {
+                    gen,
+                    finish,
+                    replans,
+                } => {
+                    self.events.push(finish, Event::TransferDue(id, gen));
+                    for (t, g, at) in replans {
+                        self.events.push(at, Event::TransferDue(t, g));
+                    }
+                    self.notify(&SchedulerEvent::TransferStarted {
+                        node,
+                        mb: total_mb,
+                        now_ms: self.now.as_ms(),
+                    });
+                }
+                Admission::Queued => {
+                    self.notify(&SchedulerEvent::TransferQueued {
+                        node,
+                        mb: total_mb,
+                        now_ms: self.now.as_ms(),
+                    });
+                }
+            }
+        } else {
+            self.metrics.phase_init_ms.add(cold_ms + transfer_ms);
+            let ready = start + SimTime::from_ms(cold_ms + transfer_ms);
+            self.events.push(ready, Event::ExecReady(id));
+        }
+    }
+
+    /// A data-plane transfer's planned finish fired. Stale generations
+    /// (the flow was re-planned after this event was queued) are
+    /// skipped; a current one completes the flow, re-plans squeezed
+    /// neighbours, activates staged flows on the freed buffer space, and
+    /// runs the task's exec-ready path at this very instant — exactly
+    /// where the scalar model's `ExecReady` would have run.
+    fn transfer_due(&mut self, id: u64, gen: u64) {
+        let Some(dp) = self.dataplane.as_mut() else {
+            return;
+        };
+        let now = self.now;
+        let Some(out) = dp.on_due(id, gen, now) else {
+            return; // stale generation
+        };
+        self.metrics.phase_init_ms.add(out.elapsed_ms);
+        self.notify(&SchedulerEvent::TransferCompleted {
+            node: NodeId(out.node as u32),
+            mb: out.mb,
+            now_ms: now.as_ms(),
+        });
+        for (t, g, at) in out.replans {
+            self.events.push(at, Event::TransferDue(t, g));
+        }
+        for act in out.activated {
+            self.events
+                .push(act.finish, Event::TransferDue(act.task, act.gen));
+            self.notify(&SchedulerEvent::TransferStarted {
+                node: NodeId(act.node as u32),
+                mb: act.mb,
+                now_ms: now.as_ms(),
+            });
+        }
+        self.exec_ready(id);
     }
 
     /// A task's init phase finished: attach resources and run, or queue on
@@ -1625,6 +1751,9 @@ impl<'a> Simulation<'a> {
             0.0
         };
         self.metrics.makespan_ms = self.now.as_ms();
+        if let Some(dp) = &self.dataplane {
+            self.metrics.transfers = dp.summary();
+        }
         self.metrics.scheduler_stats = match &self.shard_ctl {
             Some(ctl) => {
                 let mut stats = self.sched.stats();

@@ -595,6 +595,37 @@ impl Default for PackingConfig {
     }
 }
 
+/// Knobs of the bandwidth-aware packing stage (`esg-core`'s
+/// `BandwidthAwarePacking`; defined here so [`PolicySpec`] can carry it
+/// through the sim layer). Extends [`PackingConfig`] with an
+/// estimated-contention term fed by the live data-plane view
+/// (`RoundCtx::dataplane`); without a data plane the stage degrades to
+/// plain cross-queue packing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandwidthPackingConfig {
+    /// The underlying packing knobs (budget, defer, warm bias).
+    pub packing: PackingConfig,
+    /// Rank penalty (normalised-tightness units) per flow already
+    /// contending for the predecessor node's ingress path — warm
+    /// affinity onto a saturated link stops looking free.
+    pub contention_bias: f64,
+    /// Defer a queue (by the packing `defer_ms`) when its predecessor
+    /// node has at least this many transfers queued for staging: the
+    /// input tensors cannot even start moving, so burning search budget
+    /// now buys nothing.
+    pub defer_queue_depth: u32,
+}
+
+impl Default for BandwidthPackingConfig {
+    fn default() -> Self {
+        BandwidthPackingConfig {
+            packing: PackingConfig::default(),
+            contention_bias: 0.1,
+            defer_queue_depth: 4,
+        }
+    }
+}
+
 /// Declarative round-policy selection for the
 /// [`SimBuilder`](crate::SimBuilder) `policy(...)` knob.
 ///
@@ -618,6 +649,10 @@ pub enum PolicySpec {
     /// [`SloAdmission`] below ESG cross-queue packing (`EsgScheduler`
     /// only).
     PackingWithAdmission(SloAdmissionConfig, PackingConfig),
+    /// Bandwidth-aware cross-queue packing (`EsgScheduler` only):
+    /// packing plus a contention penalty fed by the live data-plane
+    /// view.
+    BandwidthPacking(BandwidthPackingConfig),
 }
 
 impl PolicySpec {
@@ -636,6 +671,11 @@ impl PolicySpec {
         PolicySpec::PackingWithAdmission(SloAdmissionConfig::default(), PackingConfig::default())
     }
 
+    /// Bandwidth-aware packing at its default knobs.
+    pub fn bandwidth_packing() -> PolicySpec {
+        PolicySpec::BandwidthPacking(BandwidthPackingConfig::default())
+    }
+
     /// Builds the stack for specs expressible with sim-layer stages
     /// alone; `None` for specs needing upper-layer machinery (baselines
     /// use this as their whole `adopt_policy`).
@@ -643,17 +683,21 @@ impl PolicySpec {
         match *self {
             PolicySpec::Classic => Some(PolicyStack::classic()),
             PolicySpec::SloAdmission(cfg) => Some(PolicyStack::new().with(SloAdmission::new(cfg))),
-            PolicySpec::CrossQueuePacking(_) | PolicySpec::PackingWithAdmission(..) => None,
+            PolicySpec::CrossQueuePacking(_)
+            | PolicySpec::PackingWithAdmission(..)
+            | PolicySpec::BandwidthPacking(_) => None,
         }
     }
 
-    /// A short display label ("classic", "admit", "pack", "pack+admit").
+    /// A short display label ("classic", "admit", "pack", "pack+admit",
+    /// "bw-pack").
     pub fn label(&self) -> &'static str {
         match self {
             PolicySpec::Classic => "classic",
             PolicySpec::SloAdmission(_) => "admit",
             PolicySpec::CrossQueuePacking(_) => "pack",
             PolicySpec::PackingWithAdmission(..) => "pack+admit",
+            PolicySpec::BandwidthPacking(_) => "bw-pack",
         }
     }
 }
@@ -691,6 +735,7 @@ mod tests {
             price: &env.price,
             transfer: &env.transfer,
             noise: &env.noise,
+            dataplane: None,
         }
     }
 

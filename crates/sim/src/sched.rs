@@ -161,6 +161,11 @@ pub struct RoundCtx<'a> {
     pub transfer: &'a TransferModel,
     /// Noise model.
     pub noise: &'a NoiseModel,
+    /// Live data-plane occupancy (`Some` only when the contended data
+    /// plane is enabled via `SimConfig::data_plane`). Bandwidth-aware
+    /// policies fold its per-node contention estimates into their
+    /// ranking; everything else ignores it.
+    pub dataplane: Option<&'a crate::dataplane::DataPlaneView>,
 }
 
 impl RoundCtx<'_> {
@@ -261,6 +266,36 @@ pub enum SchedulerEvent<'a> {
         /// Simulated time, ms.
         now_ms: f64,
     },
+    /// A data-plane transfer flow activated on `node`'s bandwidth pools
+    /// (only emitted when `SimConfig::data_plane` is set).
+    TransferStarted {
+        /// The destination node.
+        node: NodeId,
+        /// Total MB of the aggregated flow.
+        mb: f64,
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
+    /// A dispatched batch's transfer could not reserve staging space on
+    /// `node` and queued (FIFO) for the buffer — delayed, never dropped.
+    TransferQueued {
+        /// The destination node.
+        node: NodeId,
+        /// Total MB of the aggregated flow.
+        mb: f64,
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
+    /// A data-plane transfer flow completed on `node` and released its
+    /// pool memberships and staging reservation.
+    TransferCompleted {
+        /// The destination node.
+        node: NodeId,
+        /// Total MB of the aggregated flow.
+        mb: f64,
+        /// Simulated time, ms.
+        now_ms: f64,
+    },
     /// One shard of the sharded control plane finished committing a
     /// staged round: `commits` decisions landed, `conflicts` staged
     /// placements were invalidated by another shard's commit, and
@@ -298,6 +333,9 @@ impl SchedulerEvent<'_> {
             | SchedulerEvent::Churn { now_ms, .. }
             | SchedulerEvent::QueueShed { now_ms, .. }
             | SchedulerEvent::RecheckTick { now_ms }
+            | SchedulerEvent::TransferStarted { now_ms, .. }
+            | SchedulerEvent::TransferQueued { now_ms, .. }
+            | SchedulerEvent::TransferCompleted { now_ms, .. }
             | SchedulerEvent::ShardCommit { now_ms, .. } => now_ms,
         }
     }

@@ -70,6 +70,13 @@ pub const TRACE_FORMAT: &str = "esg-trace";
 /// [`TraceError::Version`].
 pub const TRACE_VERSION: u32 = 1;
 
+/// Current minor revision within [`TRACE_VERSION`]. Minor bumps are
+/// strictly additive (optional header fields, new event tags), so a
+/// v1.0 reader's documents still load here and a v1.0 document loads as
+/// minor 0. Minor 1 added the data-plane family: per-class bandwidth
+/// fields, the `data_plane` config knob, and the transfer event tags.
+pub const TRACE_VERSION_MINOR: u32 = 1;
+
 /// A typed failure while writing or loading a trace. Corrupt or
 /// truncated files surface here — never as a panic.
 #[derive(Clone, Debug, PartialEq)]
@@ -328,6 +335,7 @@ from the standard environment"
         let mut doc = Map::new();
         doc.insert("format", TRACE_FORMAT);
         doc.insert("version", TRACE_VERSION);
+        doc.insert("version_minor", TRACE_VERSION_MINOR);
         doc.insert("scheduler", self.scheduler.clone());
         doc.insert("slo", self.slo.to_string());
         doc.insert("apps", "standard");
@@ -360,6 +368,9 @@ from the standard environment"
 pub struct TraceFile {
     /// Schema version the file was written at.
     pub version: u32,
+    /// Minor revision within `version` (0 when the document predates
+    /// minor versioning; see [`TRACE_VERSION_MINOR`]).
+    pub version_minor: u32,
     /// Name of the scheduler that drove the recorded run.
     pub scheduler: String,
     /// SLO class of the recorded environment.
@@ -405,6 +416,14 @@ impl TraceFile {
                 supported: TRACE_VERSION,
             });
         }
+        // Minor revisions are additive: absent (pre-minor v1 documents)
+        // reads as 0, and any value loads — unknown minor features can
+        // only be optional fields this reader defaults away.
+        let version_minor = match doc.get("version_minor") {
+            None => 0,
+            Some(_) => u32::try_from(int_field(&doc, "version_minor")?)
+                .map_err(|_| schema("version_minor is out of the u32 range"))?,
+        };
         let apps = str_field(&doc, "apps")?;
         if apps != "standard" {
             return Err(TraceError::Unsupported {
@@ -439,6 +458,7 @@ impl TraceFile {
             .collect::<Result<Vec<_>, TraceError>>()?;
         Ok(TraceFile {
             version: found as u32,
+            version_minor,
             scheduler: str_field(&doc, "scheduler")?.to_string(),
             slo,
             grid,
@@ -717,18 +737,43 @@ fn class_to_json(c: &NodeClass) -> Value {
     m.insert("speed", c.speed);
     m.insert("link_scale", c.link_scale);
     m.insert("price_scale", c.price_scale);
+    m.insert("pcie_in_gbps", c.pcie_in_gbps);
+    m.insert("pcie_out_gbps", c.pcie_out_gbps);
+    m.insert("nvlink_gbps", c.nvlink_gbps);
+    m.insert("staging_mb", c.staging_mb);
     Value::Object(m)
 }
 
+/// Optional f64 field — absent falls back to `default` (how v1.0
+/// documents, which predate the bandwidth fields, keep loading).
+fn f64_field_or(doc: &Value, key: &str, default: f64) -> Result<f64, TraceError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(_) => f64_field(doc, key),
+    }
+}
+
 fn class_from_json(doc: &Value) -> Result<NodeClass, TraceError> {
+    let gpu = flavor_from_str(str_field(doc, "gpu")?)?;
+    // Bandwidth fields arrived in v1.1; older documents fall back to
+    // the flavor's stock values.
+    let stock = match gpu {
+        GpuFlavor::A100 => NodeClass::a100(),
+        GpuFlavor::V100 => NodeClass::v100(),
+        GpuFlavor::T4 => NodeClass::t4(),
+    };
     Ok(NodeClass {
         name: str_field(doc, "name")?.to_string(),
-        gpu: flavor_from_str(str_field(doc, "gpu")?)?,
+        gpu,
         vgpu_slices: u32_field(doc, "vgpu_slices")?,
         vcpus: u32_field(doc, "vcpus")?,
         speed: f64_field(doc, "speed")?,
         link_scale: f64_field(doc, "link_scale")?,
         price_scale: f64_field(doc, "price_scale")?,
+        pcie_in_gbps: f64_field_or(doc, "pcie_in_gbps", stock.pcie_in_gbps)?,
+        pcie_out_gbps: f64_field_or(doc, "pcie_out_gbps", stock.pcie_out_gbps)?,
+        nvlink_gbps: f64_field_or(doc, "nvlink_gbps", stock.nvlink_gbps)?,
+        staging_mb: f64_field_or(doc, "staging_mb", stock.staging_mb)?,
     })
 }
 
@@ -829,6 +874,19 @@ fn config_to_json(cfg: &SimConfig) -> Value {
             EventQueueKind::Wheel => "wheel",
         },
     );
+    m.insert(
+        "data_plane",
+        match &cfg.data_plane {
+            None => Value::Null,
+            Some(dp) => {
+                let mut d = Map::new();
+                d.insert("bandwidth_scale", dp.bandwidth_scale);
+                d.insert("staging_scale", dp.staging_scale);
+                d.insert("batch_max_mb", dp.batch_max_mb);
+                Value::Object(d)
+            }
+        },
+    );
     Value::Object(m)
 }
 
@@ -880,6 +938,16 @@ fn config_from_json(doc: &Value) -> Result<SimConfig, TraceError> {
         shards: usize_field(doc, "shards")?,
         force_sharded: bool_field(doc, "force_sharded")?,
         event_queue: queue_kind_from_str(str_field(doc, "event_queue")?)?,
+        // Arrived in v1.1; absent (v1.0 documents) means the classic
+        // scalar transfer model.
+        data_plane: match doc.get("data_plane") {
+            None | Some(Value::Null) => None,
+            Some(dp) => Some(crate::dataplane::DataPlaneConfig {
+                bandwidth_scale: f64_field(dp, "bandwidth_scale")?,
+                staging_scale: f64_field(dp, "staging_scale")?,
+                batch_max_mb: f64_field(dp, "batch_max_mb")?,
+            }),
+        },
         record_trace: None,
     })
 }
@@ -930,6 +998,15 @@ fn encode_event(r: &EventRecord) -> Value {
             reason.to_string().into(),
         ],
         EventKind::RecheckTick => vec!["R".into(), t],
+        EventKind::TransferStarted { node, mb } => {
+            vec!["TS".into(), t, node.0.into(), mb.into()]
+        }
+        EventKind::TransferQueued { node, mb } => {
+            vec!["TQ".into(), t, node.0.into(), mb.into()]
+        }
+        EventKind::TransferCompleted { node, mb } => {
+            vec!["TC".into(), t, node.0.into(), mb.into()]
+        }
         EventKind::ShardCommit {
             shard,
             commits,
@@ -1026,6 +1103,27 @@ fn decode_event(v: &Value, idx: usize) -> Result<EventRecord, TraceError> {
             expect_len(2)?;
             EventKind::RecheckTick
         }
+        "TS" => {
+            expect_len(4)?;
+            EventKind::TransferStarted {
+                node: NodeId(u32_at(a, 2, &ctx)?),
+                mb: f64_at(a, 3, &ctx)?,
+            }
+        }
+        "TQ" => {
+            expect_len(4)?;
+            EventKind::TransferQueued {
+                node: NodeId(u32_at(a, 2, &ctx)?),
+                mb: f64_at(a, 3, &ctx)?,
+            }
+        }
+        "TC" => {
+            expect_len(4)?;
+            EventKind::TransferCompleted {
+                node: NodeId(u32_at(a, 2, &ctx)?),
+                mb: f64_at(a, 3, &ctx)?,
+            }
+        }
         "X" => {
             expect_len(6)?;
             EventKind::ShardCommit {
@@ -1103,6 +1201,27 @@ mod tests {
                     retries: 1,
                 },
             },
+            EventRecord {
+                now_ms: 14.0,
+                kind: EventKind::TransferStarted {
+                    node: NodeId(4),
+                    mb: 96.5,
+                },
+            },
+            EventRecord {
+                now_ms: 15.0,
+                kind: EventKind::TransferQueued {
+                    node: NodeId(4),
+                    mb: 1024.0,
+                },
+            },
+            EventRecord {
+                now_ms: 16.0,
+                kind: EventKind::TransferCompleted {
+                    node: NodeId(4),
+                    mb: 96.5,
+                },
+            },
         ]
     }
 
@@ -1127,6 +1246,11 @@ mod tests {
             force_sharded: true,
             event_queue: EventQueueKind::Wheel,
             warmup_exclude_ms: 123.5,
+            data_plane: Some(crate::dataplane::DataPlaneConfig {
+                bandwidth_scale: 0.5,
+                staging_scale: 2.0,
+                batch_max_mb: 16.0,
+            }),
             ..SimConfig::default()
         };
         let text = serde_json::to_string(&config_to_json(&cfg));
@@ -1140,10 +1264,43 @@ mod tests {
 
     #[test]
     fn dispatch_trace_matches_the_golden_format() {
+        // Transfer telemetry (last three sample records) must not move
+        // the digest — only dispatch/churn/shed render.
         let s = dispatch_trace(&sample_records());
         assert_eq!(s, "D 2.1 (b=2,c=3,g=1) n4 x2;C n1 drain;S 2.1 x3 overload;");
         assert_eq!(fnv64(""), 0xcbf29ce484222325);
         assert_ne!(fnv64(&s), fnv64(""));
+    }
+
+    #[test]
+    fn v1_0_documents_without_minor_fields_still_load() {
+        // A pre-minor-versioning trace: no version_minor, no per-class
+        // bandwidth fields, no data_plane knob. It must load as minor 0
+        // with flavor-stock bandwidths and a scalar transfer model.
+        let class = "{\"name\": \"t4\", \"gpu\": \"t4\", \"vgpu_slices\": 4, \
+\"vcpus\": 8, \"speed\": 0.5, \"link_scale\": 1.5, \"price_scale\": 0.4}";
+        let text = format!(
+            "{{\"format\": \"esg-trace\", \"version\": 1, \"scheduler\": \"min\", \
+\"slo\": \"moderate\", \"apps\": \"standard\", \
+\"grid\": {{\"batches\": [1], \"vcpus\": [1], \"vgpus\": [1]}}, \
+\"config\": {{\"nodes\": 2, \"node_resources\": [16, 7], \
+\"cluster\": {{\"name\": \"old\", \"nodes\": [{class}]}}, \"churn\": [], \
+\"keep_alive_ms\": 1.0, \"overhead\": [0.0, 0.43], \"charge_overhead\": true, \
+\"prewarm\": false, \"prewarm_alpha\": 0.5, \"initial_warm_per_node\": 0, \
+\"prewarm_pool_cap\": 4, \"warmup_exclude_ms\": 0.0, \"seed\": 42, \
+\"recheck_limit\": 3, \"idle_backoff_ms\": 5.0, \"max_sim_ms\": 100.0, \
+\"validate_cluster_state\": false, \"shards\": 1, \"force_sharded\": false, \
+\"event_queue\": \"heap\"}}, \"arrivals\": [], \"events\": []}}"
+        );
+        let t = TraceFile::from_json(&text).expect("v1.0 document loads");
+        assert_eq!(t.version, TRACE_VERSION);
+        assert_eq!(t.version_minor, 0);
+        assert_eq!(t.config.data_plane, None);
+        let stock = NodeClass::t4();
+        let loaded = &t.config.cluster.as_ref().expect("cluster").nodes[0];
+        assert_eq!(loaded.pcie_in_gbps, stock.pcie_in_gbps);
+        assert_eq!(loaded.nvlink_gbps, stock.nvlink_gbps);
+        assert_eq!(loaded.staging_mb, stock.staging_mb);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Data-plane vs scalar-transfer equivalence: with the contended GPU
+//! data plane enabled at effectively infinite bandwidth
+//! (`bandwidth_scale = 1e12`), every flow's fair share exceeds its
+//! demand, so progress is never throttled, nothing queues for staging,
+//! and no finish is ever re-planned — the run must be dispatch-trace
+//! **bit-identical** to the classic scalar transfer model across the
+//! hetero grid (cluster specs × traffic shapes × heap/wheel event
+//! queues × seeds).
+//!
+//! Only the dispatch trace and the completion/SLO counters are
+//! compared, not the full `ExperimentResult` debug dump: the data
+//! plane books transfer elapsed through the µs-quantized event clock,
+//! so `phase_init_ms` accounting can differ in the last few ulps while
+//! every scheduling decision (the thing the plane must not perturb at
+//! infinite bandwidth) stays identical.
+//!
+//! The companion integration tests pin the *contended* regime: finite
+//! bandwidth moves real bytes, queued transfers are delayed but never
+//! dropped, both event-queue backends agree bit-for-bit under
+//! contention, and a starved plane genuinely changes the outcome
+//! (proving the equivalence above is not vacuous).
+
+mod support;
+
+use esg::prelude::*;
+use support::{fnv64, Traced};
+
+/// Simulated arrival window per cell, ms (test-sized).
+const RUN_MS: f64 = 2_000.0;
+
+/// Contention-free data plane: the equivalence configuration.
+fn infinite_plane() -> DataPlaneConfig {
+    DataPlaneConfig {
+        bandwidth_scale: 1e12,
+        staging_scale: 1e12,
+        ..DataPlaneConfig::default()
+    }
+}
+
+/// One run: ESG on the given cluster/shape/backend, with or without
+/// the data plane. Returns the dispatch trace plus the counters the
+/// equivalence compares.
+fn run_cell(
+    seed: u64,
+    spec: &ClusterSpec,
+    churn: &ChurnPlan,
+    shape: TrafficShape,
+    queue: EventQueueKind,
+    plane: Option<DataPlaneConfig>,
+) -> (String, u64, u64, TransferSummary) {
+    let env = SimEnv::standard(SloClass::Moderate);
+    let workload = shaped_workload(
+        WorkloadClass::Light,
+        shape,
+        &esg::model::standard_app_ids(),
+        seed,
+        RUN_MS,
+    );
+    let cfg = SimConfig {
+        cluster: Some(spec.clone()),
+        churn: churn.clone(),
+        warmup_exclude_ms: RUN_MS * 0.25,
+        seed,
+        event_queue: queue,
+        data_plane: plane,
+        ..SimConfig::default()
+    };
+    let mut sched = Traced::new(Box::new(EsgScheduler::new()));
+    let r = run_simulation(&env, cfg, &mut sched, &workload, "dataplane-eq");
+    let slo_hits: u64 = r.apps.iter().map(|a| a.slo_hits).sum();
+    (sched.trace(), r.total_completed(), slo_hits, r.transfers)
+}
+
+const SHAPES: [TrafficShape; 3] = [
+    TrafficShape::Steady,
+    TrafficShape::Bursty,
+    TrafficShape::Diurnal,
+];
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+    /// Infinite-bandwidth data plane ≡ scalar model, across the hetero
+    /// grid: identical dispatch traces (every dispatch and churn
+    /// notification the scheduler saw, in order), identical completion
+    /// and SLO-hit counts, zero replans and zero staging queueing on
+    /// the plane side.
+    #[test]
+    fn infinite_bandwidth_plane_matches_scalar(
+        seed in 0u64..1_000,
+        spec_idx in 0usize..3,
+        shape_idx in 0usize..3,
+        queue_idx in 0usize..2,
+    ) {
+        let specs = [
+            ClusterSpec::paper(),
+            ClusterSpec::mixed_mig(),
+            ClusterSpec::skewed(),
+        ];
+        let spec = specs[spec_idx].clone();
+        let shape = SHAPES[shape_idx];
+        let churn = if spec_idx == 2 {
+            ChurnPlan::rolling_replace(RUN_MS / 3.0, 2_000.0, NodeId(0), NodeClass::t4())
+        } else {
+            ChurnPlan::none()
+        };
+        let queue = if queue_idx == 1 { EventQueueKind::Wheel } else { EventQueueKind::Heap };
+
+        let (scalar_trace, scalar_done, scalar_hits, _) =
+            run_cell(seed, &spec, &churn, shape, queue, None);
+        let (plane_trace, plane_done, plane_hits, transfers) =
+            run_cell(seed, &spec, &churn, shape, queue, Some(infinite_plane()));
+
+        proptest::prop_assert_eq!(
+            fnv64(&scalar_trace),
+            fnv64(&plane_trace),
+            "dispatch trace diverged (spec={}, shape={:?}, queue={:?}, seed={})",
+            spec_idx, shape, queue, seed
+        );
+        proptest::prop_assert_eq!(scalar_done, plane_done);
+        proptest::prop_assert_eq!(scalar_hits, plane_hits);
+        // Infinite fair share: nothing contends, nothing waits.
+        proptest::prop_assert_eq!(transfers.replans, 0);
+        proptest::prop_assert_eq!(transfers.queued, 0);
+        proptest::prop_assert_eq!(transfers.started, transfers.completed);
+    }
+}
+
+/// A cluster whose pools are narrow enough that the standard workload
+/// contends: a few MB/ms of PCIe against multi-MB tensor hand-offs.
+fn slow_cluster() -> ClusterSpec {
+    ClusterSpec::new("slow-fabric").with(
+        NodeClass::t4()
+            .with_bandwidth(0.05, 0.05, 0.5)
+            .with_staging_mb(64.0),
+        6,
+    )
+}
+
+fn contended_run(
+    queue: EventQueueKind,
+    plane: Option<DataPlaneConfig>,
+) -> (String, u64, TransferSummary) {
+    let (trace, done, _, transfers) = run_cell(
+        7,
+        &slow_cluster(),
+        &ChurnPlan::none(),
+        TrafficShape::Bursty,
+        queue,
+        plane,
+    );
+    (trace, done, transfers)
+}
+
+#[test]
+fn contended_plane_moves_bytes_and_never_drops() {
+    let (_, done, t) = contended_run(EventQueueKind::Heap, Some(DataPlaneConfig::default()));
+    assert!(done > 0, "workload must complete under contention");
+    assert!(t.started > 0, "transfer-bound cluster must start flows");
+    assert!(t.total_mb > 0.0);
+    assert_eq!(
+        t.started, t.completed,
+        "every started flow drains by end of run — delayed, never dropped"
+    );
+}
+
+#[test]
+fn queued_transfers_are_delayed_never_dropped() {
+    // Starve the staging buffers so admissions queue.
+    let plane = DataPlaneConfig {
+        staging_scale: 1e-3,
+        ..DataPlaneConfig::default()
+    };
+    let (_, done, t) = contended_run(EventQueueKind::Heap, Some(plane));
+    assert!(done > 0);
+    assert!(t.queued > 0, "tiny staging buffers must force queueing");
+    assert_eq!(
+        t.started, t.completed,
+        "queued flows activate FIFO and still complete"
+    );
+}
+
+#[test]
+fn heap_and_wheel_agree_under_contention() {
+    let plane = DataPlaneConfig::default();
+    let (heap_trace, heap_done, heap_t) = contended_run(EventQueueKind::Heap, Some(plane));
+    let (wheel_trace, wheel_done, wheel_t) = contended_run(EventQueueKind::Wheel, Some(plane));
+    assert_eq!(fnv64(&heap_trace), fnv64(&wheel_trace));
+    assert_eq!(heap_done, wheel_done);
+    assert_eq!(heap_t, wheel_t);
+}
+
+#[test]
+fn starved_bandwidth_changes_the_outcome() {
+    // The equivalence above must not be vacuous: squeeze the pools and
+    // the plane genuinely perturbs scheduling.
+    let plane = DataPlaneConfig {
+        bandwidth_scale: 1e-3,
+        ..DataPlaneConfig::default()
+    };
+    let (scalar_trace, _, _) = contended_run(EventQueueKind::Heap, None);
+    let (plane_trace, _, t) = contended_run(EventQueueKind::Heap, Some(plane));
+    assert!(
+        t.replans > 0 || t.queued > 0,
+        "a starved plane must contend"
+    );
+    assert_ne!(
+        fnv64(&scalar_trace),
+        fnv64(&plane_trace),
+        "a starved data plane must change dispatch behaviour"
+    );
+}
