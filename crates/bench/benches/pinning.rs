@@ -1,0 +1,240 @@
+//! Static-pinning sweep: the hybrid scheduler (PinPlanner + zero-search
+//! pinned tier in front of ESG_1Q) vs pure ESG across Zipf-skewed
+//! popularity mixes × server topologies.
+//!
+//! The clusters group the paper's 16 A100s into servers behind narrow
+//! top-of-rack uplinks, with the contended GPU data plane on: intra-
+//! server hand-offs ride the wide endpoint pools, cross-server ones
+//! additionally squeeze through the ToR. Under a skewed popularity mix
+//! the planner pins each hot workflow's stages onto one server, so the
+//! head of the distribution completes without ever touching a ToR pool
+//! — while pure ESG's locality-first placement happily scatters stages
+//! across the server boundary whenever a remote node looks freer.
+//!
+//! Under uniform popularity no application clears the planner's
+//! popularity bar, the pin plan comes out empty, and the hybrid runs
+//! ESG's exact decision sequence — those cells are the in-bench
+//! regression guard (and `tests/pinning_equivalence.rs` pins the
+//! bit-identity itself).
+//!
+//! Artifacts: `BENCH_pinning.{json,csv}` under `bench_results/`, plus
+//! the Markdown tables spliced into `EXPERIMENTS.md` between the
+//! `<!-- BENCH:pinning:begin/end -->` markers.
+//!
+//! `ESG_SMOKE=1` shortens the arrival window for CI smoke runs.
+
+use esg_bench::{
+    section, standard_config, ClusterCase, ExperimentSuite, ScenarioMatrix, SchedKind, SchedSpec,
+    SweepResult, RUN_SECONDS, WARMUP_SECONDS,
+};
+use esg_core::HybridScheduler;
+use esg_model::{ClusterSpec, Scenario};
+use esg_sim::{DataPlaneConfig, PinPlan, PinnedStats, PinningConfig, SimConfig};
+use esg_workload::Popularity;
+
+/// The static tier's knobs: a quarter of the cluster's 112 vGPUs may be
+/// pinned, across at most three hot applications. The popularity bar
+/// (1.25× the uniform share) is what keeps the uniform cells inert.
+const PIN_CFG: PinningConfig = PinningConfig {
+    budget_vgpus: 28,
+    min_share_factor: 1.25,
+    max_pinned_apps: 3,
+};
+
+/// The topology axis: the paper testbed grouped 4 or 8 GPUs per server,
+/// each server behind a 0.05 MB/ms ToR uplink — two orders of magnitude
+/// narrower than the endpoint pools, the serving-scale regime where the
+/// shared uplink is the contended resource and crossing a server
+/// boundary is what a transfer pays for.
+fn cluster_cases() -> [ClusterCase; 2] {
+    [
+        ClusterCase::new(ClusterSpec::paper().with_topology(4, 0.05)),
+        ClusterCase::new(ClusterSpec::paper().with_topology(8, 0.05)),
+    ]
+}
+
+/// Pure ESG vs the hybrid static-pinning tier. The hybrid spec is
+/// contextual: its planner analyses the exact workload and cluster of
+/// each cell before the run starts.
+fn variants() -> [SchedSpec; 2] {
+    [
+        SchedKind::Esg.into(),
+        SchedSpec::contextual("Hybrid", |ctx| {
+            let Some(cluster) = ctx.cluster else {
+                return Box::new(HybridScheduler::new(PinPlan::empty()));
+            };
+            Box::new(HybridScheduler::planned(
+                PIN_CFG,
+                ctx.env,
+                cluster,
+                ctx.workload,
+            ))
+        }),
+    ]
+}
+
+/// The paired pure-ESG row of a hybrid cell.
+fn esg_twin<'a>(sweep: &'a [SweepResult], cell: &SweepResult) -> &'a SweepResult {
+    sweep
+        .iter()
+        .find(|c| {
+            c.scheduler == "ESG"
+                && c.cluster == cell.cluster
+                && c.traffic == cell.traffic
+                && c.popularity == cell.popularity
+        })
+        .expect("paired ESG row exists for every hybrid cell")
+}
+
+fn main() {
+    let smoke = std::env::var("ESG_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let run_seconds = if smoke { 3.0 } else { RUN_SECONDS };
+    section(if smoke {
+        "Static pinning: hybrid tier vs pure ESG across popularity skews (smoke mode)"
+    } else {
+        "Static pinning: hybrid tier vs pure ESG across popularity skews"
+    });
+
+    let matrix = ScenarioMatrix::new()
+        .schedulers(variants())
+        .scenarios([Scenario::MODERATE_NORMAL])
+        .clusters(cluster_cases())
+        .popularity([
+            Popularity::Uniform,
+            Popularity::Zipf { s: 1.2 },
+            Popularity::Zipf { s: 2.0 },
+        ]);
+    assert_eq!(
+        matrix.len(),
+        2 * 2 * 3,
+        "2 schedulers × 2 topologies × 3 skews"
+    );
+
+    let warmup_seconds = WARMUP_SECONDS * run_seconds / RUN_SECONDS;
+    let sweep = ExperimentSuite::new("pinning", matrix)
+        .with_sim_config(SimConfig {
+            warmup_exclude_ms: warmup_seconds * 1000.0,
+            data_plane: Some(DataPlaneConfig::default()),
+            pinning: Some(PIN_CFG),
+            ..standard_config()
+        })
+        .with_run_seconds(run_seconds)
+        .run();
+    sweep.write_artifacts();
+    if smoke {
+        eprintln!("[md] smoke mode: skipping EXPERIMENTS.md update");
+    } else {
+        sweep.write_experiments_section();
+    }
+
+    for case in cluster_cases() {
+        println!("\n--- cluster {} ---", case.name);
+        println!(
+            "{:<8} {:>9} {:>10} {:>11} {:>10} {:>9} {:>8} {:>7}",
+            "sched",
+            "skew",
+            "SLO hit %",
+            "cross (MB)",
+            "moved (MB)",
+            "pin hits",
+            "misses",
+            "repins"
+        );
+        for cell in sweep.results.iter().filter(|c| c.cluster == case.name) {
+            let r = &cell.result;
+            let p = &r.scheduler_stats.pinned;
+            println!(
+                "{:<8} {:>9} {:>9.1}% {:>11.0} {:>10.0} {:>9} {:>8} {:>7}",
+                cell.scheduler,
+                cell.popularity,
+                r.avg_hit_rate() * 100.0,
+                r.transfers.cross_server_mb,
+                r.transfers.total_mb,
+                p.hits,
+                p.misses,
+                p.repins,
+            );
+        }
+    }
+
+    // Structural guards, smoke included: the data plane really carried
+    // bytes across ToR pools, flows were delayed but never dropped, and
+    // the uniform cells' hybrid rows never armed the static tier.
+    for cell in &sweep.results {
+        assert!(
+            cell.result.transfers.started > 0,
+            "cell {}/{}/{} started no transfers",
+            cell.scheduler,
+            cell.cluster,
+            cell.popularity
+        );
+        assert_eq!(
+            cell.result.transfers.started, cell.result.transfers.completed,
+            "transfers may be delayed, never dropped"
+        );
+        if cell.popularity == "uniform" {
+            assert_eq!(
+                cell.result.scheduler_stats.pinned,
+                PinnedStats::default(),
+                "uniform popularity must leave the pin plan empty"
+            );
+        }
+    }
+
+    // Acceptance guards (full runs only; 3 s smoke cells are too noisy):
+    // the uniform cells are empty-plan runs and must match pure ESG to
+    // the bit — as must any skewed cell whose planner declined to pin
+    // (rate too hot or budget too tight for that topology); the pinned
+    // tier must have fired somewhere; and the hybrid must strictly win
+    // at least one high-skew cell on GSLO hit rate while moving fewer
+    // bytes across servers.
+    let mut best: f64 = f64::NEG_INFINITY;
+    let mut best_cell = String::new();
+    let mut fired = false;
+    for cell in sweep.results.iter().filter(|c| c.scheduler == "Hybrid") {
+        let esg = esg_twin(&sweep.results, cell);
+        let gain = cell.result.avg_hit_rate() - esg.result.avg_hit_rate();
+        let inert = cell.result.scheduler_stats.pinned == PinnedStats::default();
+        if cell.popularity == "uniform" || inert {
+            assert_eq!(
+                cell.result.avg_hit_rate(),
+                esg.result.avg_hit_rate(),
+                "empty-plan hybrid diverged from ESG on {}/{}",
+                cell.cluster,
+                cell.popularity
+            );
+            assert_eq!(
+                cell.result.transfers.cross_server_mb, esg.result.transfers.cross_server_mb,
+                "empty-plan hybrid moved different bytes on {}/{}",
+                cell.cluster, cell.popularity
+            );
+            continue;
+        }
+        fired = fired || cell.result.scheduler_stats.pinned.hits > 0;
+        let fewer_cross =
+            cell.result.transfers.cross_server_mb < esg.result.transfers.cross_server_mb;
+        if gain > best && fewer_cross {
+            best = gain;
+            best_cell = format!("{}/{}", cell.cluster, cell.popularity);
+        }
+    }
+    if !smoke {
+        assert!(fired, "pinned tier never fired on any skewed cell");
+    }
+    println!(
+        "\nhybrid vs pure ESG: best skewed-cell gain {:+.2} pp (at {})",
+        best * 100.0,
+        if best_cell.is_empty() {
+            "none"
+        } else {
+            &best_cell
+        }
+    );
+    if !smoke {
+        assert!(
+            best > 0.0,
+            "hybrid never strictly beat ESG with reduced cross-server traffic \
+on any skewed cell — the pinning tier is not paying for itself"
+        );
+    }
+}

@@ -303,6 +303,7 @@ impl ScaleDriver {
             transfer: &self.env.transfer,
             noise: &self.env.noise,
             dataplane: None,
+            servers: None,
         };
         let decisions = self.ctl.stage(shard, &mut self.probe, &ctx);
         let key = decisions.first()?.0;

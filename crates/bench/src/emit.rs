@@ -80,14 +80,24 @@ pub fn render_bench_markdown(doc: &Value) -> String {
     )
     .expect("writing to String cannot fail");
 
-    // Group runs by (scenario, cluster, traffic), preserving cell order.
-    // Keys stay a tuple of fields — labels are user-settable, so joining
-    // them on a delimiter would corrupt grouping for names containing it.
-    fn key_of(r: &Value) -> (&str, &str, &str) {
+    // Group runs by (scenario, cluster, traffic, popularity), preserving
+    // cell order. Keys stay a tuple of fields — labels are user-settable,
+    // so joining them on a delimiter would corrupt grouping for names
+    // containing it. The popularity key is absent from documents
+    // predating the skew axis (and from uniform cells); it defaults to
+    // "uniform" so those group exactly as before.
+    fn key_of(r: &Value) -> (&str, &str, &str, &str) {
         let s = |k: &str| r.get(k).and_then(Value::as_str).unwrap_or("?");
-        (s("scenario"), s("cluster"), s("traffic"))
+        (
+            s("scenario"),
+            s("cluster"),
+            s("traffic"),
+            r.get("popularity")
+                .and_then(Value::as_str)
+                .unwrap_or("uniform"),
+        )
     }
-    let mut group_order: Vec<(&str, &str, &str)> = Vec::new();
+    let mut group_order: Vec<(&str, &str, &str, &str)> = Vec::new();
     for r in runs {
         let k = key_of(r);
         if !group_order.contains(&k) {
@@ -101,11 +111,23 @@ pub fn render_bench_markdown(doc: &Value) -> String {
     // Likewise, transfer telemetry appears only in documents whose cells
     // ran with the contended GPU data plane.
     let with_transfers = runs.iter().any(|r| r.get("transfers_started").is_some());
+    // ToR-pool telemetry exists only on server-topology clusters; a
+    // locality sweep renders the column for every row of the document.
+    let with_cross = runs
+        .iter()
+        .any(|r| r.get("transfer_cross_server_mb").is_some());
+    // Popularity headers appear only in documents that swept the axis.
+    let with_popularity = runs.iter().any(|r| r.get("popularity").is_some());
     for key in &group_order {
-        let (scenario, cluster, traffic) = *key;
+        let (scenario, cluster, traffic, popularity) = *key;
+        let pop_clause = if with_popularity {
+            format!(" · popularity `{popularity}`")
+        } else {
+            String::new()
+        };
         writeln!(
             out,
-            "\n**Scenario `{scenario}` · cluster `{cluster}` · traffic `{traffic}`**\n"
+            "\n**Scenario `{scenario}` · cluster `{cluster}` · traffic `{traffic}`{pop_clause}**\n"
         )
         .expect("writing to String cannot fail");
         if with_shed {
@@ -121,6 +143,9 @@ locality % | mean overhead (ms) | vGPU util % |",
         }
         if with_transfers {
             out.push_str(" transfers | queued | replans | moved (MB) |");
+            if with_cross {
+                out.push_str(" cross-server (MB) |");
+            }
         }
         out.push('\n');
         out.push_str(if with_shed {
@@ -130,6 +155,9 @@ locality % | mean overhead (ms) | vGPU util % |",
         });
         if with_transfers {
             out.push_str("---:|---:|---:|---:|");
+            if with_cross {
+                out.push_str("---:|");
+            }
         }
         out.push('\n');
         for r in runs.iter().filter(|r| key_of(r) == *key) {
@@ -143,13 +171,17 @@ locality % | mean overhead (ms) | vGPU util % |",
                 String::new()
             };
             let transfers = if with_transfers {
-                format!(
+                let mut cols = format!(
                     " {} | {} | {} | {:.0} |",
                     u("transfers_started"),
                     u("transfers_queued"),
                     u("transfer_replans"),
                     f("transfer_total_mb"),
-                )
+                );
+                if with_cross {
+                    cols.push_str(&format!(" {:.0} |", f("transfer_cross_server_mb")));
+                }
+                cols
             } else {
                 String::new()
             };

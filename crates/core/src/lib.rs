@@ -27,13 +27,18 @@
 //! * [`policy`] — ESG's stages for the composable round-policy pipeline:
 //!   [`EsgCrossQueuePacking`] ranks a whole round's queues by GSLO
 //!   tightness under one shared search budget, preferring warm
-//!   co-location (stacks with `esg_sim::SloAdmission`).
+//!   co-location (stacks with `esg_sim::SloAdmission`);
+//! * [`hybrid`] — the static-pinning tier: [`PinPlanner`] packs the
+//!   popularity head of a workload onto whole servers, and
+//!   [`HybridScheduler`] routes pinned queues to their slice with zero
+//!   search while the tail falls through to the full ESG search.
 
 #![warn(missing_docs)]
 
 pub mod bounds;
 pub mod brute;
 pub mod cache;
+pub mod hybrid;
 pub mod plan;
 pub mod policy;
 pub mod scheduler;
@@ -42,6 +47,7 @@ pub mod search;
 pub use bounds::StageTable;
 pub use brute::brute_force;
 pub use cache::{quantize_gslo, CacheStats, CachedPlan, PlanCache, PlanKey};
+pub use hybrid::{HybridScheduler, PinPlanner};
 pub use plan::AppPlans;
 pub use policy::{BandwidthAwarePacking, EsgCrossQueuePacking};
 pub use scheduler::{EsgScheduler, SearchVariant};

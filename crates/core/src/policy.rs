@@ -327,6 +327,7 @@ mod tests {
             transfer: &env.transfer,
             noise: &env.noise,
             dataplane: None,
+            servers: None,
         }
     }
 
@@ -454,6 +455,7 @@ mod tests {
         let view = DataPlaneView::from_loads(loads);
         let ctx = RoundCtx {
             dataplane: Some(&view),
+            servers: None,
             ..round_ctx(&env, &cluster, &queues, 100.0)
         };
         let mut bw = BandwidthAwarePacking::default();
@@ -464,6 +466,7 @@ mod tests {
         let idle = DataPlaneView::from_loads(vec![NodeLoad::default(); 4]);
         let idle_ctx = RoundCtx {
             dataplane: Some(&idle),
+            servers: None,
             ..round_ctx(&env, &cluster, &queues, 100.0)
         };
         assert_eq!(bw.rank(&idle_ctx, &[0, 1]).into_order()[0], 1);
@@ -510,6 +513,7 @@ mod tests {
         let view = DataPlaneView::from_loads(loads);
         let ctx = RoundCtx {
             dataplane: Some(&view),
+            servers: None,
             ..round_ctx(&env, &cluster, &queues, 100.0)
         };
         let mut bw = BandwidthAwarePacking::new(BandwidthPackingConfig::default());

@@ -46,8 +46,8 @@ pub mod prelude {
         AquatopeScheduler, FastGShareScheduler, InflessScheduler, OrionScheduler,
     };
     pub use esg_core::{
-        BandwidthAwarePacking, EsgCrossQueuePacking, EsgScheduler, PlanCache, SearchScratch,
-        SearchVariant,
+        BandwidthAwarePacking, EsgCrossQueuePacking, EsgScheduler, HybridScheduler, PinPlanner,
+        PlanCache, SearchScratch, SearchVariant,
     };
     pub use esg_dag::{Dag, DominatorTree, SloPlan};
     pub use esg_model::{
@@ -61,15 +61,17 @@ pub mod prelude {
         BandwidthPackingConfig, Capabilities, ClusterState, DataPlane, DataPlaneConfig,
         DataPlaneView, EventKind, EventLog, EventQueueKind, EventRecord, ExperimentResult,
         HealthSnapshot, MemoryFootprint, MinScheduler, Monitored, NodeLoad, NodeSummary,
-        NodeTransferStats, NodeView, OverheadModel, PackingConfig, PolicySpec, PolicyStack,
-        PolicyStats, QueueCounters, QueueHealth, QueueHealthMonitor, QueuePartitioner, QueueView,
-        RankedQueues, RoundCtx, RoundPolicy, SchedCtx, Scheduler, SchedulerEvent, SchedulerStats,
-        ShardStats, ShardedController, ShedReason, Sim, SimBuilder, SimConfig, SimEnv, SimError,
-        Simulation, SloAdmission, SloAdmissionConfig, TraceError, TraceFile, TraceRecorder,
-        TraceReplay, Traced, TransferCounters, TransferSummary,
+        NodeTransferStats, NodeView, OverheadModel, PackingConfig, Pin, PinPlan, PinnedStats,
+        PinningConfig, PolicySpec, PolicyStack, PolicyStats, QueueCounters, QueueHealth,
+        QueueHealthMonitor, QueuePartitioner, QueueView, RankedQueues, RoundCtx, RoundPolicy,
+        SchedCtx, Scheduler, SchedulerEvent, SchedulerStats, ServerMap, ShardStats,
+        ShardedController, ShedReason, Sim, SimBuilder, SimConfig, SimEnv, SimError, Simulation,
+        SloAdmission, SloAdmissionConfig, TraceError, TraceFile, TraceRecorder, TraceReplay,
+        Traced, TransferCounters, TransferSummary,
     };
     pub use esg_workload::{
-        shaped_stream, shaped_workload, ArrivalPredictor, ArrivalStream, AzureLikeTrace, RateFn,
-        Workload, WorkloadGen,
+        shaped_stream, shaped_stream_with, shaped_workload, shaped_workload_with, ArrivalPredictor,
+        ArrivalStream, AzureLikeTrace, Popularity, PopularityProfile, RateFn, Workload,
+        WorkloadGen,
     };
 }

@@ -206,6 +206,52 @@ impl std::fmt::Display for NodeClass {
     }
 }
 
+/// The server/rack level of a cluster: consecutive nodes group into
+/// physical servers that share a top-of-rack uplink.
+///
+/// The per-node PCIe/NVLink bandwidths on [`NodeClass`] describe
+/// *endpoint* links; `ServerTopology` adds the level above them —
+/// `NodeId(i)` lives in server `i / gpus_per_server`, intra-server
+/// hand-offs ride the endpoint pools alone, and cross-server hand-offs
+/// additionally share the server pair's ToR pools (`tor_gbps` each).
+/// The contended data plane (`esg-sim`'s `dataplane`) is the only
+/// consumer; without it the topology is inert placement vocabulary for
+/// server-aware schedulers.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ServerTopology {
+    /// GPUs (nodes) per server; consecutive `NodeId`s group together.
+    /// Must be ≥ 1 — `SimBuilder` rejects 0 as an `InvalidKnob`.
+    pub gpus_per_server: usize,
+    /// Shared top-of-rack uplink bandwidth per server, GB/s
+    /// (1 GB/s ≡ 1 MB/ms). Every cross-server flow touching the server —
+    /// in either direction — shares this pool fairly.
+    pub tor_gbps: f64,
+}
+
+impl ServerTopology {
+    /// A topology of `gpus_per_server` nodes per server behind a
+    /// `tor_gbps` top-of-rack uplink.
+    pub fn new(gpus_per_server: usize, tor_gbps: f64) -> ServerTopology {
+        ServerTopology {
+            gpus_per_server,
+            tor_gbps,
+        }
+    }
+
+    /// The server index hosting `node` (id-order grouping). Callers must
+    /// have validated `gpus_per_server > 0`.
+    #[inline]
+    pub fn server_of(&self, node: usize) -> usize {
+        node / self.gpus_per_server.max(1)
+    }
+
+    /// Number of servers covering `nodes` nodes (last server may be
+    /// partial).
+    pub fn num_servers(&self, nodes: usize) -> usize {
+        nodes.div_ceil(self.gpus_per_server.max(1))
+    }
+}
+
 /// A declarative cluster: a name plus one [`NodeClass`] per node, in
 /// [`NodeId`] order.
 #[derive(Clone, PartialEq, Debug)]
@@ -214,6 +260,9 @@ pub struct ClusterSpec {
     pub name: String,
     /// One class per node; `NodeId(i)` gets `nodes[i]`.
     pub nodes: Vec<NodeClass>,
+    /// Optional server/rack grouping. `None` (the default everywhere) is
+    /// the flat pre-topology cluster: no ToR pools, no server locality.
+    pub topology: Option<ServerTopology>,
 }
 
 impl ClusterSpec {
@@ -222,6 +271,7 @@ impl ClusterSpec {
         ClusterSpec {
             name: name.into(),
             nodes: Vec::new(),
+            topology: None,
         }
     }
 
@@ -276,6 +326,25 @@ impl ClusterSpec {
         self.nodes
             .iter()
             .fold(Resources::ZERO, |acc, c| acc + c.resources())
+    }
+
+    /// Groups the nodes into servers of `gpus_per_server` behind a
+    /// `tor_gbps` top-of-rack uplink each (appends "/srvN" to the name so
+    /// sweep axes distinguish topology variants of the same node mix).
+    pub fn with_topology(mut self, gpus_per_server: usize, tor_gbps: f64) -> ClusterSpec {
+        self.name = format!("{}/srv{gpus_per_server}", self.name);
+        self.topology = Some(ServerTopology::new(gpus_per_server, tor_gbps));
+        self
+    }
+
+    /// The server hosting `node`, when a topology is set.
+    pub fn server_of(&self, node: usize) -> Option<usize> {
+        self.topology.map(|t| t.server_of(node))
+    }
+
+    /// Number of servers under the spec's topology (0 without one).
+    pub fn num_servers(&self) -> usize {
+        self.topology.map_or(0, |t| t.num_servers(self.nodes.len()))
     }
 }
 
@@ -419,6 +488,29 @@ mod tests {
         let s = ClusterSpec::homogeneous(4, Resources::new(8, 2));
         assert_eq!(s.len(), 4);
         assert_eq!(s.total_resources(), Resources::new(32, 8));
+    }
+
+    #[test]
+    fn server_topology_groups_consecutive_nodes() {
+        let flat = ClusterSpec::paper();
+        assert!(flat.topology.is_none());
+        assert_eq!(flat.num_servers(), 0);
+        assert_eq!(flat.server_of(3), None);
+
+        let s = ClusterSpec::paper().with_topology(4, 10.0);
+        assert_eq!(s.name, "paper-16xa100/srv4");
+        assert_eq!(s.num_servers(), 4);
+        assert_eq!(s.server_of(0), Some(0));
+        assert_eq!(s.server_of(3), Some(0));
+        assert_eq!(s.server_of(4), Some(1));
+        assert_eq!(s.server_of(15), Some(3));
+
+        // A partial trailing server still counts.
+        let odd = ClusterSpec::new("odd")
+            .with(NodeClass::t4(), 5)
+            .with_topology(2, 10.0);
+        assert_eq!(odd.num_servers(), 3);
+        assert_eq!(odd.server_of(4), Some(2));
     }
 
     #[test]

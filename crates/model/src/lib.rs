@@ -30,7 +30,7 @@ pub mod time;
 
 pub use apps::{standard_app_ids, standard_apps, AppSpec};
 pub use catalog::{standard_catalog, Catalog, FunctionSpec};
-pub use cluster::{ChurnEvent, ChurnPlan, ClusterSpec, GpuFlavor, NodeClass};
+pub use cluster::{ChurnEvent, ChurnPlan, ClusterSpec, GpuFlavor, NodeClass, ServerTopology};
 pub use config::{Config, ConfigGrid};
 pub use ids::{AppId, FnId, InvocationId, JobId, NodeId};
 pub use price::PriceModel;

@@ -199,6 +199,16 @@ impl SimBuilder {
         self
     }
 
+    /// Enables the static-pinning tier's knobs (consumed by the hybrid
+    /// scheduler in `esg-core` through [`Sim::config`]). The pin budget
+    /// is checked against the cluster's total vGPU capacity at
+    /// [`build`](Self::build); an over-committed budget is an
+    /// [`SimError::InvalidKnob`], not a stranded plan at runtime.
+    pub fn pinning(mut self, p: crate::pinning::PinningConfig) -> Self {
+        self.cfg.pinning = Some(p);
+        self
+    }
+
     /// Warm-container keep-alive, ms.
     pub fn keep_alive_ms(mut self, ms: f64) -> Self {
         self.cfg.keep_alive_ms = ms;
@@ -342,6 +352,22 @@ impl SimBuilder {
                 for class in &spec.nodes {
                     validate_class_bandwidth(class)?;
                 }
+                if let Some(t) = spec.topology {
+                    if t.gpus_per_server == 0 {
+                        return Err(SimError::InvalidKnob {
+                            knob: "topology.gpus_per_server",
+                            value: 0.0,
+                            requirement: "at least 1 node per server",
+                        });
+                    }
+                    if !(t.tor_gbps > 0.0 && t.tor_gbps.is_finite()) {
+                        return Err(SimError::InvalidKnob {
+                            knob: "topology.tor_gbps",
+                            value: t.tor_gbps,
+                            requirement: "finite and > 0",
+                        });
+                    }
+                }
             }
             None => {
                 if cfg.nodes == 0 || cfg.node_resources == Resources::ZERO {
@@ -395,6 +421,41 @@ impl SimBuilder {
                     knob: "data_plane.batch_max_mb",
                     value: dp.batch_max_mb,
                     requirement: "finite and >= 0",
+                });
+            }
+        }
+
+        // Static-pinning knobs: the tier must have real capacity behind
+        // it (the empty-cluster case already failed above, so a vGPU
+        // budget within capacity is dispatchable by construction).
+        if let Some(p) = &cfg.pinning {
+            if !(p.min_share_factor > 0.0 && p.min_share_factor.is_finite()) {
+                return Err(SimError::InvalidKnob {
+                    knob: "pinning.min_share_factor",
+                    value: p.min_share_factor,
+                    requirement: "finite and > 0",
+                });
+            }
+            if p.max_pinned_apps == 0 {
+                return Err(SimError::InvalidKnob {
+                    knob: "pinning.max_pinned_apps",
+                    value: 0.0,
+                    requirement: "at least 1 pinnable application",
+                });
+            }
+            let capacity: u64 = match &cfg.cluster {
+                Some(spec) => spec
+                    .nodes
+                    .iter()
+                    .map(|c| u64::from(c.resources().vgpus))
+                    .sum(),
+                None => cfg.nodes as u64 * u64::from(cfg.node_resources.vgpus),
+            };
+            if p.budget_vgpus > capacity {
+                return Err(SimError::InvalidKnob {
+                    knob: "pinning.budget_vgpus",
+                    value: p.budget_vgpus as f64,
+                    requirement: "within the cluster's total vGPU capacity",
                 });
             }
         }
@@ -1019,6 +1080,106 @@ mod tests {
             })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn topology_and_pinning_knobs_are_validated() {
+        use crate::pinning::PinningConfig;
+        use esg_model::ServerTopology;
+        // A sane topology + pinning bundle builds.
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .cluster(ClusterSpec::paper().with_topology(4, 10.0))
+            .pinning(PinningConfig::default())
+            .build()
+            .is_ok());
+        // Zero-width servers are a typed error, not a division hazard.
+        let mut spec = ClusterSpec::paper();
+        spec.topology = Some(ServerTopology::new(0, 10.0));
+        let err = SimBuilder::new(SloClass::Moderate)
+            .cluster(spec)
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "topology.gpus_per_server",
+                ..
+            }
+        ));
+        // The shared uplink must have real bandwidth.
+        let err = SimBuilder::new(SloClass::Moderate)
+            .cluster(ClusterSpec::paper().with_topology(4, 0.0))
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "topology.tor_gbps",
+                ..
+            }
+        ));
+        // A pin budget beyond the cluster's total vGPU capacity (paper
+        // cluster: 16 nodes x 7 slices = 112) can never be dispatched.
+        let err = SimBuilder::new(SloClass::Moderate)
+            .cluster(ClusterSpec::paper().with_topology(4, 10.0))
+            .pinning(PinningConfig {
+                budget_vgpus: 113,
+                ..PinningConfig::default()
+            })
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "pinning.budget_vgpus",
+                ..
+            }
+        ));
+        // The homogeneous path checks capacity too (16 x 7 = 112).
+        assert!(SimBuilder::new(SloClass::Moderate)
+            .pinning(PinningConfig {
+                budget_vgpus: 112,
+                ..PinningConfig::default()
+            })
+            .build()
+            .is_ok());
+        // Pinning on an empty cluster is rejected before the budget
+        // check ever runs.
+        let err = SimBuilder::new(SloClass::Moderate)
+            .nodes(0)
+            .pinning(PinningConfig::default())
+            .build()
+            .expect_err("rejected");
+        assert_eq!(err, SimError::EmptyCluster);
+        // Scalar planner knobs.
+        let err = SimBuilder::new(SloClass::Moderate)
+            .pinning(PinningConfig {
+                min_share_factor: f64::NAN,
+                ..PinningConfig::default()
+            })
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "pinning.min_share_factor",
+                ..
+            }
+        ));
+        let err = SimBuilder::new(SloClass::Moderate)
+            .pinning(PinningConfig {
+                max_pinned_apps: 0,
+                ..PinningConfig::default()
+            })
+            .build()
+            .expect_err("rejected");
+        assert!(matches!(
+            err,
+            SimError::InvalidKnob {
+                knob: "pinning.max_pinned_apps",
+                ..
+            }
+        ));
     }
 
     #[test]

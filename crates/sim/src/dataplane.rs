@@ -43,7 +43,8 @@
 //! a [`TransferSummary`] into `ExperimentResult` at the end of a run.
 
 use crate::cluster::Cluster;
-use esg_model::{NodeClass, SimTime};
+use crate::pinning::ServerMap;
+use esg_model::{NodeClass, NodeId, ServerTopology, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Knobs for the contended data plane (`SimConfig::data_plane`;
@@ -76,6 +77,12 @@ impl Default for DataPlaneConfig {
 const PCIE_IN: u8 = 0;
 const PCIE_OUT: u8 = 1;
 const NVLINK: u8 = 2;
+/// The per-*server* top-of-rack uplink pool class. Membership tuples of
+/// this kind index the server table, not the node table; only clusters
+/// declaring a [`ServerTopology`] have ToR pools, and only flows with a
+/// cross-server producer join them — intra-server and flat-cluster
+/// flows see exactly the pre-topology pool set (and thus the same ρ).
+const TOR: u8 = 3;
 
 /// One contended link: a capacity in MB/ms and the number of flows
 /// currently sharing it (each member gets `capacity / members`).
@@ -155,6 +162,10 @@ pub struct TransferReq {
     /// Same-edge small tensors merged into this aggregated flow beyond
     /// the first per edge (observability only).
     pub batched_small: u32,
+    /// MB arriving from producers in a *different server* than the
+    /// destination (0 on flat clusters) — the cross-ToR traffic the
+    /// locality-first pinning tier tries to eliminate.
+    pub cross_mb: f64,
 }
 
 impl TransferReq {
@@ -304,6 +315,10 @@ pub struct TransferSummary {
     pub replans: u64,
     /// Cumulative MB moved.
     pub total_mb: f64,
+    /// MB that crossed a server boundary (through ToR pools); 0 on flat
+    /// clusters, and strictly less than `total_mb` when locality-first
+    /// routing keeps hot workflows intra-server.
+    pub cross_server_mb: f64,
     /// Max concurrent members on any single pool.
     pub peak_active: u32,
     /// High-water mark of any staging buffer, MB.
@@ -342,6 +357,10 @@ struct Flow {
 pub struct DataPlane {
     cfg: DataPlaneConfig,
     pools: Vec<NodePools>,
+    /// Per-server ToR uplink pools (empty on flat clusters).
+    tor: Vec<BandwidthPool>,
+    /// The node→server assignment (`None` on flat clusters).
+    servers: Option<ServerMap>,
     staging: Vec<Staging>,
     /// Flows by task id — a `BTreeMap` so re-plan sweeps visit flows in
     /// deterministic (task-id) order regardless of hashing.
@@ -350,21 +369,41 @@ pub struct DataPlane {
     stats: Vec<NodeTransferStats>,
     batched_small: u64,
     replans: u64,
+    cross_mb: f64,
 }
 
 impl DataPlane {
     /// Builds pools and staging buffers from the live cluster's node
-    /// classes.
-    pub fn new(cfg: DataPlaneConfig, cluster: &Cluster) -> DataPlane {
+    /// classes; a declared `topology` additionally maps nodes onto
+    /// servers sharing one ToR uplink pool each.
+    pub fn new(
+        cfg: DataPlaneConfig,
+        cluster: &Cluster,
+        topology: Option<ServerTopology>,
+    ) -> DataPlane {
+        let servers = topology.map(|t| ServerMap::from_topology(&t, cluster.len()));
+        let tor = match (&servers, &topology) {
+            (Some(map), Some(t)) => vec![
+                BandwidthPool {
+                    capacity: t.tor_gbps * cfg.bandwidth_scale,
+                    members: 0,
+                };
+                map.num_servers()
+            ],
+            _ => Vec::new(),
+        };
         let mut dp = DataPlane {
             cfg,
             pools: Vec::new(),
+            tor,
+            servers,
             staging: Vec::new(),
             flows: BTreeMap::new(),
             view: DataPlaneView::default(),
             stats: Vec::new(),
             batched_small: 0,
             replans: 0,
+            cross_mb: 0.0,
         };
         for node in cluster.nodes() {
             dp.push_node(&node.class);
@@ -378,10 +417,32 @@ impl DataPlane {
         self.cfg
     }
 
+    /// The pool a membership tuple names: `TOR` entries index the
+    /// server table, everything else a node's pool triple.
+    fn pool(&self, idx: usize, kind: u8) -> &BandwidthPool {
+        if kind == TOR {
+            &self.tor[idx]
+        } else {
+            &self.pools[idx].pools[kind as usize]
+        }
+    }
+
+    fn pool_mut(&mut self, idx: usize, kind: u8) -> &mut BandwidthPool {
+        if kind == TOR {
+            &mut self.tor[idx]
+        } else {
+            &mut self.pools[idx].pools[kind as usize]
+        }
+    }
+
     /// A churn join added a node of `class`: grow pools, staging, and
-    /// counters to match the cluster.
+    /// counters to match the cluster. Under a server topology the new
+    /// node is unassigned (no ToR pool) until re-planned.
     pub fn note_join(&mut self, class: &NodeClass) {
         self.push_node(class);
+        if let Some(map) = self.servers.as_mut() {
+            map.note_join();
+        }
         self.sync_view();
     }
 
@@ -458,8 +519,8 @@ impl DataPlane {
         };
         let dst = flow.req.dst;
         let staged = flow.req.remote_mb;
-        for &(node, kind) in &active.pools {
-            self.pools[node].pools[kind as usize].members -= 1;
+        for &(idx, kind) in &active.pools {
+            self.pool_mut(idx, kind).members -= 1;
         }
         self.release_staging(dst, staged);
         self.stats[dst].completed += 1;
@@ -504,6 +565,7 @@ impl DataPlane {
         let mut s = TransferSummary {
             batched_small: self.batched_small,
             replans: self.replans,
+            cross_server_mb: self.cross_mb,
             per_node: self.stats.clone(),
             ..TransferSummary::default()
         };
@@ -530,6 +592,29 @@ impl DataPlane {
                 for &src in &req.remote_srcs {
                     pools.push((src, PCIE_OUT));
                 }
+                // Cross-server producers additionally contend for the
+                // ToR uplinks on both ends. Intra-server and gateway
+                // traffic joins no ToR pool, so a topology cluster with
+                // purely local routing shares exactly the flat pool set.
+                if let Some(map) = &self.servers {
+                    let dst_srv = map.server_of(NodeId(req.dst as u32));
+                    let mut cross: Vec<usize> = Vec::new();
+                    for &src in &req.remote_srcs {
+                        if let Some(s) = map.server_of(NodeId(src as u32)) {
+                            if Some(s) != dst_srv && !cross.contains(&s) {
+                                cross.push(s);
+                            }
+                        }
+                    }
+                    if !cross.is_empty() {
+                        if let Some(d) = dst_srv {
+                            pools.push((d, TOR));
+                        }
+                        for s in cross {
+                            pools.push((s, TOR));
+                        }
+                    }
+                }
             }
             if req.local_mb > 0.0 {
                 pools.push((req.dst, NVLINK));
@@ -542,11 +627,12 @@ impl DataPlane {
         };
         let (base_ms, work_ms, scalar_total_ms) = (req.base_ms, req.work_ms, req.scalar_total_ms);
         let total_mb = req.total_mb();
+        let cross_mb = req.cross_mb;
         let dst = req.dst;
         flow.gen += 1;
         let gen = flow.gen;
-        for &(node, kind) in &pools {
-            self.pools[node].pools[kind as usize].members += 1;
+        for &(idx, kind) in &pools {
+            self.pool_mut(idx, kind).members += 1;
         }
         let rho = self.rho_of(&pools, demand);
         // ρ = 1 reproduces the scalar pre-exec window *bitwise*: the
@@ -565,12 +651,16 @@ impl DataPlane {
             last_update: now,
             pools: pools.clone(),
         });
+        self.cross_mb += cross_mb;
         let st = &mut self.stats[dst];
         st.started += 1;
         st.mb += total_mb;
-        for &(node, kind) in &pools {
-            let members = self.pools[node].pools[kind as usize].members;
-            let peak = &mut self.stats[node].peak_active;
+        for &(idx, kind) in &pools {
+            let members = self.pool(idx, kind).members;
+            // ToR members peak on the destination node's counter (the
+            // server table has no per-node stats row).
+            let stat_node = if kind == TOR { dst } else { idx };
+            let peak = &mut self.stats[stat_node].peak_active;
             *peak = (*peak).max(members);
         }
         let replans = self.recompute_members(&pools, now, task);
@@ -641,7 +731,7 @@ impl DataPlane {
         }
         let min_share = pools
             .iter()
-            .map(|&(node, kind)| self.pools[node].pools[kind as usize].share())
+            .map(|&(idx, kind)| self.pool(idx, kind).share())
             .fold(f64::INFINITY, f64::min);
         (min_share / demand).min(1.0)
     }
@@ -692,8 +782,24 @@ mod tests {
         let spec = ClusterSpec {
             name: "test".into(),
             nodes: classes.to_vec(),
+            topology: None,
         };
-        DataPlane::new(cfg, &Cluster::from_spec(&spec))
+        DataPlane::new(cfg, &Cluster::from_spec(&spec), None)
+    }
+
+    /// A 4-node plane grouped 2-per-server with a `tor_gbps` ToR uplink.
+    fn topo_plane(tor_gbps: f64) -> DataPlane {
+        let class = NodeClass::a100().with_bandwidth(10.0, 10.0, 10.0);
+        let spec = ClusterSpec {
+            name: "test".into(),
+            nodes: vec![class.clone(), class.clone(), class.clone(), class],
+            topology: Some(ServerTopology::new(2, tor_gbps)),
+        };
+        DataPlane::new(
+            DataPlaneConfig::default(),
+            &Cluster::from_spec(&spec),
+            spec.topology,
+        )
     }
 
     /// A remote flow into node 0 whose demand saturates a `capacity`
@@ -709,6 +815,7 @@ mod tests {
             work_ms,
             scalar_total_ms: work_ms,
             batched_small: 0,
+            cross_mb: 0.0,
         }
     }
 
@@ -829,5 +936,70 @@ mod tests {
         dp.note_join(&NodeClass::t4());
         assert_eq!(dp.view().len(), 2);
         assert_eq!(dp.view().node(1).pcie_in_capacity, 8.0);
+    }
+
+    /// A flow `src → dst` whose demand saturates a `10` MB/ms endpoint
+    /// solo, with `cross_mb` marked for topology cases.
+    fn req_edge(
+        task: u64,
+        src: usize,
+        dst: usize,
+        total_mb: f64,
+        work_ms: f64,
+        cross: bool,
+    ) -> TransferReq {
+        TransferReq {
+            remote_srcs: vec![src],
+            dst,
+            cross_mb: if cross { total_mb } else { 0.0 },
+            ..req(task, total_mb, work_ms)
+        }
+    }
+
+    #[test]
+    fn narrow_tor_throttles_only_cross_server_flows() {
+        // Servers {0,1} and {2,3}; endpoints 10 MB/ms, ToR 5 MB/ms.
+        // Intra-server (1 → 0) never touches a ToR pool: ρ = 1, the
+        // same finish a flat cluster plans.
+        let mut dp = topo_plane(5.0);
+        let adm = dp.begin(req_edge(1, 1, 0, 100.0, 10.0, false), SimTime::ZERO);
+        assert_eq!(finish_of(&adm), SimTime::from_ms(10.0));
+        assert!(dp.on_due(1, 1, SimTime::from_ms(10.0)).is_some());
+        // Cross-server (2 → 0) shares both ToR uplinks: the 5 MB/ms
+        // ToR halves a 10 MB/ms demand → ρ = ½, 10 ms of work → 20 ms.
+        let adm = dp.begin(req_edge(2, 2, 0, 100.0, 10.0, true), SimTime::ZERO);
+        assert_eq!(finish_of(&adm), SimTime::from_ms(20.0));
+        assert!(dp.on_due(2, 1, SimTime::from_ms(20.0)).is_some());
+        let s = dp.summary();
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.total_mb, 200.0);
+        assert_eq!(s.cross_server_mb, 100.0);
+    }
+
+    #[test]
+    fn cross_server_flows_contend_on_the_destination_tor() {
+        // ToR 10 MB/ms matches the endpoints: one cross flow runs at
+        // ρ = 1. A second cross flow into a *different node of the same
+        // destination server* shares no endpoint pool with the first —
+        // only the two ToR uplinks — yet both halve to ρ = ½.
+        let mut dp = topo_plane(10.0);
+        let a1 = dp.begin(req_edge(1, 2, 0, 100.0, 10.0, true), SimTime::ZERO);
+        assert_eq!(finish_of(&a1), SimTime::from_ms(10.0));
+        let a2 = dp.begin(req_edge(2, 3, 1, 100.0, 10.0, true), SimTime::from_ms(4.0));
+        assert_eq!(finish_of(&a2), SimTime::from_ms(24.0));
+        let Admission::Active { replans, .. } = a2 else {
+            panic!("flow 2 must activate")
+        };
+        assert_eq!(replans, vec![(1, 2, SimTime::from_ms(16.0))]);
+    }
+
+    #[test]
+    fn joined_nodes_are_unassigned_and_skip_tor_pools() {
+        let mut dp = topo_plane(5.0);
+        dp.note_join(&NodeClass::a100().with_bandwidth(10.0, 10.0, 10.0));
+        // Node 4 belongs to no server: its traffic joins no ToR pool
+        // even on a topology cluster (ρ stays endpoint-limited).
+        let adm = dp.begin(req_edge(1, 4, 0, 100.0, 10.0, true), SimTime::ZERO);
+        assert_eq!(finish_of(&adm), SimTime::from_ms(10.0));
     }
 }

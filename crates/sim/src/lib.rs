@@ -51,6 +51,7 @@ pub mod event;
 pub mod eventlog;
 pub mod health;
 pub mod metrics;
+pub mod pinning;
 pub mod platform;
 pub mod policy;
 pub mod sched;
@@ -71,6 +72,7 @@ pub use event::{Event, EventQueue, EventQueueKind};
 pub use eventlog::{EventKind, EventLog, EventRecord, QueueCounters, TransferCounters};
 pub use health::{HealthSnapshot, Monitored, QueueHealth, QueueHealthMonitor};
 pub use metrics::{AppMetrics, ExperimentResult, NodeSummary};
+pub use pinning::{Pin, PinPlan, PinnedStats, PinningConfig, ServerMap};
 pub use platform::{
     run_simulation, run_streamed, MemoryFootprint, MinScheduler, SimConfig, SimEnv, Simulation,
 };

@@ -1,0 +1,381 @@
+//! The static-pinning tier's data model: server topology maps, pin
+//! plans, and the knobs/counters the platform validates and reports.
+//!
+//! The paper's ESG searches per queue at dispatch time (§3). Production
+//! schedulers with the same shareable-GPU substrate (GSwarm, HAS-GPU)
+//! add a *static tier* in front of that search: a pattern-analysis pass
+//! pins the popularity head — whole hot workflows — onto specific
+//! servers, so their dispatches skip the search entirely and complete
+//! intra-server, while the cold tail still flows through the full
+//! dynamic search. This module holds the shared vocabulary:
+//!
+//! * [`ServerMap`] — the node→server assignment derived from
+//!   `esg_model::ServerTopology`, kept live across churn (joined nodes
+//!   start unassigned);
+//! * [`Pin`] / [`PinPlan`] — the analysis output: per queue `(app,
+//!   stage)`, the function, the fixed configuration, and the pinned
+//!   node (with its server, for locality accounting). A queue may hold
+//!   several *replicas* — same config, distinct nodes of the same
+//!   server — when one slice cannot sustain the app's arrival rate;
+//! * [`PinningConfig`] — the planner knobs, validated by
+//!   [`SimBuilder`](crate::SimBuilder);
+//! * [`PinnedStats`] — hit/miss/re-pin counters surfaced through
+//!   [`SchedulerStats`](crate::SchedulerStats) and the health
+//!   dashboard.
+//!
+//! The planner itself (`PinPlanner`) and the hybrid scheduler that
+//! consumes the plan live in `esg-core`; this crate only defines the
+//! types so the platform, tests and benches can talk about plans
+//! without depending on the algorithm.
+
+use crate::sched::QueueKey;
+use esg_model::{ClusterSpec, Config, FnId, NodeId};
+
+/// The live node→server assignment. Built from a cluster's
+/// [`ServerTopology`](esg_model::ServerTopology); nodes that join after
+/// the map was built are *unassigned* (no server) until re-planned —
+/// they still serve the dynamic tier, but the pinning tier won't count
+/// them as intra-server for any existing pin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerMap {
+    /// `assignment[node] = Some(server)`, `None` for joined/unassigned
+    /// nodes.
+    assignment: Vec<Option<usize>>,
+    num_servers: usize,
+}
+
+impl ServerMap {
+    /// The map of `spec`'s topology, or `None` when the cluster is flat
+    /// (no [`ServerTopology`](esg_model::ServerTopology) declared).
+    pub fn from_spec(spec: &ClusterSpec) -> Option<ServerMap> {
+        spec.topology
+            .map(|t| ServerMap::from_topology(&t, spec.nodes.len()))
+    }
+
+    /// The map of `topology` over `nodes` consecutive nodes.
+    pub fn from_topology(topology: &esg_model::ServerTopology, nodes: usize) -> ServerMap {
+        ServerMap {
+            assignment: (0..nodes).map(|n| Some(topology.server_of(n))).collect(),
+            num_servers: topology.num_servers(nodes),
+        }
+    }
+
+    /// The server hosting `node`, or `None` for unassigned joiners.
+    pub fn server_of(&self, node: NodeId) -> Option<usize> {
+        self.assignment.get(node.0 as usize).copied().flatten()
+    }
+
+    /// Whether `a` and `b` sit in the same server (false when either is
+    /// unassigned).
+    pub fn same_server(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.server_of(a), self.server_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of servers the topology declared (unassigned joiners do
+    /// not add servers).
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of nodes tracked (including unassigned joiners).
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the map tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// The nodes assigned to `server`, ascending.
+    pub fn nodes_of(&self, server: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| **s == Some(server))
+            .map(|(n, _)| NodeId(n as u32))
+    }
+
+    /// Records a churn join: the new node exists but belongs to no
+    /// server until the next planning pass.
+    pub fn note_join(&mut self) {
+        self.assignment.push(None);
+    }
+}
+
+/// One static pin *replica*: queue `key`'s dispatches may go to `node`
+/// as `config`, no search. A queue can hold several replicas — all on
+/// the same server — when a single slice cannot sustain the app's
+/// arrival rate; the router uses whichever replica is free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pin {
+    /// The pinned queue `(app, stage)`.
+    pub key: QueueKey,
+    /// The function the stage runs (for warm-pool accounting).
+    pub function: FnId,
+    /// The fixed dispatch configuration.
+    pub config: Config,
+    /// The pinned node.
+    pub node: NodeId,
+    /// The node's server at planning time (locality bookkeeping).
+    pub server: Option<usize>,
+}
+
+/// The static tier's output: the set of pins the hybrid scheduler
+/// routes by. Empty plans are the contract's identity: a hybrid
+/// scheduler holding an empty plan must behave bit-identically to its
+/// inner dynamic scheduler.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PinPlan {
+    pins: Vec<Pin>,
+}
+
+impl PinPlan {
+    /// The empty plan (the dynamic-only identity).
+    pub fn empty() -> PinPlan {
+        PinPlan::default()
+    }
+
+    /// Adds `pin`, replacing any existing pin of the same queue *and*
+    /// node. A second push for the same queue on a different node adds
+    /// a replica.
+    pub fn push(&mut self, pin: Pin) {
+        match self
+            .pins
+            .iter_mut()
+            .find(|p| p.key == pin.key && p.node == pin.node)
+        {
+            Some(p) => *p = pin,
+            None => self.pins.push(pin),
+        }
+    }
+
+    /// The first pin of `key`, if any. Plans are small (popularity head
+    /// × stages × replicas), so a linear scan beats a map here.
+    pub fn get(&self, key: QueueKey) -> Option<&Pin> {
+        self.pins.iter().find(|p| p.key == key)
+    }
+
+    /// All replicas of `key`, in insertion order.
+    pub fn replicas(&self, key: QueueKey) -> impl Iterator<Item = &Pin> {
+        self.pins.iter().filter(move |p| p.key == key)
+    }
+
+    /// All pins, in insertion order.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// Whether the plan pins nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// Number of pins.
+    pub fn len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Moves `key`'s first pin to `node` on `server` (churn re-pin).
+    /// Returns `false` when `key` isn't pinned.
+    pub fn set_node(&mut self, key: QueueKey, node: NodeId, server: Option<usize>) -> bool {
+        match self.pins.iter_mut().find(|p| p.key == key) {
+            Some(p) => {
+                p.node = node;
+                p.server = server;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves the replica of `key` pinned on `from` to `to` on `server`
+    /// (churn re-pin of one replica). Returns `false` when no such
+    /// replica exists.
+    pub fn set_replica_node(
+        &mut self,
+        key: QueueKey,
+        from: NodeId,
+        to: NodeId,
+        server: Option<usize>,
+    ) -> bool {
+        match self
+            .pins
+            .iter_mut()
+            .find(|p| p.key == key && p.node == from)
+        {
+            Some(p) => {
+                p.node = to;
+                p.server = server;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops the replica of `key` pinned on `node` (its node is gone and
+    /// no sibling can take it). Returns `false` when no such replica
+    /// exists.
+    pub fn drop_replica(&mut self, key: QueueKey, node: NodeId) -> bool {
+        let before = self.pins.len();
+        self.pins.retain(|p| p.key != key || p.node != node);
+        self.pins.len() != before
+    }
+
+    /// Drops every replica of `key` (demote to the dynamic tier).
+    /// Returns `false` when `key` wasn't pinned.
+    pub fn demote(&mut self, key: QueueKey) -> bool {
+        let before = self.pins.len();
+        self.pins.retain(|p| p.key != key);
+        self.pins.len() != before
+    }
+
+    /// Total vGPU slices the plan reserves (one slice set per pin) —
+    /// what [`SimBuilder`](crate::SimBuilder) checks against the
+    /// pinning budget and cluster capacity.
+    pub fn total_vgpus(&self) -> u64 {
+        self.pins.iter().map(|p| p.config.vgpus as u64).sum()
+    }
+}
+
+/// Planner knobs for the static tier, validated by
+/// [`SimBuilder`](crate::SimBuilder) before a run starts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PinningConfig {
+    /// Upper bound on the vGPU slices a plan may reserve across all
+    /// pins. Must not exceed the cluster's total vGPU capacity.
+    pub budget_vgpus: u64,
+    /// Pin only apps whose observed invocation share is at least this
+    /// multiple of the uniform share (`factor / num_apps`). Values > 1
+    /// keep the tier inert on uniform traffic.
+    pub min_share_factor: f64,
+    /// At most this many applications are pinned (hottest first).
+    pub max_pinned_apps: usize,
+}
+
+impl Default for PinningConfig {
+    fn default() -> PinningConfig {
+        PinningConfig {
+            budget_vgpus: 16,
+            min_share_factor: 1.5,
+            max_pinned_apps: 2,
+        }
+    }
+}
+
+/// Static-tier counters, reported through
+/// [`SchedulerStats`](crate::SchedulerStats) (Debug-gated: all-zero
+/// stats print nothing, keeping dynamic-only digests unchanged).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PinnedStats {
+    /// Dispatch decisions answered by the pinned tier (zero search).
+    pub hits: u64,
+    /// Pinned queues that fell back to the dynamic search (pin demoted
+    /// or its node unusable).
+    pub misses: u64,
+    /// Pins moved to a sibling node after churn drained their server.
+    pub repins: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esg_model::AppId;
+
+    fn key(app: u32, stage: usize) -> QueueKey {
+        QueueKey {
+            app: AppId(app),
+            stage,
+        }
+    }
+
+    fn pin(app: u32, stage: usize, node: u32) -> Pin {
+        Pin {
+            key: key(app, stage),
+            function: FnId(app * 10 + stage as u32),
+            config: Config::new(2, 2, 1),
+            node: NodeId(node),
+            server: Some(node as usize / 4),
+        }
+    }
+
+    #[test]
+    fn server_map_tracks_topology_and_joins() {
+        let spec = ClusterSpec::paper().with_topology(4, 10.0);
+        let mut map = ServerMap::from_spec(&spec).unwrap();
+        assert_eq!(map.len(), 16);
+        assert_eq!(map.num_servers(), 4);
+        assert_eq!(map.server_of(NodeId(0)), Some(0));
+        assert_eq!(map.server_of(NodeId(7)), Some(1));
+        assert!(map.same_server(NodeId(4), NodeId(7)));
+        assert!(!map.same_server(NodeId(3), NodeId(4)));
+        assert_eq!(
+            map.nodes_of(1).collect::<Vec<_>>(),
+            vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]
+        );
+        // A churn join is visible but unassigned: never intra-server.
+        map.note_join();
+        assert_eq!(map.len(), 17);
+        assert_eq!(map.server_of(NodeId(16)), None);
+        assert!(!map.same_server(NodeId(16), NodeId(16)));
+        assert_eq!(map.num_servers(), 4);
+        // Flat clusters have no map.
+        assert!(ServerMap::from_spec(&ClusterSpec::paper()).is_none());
+    }
+
+    #[test]
+    fn plan_upserts_repins_and_demotes() {
+        let mut plan = PinPlan::empty();
+        assert!(plan.is_empty());
+        plan.push(pin(0, 0, 0));
+        plan.push(pin(0, 1, 1));
+        plan.push(pin(1, 0, 4));
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.total_vgpus(), 3);
+        assert_eq!(plan.get(key(0, 1)).unwrap().node, NodeId(1));
+        // Same queue, same node: upsert replaces in place.
+        let mut replacement = pin(0, 1, 1);
+        replacement.config = Config::new(4, 4, 2);
+        plan.push(replacement);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.get(key(0, 1)).unwrap().config, Config::new(4, 4, 2));
+        assert_eq!(plan.total_vgpus(), 4);
+        // Re-pin moves the node; demote removes the pin.
+        assert!(plan.set_node(key(1, 0), NodeId(5), Some(1)));
+        assert_eq!(plan.get(key(1, 0)).unwrap().node, NodeId(5));
+        assert!(!plan.set_node(key(9, 0), NodeId(0), None));
+        assert!(plan.demote(key(0, 0)));
+        assert!(!plan.demote(key(0, 0)));
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn replicas_share_a_queue_and_demote_together() {
+        let mut plan = PinPlan::empty();
+        // Same queue, distinct nodes: replicas accumulate.
+        plan.push(pin(0, 0, 0));
+        plan.push(pin(0, 0, 1));
+        plan.push(pin(0, 0, 2));
+        plan.push(pin(0, 1, 3));
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.replicas(key(0, 0)).count(), 3);
+        assert_eq!(plan.total_vgpus(), 4);
+        // One replica moves; the others stay put.
+        assert!(plan.set_replica_node(key(0, 0), NodeId(1), NodeId(3), Some(0)));
+        assert!(!plan.set_replica_node(key(0, 0), NodeId(9), NodeId(3), Some(0)));
+        let nodes: Vec<NodeId> = plan.replicas(key(0, 0)).map(|p| p.node).collect();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(3), NodeId(2)]);
+        // One replica drops; the queue stays pinned.
+        assert!(plan.drop_replica(key(0, 0), NodeId(2)));
+        assert!(!plan.drop_replica(key(0, 0), NodeId(2)));
+        assert_eq!(plan.replicas(key(0, 0)).count(), 2);
+        // Demote removes every replica of the queue, nothing else.
+        assert!(plan.demote(key(0, 0)));
+        assert_eq!(plan.replicas(key(0, 0)).count(), 0);
+        assert_eq!(plan.len(), 1);
+        assert!(plan.get(key(0, 1)).is_some());
+    }
+}

@@ -193,6 +193,13 @@ pub struct SimConfig {
     /// the plane is dispatch-trace bit-identical to the scalar model
     /// (`tests/dataplane_equivalence.rs`).
     pub data_plane: Option<DataPlaneConfig>,
+    /// Static-pinning-tier knobs (`crate::pinning`). The platform never
+    /// consumes them itself — the hybrid scheduler in `esg-core` reads
+    /// them through `Sim::config()` — but `SimBuilder` validates them
+    /// against the cluster (a pin budget larger than the cluster's
+    /// total vGPU capacity, or pinning on an empty cluster, is a typed
+    /// error, not a stranded plan at runtime). `None` disables the tier.
+    pub pinning: Option<crate::pinning::PinningConfig>,
 }
 
 impl Default for SimConfig {
@@ -220,6 +227,7 @@ impl Default for SimConfig {
             event_queue: EventQueueKind::Heap,
             record_trace: None,
             data_plane: None,
+            pinning: None,
         }
     }
 }
@@ -410,6 +418,9 @@ pub struct Simulation<'a> {
     /// The contended data plane (`cfg.data_plane`); `None` keeps the
     /// classic scalar transfer model.
     dataplane: Option<DataPlane>,
+    /// The node→server map (`Some` only when `cfg.cluster` declares a
+    /// `ServerTopology`); joined nodes stay unassigned.
+    servers: Option<crate::pinning::ServerMap>,
 }
 
 impl<'a> Simulation<'a> {
@@ -505,7 +516,11 @@ impl<'a> Simulation<'a> {
             .record_trace
             .clone()
             .map(|path| TraceRecorder::begin(path, env, &cfg, sched.name()));
-        let dataplane = cfg.data_plane.map(|dp| DataPlane::new(dp, &cluster));
+        let topology = cfg.cluster.as_ref().and_then(|s| s.topology);
+        let dataplane = cfg
+            .data_plane
+            .map(|dp| DataPlane::new(dp, &cluster, topology));
+        let servers = topology.map(|t| crate::pinning::ServerMap::from_topology(&t, cluster.len()));
         Simulation {
             env,
             cfg,
@@ -546,6 +561,7 @@ impl<'a> Simulation<'a> {
             base_ms,
             recorder,
             dataplane,
+            servers,
         }
     }
 
@@ -684,6 +700,9 @@ impl<'a> Simulation<'a> {
             ChurnEvent::Join { class, .. } => {
                 if let Some(dp) = self.dataplane.as_mut() {
                     dp.note_join(&class);
+                }
+                if let Some(map) = self.servers.as_mut() {
+                    map.note_join();
                 }
                 let joined = self.cluster.join(class, self.now);
                 self.waiting_exec.push(std::collections::VecDeque::new());
@@ -872,6 +891,7 @@ impl<'a> Simulation<'a> {
                     transfer: &self.env.transfer,
                     noise: &self.env.noise,
                     dataplane: self.dataplane.as_ref().map(|dp| dp.view()),
+                    servers: self.servers.as_ref(),
                 };
                 let t0 = Instant::now();
                 let decisions = self.sched.schedule_round(&ctx);
@@ -971,6 +991,7 @@ impl<'a> Simulation<'a> {
                         transfer: &self.env.transfer,
                         noise: &self.env.noise,
                         dataplane: self.dataplane.as_ref().map(|dp| dp.view()),
+                        servers: self.servers.as_ref(),
                     };
                     let t0 = Instant::now();
                     let decisions = self.shard_ctl.as_mut().expect("sharded driver").stage(
@@ -1402,6 +1423,9 @@ impl<'a> Simulation<'a> {
         let with_dataplane = self.dataplane.is_some();
         let mut local_jobs = 0u32;
         let mut remote_jobs = 0u32;
+        // Jobs whose producer sits in a different server than `node`
+        // (ToR traffic; 0 on flat clusters and for gateway inputs).
+        let mut cross_jobs = 0u32;
         let mut src_counts: Vec<(usize, u32)> = Vec::new();
         for j in &jobs {
             let local = j.pred_node == Some(node);
@@ -1426,6 +1450,11 @@ impl<'a> Simulation<'a> {
                         match src_counts.iter_mut().find(|(s, _)| *s == src.index()) {
                             Some((_, c)) => *c += 1,
                             None => src_counts.push((src.index(), 1)),
+                        }
+                        if let Some(map) = &self.servers {
+                            if !map.same_server(src, node) {
+                                cross_jobs += 1;
+                            }
                         }
                     }
                 }
@@ -1505,6 +1534,7 @@ impl<'a> Simulation<'a> {
                 work_ms: rate_ms,
                 scalar_total_ms: cold_ms + transfer_ms,
                 batched_small,
+                cross_mb: cross_jobs as f64 * mb,
             };
             let total_mb = req.remote_mb + req.local_mb;
             match dp.begin(req, start) {

@@ -736,6 +736,7 @@ mod tests {
             transfer: &env.transfer,
             noise: &env.noise,
             dataplane: None,
+            servers: None,
         }
     }
 

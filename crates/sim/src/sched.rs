@@ -166,6 +166,11 @@ pub struct RoundCtx<'a> {
     /// policies fold its per-node contention estimates into their
     /// ranking; everything else ignores it.
     pub dataplane: Option<&'a crate::dataplane::DataPlaneView>,
+    /// The node→server map (`Some` only when the cluster declares a
+    /// [`ServerTopology`](esg_model::ServerTopology)). The static
+    /// pinning tier and locality-aware policies use it to keep hot
+    /// workflows intra-server; flat clusters leave it `None`.
+    pub servers: Option<&'a crate::pinning::ServerMap>,
 }
 
 impl RoundCtx<'_> {
@@ -427,6 +432,9 @@ pub struct SchedulerStats {
     /// Sharded control-plane counters (staging rounds, commits,
     /// conflicts, retries); all zero under the classic single driver.
     pub shards: ShardStats,
+    /// Static-pinning-tier counters (hits, misses, re-pins); all zero
+    /// for purely dynamic schedulers.
+    pub pinned: crate::pinning::PinnedStats,
 }
 
 impl SchedulerStats {
@@ -452,6 +460,13 @@ impl SchedulerStats {
     /// platform calls this when collecting end-of-run stats).
     pub fn with_shards(mut self, s: ShardStats) -> SchedulerStats {
         self.shards = s;
+        self
+    }
+
+    /// Installs the static pinning tier's counters wholesale (hybrid
+    /// schedulers call this from `Scheduler::stats`).
+    pub fn with_pinned(mut self, p: crate::pinning::PinnedStats) -> SchedulerStats {
+        self.pinned = p;
         self
     }
 }
@@ -481,6 +496,11 @@ impl std::fmt::Debug for SchedulerStats {
                 .field("shard_commits", &self.shards.commits)
                 .field("shard_conflicts", &self.shards.conflicts)
                 .field("shard_retries", &self.shards.retries);
+        }
+        if self.pinned != crate::pinning::PinnedStats::default() {
+            d.field("pinned_hits", &self.pinned.hits)
+                .field("pinned_misses", &self.pinned.misses)
+                .field("repins", &self.pinned.repins);
         }
         d.finish()
     }

@@ -75,7 +75,9 @@ pub const TRACE_VERSION: u32 = 1;
 /// v1.0 reader's documents still load here and a v1.0 document loads as
 /// minor 0. Minor 1 added the data-plane family: per-class bandwidth
 /// fields, the `data_plane` config knob, and the transfer event tags.
-pub const TRACE_VERSION_MINOR: u32 = 1;
+/// Minor 2 added the server-topology family: the optional
+/// `cluster.topology` object and the `pinning` config knob.
+pub const TRACE_VERSION_MINOR: u32 = 2;
 
 /// A typed failure while writing or loading a trace. Corrupt or
 /// truncated files surface here — never as a panic.
@@ -841,6 +843,14 @@ fn config_to_json(cfg: &SimConfig) -> Value {
                     "nodes",
                     Value::Array(spec.nodes.iter().map(class_to_json).collect()),
                 );
+                // Optional key: absent on pre-topology recordings, which
+                // must keep loading as flat clusters.
+                if let Some(t) = spec.topology {
+                    let mut topo = Map::new();
+                    topo.insert("gpus_per_server", t.gpus_per_server);
+                    topo.insert("tor_gbps", t.tor_gbps);
+                    c.insert("topology", Value::Object(topo));
+                }
                 Value::Object(c)
             }
         },
@@ -887,6 +897,19 @@ fn config_to_json(cfg: &SimConfig) -> Value {
             }
         },
     );
+    m.insert(
+        "pinning",
+        match &cfg.pinning {
+            None => Value::Null,
+            Some(p) => {
+                let mut d = Map::new();
+                d.insert("budget_vgpus", p.budget_vgpus);
+                d.insert("min_share_factor", p.min_share_factor);
+                d.insert("max_pinned_apps", p.max_pinned_apps);
+                Value::Object(d)
+            }
+        },
+    );
     Value::Object(m)
 }
 
@@ -909,6 +932,13 @@ fn config_from_json(doc: &Value) -> Result<SimConfig, TraceError> {
                 .iter()
                 .map(class_from_json)
                 .collect::<Result<Vec<_>, TraceError>>()?,
+            topology: match spec.get("topology") {
+                None | Some(Value::Null) => None,
+                Some(t) => Some(esg_model::ServerTopology::new(
+                    usize_field(t, "gpus_per_server")?,
+                    f64_field(t, "tor_gbps")?,
+                )),
+            },
         }),
     };
     Ok(SimConfig {
@@ -946,6 +976,15 @@ fn config_from_json(doc: &Value) -> Result<SimConfig, TraceError> {
                 bandwidth_scale: f64_field(dp, "bandwidth_scale")?,
                 staging_scale: f64_field(dp, "staging_scale")?,
                 batch_max_mb: f64_field(dp, "batch_max_mb")?,
+            }),
+        },
+        // Arrived in v1.2; absent documents disable the static tier.
+        pinning: match doc.get("pinning") {
+            None | Some(Value::Null) => None,
+            Some(p) => Some(crate::pinning::PinningConfig {
+                budget_vgpus: u64_field(p, "budget_vgpus")?,
+                min_share_factor: f64_field(p, "min_share_factor")?,
+                max_pinned_apps: usize_field(p, "max_pinned_apps")?,
             }),
         },
         record_trace: None,
@@ -1237,7 +1276,7 @@ mod tests {
     #[test]
     fn config_round_trips_including_cluster_and_churn() {
         let cfg = SimConfig {
-            cluster: Some(ClusterSpec::mixed_mig()),
+            cluster: Some(ClusterSpec::mixed_mig().with_topology(2, 25.0)),
             churn: ChurnPlan::none()
                 .drain(1_000.0, NodeId(3))
                 .join(2_000.0, NodeClass::t4()),
@@ -1250,6 +1289,11 @@ mod tests {
                 bandwidth_scale: 0.5,
                 staging_scale: 2.0,
                 batch_max_mb: 16.0,
+            }),
+            pinning: Some(crate::pinning::PinningConfig {
+                budget_vgpus: 12,
+                min_share_factor: 1.25,
+                max_pinned_apps: 3,
             }),
             ..SimConfig::default()
         };

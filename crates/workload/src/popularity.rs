@@ -1,0 +1,183 @@
+//! Application-popularity skew: the draw distribution arrival streams
+//! pick applications from, plus the offline analysis pass the static
+//! pinning tier runs over a workload.
+//!
+//! The paper's generators draw the application for each arrival
+//! uniformly (§4.1); production serverless traffic is heavily skewed —
+//! a few hot workflows dominate invocations (the observation GSwarm and
+//! HAS-GPU build their static tiers on). [`Popularity`] parameterises
+//! the shaped generators with that skew: `Uniform` reproduces the
+//! historical draw sequence bit-for-bit, `Zipf { s }` draws from a
+//! Zipf(s) distribution over the app list's order (apps earlier in the
+//! slice are hotter).
+//!
+//! [`PopularityProfile`] is the inverse: given a (prefix of a)
+//! workload, rank applications by observed invocation share. The
+//! `PinPlanner` in `esg-core` feeds the head of that ranking — together
+//! with each app's stage DAG, which says which stages feed which — to
+//! decide what to pin where.
+
+use crate::arrivals::Workload;
+use esg_model::AppId;
+
+/// How arrival streams draw the application for each arrival.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Popularity {
+    /// Every app equally likely — the paper's §4.1 draw, bit-identical
+    /// to the pre-knob generators.
+    Uniform,
+    /// Zipf-distributed popularity with exponent `s` over the app list's
+    /// order: app at index `i` has weight `1 / (i + 1)^s`. `s = 0` is
+    /// uniform-by-weights (but takes the weighted draw path; use
+    /// `Uniform` for bit-compatibility), larger `s` is more skewed.
+    Zipf {
+        /// The Zipf exponent (≥ 0; ~1–2 matches serverless trace skew).
+        s: f64,
+    },
+}
+
+impl Popularity {
+    /// The normalised draw weights over `n` apps (sums to 1).
+    pub fn weights(&self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "need at least one application");
+        match *self {
+            Popularity::Uniform => vec![1.0 / n as f64; n],
+            Popularity::Zipf { s } => {
+                assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be ≥ 0");
+                let raw: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+                let total: f64 = raw.iter().sum();
+                raw.into_iter().map(|w| w / total).collect()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Popularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Popularity::Uniform => f.write_str("uniform"),
+            Popularity::Zipf { s } => write!(f, "zipf-{s}"),
+        }
+    }
+}
+
+/// Observed per-application invocation shares of a workload — the
+/// pattern-analysis input to the static pinning tier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PopularityProfile {
+    /// `(app, invocations)`, descending by count, ties on app id.
+    ranked: Vec<(AppId, u64)>,
+    total: u64,
+}
+
+impl PopularityProfile {
+    /// Ranks the applications of `workload` by invocation count.
+    pub fn of(workload: &Workload) -> PopularityProfile {
+        let mut counts: Vec<(AppId, u64)> = Vec::new();
+        for a in &workload.arrivals {
+            match counts.iter_mut().find(|(app, _)| *app == a.app) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((a.app, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        PopularityProfile {
+            total: counts.iter().map(|(_, n)| n).sum(),
+            ranked: counts,
+        }
+    }
+
+    /// `(app, invocations)` descending by count.
+    pub fn ranked(&self) -> &[(AppId, u64)] {
+        &self.ranked
+    }
+
+    /// Total invocations observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The observed invocation share of `app` in [0, 1].
+    pub fn share(&self, app: AppId) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.ranked
+            .iter()
+            .find(|(a, _)| *a == app)
+            .map_or(0.0, |(_, n)| *n as f64 / self.total as f64)
+    }
+
+    /// The popularity head: apps (hottest first, at most `max`) whose
+    /// share is at least `min_share`. Empty on an empty workload — and on
+    /// uniform traffic whenever `min_share` exceeds the uniform share,
+    /// which is what keeps the pinning tier inert without skew.
+    pub fn hot_apps(&self, min_share: f64, max: usize) -> Vec<AppId> {
+        self.ranked
+            .iter()
+            .filter(|(app, _)| self.share(*app) >= min_share)
+            .take(max)
+            .map(|(app, _)| *app)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::Arrival;
+
+    fn workload_of(apps: &[u32]) -> Workload {
+        Workload {
+            arrivals: apps
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| Arrival {
+                    at_ms: i as f64,
+                    app: AppId(a),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn uniform_weights_are_flat_and_zipf_decays() {
+        let u = Popularity::Uniform.weights(4);
+        assert!(u.iter().all(|&w| (w - 0.25).abs() < 1e-12));
+        let z = Popularity::Zipf { s: 1.0 }.weights(4);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(z[0] > z[1] && z[1] > z[2] && z[2] > z[3]);
+        // s = 1: weights ∝ 1, 1/2, 1/3, 1/4.
+        assert!((z[0] / z[1] - 2.0).abs() < 1e-12);
+        // Higher exponent concentrates more mass on the head.
+        let z2 = Popularity::Zipf { s: 2.0 }.weights(4);
+        assert!(z2[0] > z[0]);
+    }
+
+    #[test]
+    fn display_labels_are_axis_friendly() {
+        assert_eq!(Popularity::Uniform.to_string(), "uniform");
+        assert_eq!(Popularity::Zipf { s: 1.5 }.to_string(), "zipf-1.5");
+    }
+
+    #[test]
+    fn profile_ranks_by_count_with_id_ties() {
+        let p = PopularityProfile::of(&workload_of(&[2, 0, 2, 1, 2, 0]));
+        assert_eq!(p.total(), 6);
+        assert_eq!(p.ranked(), &[(AppId(2), 3), (AppId(0), 2), (AppId(1), 1)]);
+        assert!((p.share(AppId(2)) - 0.5).abs() < 1e-12);
+        assert_eq!(p.share(AppId(7)), 0.0);
+    }
+
+    #[test]
+    fn hot_apps_cut_at_share_and_count() {
+        let p = PopularityProfile::of(&workload_of(&[0, 0, 0, 0, 0, 0, 1, 1, 2, 3]));
+        // 0 has 60%, 1 has 20%, 2 and 3 have 10%.
+        assert_eq!(p.hot_apps(0.5, 4), vec![AppId(0)]);
+        assert_eq!(p.hot_apps(0.15, 4), vec![AppId(0), AppId(1)]);
+        assert_eq!(p.hot_apps(0.15, 1), vec![AppId(0)]);
+        assert!(p.hot_apps(0.7, 4).is_empty());
+        let empty = PopularityProfile::of(&Workload { arrivals: vec![] });
+        assert!(empty.hot_apps(0.0, 4).is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! Static-pinning tier equivalence: a [`HybridScheduler`] with an
+//! **empty** pin plan must be dispatch-trace **bit-identical** to the
+//! pure [`EsgScheduler`] — every pinned-tier code path (the plan probe
+//! in `schedule`, the shape gate in `place`, the churn hook, the
+//! stats merge) has to vanish without residue when nothing is pinned.
+//!
+//! The pin is transitive against the pre-redesign golden digest: the
+//! grid test below reproduces the exact ESG cells of
+//! `tests/golden/control_plane.digest` (same window, class, seed and
+//! scenario as `control_plane_equivalence`) and then asserts the hybrid
+//! run's trace and canonical result match ESG's bit for bit — so an
+//! empty-plan hybrid is pinned to the same golden baseline without the
+//! digest file ever learning the word "Hybrid". Only the scheduler
+//! *name* may differ, so the result comparison canonicalises it.
+//!
+//! The churn half pins the tier's safety property: draining every node
+//! of a pinned server mid-run must never strand the pinned functions —
+//! each affected pin re-pins within its server or demotes to the
+//! dynamic tier, and the run still completes every arrival.
+
+mod support;
+
+use esg::prelude::*;
+use support::{fnv64, Traced};
+
+/// Same test-sized window as `control_plane_equivalence` — the golden
+/// ESG lines below only match at this exact grid geometry.
+const RUN_MS: f64 = 2_500.0;
+
+const SHAPES: [TrafficShape; 3] = [
+    TrafficShape::Steady,
+    TrafficShape::Bursty,
+    TrafficShape::Diurnal,
+];
+
+/// The golden grid's cluster axis (mirrors `control_plane_equivalence`).
+fn cluster_cases() -> Vec<(&'static str, ClusterSpec, ChurnPlan)> {
+    vec![
+        ("paper", ClusterSpec::paper(), ChurnPlan::none()),
+        ("mixed-mig", ClusterSpec::mixed_mig(), ChurnPlan::none()),
+        (
+            "skewed+churn",
+            ClusterSpec::skewed(),
+            ChurnPlan::rolling_replace(RUN_MS / 3.0, 2_000.0, NodeId(0), NodeClass::t4()),
+        ),
+    ]
+}
+
+/// Canonical result form with host-dependent wall-clock samples
+/// dropped — the same shape the golden digest hashes.
+fn canonical(mut r: ExperimentResult) -> String {
+    r.wall_overhead_ms.clear();
+    format!("{r:?}")
+}
+
+/// [`canonical`] with the scheduler name scrubbed: "Hybrid" vs "ESG" is
+/// the one field the empty-plan identity is *allowed* to differ on.
+fn nameless(mut r: ExperimentResult) -> String {
+    r.scheduler = String::from("<scheduler>");
+    canonical(r)
+}
+
+/// One golden-grid cell: trace string plus the result, for `sched`.
+fn run_cell(
+    sched: &mut Traced,
+    spec: &ClusterSpec,
+    churn: &ChurnPlan,
+    shape: TrafficShape,
+) -> (String, ExperimentResult) {
+    let env = SimEnv::standard(SloClass::Moderate);
+    let workload = shaped_workload(
+        WorkloadClass::Normal,
+        shape,
+        &esg::model::standard_app_ids(),
+        42,
+        RUN_MS,
+    );
+    let cfg = SimConfig {
+        cluster: Some(spec.clone()),
+        churn: churn.clone(),
+        warmup_exclude_ms: RUN_MS * 0.25,
+        seed: 42,
+        ..SimConfig::default()
+    };
+    let r = run_simulation(&env, cfg, sched, &workload, "control-plane");
+    (sched.trace(), r)
+}
+
+/// The empty-plan hybrid is bit-identical to pure ESG on every golden
+/// cell, and the ESG side still matches the blessed digest file — so
+/// the identity is anchored to the pre-redesign baseline, not merely to
+/// whatever ESG happens to do today.
+#[test]
+fn empty_plan_hybrid_matches_esg_on_the_golden_grid() {
+    let golden = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/golden/control_plane.digest"),
+    )
+    .expect("golden control-plane digest present");
+
+    for (cluster_name, spec, churn) in &cluster_cases() {
+        for &shape in &SHAPES {
+            let mut esg = Traced::new(Box::new(EsgScheduler::new()));
+            let (esg_trace, esg_result) = run_cell(&mut esg, spec, churn, shape);
+
+            // The exact line `control_plane_equivalence` records for
+            // this cell; containment proves this grid reproduces the
+            // golden geometry (and that adding the hybrid tier did not
+            // move the baseline).
+            let golden_line = format!(
+                "ESG|{cluster_name}|{shape}|trace={:016x}|result={:016x}|\
+completed={}|dispatches={}|rechecks={}",
+                fnv64(&esg_trace),
+                fnv64(&canonical(esg_result.clone())),
+                esg_result.total_completed(),
+                esg_result.dispatches,
+                esg_result.rechecks,
+            );
+            assert!(
+                golden.lines().any(|l| l == golden_line),
+                "ESG cell drifted from the golden digest:\n  {golden_line}"
+            );
+
+            let mut hybrid = Traced::new(Box::new(HybridScheduler::new(PinPlan::empty())));
+            let (hyb_trace, hyb_result) = run_cell(&mut hybrid, spec, churn, shape);
+            assert_eq!(
+                hyb_trace, esg_trace,
+                "dispatch trace diverged on {cluster_name}/{shape}"
+            );
+            assert_eq!(
+                nameless(hyb_result),
+                nameless(esg_result),
+                "result diverged on {cluster_name}/{shape}"
+            );
+        }
+    }
+}
+
+/// The planner itself is inert on uniform traffic: with the default
+/// `min_share_factor > 1` no application clears the popularity bar, the
+/// plan comes out empty by construction, and the *fully configured*
+/// hybrid (planner, server map and all) still reproduces ESG bit for
+/// bit end-to-end.
+#[test]
+fn planned_hybrid_on_uniform_traffic_is_inert() {
+    let env = SimEnv::standard(SloClass::Moderate);
+    let spec = ClusterSpec::paper().with_topology(4, 10.0);
+    let workload = shaped_workload(
+        WorkloadClass::Light,
+        TrafficShape::Steady,
+        &esg::model::standard_app_ids(),
+        7,
+        2_000.0,
+    );
+    let hybrid_inner = HybridScheduler::planned(PinningConfig::default(), &env, &spec, &workload);
+    assert!(
+        hybrid_inner.plan().is_empty(),
+        "uniform traffic must not clear the popularity bar"
+    );
+
+    let cfg = SimConfig {
+        cluster: Some(spec),
+        pinning: Some(PinningConfig::default()),
+        seed: 7,
+        ..SimConfig::default()
+    };
+    let mut hybrid = Traced::new(Box::new(hybrid_inner));
+    let rh = run_simulation(&env, cfg.clone(), &mut hybrid, &workload, "inert");
+    let mut esg = Traced::new(Box::new(EsgScheduler::new()));
+    let re = run_simulation(&env, cfg, &mut esg, &workload, "inert");
+
+    assert_eq!(hybrid.trace(), esg.trace());
+    assert_eq!(nameless(rh), nameless(re));
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+    /// Property form across cluster specs × traffic shapes × churn
+    /// plans × popularity skews × seeds: the empty pin plan leaves the
+    /// hybrid's dispatch trace and canonical result bit-identical to
+    /// pure ESG — skewed workloads included, since the plan (not the
+    /// traffic) is what arms the static tier.
+    #[test]
+    fn an_empty_pin_plan_is_inert(
+        seed in 0u64..1_000,
+        spec_idx in 0usize..3,
+        shape_idx in 0usize..3,
+        churn_variant in 0usize..3,
+        skew in 0usize..3,
+    ) {
+        let specs = [
+            ClusterSpec::paper(),
+            ClusterSpec::mixed_mig().with_topology(2, 25.0),
+            ClusterSpec::skewed(),
+        ];
+        let spec = specs[spec_idx].clone();
+        let shape = SHAPES[shape_idx];
+        let churn = match churn_variant {
+            0 => ChurnPlan::none(),
+            1 => ChurnPlan::rolling_replace(600.0, 400.0, NodeId(1), NodeClass::v100()),
+            _ => ChurnPlan::none()
+                .drain(400.0, NodeId(0))
+                .join(700.0, NodeClass::t4())
+                .drain(1_100.0, NodeId(2)),
+        };
+        let popularity = match skew {
+            0 => Popularity::Uniform,
+            1 => Popularity::Zipf { s: 1.0 },
+            _ => Popularity::Zipf { s: 2.0 },
+        };
+        let workload = shaped_workload_with(
+            WorkloadClass::Light,
+            shape,
+            &esg::model::standard_app_ids(),
+            seed,
+            popularity,
+            2_000.0,
+        );
+        let env = SimEnv::standard(SloClass::Moderate);
+        let run = |sched: Box<dyn Scheduler>| {
+            let mut sched = Traced::new(sched);
+            let cfg = SimConfig {
+                cluster: Some(spec.clone()),
+                churn: churn.clone(),
+                seed,
+                ..SimConfig::default()
+            };
+            let r = run_simulation(&env, cfg, &mut sched, &workload, "inert");
+            (sched.trace(), nameless(r))
+        };
+        let (esg_trace, esg_result) = run(Box::new(EsgScheduler::new()));
+        let (hyb_trace, hyb_result) = run(Box::new(HybridScheduler::new(PinPlan::empty())));
+        proptest::prop_assert_eq!(esg_trace, hyb_trace);
+        proptest::prop_assert_eq!(esg_result, hyb_result);
+    }
+}
+
+/// Draining every node of a pinned server mid-run never strands the
+/// pinned functions: the affected pins re-pin or demote, the tier's
+/// counters record the churn, no surviving pin points at a drained
+/// node, and the simulation still completes every arrival.
+#[test]
+fn draining_a_pinned_server_never_strands_its_functions() {
+    const WINDOW_MS: f64 = 2_000.0;
+    let env = SimEnv::standard(SloClass::Moderate);
+    let spec = ClusterSpec::paper().with_topology(4, 10.0);
+    let workload = shaped_workload_with(
+        WorkloadClass::Light,
+        TrafficShape::Steady,
+        &esg::model::standard_app_ids(),
+        11,
+        Popularity::Zipf { s: 2.0 },
+        WINDOW_MS,
+    );
+    let pin_cfg = PinningConfig {
+        budget_vgpus: 32,
+        min_share_factor: 1.25,
+        max_pinned_apps: 2,
+    };
+    let mut hybrid = HybridScheduler::planned(pin_cfg, &env, &spec, &workload);
+    assert!(
+        !hybrid.plan().is_empty(),
+        "the Zipf head must be pinnable on the paper cluster"
+    );
+
+    // Drain the whole server hosting the first pin a third into the run.
+    let map = ServerMap::from_spec(&spec).expect("topology configured");
+    let server = hybrid.plan().pins()[0]
+        .server
+        .expect("pins carry their server on a topology cluster");
+    let drained: Vec<NodeId> = map.nodes_of(server).collect();
+    let mut churn = ChurnPlan::none();
+    for (i, &node) in drained.iter().enumerate() {
+        churn = churn.drain(WINDOW_MS / 3.0 + 10.0 * i as f64, node);
+    }
+
+    let cfg = SimConfig {
+        cluster: Some(spec),
+        churn,
+        pinning: Some(pin_cfg),
+        seed: 11,
+        ..SimConfig::default()
+    };
+    let r = run_simulation(&env, cfg, &mut hybrid, &workload, "pinned-drain");
+
+    assert!(r.arrivals > 0);
+    assert_eq!(
+        r.total_completed(),
+        r.arrivals,
+        "a drained pinned server stranded work"
+    );
+    assert_eq!(r.shed_invocations, 0);
+
+    let stats = hybrid.pinned_stats();
+    assert!(stats.hits > 0, "the pinned tier never fired: {stats:?}");
+    assert!(
+        stats.repins + stats.misses > 0,
+        "the drain never touched the pinned tier: {stats:?}"
+    );
+    for pin in hybrid.plan().pins() {
+        assert!(
+            !drained.contains(&pin.node),
+            "surviving pin still points at drained {:?}",
+            pin.node
+        );
+    }
+}
